@@ -1,0 +1,25 @@
+"""Fig. 1 — Black–Scholes execution time vs input size on a single node.
+
+Regenerates the motivating figure: near-linear scaling while the dataset
+fits the two V100s, then the oversubscription blow-up (the paper's red
+bars) past 32 GB.
+"""
+
+from conftest import emit
+
+from repro.bench import fig1
+
+
+def test_fig1_blackscholes_sweep(benchmark, sizes_gb):
+    result = benchmark.pedantic(
+        lambda: fig1(sizes_gb), rounds=1, iterations=1)
+    emit(result.render())
+
+    # Shape: linear region then blow-up, red bars exactly past 32 GB.
+    for gb, flagged in zip(result.sizes_gb, result.oversubscribed):
+        assert flagged == (gb > 32)
+    in_memory = [s for gb, s in zip(result.sizes_gb, result.seconds)
+                 if gb <= 32]
+    blown = [s for gb, s in zip(result.sizes_gb, result.seconds)
+             if gb >= 96]
+    assert max(blown) > 100 * max(in_memory)

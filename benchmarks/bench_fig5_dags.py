@@ -1,0 +1,38 @@
+"""Fig. 5 — the workload suite's CE-dependency DAGs.
+
+Not a timing figure: regenerates the dependency structure the paper draws
+(MLE's two joined pipelines, CG's chained iteration diamonds, MV's flat
+fan-out) and asserts its shape.
+"""
+
+from conftest import emit
+
+from repro.bench import fig5
+
+
+def test_fig5_workload_dags(benchmark):
+    result = benchmark.pedantic(fig5, rounds=1, iterations=1)
+    emit(result.render())
+
+    def parents_of(workload, label):
+        for name, parents in result.edges[workload]:
+            if name == label:
+                return parents
+        raise AssertionError(f"{label} not in {workload} DAG")
+
+    # MV: flat fan-out — every product depends only on initialisation.
+    for label, parents in result.edges["mv"]:
+        if label.startswith("mv") and "init" not in label:
+            assert all("init" in p for p in parents), (label, parents)
+
+    # MLE: combine joins the two branches of its chunk.
+    combine0 = parents_of("mle", "mle.combine0")
+    assert any("head0" in p for p in combine0)
+    assert any("bayes0" in p for p in combine0)
+
+    # CG: the second iteration's matvecs hang off the first update_p.
+    cg_labels = [name for name, _ in result.edges["cg"]]
+    assert cg_labels.count("cg.update_p") == 2
+    later_mv_parents = [parents for name, parents in result.edges["cg"]
+                        if name == "cg.mv0"][1]
+    assert "cg.update_p" in later_mv_parents

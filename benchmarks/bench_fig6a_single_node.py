@@ -1,0 +1,25 @@
+"""Fig. 6a — single-node (GrCUDA) slowdowns vs the 4 GB baseline.
+
+Paper anchors: near-linear scaling below each workload's threshold, then
+MLE ~72× at 32→64 GB, CG ~77× and MV ~342× at 64→96 GB.
+"""
+
+from conftest import emit
+
+from repro.bench import fig6a
+
+
+def test_fig6a_single_node_slowdowns(benchmark, sizes_gb):
+    result = benchmark.pedantic(
+        lambda: fig6a(sizes_gb), rounds=1, iterations=1)
+    emit(result.render())
+
+    def step_at(workload, gb_from):
+        idx = result.sizes_gb.index(gb_from)
+        return result.steps[workload][idx]
+
+    if 64 in result.sizes_gb and 96 in result.sizes_gb:
+        assert 200 < step_at("mv", 64) < 500        # paper: 342.6x
+        assert 40 < step_at("cg", 64) < 120         # paper: 77.3x
+    if 32 in result.sizes_gb and 64 in result.sizes_gb:
+        assert 40 < step_at("mle", 32) < 120        # paper: 72.0x

@@ -1,0 +1,20 @@
+"""Fig. 6b — GrOUT (2 nodes, offline vector-step) slowdowns.
+
+Paper anchors: the single-node cliffs collapse — MV's 342.6× step becomes
+~4.1×, CG's 77.3× becomes ~13.3×, MLE's 72.0× becomes ~4.1×.
+"""
+
+from conftest import emit
+
+from repro.bench import fig6b
+
+
+def test_fig6b_grout_slowdowns(benchmark, sizes_gb):
+    result = benchmark.pedantic(
+        lambda: fig6b(sizes_gb), rounds=1, iterations=1)
+    emit(result.render())
+
+    # Every step of every workload stays far below the single-node cliffs.
+    for workload in result.workloads:
+        for step in result.steps[workload]:
+            assert step < 20.0, (workload, step)

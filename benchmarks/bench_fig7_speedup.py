@@ -1,0 +1,37 @@
+"""Fig. 7 — speedup of GrOUT (2 nodes) over a single node per OSF.
+
+Paper anchors: single node wins below oversubscription; at 2× only CG
+benefits; one step further everything benefits — up to 1.64× (MLE),
+7.45× (CG) and >24.42× (MV, single node out of time).
+"""
+
+from conftest import emit
+
+from repro.bench import fig7
+
+
+def test_fig7_speedup_crossover(benchmark, sizes_gb):
+    result = benchmark.pedantic(
+        lambda: fig7(sizes_gb), rounds=1, iterations=1)
+    emit(result.render())
+
+    def speedup(workload, gb):
+        return result.speedups[workload][result.sizes_gb.index(gb)]
+
+    # Under normal conditions the single node wins (network cost).
+    for workload in result.workloads:
+        assert speedup(workload, 4) < 1.0, workload
+
+    if 64 in result.sizes_gb:
+        assert speedup("cg", 64) > 1.0       # only CG benefits at 2x
+        assert speedup("mv", 64) < 1.0
+        assert speedup("mle", 64) < 1.0
+
+    if 96 in result.sizes_gb:
+        for workload in result.workloads:   # all benefit at 3x
+            assert speedup(workload, 96) > 1.0, workload
+
+    if 128 in result.sizes_gb:
+        # MV's single node times out; the speedup floor beats 24.42x.
+        assert result.single_capped["mv"][result.sizes_gb.index(128)]
+        assert speedup("mv", 128) > 24.42

@@ -1,0 +1,32 @@
+"""Fig. 8 — online vs offline scheduling policies at 3× oversubscription.
+
+Paper anchors: exploration greediness (Low/Medium/High) has no noteworthy
+impact; MLE's online placements rival the offline roofline; CG's online
+run stays within a small factor of offline; MV's locality-greedy online
+policies pile every CE onto one node and collapse, with round-robin
+(pure exploration) at least an order of magnitude better.
+"""
+
+from conftest import emit
+
+from repro.bench import fig8
+
+
+def test_fig8_policy_comparison(benchmark):
+    result = benchmark.pedantic(lambda: fig8(96), rounds=1, iterations=1)
+    emit(result.render())
+
+    for workload in result.workloads:
+        norm = result.normalized(workload)
+        for policy in ("min-transfer-size", "min-transfer-time"):
+            levels = [norm[f"{policy}/{lvl}"]
+                      for lvl in ("low", "medium", "high")]
+            # greediness has no noteworthy impact
+            assert max(levels) < 1.2 * min(levels), (workload, levels)
+
+    mv = result.normalized("mv")
+    assert mv["min-transfer-size/medium"] > 5.0      # pile-up vs RR
+    cg = result.normalized("cg")
+    assert cg["min-transfer-size/medium"] < 4.0      # no pile-up
+    mle = result.normalized("mle")
+    assert mle["min-transfer-size/medium"] < 2.0     # rivals offline

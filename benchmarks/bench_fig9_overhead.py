@@ -1,0 +1,59 @@
+"""Fig. 9 — Controller scheduling overhead per CE vs cluster size.
+
+This one is a *real* wall-clock microbenchmark: the policy code is actual
+framework code, so pytest-benchmark times one scheduling decision for each
+policy at each node count.  Paper anchors: static policies constant and
+well under 30 µs; informed policies grow with the node count, peaking
+around hundreds of microseconds at 256 nodes.
+"""
+
+import pytest
+
+from conftest import emit
+
+from repro.bench import fig9
+from repro.bench.figures import _fig9_context
+from repro.core.policies import (
+    MinTransferSizePolicy,
+    MinTransferTimePolicy,
+    RoundRobinPolicy,
+    VectorStepPolicy,
+)
+
+NODE_COUNTS = (2, 16, 64, 256)
+
+_POLICIES = {
+    "round-robin": RoundRobinPolicy,
+    "vector-step": lambda: VectorStepPolicy([1, 2, 3]),
+    "min-transfer-size": MinTransferSizePolicy,
+    "min-transfer-time": MinTransferTimePolicy,
+}
+
+
+@pytest.mark.parametrize("nodes", NODE_COUNTS)
+@pytest.mark.parametrize("policy_name", list(_POLICIES))
+def test_fig9_decision_overhead(benchmark, policy_name, nodes):
+    ctx, ces = _fig9_context(nodes)
+    policy = _POLICIES[policy_name]()
+    stream = iter(range(10**9))
+
+    def decide():
+        ce = ces[next(stream) % len(ces)]
+        return policy.assign(ce, ctx)
+
+    benchmark(decide)
+    micros = benchmark.stats.stats.mean * 1e6
+    if policy_name in ("round-robin", "vector-step"):
+        assert micros < 30.0          # the paper's static-policy bound
+    else:
+        assert micros < 5000.0        # sanity ceiling
+
+
+def test_fig9_render_table(benchmark):
+    """Emit the full Fig. 9 table in one shot (mean µs per decision)."""
+    result = benchmark.pedantic(
+        lambda: fig9(node_counts=NODE_COUNTS, repeats=3),
+        rounds=1, iterations=1)
+    emit(result.render())
+    size = result.micros["min-transfer-size"]
+    assert size[-1] > size[0]         # informed policies scale with nodes

@@ -1,0 +1,87 @@
+"""Heterogeneous NIC SLAs — why min-transfer-time exists (§IV-D).
+
+The paper motivates min-transfer-time over min-transfer-size with
+"heterogeneous interconnection types between the nodes in the systems or
+... VNICs with different SLAs": byte counts alone mislead when links
+differ.
+
+Scenario: worker1 sits behind a 10×-throttled VNIC and already holds a
+*medium* input of every CE; worker0 (full-rate NIC) holds only a small
+one; the big input still lives on the controller.  Counting bytes says
+"go where the medium data is" — and then ships gigabytes over the slow
+link.  Counting *time* ships them over the fast link instead.
+"""
+
+from conftest import emit
+
+from repro.bench import format_table
+from repro.cluster import Cluster, NodeSpec, PAPER_CONTROLLER
+from repro.core import GroutRuntime
+from repro.core.policies import (
+    ExplorationLevel,
+    MinTransferSizePolicy,
+    MinTransferTimePolicy,
+)
+from repro.gpu import ArrayAccess, Direction, KernelSpec
+from repro.gpu.specs import GIB, MIB
+from repro.net.topology import MBIT, NicSpec
+from repro.sim import Engine
+
+N_TASKS = 8
+BIG, MEDIUM, SMALL = 4 * GIB, 512 * MIB, 256 * MIB
+
+
+def _read_kernel():
+    def access_fn(args):
+        return [ArrayAccess(a, Direction.IN) for a in args]
+
+    return KernelSpec("gather3", flops_per_byte=0.2, access_fn=access_fn)
+
+
+def _run(policy):
+    fast = NodeSpec(nic=NicSpec(4000 * MBIT))
+    slow = NodeSpec(nic=NicSpec(400 * MBIT))      # the throttled VNIC
+    cluster = Cluster(Engine(), controller_spec=PAPER_CONTROLLER,
+                      worker_specs=[fast, slow])
+    rt = GroutRuntime(cluster, policy=policy)
+    kernel = _read_kernel()
+    tasks = []
+    for i in range(N_TASKS):
+        big = rt.device_array(64, virtual_nbytes=BIG, name=f"big{i}")
+        medium = rt.device_array(64, virtual_nbytes=MEDIUM,
+                                 name=f"med{i}")
+        small = rt.device_array(64, virtual_nbytes=SMALL,
+                                name=f"small{i}")
+        # Seed the residency split before the launch wave.
+        rt.prefetch(medium, worker="worker1")     # on the slow node
+        rt.prefetch(small, worker="worker0")      # on the fast node
+        tasks.append((big, medium, small))
+    rt.sync()
+    start = rt.elapsed
+    placements = []
+    for big, medium, small in tasks:
+        ce = rt.launch(kernel, 64, 256, (big, medium, small))
+        placements.append(ce.assigned_node)
+    rt.sync()
+    return rt.elapsed - start, placements
+
+
+def test_min_transfer_time_routes_around_slow_links(benchmark):
+    time_s, time_placements = benchmark.pedantic(
+        lambda: _run(MinTransferTimePolicy(ExplorationLevel.LOW)),
+        rounds=1, iterations=1)
+    size_s, size_placements = _run(
+        MinTransferSizePolicy(ExplorationLevel.LOW))
+    emit(format_table(
+        ["policy", "sim seconds", "CEs on slow worker"],
+        [("min-transfer-size", size_s,
+          size_placements.count("worker1")),
+         ("min-transfer-time", time_s,
+          time_placements.count("worker1"))],
+        title="Heterogeneous SLAs — 4000 vs 400 Mbit/s workers, "
+              "big input on the controller"))
+    # Byte counting chases the medium replica onto the throttled node and
+    # drags the big input over the slow link; time-awareness does not.
+    assert size_placements.count("worker1") > 0
+    assert time_placements.count("worker1") == 0
+    assert time_s < size_s / 2

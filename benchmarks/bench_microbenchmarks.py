@@ -1,0 +1,134 @@
+"""Framework microbenchmarks — wall-clock costs of the hot code paths.
+
+Unlike the figure benches (simulated time), these time the *framework
+code itself* with pytest-benchmark: DAG insertion, page-table operations,
+kernel pricing, the simulation engine's event loop.  They are the
+regression harness for the scheduler-overhead claims of Fig. 9.
+"""
+
+import numpy as np
+
+from repro.core import DependencyDag, ManagedArray
+from repro.core.ce import CeKind, ComputationalElement
+from repro.gpu import (
+    ArrayAccess,
+    Direction,
+    Gpu,
+    KernelLaunch,
+    KernelSpec,
+    LaunchConfig,
+    TEST_GPU_1GB,
+)
+from repro.gpu.specs import MIB
+from repro.sim import Engine
+from repro.uvm import DevicePageTable, UvmSpace
+
+SPEC = TEST_GPU_1GB.with_page_size(1 * MIB)
+
+
+def _chain_ce(array):
+    return ComputationalElement(
+        kind=CeKind.KERNEL,
+        accesses=(ArrayAccess(array, Direction.INOUT),),
+        kernel=KernelSpec("k"), config=LaunchConfig((1,), (32,)))
+
+
+def test_micro_dag_insertion_chain(benchmark):
+    """Per-CE cost of Algorithm 1's DAG phase on a serial chain.
+
+    Pruned every 256 inserts, exactly like the Controller does in
+    production — unbounded chains would otherwise grow the transitive
+    ancestor sets quadratically.
+    """
+    array = ManagedArray(4)
+    dag = DependencyDag()
+    counter = iter(range(10**9))
+
+    def insert():
+        dag.add(_chain_ce(array))
+        if next(counter) % 256 == 0:
+            dag.prune_completed(lambda ce: True)
+
+    benchmark(insert)
+    assert benchmark.stats.stats.mean < 300e-6   # well under Fig. 9 scale
+
+
+def test_micro_dag_insertion_wide(benchmark):
+    """Per-CE cost with a wide frontier (64 independent buffers)."""
+    arrays = [ManagedArray(4) for _ in range(64)]
+    dag = DependencyDag()
+    for a in arrays:
+        dag.add(_chain_ce(a))
+    counter = iter(range(10**9))
+
+    def insert():
+        i = next(counter)
+        dag.add(_chain_ce(arrays[i % 64]))
+        if i % 256 == 0:
+            dag.prune_completed(lambda ce: True)
+
+    benchmark(insert)
+
+
+def test_micro_pagetable_admit_evict_cycle(benchmark):
+    """Steady-state page cycling: admit a window, evicting LRU victims."""
+    table = DevicePageTable(SPEC.total_pages, SPEC.page_size)
+    table.register(1, 4 * SPEC.total_pages)
+    window = np.arange(128, dtype=np.int64)
+    state = {"offset": 0}
+
+    def cycle():
+        pages = (window + state["offset"]) % (4 * SPEC.total_pages)
+        state["offset"] += 128
+        table.ensure_free(len(pages), order="lru")
+        table.admit(1, np.sort(pages), write=False)
+
+    benchmark(cycle)
+
+
+def test_micro_kernel_pricing(benchmark):
+    """Full price_kernel round trip (page sets, faults, admission)."""
+    engine = Engine()
+    gpu = Gpu(engine, SPEC, node_name="n", index=0)
+    space = UvmSpace([gpu])
+
+    class Buf:
+        nbytes = 64 * MIB
+        buffer_id = 424242
+
+    buf = Buf()
+    space.register(buf)
+    launch = KernelLaunch(
+        KernelSpec("k", flops_per_byte=1.0),
+        LaunchConfig((16,), (256,)), (buf,),
+        (ArrayAccess(buf, Direction.INOUT),))
+
+    benchmark(lambda: space.price_kernel(gpu, launch))
+
+
+def test_micro_engine_event_throughput(benchmark):
+    """Raw engine throughput: schedule + process one timeout event."""
+    engine = Engine()
+
+    def tick():
+        engine.timeout(0.0)
+        engine.step()
+
+    benchmark(tick)
+    assert benchmark.stats.stats.mean < 50e-6
+
+
+def test_micro_stream_enqueue(benchmark):
+    """Stream FIFO wiring cost per enqueued op."""
+    engine = Engine()
+    gpu = Gpu(engine, SPEC, node_name="n", index=0)
+    stream = gpu.new_stream()
+
+    def body():
+        yield engine.timeout(0.0)
+
+    def enqueue_and_drain():
+        stream.enqueue(body)
+        engine.run()
+
+    benchmark(enqueue_and_drain)

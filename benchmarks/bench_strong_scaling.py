@@ -1,0 +1,86 @@
+"""§V-F — strong scaling: is infinite scale-out a definite solution?
+
+Runs the suite's heaviest footprints on growing clusters.  The paper's
+answer: scaling out helps exactly until every node is back under its
+oversubscription knee; past that point the fixed network distribution
+cost dominates and more nodes stop paying.  Also exercises the
+hand-tuning alternative (§I): a prefetch+advise-tuned single node vs
+transparent scale-out.
+"""
+
+import pytest
+
+from conftest import emit
+
+from repro.bench import format_table, run_grout, run_single_node
+from repro.gpu.specs import GIB
+
+FOOTPRINT_GB = 160          # 5x OSF on one node
+WORKER_COUNTS = (2, 4, 8)
+
+
+@pytest.mark.parametrize("workload", ["mv", "cg"])
+def test_strong_scaling(benchmark, workload):
+    single = run_single_node(workload, FOOTPRINT_GB * GIB, check=False)
+
+    def sweep():
+        return {n: run_grout(workload, FOOTPRINT_GB * GIB, n_workers=n,
+                             check=False).elapsed_seconds
+                for n in WORKER_COUNTS}
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [("1 (GrCUDA)", single.elapsed_seconds,
+             "capped" if not single.completed else "")]
+    rows += [(f"{n} workers", t,
+              f"{single.elapsed_seconds / t:.1f}x vs single")
+             for n, t in times.items()]
+    emit(format_table(
+        ["nodes", "sim seconds", "note"], rows,
+        title=f"Strong scaling — {workload.upper()} at {FOOTPRINT_GB}GB"))
+
+    # Scale-out beats the oversubscribed single node everywhere...
+    for t in times.values():
+        assert t < single.elapsed_seconds
+    # ...and once per-node footprints are back under the knee (4 nodes at
+    # 160 GB), doubling again buys little: network distribution dominates.
+    assert times[8] > times[4] / 2
+
+
+def test_hand_tuning_vs_scale_out(benchmark):
+    """§I's two escape routes, head to head at 3x OSF.
+
+    Hand-tuning (read-mostly advises + explicit prefetches) softens the
+    single-node collapse, but only scale-out removes its cause.
+    """
+    from repro.core import GrCudaRuntime
+    from repro.uvm import Advise
+    from repro.workloads import MatVec
+
+    footprint = 96 * GIB
+
+    def tuned_single():
+        rt = GrCudaRuntime(page_size=32 * 1024 * 1024)
+        wl = MatVec(footprint)
+        wl.build(rt)
+        rt.advise(wl.x, Advise.READ_MOSTLY)
+        # Warm each chunk onto alternating GPUs before the launch wave.
+        for i, chunk in enumerate(wl.m_chunks):
+            rt.prefetch(chunk, gpu_index=i % 2)
+        wl.run(rt)
+        rt.sync(timeout=9000)
+        return rt.elapsed
+
+    tuned = benchmark.pedantic(tuned_single, rounds=1, iterations=1)
+    untuned = run_single_node("mv", footprint, check=False)
+    grout = run_grout("mv", footprint, check=False)
+    emit(format_table(
+        ["configuration", "sim seconds"],
+        [("single node, untuned", untuned.elapsed_seconds),
+         ("single node, prefetch+advise", tuned),
+         ("GrOUT, 2 nodes", grout.elapsed_seconds)],
+        title="Hand-tuning vs transparent scale-out (MV, 96GB, 3x OSF)"))
+
+    # Tuning helps (prefetch path avoids fault batching)...
+    assert tuned < untuned.elapsed_seconds
+    # ...but cannot remove the root cause; scale-out can.
+    assert grout.elapsed_seconds < tuned

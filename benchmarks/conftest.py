@@ -1,0 +1,32 @@
+"""Shared configuration of the figure-reproduction benchmarks.
+
+Each ``bench_figN_*`` module regenerates one paper figure: the benchmark
+fixture times the harness run and the rendered rows/series are printed so
+``pytest benchmarks/ --benchmark-only -s`` reproduces the evaluation
+section end to end.  Sizes can be trimmed via ``REPRO_BENCH_QUICK=1``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: Full paper sweep vs a quick smoke sweep for CI-style runs.
+QUICK = bool(int(os.environ.get("REPRO_BENCH_QUICK", "0")))
+
+SIZES_FULL = (4, 8, 16, 32, 64, 96, 128, 160)
+SIZES_QUICK = (4, 32, 96)
+
+
+@pytest.fixture(scope="session")
+def sizes_gb() -> tuple[int, ...]:
+    return SIZES_QUICK if QUICK else SIZES_FULL
+
+
+def emit(rendered: str) -> None:
+    """Print a figure's rows with a separator (survives pytest capture
+    via -s; always lands in the junit/benchmark logs)."""
+    print("\n" + "=" * 72)
+    print(rendered)
+    print("=" * 72)

@@ -1,0 +1,50 @@
+"""KPI autoscaling — §V-F's future-work heuristic in action.
+
+Submits the MV workload at a deeply oversubscribed footprint to a
+one-node cluster, lets the KPI autoscaler provision workers until every
+node is back under the oversubscription knee, and compares against the
+fixed-size run.
+
+Run:  python examples/autoscaling.py
+"""
+
+from repro import GroutRuntime
+from repro.bench import format_table
+from repro.cluster import paper_cluster
+from repro.core import KpiAutoscaler
+from repro.gpu.specs import GIB, MIB
+from repro.workloads import MatVec
+
+FOOTPRINT_GB = 128     # 4x OSF on one paper node
+
+
+def run(autoscale: bool) -> tuple[float, int]:
+    workload = MatVec(FOOTPRINT_GB * GIB)
+    runtime = GroutRuntime(paper_cluster(1, page_size=32 * MIB))
+    workload.build(runtime)
+    if autoscale:
+        scaler = KpiAutoscaler(target_osf=1.0, max_workers=8)
+        decision = scaler.step(runtime)
+        print(f"autoscaler: observed OSF {decision.observed_osf:.2f} "
+              f"(target {decision.target_osf:g}) -> "
+              f"{decision.recommended_workers} workers "
+              f"(added {', '.join(decision.added) or 'none'})")
+    workload.run(runtime)
+    runtime.sync(timeout=9000)
+    return runtime.elapsed, len(runtime.cluster.workers)
+
+
+def main() -> None:
+    fixed_time, fixed_nodes = run(autoscale=False)
+    scaled_time, scaled_nodes = run(autoscale=True)
+    print()
+    print(format_table(
+        ["configuration", "nodes", "sim seconds"],
+        [("fixed (1 worker)", fixed_nodes, fixed_time),
+         ("KPI-autoscaled", scaled_nodes, scaled_time)],
+        title=f"MV at {FOOTPRINT_GB}GB with and without autoscaling"))
+    print(f"\nspeedup from autoscaling: {fixed_time / scaled_time:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

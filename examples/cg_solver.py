@@ -1,0 +1,52 @@
+"""Distributed conjugate-gradient solve through the public API.
+
+Builds the paper's CG workload (row-partitioned SPD system, §V-B) and runs
+it on a two-node GrOUT cluster with the tuned offline vector-step policy,
+then prints the residual history and checks the solution against NumPy —
+demonstrating that the transparently distributed execution is numerically
+exact, not just fast.
+
+Run:  python examples/cg_solver.py
+"""
+
+import numpy as np
+
+from repro import GroutRuntime, VectorStepPolicy
+from repro.cluster import paper_cluster
+from repro.gpu.specs import GIB
+from repro.workloads import ConjugateGradient
+
+
+def main() -> None:
+    footprint = 8 * GIB
+    workload = ConjugateGradient(footprint, n_chunks=8, iterations=15)
+
+    cluster = paper_cluster(2)
+    runtime = GroutRuntime(
+        cluster, policy=VectorStepPolicy(workload.tuned_vector(2)))
+
+    result = workload.execute(runtime)
+    print(f"workload: CG, {result.footprint_gb:g} GB modeled footprint, "
+          f"{workload.n_chunks} matrix chunks, "
+          f"{workload.iterations} iterations")
+    print(f"simulated time: {result.elapsed_seconds:.2f} s  "
+          f"({result.ce_count} CEs, verified={result.verified})")
+
+    print("\nresidual history (||r|| per iteration):")
+    for i, r in enumerate(workload.residual_history):
+        bar = "#" * max(1, int(40 * r / workload.residual_history[0]))
+        print(f"  it {i:2d}  {r:10.4f}  {bar}")
+
+    reference = np.linalg.solve(workload.a_full, workload.b_full)
+    err = np.linalg.norm(workload.x.data - reference) \
+        / np.linalg.norm(reference)
+    print(f"\nrelative error vs numpy.linalg.solve: {err:.2e}")
+
+    moved = cluster.fabric.bytes_moved / GIB
+    print(f"network bytes moved: {moved:.1f} GiB over "
+          f"{cluster.fabric.transfer_count} transfers "
+          f"({runtime.controller.stats.p2p_transfers} P2P)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Print the CE-dependency DAGs of the workload suite (the paper's Fig. 5).
+
+Builds each workload at a small footprint, schedules it on GrOUT, and
+dumps the Global DAG the Controller derived: per-CE parents and the node
+placement — MLE's two imbalanced pipelines, CG's iteration diamonds, MV's
+flat fan-out.
+
+Run:  python examples/inspect_dags.py
+"""
+
+from collections import defaultdict
+
+from repro import GroutRuntime
+from repro.gpu import TEST_GPU_1GB
+from repro.gpu.specs import MIB
+from repro.workloads import make_workload
+
+
+def show(workload_name: str, max_ces: int = 28) -> None:
+    wl = make_workload(workload_name, 256 * MIB, n_chunks=2,
+                       **({"iterations": 2}
+                          if workload_name == "cg" else {}))
+    rt = GroutRuntime(n_workers=2, gpu_spec=TEST_GPU_1GB)
+    wl.build(rt)
+    wl.run(rt)
+
+    dag = rt.controller.dag
+    print(f"\n=== {workload_name.upper()} — Global DAG "
+          f"({dag.size} CEs, {dag.edge_count()} edges) ===")
+    depth = defaultdict(int)
+    for ce in dag.nodes()[:max_ces]:
+        parents = dag.parents(ce)
+        depth[ce.ce_id] = max((depth[p.ce_id] + 1 for p in parents),
+                              default=0)
+        indent = "  " * depth[ce.ce_id]
+        deps = ", ".join(p.display_name for p in parents) or "(root)"
+        print(f"{indent}{ce.display_name:20s} @{ce.assigned_node:10s} "
+              f"<- {deps}")
+    if dag.size > max_ces:
+        print(f"  ... {dag.size - max_ces} more CEs")
+    rt.sync()
+
+
+def main() -> None:
+    for name in ("mle", "cg", "mv"):
+        show(name)
+
+
+if __name__ == "__main__":
+    main()

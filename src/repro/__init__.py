@@ -1,0 +1,46 @@
+"""GrOUT reproduction — transparent scale-out over UVM oversubscription.
+
+Reproduces Di Dio Lavore et al., *"GrOUT: Transparent Scale-Out to Overcome
+UVM's Oversubscription Slowdowns"* (IPDPSW 2024) as a pure-Python system:
+the GrOUT framework itself (hierarchical DAG scheduling, coherence,
+policies), its GrCUDA single-node baseline, and simulated substrates for
+everything the paper ran on real hardware (multi-GPU nodes, the UVM page
+migration engine, the OCI interconnect).
+
+Quick start::
+
+    from repro import GroutRuntime
+    from repro.polyglot import polyglot, GrOUT
+
+    rt = GroutRuntime(n_workers=2)
+    polyglot.bind(GrOUT, rt)
+    build = polyglot.eval(GrOUT, "buildkernel")
+    square = build("__global__ void square(float* x, int n) { ... }")
+    x = polyglot.eval(GrOUT, "float[100]")
+    square(4, 32)(x, 100)
+"""
+
+from repro.core import GrCudaRuntime, GroutRuntime, ManagedArray
+from repro.core.policies import (
+    ExplorationLevel,
+    MinTransferSizePolicy,
+    MinTransferTimePolicy,
+    RoundRobinPolicy,
+    VectorStepPolicy,
+    make_policy,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExplorationLevel",
+    "GrCudaRuntime",
+    "GroutRuntime",
+    "ManagedArray",
+    "MinTransferSizePolicy",
+    "MinTransferTimePolicy",
+    "RoundRobinPolicy",
+    "VectorStepPolicy",
+    "__version__",
+    "make_policy",
+]

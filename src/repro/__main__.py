@@ -1,0 +1,10 @@
+"""Entry point for ``python -m repro``."""
+
+import sys
+
+from repro.cli import main
+
+try:
+    sys.exit(main())
+except BrokenPipeError:      # e.g. `python -m repro ... | head`
+    sys.exit(0)

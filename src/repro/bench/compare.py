@@ -1,0 +1,107 @@
+"""Compare two figure-JSON exports and report drift.
+
+Pairs with ``python -m repro figure N --json``: export a baseline once,
+re-export after a model/calibration change, and diff them — the numeric
+complement of the shape assertions in ``tests/integration``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class Drift:
+    """One value that moved between two exports of the same figure."""
+
+    path: str          # e.g. "speedups.mv[3]"
+    baseline: float
+    current: float
+
+    @property
+    def ratio(self) -> float:
+        """current / baseline (``inf`` when the baseline is zero)."""
+        if self.baseline == 0:
+            return float("inf") if self.current else 1.0
+        return self.current / self.baseline
+
+    def __str__(self) -> str:
+        return (f"{self.path}: {self.baseline:.6g} -> "
+                f"{self.current:.6g} ({self.ratio:.3g}x)")
+
+
+@dataclass(slots=True)
+class Comparison:
+    """Outcome of diffing two figure exports."""
+
+    figure: str
+    drifts: list[Drift] = field(default_factory=list)
+    structural: list[str] = field(default_factory=list)
+
+    def within(self, tolerance: float) -> bool:
+        """True when every numeric ratio lies in [1/t, t] and the
+        structure matches."""
+        if self.structural:
+            return False
+        lo, hi = 1.0 / tolerance, tolerance
+        return all(lo <= d.ratio <= hi for d in self.drifts)
+
+    def worst(self) -> Drift | None:
+        """The drift with the largest deviation from 1x."""
+        if not self.drifts:
+            return None
+        def severity(d: Drift) -> float:
+            if 0 < d.ratio < float("inf"):
+                return abs(math.log(d.ratio))
+            return float("inf")
+
+        return max(self.drifts, key=severity)
+
+
+def _walk(path: str, base, cur, out: Comparison) -> None:
+    if isinstance(base, dict) and isinstance(cur, dict):
+        for key in base:
+            if key not in cur:
+                out.structural.append(f"missing key {path}.{key}")
+                continue
+            _walk(f"{path}.{key}" if path else key, base[key], cur[key],
+                  out)
+        for key in cur:
+            if key not in base:
+                out.structural.append(f"new key {path}.{key}")
+    elif isinstance(base, list) and isinstance(cur, list):
+        if len(base) != len(cur):
+            out.structural.append(
+                f"{path}: length {len(base)} -> {len(cur)}")
+            return
+        for i, (b, c) in enumerate(zip(base, cur)):
+            _walk(f"{path}[{i}]", b, c, out)
+    elif isinstance(base, bool) or isinstance(cur, bool):
+        if base != cur:
+            out.structural.append(f"{path}: {base} -> {cur}")
+    elif isinstance(base, (int, float)) and isinstance(cur, (int, float)):
+        if float(base) != float(cur):
+            out.drifts.append(Drift(path, float(base), float(cur)))
+    elif base != cur:
+        out.structural.append(f"{path}: {base!r} -> {cur!r}")
+
+
+def compare_figures(baseline: "str | dict",
+                    current: "str | dict") -> Comparison:
+    """Diff two figure exports (paths to JSON files, or parsed dicts)."""
+    def load(source):
+        if isinstance(source, str):
+            with open(source, "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        return source
+
+    base, cur = load(baseline), load(current)
+    comparison = Comparison(figure=str(base.get("figure", "?")))
+    if base.get("figure") != cur.get("figure"):
+        comparison.structural.append(
+            f"figure type {base.get('figure')} vs {cur.get('figure')}")
+        return comparison
+    _walk("", base, cur, comparison)
+    return comparison

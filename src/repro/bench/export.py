@@ -1,0 +1,46 @@
+"""Structured export of figure results.
+
+Every ``figN`` result object is a dataclass; this module serialises them
+to JSON so EXPERIMENTS.md-style records (and external plotting) can be
+regenerated programmatically: ``python -m repro figure 6a --json out.json``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import IO
+
+
+def figure_to_dict(result) -> dict:
+    """A figure result as plain JSON-compatible data.
+
+    Dict keys are coerced to strings (JSON requirement); tuples become
+    lists.  The figure class name is recorded so consumers can dispatch.
+    """
+    if not dataclasses.is_dataclass(result):
+        raise TypeError(f"{type(result).__name__} is not a figure result")
+
+    def clean(value):
+        if isinstance(value, dict):
+            return {str(k): clean(v) for k, v in value.items()}
+        if isinstance(value, (list, tuple)):
+            return [clean(v) for v in value]
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            return value
+        return str(value)
+
+    payload = {"figure": type(result).__name__}
+    for field in dataclasses.fields(result):
+        payload[field.name] = clean(getattr(result, field.name))
+    return payload
+
+
+def write_figure_json(result, destination: "str | IO[str]") -> None:
+    """Serialise a figure result to a JSON file or stream."""
+    payload = figure_to_dict(result)
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+    else:
+        json.dump(payload, destination, indent=2)

@@ -1,0 +1,369 @@
+"""One generator per paper figure.
+
+Each ``figN`` function runs the corresponding experiment(s) and returns a
+result object whose ``render()`` prints the same rows/series the paper
+reports.  Absolute numbers come from the simulated substrate; the *shapes*
+(who wins, by what factor, where the cliffs/crossovers sit) are the
+reproduction targets recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.arrays import Directory, ManagedArray
+from repro.core.ce import CeKind, ComputationalElement
+from repro.core.policies import (
+    ExplorationLevel,
+    MinTransferSizePolicy,
+    MinTransferTimePolicy,
+    RoundRobinPolicy,
+    SchedulingContext,
+    VectorStepPolicy,
+)
+from repro.gpu.kernel import ArrayAccess, Direction, KernelSpec, LaunchConfig
+from repro.gpu.specs import GIB, MIB
+from repro.net.topology import MBIT, NicSpec, Topology
+from repro.bench.harness import (
+    ExperimentResult,
+    PAPER_SIZES_GB,
+    run_grout,
+    run_single_node,
+    slowdown_series,
+    step_ratios,
+)
+from repro.bench.report import format_series, format_table
+
+#: Sizes used by the sweep figures; trimmed via the ``sizes_gb`` argument
+#: for quick runs.
+DEFAULT_SIZES_GB = PAPER_SIZES_GB
+
+
+# --------------------------------------------------------------------------
+# Fig. 1 — Black–Scholes on one node vs. input size
+# --------------------------------------------------------------------------
+
+@dataclass(slots=True)
+class Fig1Result:
+    sizes_gb: list[int]
+    seconds: list[float]
+    oversubscribed: list[bool]     # the paper's red bars
+    capped: list[bool]
+
+    def render(self) -> str:
+        """The figure's rows as a text table."""
+        rows = [(gb, s, osub, cap) for gb, s, osub, cap in
+                zip(self.sizes_gb, self.seconds, self.oversubscribed,
+                    self.capped)]
+        return format_table(
+            ["GB", "seconds", "oversubscribed", "hit 2.5h cap"], rows,
+            title="Fig. 1 — Black-Scholes, single node (2x V100 16GB)")
+
+
+def fig1(sizes_gb: tuple[int, ...] = DEFAULT_SIZES_GB, *,
+         check: bool = False) -> Fig1Result:
+    """Black–Scholes execution time vs. input size on one node."""
+    results = [run_single_node("bs", gb * GIB, check=check)
+               for gb in sizes_gb]
+    return Fig1Result(
+        sizes_gb=list(sizes_gb),
+        seconds=[r.elapsed_seconds for r in results],
+        oversubscribed=[r.oversubscription > 1.0 for r in results],
+        capped=[not r.completed for r in results],
+    )
+
+
+# --------------------------------------------------------------------------
+# Fig. 5 — the workloads' CE-dependency DAGs
+# --------------------------------------------------------------------------
+
+@dataclass(slots=True)
+class Fig5Result:
+    workloads: list[str]
+    #: workload -> list of (ce label, [parent labels])
+    edges: dict[str, list[tuple[str, list[str]]]] = field(
+        default_factory=dict)
+    sizes: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """The DAG structure as indented text."""
+        lines = ["Fig. 5 — workloads' CE dependencies (2 chunks)"]
+        for wl in self.workloads:
+            nodes, n_edges = self.sizes[wl]
+            lines.append(f"  {wl.upper()}: {nodes} CEs, {n_edges} edges")
+            for label, parents in self.edges[wl]:
+                deps = ", ".join(parents) if parents else "(root)"
+                lines.append(f"    {label:18s} <- {deps}")
+        return "\n".join(lines)
+
+
+def fig5(workloads: tuple[str, ...] = ("mle", "cg", "mv")) -> Fig5Result:
+    """The Global DAG structure of each suite workload (tiny instance)."""
+    from repro.core import GroutRuntime
+    from repro.gpu import TEST_GPU_1GB
+    from repro.workloads import make_workload
+
+    out = Fig5Result(workloads=list(workloads))
+    for name in workloads:
+        kwargs = {"iterations": 2} if name == "cg" else {}
+        wl = make_workload(name, 256 * MIB, n_chunks=2, **kwargs)
+        rt = GroutRuntime(n_workers=2, gpu_spec=TEST_GPU_1GB)
+        wl.build(rt)
+        wl.run(rt)
+        dag = rt.controller.dag
+        out.edges[name] = [
+            (ce.display_name,
+             [p.display_name for p in dag.parents(ce)])
+            for ce in dag.nodes()]
+        out.sizes[name] = (dag.size, dag.edge_count())
+        rt.sync()
+    return out
+
+
+# --------------------------------------------------------------------------
+# Fig. 6a / 6b — slowdown vs the 4 GB baseline
+# --------------------------------------------------------------------------
+
+@dataclass(slots=True)
+class Fig6Result:
+    mode: str                       # "grcuda" (6a) or "grout" (6b)
+    sizes_gb: list[int]
+    workloads: list[str]
+    seconds: dict[str, list[float]] = field(default_factory=dict)
+    slowdowns: dict[str, list[float]] = field(default_factory=dict)
+    steps: dict[str, list[float]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Slowdown and step series per workload."""
+        label = ("Fig. 6a — single node (GrCUDA)" if self.mode == "grcuda"
+                 else "Fig. 6b — GrOUT, 2 nodes, offline vector-step")
+        lines = [label + " — slowdown vs 4GB"]
+        for wl in self.workloads:
+            lines.append(format_series(
+                f"  {wl} slowdown", self.sizes_gb, self.slowdowns[wl]))
+            lines.append(format_series(
+                f"  {wl} step    ", self.sizes_gb[1:], self.steps[wl], "x"))
+        return "\n".join(lines)
+
+
+def _fig6(mode: str, sizes_gb: tuple[int, ...],
+          workloads: tuple[str, ...], check: bool) -> Fig6Result:
+    out = Fig6Result(mode=mode, sizes_gb=list(sizes_gb),
+                     workloads=list(workloads))
+    for wl in workloads:
+        results: list[ExperimentResult] = []
+        for gb in sizes_gb:
+            if mode == "grcuda":
+                results.append(run_single_node(wl, gb * GIB, check=check))
+            else:
+                results.append(run_grout(wl, gb * GIB,
+                                         policy="vector-step", check=check))
+        out.seconds[wl] = [r.elapsed_seconds for r in results]
+        out.slowdowns[wl] = slowdown_series(results)
+        out.steps[wl] = step_ratios(results)
+    return out
+
+
+def fig6a(sizes_gb: tuple[int, ...] = DEFAULT_SIZES_GB,
+          workloads: tuple[str, ...] = ("mle", "cg", "mv"), *,
+          check: bool = False) -> Fig6Result:
+    """Single-node slowdowns (the paper's UVM characterisation)."""
+    return _fig6("grcuda", sizes_gb, workloads, check)
+
+
+def fig6b(sizes_gb: tuple[int, ...] = DEFAULT_SIZES_GB,
+          workloads: tuple[str, ...] = ("mle", "cg", "mv"), *,
+          check: bool = False) -> Fig6Result:
+    """GrOUT (2 nodes, vector-step) slowdowns: the flattened cliffs."""
+    return _fig6("grout", sizes_gb, workloads, check)
+
+
+# --------------------------------------------------------------------------
+# Fig. 7 — GrOUT vs single node speedup per oversubscription factor
+# --------------------------------------------------------------------------
+
+@dataclass(slots=True)
+class Fig7Result:
+    sizes_gb: list[int]
+    osf: list[float]
+    workloads: list[str]
+    single_seconds: dict[str, list[float]] = field(default_factory=dict)
+    grout_seconds: dict[str, list[float]] = field(default_factory=dict)
+    speedups: dict[str, list[float]] = field(default_factory=dict)
+    single_capped: dict[str, list[bool]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Speedup table with cap annotations."""
+        lines = ["Fig. 7 — speedup of GrOUT (2 nodes) vs single node"]
+        headers = ["workload"] + [f"{o:g}x" for o in self.osf]
+        rows = []
+        for wl in self.workloads:
+            marks = ["*" if c else "" for c in self.single_capped[wl]]
+            rows.append([wl] + [f"{s:.2f}{m}" for s, m in
+                                zip(self.speedups[wl], marks)])
+        lines.append(format_table(headers, rows))
+        lines.append("(*) single-node run hit the 2.5h cap; the speedup "
+                     "is a lower bound")
+        return "\n".join(lines)
+
+
+def fig7(sizes_gb: tuple[int, ...] = DEFAULT_SIZES_GB,
+         workloads: tuple[str, ...] = ("mle", "cg", "mv"), *,
+         check: bool = False) -> Fig7Result:
+    """Speedup of GrOUT (2 nodes) over a single node per OSF."""
+    out = Fig7Result(
+        sizes_gb=list(sizes_gb),
+        osf=[gb / 32 for gb in sizes_gb],
+        workloads=list(workloads),
+    )
+    for wl in workloads:
+        singles = [run_single_node(wl, gb * GIB, check=check)
+                   for gb in sizes_gb]
+        grouts = [run_grout(wl, gb * GIB, policy="vector-step", check=check)
+                  for gb in sizes_gb]
+        out.single_seconds[wl] = [r.elapsed_seconds for r in singles]
+        out.grout_seconds[wl] = [r.elapsed_seconds for r in grouts]
+        out.speedups[wl] = [s.elapsed_seconds / g.elapsed_seconds
+                            for s, g in zip(singles, grouts)]
+        out.single_capped[wl] = [not r.completed for r in singles]
+    return out
+
+
+# --------------------------------------------------------------------------
+# Fig. 8 — online vs offline policies at 3× oversubscription
+# --------------------------------------------------------------------------
+
+@dataclass(slots=True)
+class Fig8Result:
+    footprint_gb: int
+    workloads: list[str]
+    #: workload -> policy label -> seconds
+    seconds: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def normalized(self, workload: str) -> dict[str, float]:
+        """Times relative to round-robin (the paper's y-axis)."""
+        base = self.seconds[workload]["round-robin"]
+        return {k: v / base for k, v in self.seconds[workload].items()}
+
+    def render(self) -> str:
+        """Policy times relative to round-robin."""
+        lines = [f"Fig. 8 — policies at {self.footprint_gb}GB "
+                 "(3x OSF), relative to round-robin (lower is better)"]
+        policies = list(next(iter(self.seconds.values())))
+        headers = ["workload"] + policies
+        rows = []
+        for wl in self.workloads:
+            norm = self.normalized(wl)
+            rows.append([wl] + [f"{norm[p]:.2f}" for p in policies])
+        lines.append(format_table(headers, rows))
+        return "\n".join(lines)
+
+
+def fig8(footprint_gb: int = 96,
+         workloads: tuple[str, ...] = ("mle", "cg", "mv"),
+         levels: tuple[ExplorationLevel, ...] = (
+             ExplorationLevel.LOW, ExplorationLevel.MEDIUM,
+             ExplorationLevel.HIGH), *,
+         check: bool = False) -> Fig8Result:
+    """Online vs offline policy comparison at a fixed footprint."""
+    out = Fig8Result(footprint_gb=footprint_gb, workloads=list(workloads))
+    for wl in workloads:
+        cell: dict[str, float] = {}
+        cell["round-robin"] = run_grout(
+            wl, footprint_gb * GIB, policy="round-robin",
+            check=check).elapsed_seconds
+        cell["vector-step"] = run_grout(
+            wl, footprint_gb * GIB, policy="vector-step",
+            check=check).elapsed_seconds
+        for pol in ("min-transfer-size", "min-transfer-time"):
+            for level in levels:
+                r = run_grout(wl, footprint_gb * GIB, policy=pol,
+                              level=level, check=check)
+                cell[f"{pol}/{level.name.lower()}"] = r.elapsed_seconds
+        out.seconds[wl] = cell
+    return out
+
+
+# --------------------------------------------------------------------------
+# Fig. 9 — controller scheduling overhead vs cluster size (real wall-clock)
+# --------------------------------------------------------------------------
+
+@dataclass(slots=True)
+class Fig9Result:
+    node_counts: list[int]
+    #: policy -> mean microseconds per scheduling decision
+    micros: dict[str, list[float]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Mean decision microseconds per policy/size."""
+        lines = ["Fig. 9 — scheduling overhead per CE (wall-clock "
+                 "microseconds)"]
+        headers = ["policy"] + [str(n) for n in self.node_counts]
+        rows = [[pol] + [f"{u:.1f}" for u in series]
+                for pol, series in self.micros.items()]
+        lines.append(format_table(headers, rows))
+        return "\n".join(lines)
+
+
+def _fig9_context(n_nodes: int, n_arrays: int = 64,
+                  seed: int = 0) -> tuple[SchedulingContext,
+                                          list[ComputationalElement]]:
+    """A synthetic CE stream over a populated directory."""
+    workers = [f"worker{i}" for i in range(n_nodes)]
+    topology = Topology()
+    topology.add_node("controller", NicSpec(8000 * MBIT, max_flows=2))
+    for w in workers:
+        topology.add_node(w, NicSpec(4000 * MBIT))
+    directory = Directory()
+    arrays = []
+    for i in range(n_arrays):
+        a = ManagedArray(1, np.float32, virtual_nbytes=64 * MIB,
+                         name=f"fig9.a{i}")
+        state = directory.register(a)
+        state.up_to_date = {"controller", workers[i % n_nodes]}
+        arrays.append(a)
+    kernel = KernelSpec("fig9_kernel", flops_per_byte=1.0)
+    rng = np.random.default_rng(seed)
+    ces = []
+    for _ in range(512):
+        params = [arrays[j] for j in rng.choice(n_arrays, size=4,
+                                                replace=False)]
+        accesses = tuple(
+            ArrayAccess(p, Direction.IN if k else Direction.INOUT)
+            for k, p in enumerate(params))
+        ces.append(ComputationalElement(
+            kind=CeKind.KERNEL, accesses=accesses, kernel=kernel,
+            config=LaunchConfig((64,), (256,)), args=tuple(params)))
+    ctx = SchedulingContext(workers=workers, directory=directory,
+                            topology=topology)
+    return ctx, ces
+
+
+def fig9(node_counts: tuple[int, ...] = (2, 4, 8, 16, 32, 64, 128, 256),
+         repeats: int = 3) -> Fig9Result:
+    """Wall-clock cost of one scheduling decision per policy/cluster size."""
+    policies = {
+        "round-robin": lambda: RoundRobinPolicy(),
+        "vector-step": lambda: VectorStepPolicy([1, 2, 3]),
+        "min-transfer-size": lambda: MinTransferSizePolicy(),
+        "min-transfer-time": lambda: MinTransferTimePolicy(),
+    }
+    out = Fig9Result(node_counts=list(node_counts))
+    for name, factory in policies.items():
+        series = []
+        for n in node_counts:
+            ctx, ces = _fig9_context(n)
+            best = float("inf")
+            for _ in range(repeats):
+                policy = factory()
+                start = time.perf_counter()
+                for ce in ces:
+                    policy.assign(ce, ctx)
+                elapsed = time.perf_counter() - start
+                best = min(best, elapsed / len(ces))
+            series.append(best * 1e6)
+        out.micros[name] = series
+    return out

@@ -1,0 +1,185 @@
+"""Shared experiment drivers for the figure-reproduction harness.
+
+Every paper experiment boils down to: build a runtime (GrCUDA single node
+or GrOUT over N workers), instantiate a suite workload at a modeled
+footprint, execute with the paper's 2.5 h cap, and collect the simulated
+time.  This module owns those mechanics plus the sizing conventions
+(footprint sweep, adaptive UVM page granularity for cheap simulation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster import paper_cluster
+from repro.core import GrCudaRuntime, GroutRuntime
+from repro.core.policies import (
+    ExplorationLevel,
+    Policy,
+    VectorStepPolicy,
+    make_policy,
+)
+from repro.gpu.specs import GIB, MIB
+from repro.workloads import RunResult, make_workload
+
+#: The paper's footprint sweep: 4 GB → 160 GB (= 5× OSF on 2×16 GB × 1 node).
+PAPER_SIZES_GB = (4, 8, 16, 32, 64, 96, 128, 160)
+
+#: The paper's per-run wall cap: 2.5 hours.
+RUN_CAP_SECONDS = 2.5 * 3600
+
+#: Node memory of the paper's worker (2 × V100 16 GB).
+NODE_GPU_BYTES = 32 * GIB
+
+
+def page_size_for(footprint_bytes: int) -> int:
+    """Adaptive UVM granule: coarse pages for big sweeps, capped both ways.
+
+    Timing depends only on byte counts, so granularity is a pure
+    simulation-speed knob; it must merely stay small relative to the
+    per-kernel working sets.
+    """
+    target = int(np.clip(footprint_bytes // 4096, 256 * 1024, 32 * MIB))
+    # Power of two so the granule divides every device memory size.
+    return 1 << (target.bit_length() - 1)
+
+
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentResult:
+    """One (workload, footprint, configuration) measurement."""
+
+    workload: str
+    mode: str                 # "grcuda" or "grout"
+    footprint_bytes: int
+    n_workers: int
+    policy: str
+    elapsed_seconds: float
+    completed: bool
+    verified: bool
+    oversubscription: float   # vs a single node's GPU memory
+
+    @property
+    def footprint_gb(self) -> float:
+        """Modeled footprint in GiB."""
+        return self.footprint_bytes / GIB
+
+
+def run_single_node(workload: str, footprint_bytes: int, *,
+                    cap: float | None = RUN_CAP_SECONDS,
+                    page_size: int | None = None,
+                    check: bool = True,
+                    seed: int = 0,
+                    repeats: int = 1,
+                    **workload_kwargs) -> ExperimentResult:
+    """One GrCUDA (single-node, 2×V100) run — the Fig. 1/6a baseline.
+
+    ``repeats > 1`` follows the paper's protocol (§V-A: ten repetitions,
+    arithmetic mean): each repetition gets a distinct seed, so stochastic
+    model components (random page sets, random eviction) average out.
+    """
+    def once(s: int) -> ExperimentResult:
+        rt = GrCudaRuntime(
+            page_size=page_size or page_size_for(footprint_bytes),
+            seed=s)
+        wl = make_workload(workload, footprint_bytes, seed=s,
+                           **workload_kwargs)
+        res = wl.execute(rt, timeout=cap, check=check)
+        return _to_experiment(res, wl.name, "grcuda", 1, "intra-node",
+                              footprint_bytes)
+
+    return _mean_of([once(seed + i) for i in range(max(1, repeats))])
+
+
+def run_grout(workload: str, footprint_bytes: int, *,
+              n_workers: int = 2,
+              policy: Policy | str = "vector-step",
+              level: ExplorationLevel = ExplorationLevel.MEDIUM,
+              cap: float | None = RUN_CAP_SECONDS,
+              page_size: int | None = None,
+              check: bool = True,
+              seed: int = 0,
+              repeats: int = 1,
+              **workload_kwargs) -> ExperimentResult:
+    """One GrOUT run on ``n_workers`` paper nodes with a given policy.
+
+    ``repeats`` averages over per-repetition seeds (paper protocol §V-A).
+    """
+    wl = make_workload(workload, footprint_bytes, seed=seed,
+                       **workload_kwargs)
+    if isinstance(policy, str):
+        if policy == "vector-step":
+            # The offline roofline: the workload's own profiled vector.
+            policy_obj: Policy = VectorStepPolicy(
+                wl.tuned_vector(n_workers))
+        else:
+            policy_obj = make_policy(policy, level=level)
+    else:
+        policy_obj = policy
+    def once(s: int) -> ExperimentResult:
+        wl_run = make_workload(workload, footprint_bytes, seed=s,
+                               **workload_kwargs)
+        policy_obj.reset()
+        cluster = paper_cluster(
+            n_workers,
+            page_size=page_size or page_size_for(footprint_bytes),
+            seed=s)
+        rt = GroutRuntime(cluster, policy=policy_obj)
+        res = wl_run.execute(rt, timeout=cap, check=check)
+        return _to_experiment(res, wl_run.name, "grout", n_workers,
+                              policy_obj.name, footprint_bytes)
+
+    return _mean_of([once(seed + i) for i in range(max(1, repeats))])
+
+
+def _to_experiment(res: RunResult, workload: str, mode: str,
+                   n_workers: int, policy: str,
+                   footprint_bytes: int) -> ExperimentResult:
+    return ExperimentResult(
+        workload=workload,
+        mode=mode,
+        footprint_bytes=footprint_bytes,
+        n_workers=n_workers,
+        policy=policy,
+        elapsed_seconds=res.elapsed_seconds,
+        completed=res.completed,
+        verified=res.verified,
+        oversubscription=footprint_bytes / NODE_GPU_BYTES,
+    )
+
+
+def _mean_of(results: list[ExperimentResult]) -> ExperimentResult:
+    """Arithmetic mean of repeated runs (identical configuration)."""
+    if len(results) == 1:
+        return results[0]
+    first = results[0]
+    import dataclasses
+    return dataclasses.replace(
+        first,
+        elapsed_seconds=sum(r.elapsed_seconds for r in results)
+        / len(results),
+        completed=all(r.completed for r in results),
+        verified=all(r.verified for r in results),
+    )
+
+
+def slowdown_series(results: list[ExperimentResult]) -> list[float]:
+    """Per-size slowdown vs the smallest footprint (Fig. 6's y-axis)."""
+    if not results:
+        return []
+    base = results[0].elapsed_seconds
+    if base <= 0:
+        raise ValueError("baseline run has non-positive elapsed time")
+    return [r.elapsed_seconds / base for r in results]
+
+
+def step_ratios(results: list[ExperimentResult]) -> list[float]:
+    """Ratio between consecutive footprint steps (the paper's cliffs)."""
+    out = []
+    for prev, cur in zip(results, results[1:]):
+        out.append(cur.elapsed_seconds / prev.elapsed_seconds
+                   if prev.elapsed_seconds > 0 else float("inf"))
+    return out

@@ -1,0 +1,45 @@
+"""Plain-text rendering of experiment results (the harness's 'figures')."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Fixed-width ASCII table; floats get 3 significant digits."""
+    def fmt(cell: object) -> str:
+        if isinstance(cell, bool):
+            return "yes" if cell else "no"
+        if isinstance(cell, float):
+            if cell == 0:
+                return "0"
+            if abs(cell) >= 1000:
+                return f"{cell:,.0f}"
+            return f"{cell:.3g}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def format_series(label: str, xs: Sequence[object],
+                  ys: Sequence[float], unit: str = "") -> str:
+    """One named series as ``label: x=y`` pairs (a figure's data line)."""
+    pairs = " ".join(f"{x}={y:.4g}{unit}" for x, y in zip(xs, ys))
+    return f"{label}: {pairs}"

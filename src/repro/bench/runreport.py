@@ -1,0 +1,120 @@
+"""Post-run reports: where did the simulated time go?
+
+Aggregates a runtime's tracer, controller stats and UVM state into one
+structured record — the answer to "why was this run slow" without opening
+a trace viewer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.chrometrace import time_breakdown
+from repro.bench.report import format_table
+
+
+@dataclass(slots=True)
+class RunReport:
+    """Aggregated accounting of one simulated run."""
+
+    makespan_seconds: float = 0.0
+    busy_by_category: dict[str, float] = field(default_factory=dict)
+    network_bytes: int = 0
+    network_transfers: int = 0
+    p2p_transfers: int = 0
+    ces_scheduled: int = 0
+    mean_decision_micros: float = 0.0
+    node_oversubscription: dict[str, float] = field(default_factory=dict)
+    #: node -> host-link GiB (cold + refaults + writebacks + prefetches)
+    uvm_link_gib: dict[str, float] = field(default_factory=dict)
+    thrashing_launches: int = 0
+    top_kernels: list[tuple[str, int, float]] = field(
+        default_factory=list)      # (name, launches, total seconds)
+
+    def render(self) -> str:
+        """The report as stacked text tables."""
+        gib = 1024 ** 3
+        rows = [
+            ("makespan", f"{self.makespan_seconds:.4g} s"),
+            ("CEs scheduled", self.ces_scheduled),
+            ("mean decision cost", f"{self.mean_decision_micros:.1f} us"),
+            ("network volume",
+             f"{self.network_bytes / gib:.2f} GiB over "
+             f"{self.network_transfers} transfers "
+             f"({self.p2p_transfers} P2P)"),
+        ]
+        for node, osf in sorted(self.node_oversubscription.items()):
+            rows.append((f"OSF on {node}", f"{osf:.3g}x"))
+        for node, link in sorted(self.uvm_link_gib.items()):
+            rows.append((f"UVM link traffic on {node}",
+                         f"{link:.2f} GiB"))
+        if self.thrashing_launches:
+            rows.append(("thrashing launches", self.thrashing_launches))
+        parts = [format_table(["metric", "value"], rows,
+                              title="Run report")]
+        if self.busy_by_category:
+            parts.append(format_table(
+                ["category", "aggregate busy seconds"],
+                sorted(self.busy_by_category.items(),
+                       key=lambda kv: -kv[1]),
+                title="Where the simulated time went"))
+        if self.top_kernels:
+            parts.append(format_table(
+                ["kernel", "launches", "total seconds"],
+                self.top_kernels,
+                title="Top kernels by simulated time"))
+        return "\n\n".join(parts)
+
+
+def report_for(runtime) -> RunReport:
+    """Build a :class:`RunReport` from a GrOUT or GrCUDA runtime."""
+    report = RunReport()
+    tracer = runtime.tracer
+    if tracer is not None:
+        report.makespan_seconds = tracer.makespan()
+        report.busy_by_category = time_breakdown(tracer)
+
+    controller = getattr(runtime, "controller", None)
+    if controller is not None:     # GrOUT
+        stats = controller.stats
+        report.ces_scheduled = stats.ces_scheduled
+        report.mean_decision_micros = stats.mean_decision_seconds * 1e6
+        fabric = runtime.cluster.fabric
+        report.network_bytes = fabric.bytes_moved
+        report.network_transfers = fabric.transfer_count
+        report.p2p_transfers = stats.p2p_transfers
+        report.node_oversubscription = {
+            w.name: w.oversubscription()
+            for w in runtime.cluster.workers}
+        gib = 1024 ** 3
+        for w in runtime.cluster.workers:
+            if w.uvm is not None:
+                report.uvm_link_gib[w.name] = \
+                    w.uvm.stats.link_bytes / gib
+                report.thrashing_launches += \
+                    w.uvm.stats.thrashing_launches
+        schedulers = controller.workers.values()
+    else:                          # GrCUDA
+        node = runtime.node
+        report.node_oversubscription = {
+            node.name: node.oversubscription()}
+        if node.uvm is not None:
+            report.uvm_link_gib[node.name] = \
+                node.uvm.stats.link_bytes / 1024 ** 3
+            report.thrashing_launches = \
+                node.uvm.stats.thrashing_launches
+        report.ces_scheduled = runtime.dag.size
+        schedulers = [runtime.scheduler]
+
+    totals: dict[str, tuple[int, float]] = {}
+    for scheduler in schedulers:
+        for ce, cost in scheduler.kernel_costs:
+            assert ce.kernel is not None
+            count, seconds = totals.get(ce.kernel.name, (0, 0.0))
+            totals[ce.kernel.name] = (count + 1,
+                                      seconds + cost.duration)
+    report.top_kernels = sorted(
+        ((name, count, seconds)
+         for name, (count, seconds) in totals.items()),
+        key=lambda row: -row[2])[:10]
+    return report

@@ -1,0 +1,76 @@
+"""Parameter sweeps with CSV output.
+
+One call fans a workload across footprints × modes × policies × worker
+counts and emits flat records — the raw material for any plot or
+spreadsheet, and what the `python -m repro sweep` subcommand writes.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import asdict
+from typing import IO, Iterable, Sequence
+
+from repro.bench.harness import (
+    ExperimentResult,
+    RUN_CAP_SECONDS,
+    run_grout,
+    run_single_node,
+)
+from repro.gpu.specs import GIB
+
+#: Column order of the CSV output (ExperimentResult's fields).
+CSV_FIELDS = ["workload", "mode", "footprint_bytes", "n_workers",
+              "policy", "elapsed_seconds", "completed", "verified",
+              "oversubscription"]
+
+
+def sweep(workloads: Sequence[str],
+          sizes_gb: Sequence[float],
+          modes: Sequence[str] = ("grcuda", "grout"),
+          policies: Sequence[str] = ("vector-step",),
+          worker_counts: Sequence[int] = (2,),
+          *,
+          cap: float = RUN_CAP_SECONDS,
+          check: bool = False,
+          seed: int = 0,
+          repeats: int = 1) -> Iterable[ExperimentResult]:
+    """Yield one result per configuration, lazily (sweeps can be long).
+
+    ``repeats`` forwards the paper's §V-A repetition/averaging protocol
+    to every run.
+    """
+    for workload in workloads:
+        for gb in sizes_gb:
+            footprint = int(gb * GIB)
+            for mode in modes:
+                if mode == "grcuda":
+                    yield run_single_node(workload, footprint, cap=cap,
+                                          check=check, seed=seed,
+                                          repeats=repeats)
+                    continue
+                for policy in policies:
+                    for workers in worker_counts:
+                        yield run_grout(
+                            workload, footprint, n_workers=workers,
+                            policy=policy, cap=cap, check=check,
+                            seed=seed, repeats=repeats)
+
+
+def write_csv(results: Iterable[ExperimentResult],
+              destination: "str | IO[str]") -> int:
+    """Write results as CSV; returns the number of rows written."""
+    def emit(fh) -> int:
+        writer = csv.DictWriter(fh, fieldnames=CSV_FIELDS)
+        writer.writeheader()
+        rows = 0
+        for result in results:
+            record = asdict(result)
+            writer.writerow({k: record[k] for k in CSV_FIELDS})
+            rows += 1
+        return rows
+
+    if isinstance(destination, str):
+        with open(destination, "w", newline="", encoding="utf-8") as fh:
+            return emit(fh)
+    return emit(destination)

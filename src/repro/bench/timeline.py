@@ -1,0 +1,115 @@
+"""ASCII timelines from simulation traces.
+
+Renders a :class:`~repro.sim.Tracer`'s spans as a Gantt-style chart, one
+row per lane (GPU stream, network link), so overlap — the thing GrOUT's
+scheduler exists to create — is visible at a glance in a terminal:
+
+    worker0/gpu0/stream0 |███░░██████████        | kernel x3
+    net:controller->worker0 |▒▒▒▒▒▒▒             | transfer x2
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim import Span, Tracer
+
+#: Fill characters per span category (unknown categories cycle extras).
+CATEGORY_GLYPHS = {
+    "kernel": "#",
+    "transfer": "=",
+    "migration": "~",
+    "prefetch": "+",
+    "sched": ".",
+}
+_EXTRA_GLYPHS = "*%@o"
+
+
+@dataclass(frozen=True, slots=True)
+class TimelineOptions:
+    """Rendering knobs."""
+
+    width: int = 72             # characters of the time axis
+    max_lanes: int = 24         # truncate very wide clusters
+    min_duration: float = 0.0   # drop spans shorter than this
+
+    def __post_init__(self) -> None:
+        if self.width < 10:
+            raise ValueError("width must be >= 10")
+        if self.max_lanes < 1:
+            raise ValueError("max_lanes must be >= 1")
+
+
+def _glyph_for(category: str, assigned: dict[str, str]) -> str:
+    if category in CATEGORY_GLYPHS:
+        return CATEGORY_GLYPHS[category]
+    if category not in assigned:
+        assigned[category] = _EXTRA_GLYPHS[len(assigned)
+                                           % len(_EXTRA_GLYPHS)]
+    return assigned[category]
+
+
+def render_timeline(tracer: Tracer,
+                    options: TimelineOptions | None = None) -> str:
+    """Render every lane of a trace as one ASCII Gantt chart."""
+    options = options or TimelineOptions()
+    spans = [s for s in tracer.spans
+             if s.duration >= options.min_duration]
+    if not spans:
+        return "(no spans recorded)"
+    start = min(s.start for s in spans)
+    end = max(s.end for s in spans)
+    horizon = max(end - start, 1e-12)
+    scale = options.width / horizon
+
+    by_lane: dict[str, list[Span]] = {}
+    for span in spans:
+        by_lane.setdefault(span.lane, []).append(span)
+
+    lanes = sorted(by_lane)
+    clipped = len(lanes) - options.max_lanes
+    lanes = lanes[:options.max_lanes]
+    label_width = max(len(lane) for lane in lanes)
+
+    extra_glyphs: dict[str, str] = {}
+    lines = [f"t = {start:.6g} .. {end:.6g} s  "
+             f"({options.width} cols, "
+             f"{horizon / options.width:.3g} s/col)"]
+    for lane in lanes:
+        row = [" "] * options.width
+        counts: dict[str, int] = {}
+        for span in sorted(by_lane[lane], key=lambda s: s.start):
+            glyph = _glyph_for(span.category, extra_glyphs)
+            lo = int((span.start - start) * scale)
+            hi = max(lo + 1, int((span.end - start) * scale))
+            for i in range(lo, min(hi, options.width)):
+                row[i] = glyph
+            counts[span.category] = counts.get(span.category, 0) + 1
+        summary = " ".join(f"{cat} x{n}" for cat, n in sorted(
+            counts.items()))
+        lines.append(f"{lane.rjust(label_width)} |{''.join(row)}| "
+                     f"{summary}")
+    if clipped > 0:
+        lines.append(f"... {clipped} more lanes")
+    seen_categories = {s.category for s in spans}
+    glyph_map = {**CATEGORY_GLYPHS, **extra_glyphs}
+    legend = "  ".join(f"{glyph}={cat}" for cat, glyph in
+                       sorted(glyph_map.items())
+                       if cat in seen_categories)
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def utilisation_report(tracer: Tracer) -> str:
+    """Per-lane busy fraction over the trace's makespan."""
+    makespan = tracer.makespan()
+    if makespan == 0:
+        return "(no spans recorded)"
+    lines = ["lane utilisation over the makespan "
+             f"({makespan:.6g} s):"]
+    for lane in tracer.lanes():
+        busy = tracer.busy_time(lane)
+        frac = busy / makespan
+        bar = "#" * int(round(frac * 30))
+        lines.append(f"  {lane:36s} {frac:6.1%} |{bar:<30s}|")
+    return "\n".join(lines)

@@ -1,0 +1,293 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Subcommands:
+
+``run``       one workload on GrCUDA or GrOUT at a modeled footprint
+``figure``    regenerate one paper figure (1, 5, 6a, 6b, 7, 8, 9)
+``manifest``  execute a JSON workload manifest
+``plan``      static autoscaling recommendation for a footprint
+``sweep``     parameter sweep with CSV output
+``compare``   diff two figure JSON exports (calibration regression check)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from repro.bench import (
+    fig1,
+    fig5,
+    fig6a,
+    fig6b,
+    fig7,
+    fig8,
+    fig9,
+    format_table,
+    run_grout,
+    run_single_node,
+)
+from repro.bench.timeline import render_timeline, utilisation_report
+from repro.core import GrCudaRuntime, GroutRuntime, KpiAutoscaler
+from repro.core.policies import ExplorationLevel
+from repro.gpu.specs import GIB
+from repro.workloads import WORKLOADS
+
+FIGURES = {
+    "1": fig1, "5": fig5, "6a": fig6a, "6b": fig6b, "7": fig7,
+    "8": fig8, "9": fig9,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree of every subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GrOUT reproduction: run workloads, regenerate the "
+                    "paper's figures, execute manifests.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one suite workload")
+    run_p.add_argument("workload", choices=sorted(WORKLOADS))
+    run_p.add_argument("--gb", type=float, default=4.0,
+                       help="modeled footprint in GiB (default 4)")
+    run_p.add_argument("--mode", choices=("grcuda", "grout"),
+                       default="grcuda")
+    run_p.add_argument("--workers", type=int, default=2,
+                       help="GrOUT worker count (default 2)")
+    run_p.add_argument("--policy", default="vector-step",
+                       help="any name from "
+                            "repro.core.available_policies()")
+    run_p.add_argument("--level", default="medium",
+                       choices=("low", "medium", "high"),
+                       help="exploration level for online policies")
+    run_p.add_argument("--repeats", type=int, default=1,
+                       help="repetitions averaged per the paper's "
+                            "protocol (default 1; simulation is "
+                            "deterministic)")
+    run_p.add_argument("--no-verify", action="store_true",
+                       help="skip the numerical check")
+    run_p.add_argument("--timeline", action="store_true",
+                       help="print the ASCII execution timeline")
+    run_p.add_argument("--chrome-trace", metavar="FILE",
+                       help="write a chrome://tracing JSON of the run")
+
+    fig_p = sub.add_parser("figure", help="regenerate a paper figure")
+    fig_p.add_argument("figure", choices=sorted(FIGURES))
+    fig_p.add_argument("--quick", action="store_true",
+                       help="trimmed size sweep")
+    fig_p.add_argument("--json", metavar="FILE",
+                       help="also write the figure data as JSON")
+
+    man_p = sub.add_parser("manifest", help="execute a JSON manifest")
+    man_p.add_argument("path", help="manifest file, or - for stdin")
+    man_p.add_argument("--mode", choices=("grcuda", "grout"),
+                       default="grout")
+    man_p.add_argument("--workers", type=int, default=2)
+
+    plan_p = sub.add_parser("plan",
+                            help="autoscaling recommendation for a "
+                                 "footprint")
+    plan_p.add_argument("--gb", type=float, required=True)
+    plan_p.add_argument("--target-osf", type=float, default=1.0)
+    plan_p.add_argument("--node-gb", type=float, default=32.0,
+                        help="GPU memory per node in GiB (default 32)")
+    plan_p.add_argument("--max-workers", type=int, default=16)
+
+    sweep_p = sub.add_parser("sweep",
+                             help="parameter sweep with CSV output")
+    sweep_p.add_argument("workloads", nargs="+",
+                         help=f"from {sorted(WORKLOADS)}")
+    sweep_p.add_argument("--sizes", default="4,32,96",
+                         help="comma-separated GiB footprints")
+    sweep_p.add_argument("--modes", default="grcuda,grout")
+    sweep_p.add_argument("--policies", default="vector-step")
+    sweep_p.add_argument("--workers", default="2",
+                         help="comma-separated worker counts")
+    sweep_p.add_argument("--repeats", type=int, default=1,
+                         help="repetitions averaged per configuration")
+    sweep_p.add_argument("--out", default="-",
+                         help="CSV file, or - for stdout")
+
+    cmp_p = sub.add_parser("compare",
+                           help="diff two `figure --json` exports")
+    cmp_p.add_argument("baseline")
+    cmp_p.add_argument("current")
+    cmp_p.add_argument("--tolerance", type=float, default=1.5,
+                       help="max allowed ratio per value (default 1.5)")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    footprint = int(args.gb * GIB)
+    level = ExplorationLevel[args.level.upper()]
+    if args.mode == "grcuda":
+        result = run_single_node(args.workload, footprint,
+                                 check=not args.no_verify,
+                                 repeats=args.repeats)
+    else:
+        result = run_grout(args.workload, footprint,
+                           n_workers=args.workers, policy=args.policy,
+                           level=level, check=not args.no_verify,
+                           repeats=args.repeats)
+    rows = [
+        ("workload", result.workload),
+        ("mode", result.mode),
+        ("footprint", f"{result.footprint_gb:g} GiB"),
+        ("oversubscription", f"{result.oversubscription:.3g}x "
+                             "(vs one 2xV100 node)"),
+        ("policy", result.policy),
+        ("simulated time", f"{result.elapsed_seconds:.4g} s"),
+        ("completed", "yes" if result.completed
+         else "no (hit the 2.5h cap)"),
+        ("verified", "skipped" if args.no_verify
+         else ("yes" if result.verified else "NO")),
+    ]
+    print(format_table(["field", "value"], rows))
+    if args.timeline or args.chrome_trace:
+        print("\n(re-running with tracing...)")
+        tracer = _traced_run(args, footprint, level)
+        if args.timeline:
+            print(render_timeline(tracer))
+            print()
+            print(utilisation_report(tracer))
+        if args.chrome_trace:
+            from repro.bench.chrometrace import write_chrome_trace
+            write_chrome_trace(tracer, args.chrome_trace)
+            print(f"chrome trace written to {args.chrome_trace} "
+                  "(open in chrome://tracing or Perfetto)")
+    return 0 if (result.verified or args.no_verify) else 1
+
+
+def _traced_run(args: argparse.Namespace, footprint: int,
+                level: ExplorationLevel):
+    from repro.bench.harness import page_size_for
+    from repro.cluster import paper_cluster
+    from repro.core.policies import make_policy
+    from repro.core import VectorStepPolicy
+    from repro.workloads import make_workload
+
+    wl = make_workload(args.workload, footprint)
+    if args.mode == "grcuda":
+        rt = GrCudaRuntime(page_size=page_size_for(footprint))
+        tracer = rt.tracer
+    else:
+        cluster = paper_cluster(args.workers,
+                                page_size=page_size_for(footprint))
+        policy = (VectorStepPolicy(wl.tuned_vector(args.workers))
+                  if args.policy == "vector-step"
+                  else make_policy(args.policy, level=level))
+        rt = GroutRuntime(cluster, policy=policy)
+        tracer = cluster.tracer
+    wl.execute(rt, timeout=9000, check=False)
+    assert tracer is not None
+    return tracer
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    generator = FIGURES[args.figure]
+    if args.figure in ("5", "9"):
+        result = generator()
+    elif args.figure == "8":
+        result = generator(96 if not args.quick else 8)
+    elif args.quick:
+        result = generator((4, 32, 96))
+    else:
+        result = generator()
+    print(result.render())
+    if args.json:
+        from repro.bench import write_figure_json
+        write_figure_json(result, args.json)
+        print(f"figure data written to {args.json}")
+    return 0
+
+
+def _cmd_manifest(args: argparse.Namespace) -> int:
+    from repro.polyglot import run_manifest
+
+    if args.path == "-":
+        source = sys.stdin.read()
+    else:
+        with open(args.path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+    runtime = (GroutRuntime(n_workers=args.workers)
+               if args.mode == "grout" else GrCudaRuntime())
+    result = run_manifest(runtime, source)
+    print(f"executed {result.ce_count} steps in "
+          f"{result.elapsed_seconds:.4g} simulated seconds")
+    for name, values in result.reads.items():
+        preview = np.array2string(values.reshape(-1)[:8], precision=4)
+        print(f"  {name}: shape={values.shape} {preview}"
+              f"{' ...' if values.size > 8 else ''}")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    scaler = KpiAutoscaler(target_osf=args.target_osf,
+                           max_workers=args.max_workers)
+    decision = scaler.plan(int(args.gb * GIB), int(args.node_gb * GIB))
+    print(format_table(
+        ["field", "value"],
+        [("footprint", f"{args.gb:g} GiB"),
+         ("node GPU memory", f"{args.node_gb:g} GiB"),
+         ("target per-node OSF", f"{args.target_osf:g}"),
+         ("OSF on one node", f"{decision.observed_osf:.3g}x"),
+         ("recommended workers", decision.recommended_workers)]))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.bench import sweep, write_csv
+
+    results = sweep(
+        args.workloads,
+        [float(s) for s in args.sizes.split(",")],
+        modes=tuple(args.modes.split(",")),
+        policies=tuple(args.policies.split(",")),
+        worker_counts=[int(w) for w in args.workers.split(",")],
+        repeats=args.repeats,
+    )
+    if args.out == "-":
+        rows = write_csv(results, sys.stdout)
+    else:
+        rows = write_csv(results, args.out)
+        print(f"{rows} rows written to {args.out}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.bench import compare_figures
+
+    comparison = compare_figures(args.baseline, args.current)
+    for issue in comparison.structural:
+        print(f"STRUCTURAL: {issue}")
+    for drift in comparison.drifts:
+        print(f"drift: {drift}")
+    ok = comparison.within(args.tolerance)
+    worst = comparison.worst()
+    if worst is not None:
+        print(f"worst drift: {worst}")
+    print(f"within {args.tolerance:g}x tolerance: "
+          f"{'yes' if ok else 'NO'}")
+    return 0 if ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "run": _cmd_run,
+        "figure": _cmd_figure,
+        "manifest": _cmd_manifest,
+        "plan": _cmd_plan,
+        "sweep": _cmd_sweep,
+        "compare": _cmd_compare,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

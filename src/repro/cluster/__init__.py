@@ -1,0 +1,18 @@
+"""Simulated multi-node, multi-GPU clusters (the paper's OCI testbed)."""
+
+from repro.cluster.cluster import Cluster, paper_cluster
+from repro.cluster.node import (
+    PAPER_CONTROLLER,
+    PAPER_WORKER,
+    Node,
+    NodeSpec,
+)
+
+__all__ = [
+    "Cluster",
+    "Node",
+    "NodeSpec",
+    "PAPER_CONTROLLER",
+    "PAPER_WORKER",
+    "paper_cluster",
+]

@@ -1,0 +1,92 @@
+"""A simulated machine: CPU host, RAM, GPUs, one UVM space, one NIC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpu.device import Gpu
+from repro.gpu.specs import GIB, GpuSpec, V100_16GB
+from repro.net.topology import MBIT, NicSpec
+from repro.sim import Engine, Tracer
+from repro.uvm.calibration import PAPER_CALIBRATION, UvmModelParams
+from repro.uvm.manager import UvmSpace
+from repro.uvm.prefetch import PrefetchConfig
+
+
+@dataclass(frozen=True, slots=True)
+class NodeSpec:
+    """Static description of one machine."""
+
+    gpu_spec: GpuSpec | None = V100_16GB
+    n_gpus: int = 2
+    ram_bytes: int = 180 * GIB
+    nic: NicSpec = field(default_factory=lambda: NicSpec(4000 * MBIT))
+
+    def __post_init__(self) -> None:
+        if self.n_gpus < 0:
+            raise ValueError("n_gpus must be >= 0")
+        if self.n_gpus > 0 and self.gpu_spec is None:
+            raise ValueError("n_gpus > 0 requires a gpu_spec")
+        if self.ram_bytes <= 0:
+            raise ValueError("ram_bytes must be positive")
+
+    @property
+    def gpu_memory_bytes(self) -> int:
+        """Total GPU memory of the node."""
+        if self.gpu_spec is None:
+            return 0
+        return self.n_gpus * self.gpu_spec.memory_bytes
+
+
+#: The paper's worker machine: 2× V100 16 GB, 180 GB RAM, 4000 Mbit/s NIC.
+PAPER_WORKER = NodeSpec()
+
+#: The paper's controller: CPU-only, 256 GB RAM, 8000 Mbit/s NIC (which can
+#: feed two 4000 Mbit/s workers at full rate simultaneously).
+PAPER_CONTROLLER = NodeSpec(
+    gpu_spec=None, n_gpus=0, ram_bytes=256 * GIB,
+    nic=NicSpec(8000 * MBIT, max_flows=2))
+
+
+class Node:
+    """One live machine in the simulated cluster."""
+
+    def __init__(self, engine: Engine, name: str, spec: NodeSpec, *,
+                 tracer: Tracer | None = None,
+                 uvm_params: UvmModelParams = PAPER_CALIBRATION,
+                 prefetch: PrefetchConfig | None = None,
+                 eviction_order: str = "lru",
+                 seed: int = 0):
+        self.engine = engine
+        self.name = name
+        self.spec = spec
+        self.tracer = tracer
+        self.gpus: list[Gpu] = [
+            Gpu(engine, spec.gpu_spec, node_name=name, index=i,
+                tracer=tracer)
+            for i in range(spec.n_gpus)
+        ]
+        self.uvm: UvmSpace | None = None
+        if self.gpus:
+            self.uvm = UvmSpace(
+                self.gpus, params=uvm_params, prefetch=prefetch,
+                eviction_order=eviction_order, seed=seed)
+
+    @property
+    def has_gpus(self) -> bool:
+        """Whether the node carries any GPUs."""
+        return bool(self.gpus)
+
+    @property
+    def gpu_memory_bytes(self) -> int:
+        """Total GPU memory of the node."""
+        return self.spec.gpu_memory_bytes
+
+    def oversubscription(self) -> float:
+        """Node-level OSF; 0.0 for CPU-only nodes with no UVM space."""
+        if self.uvm is None:
+            return 0.0
+        return self.uvm.oversubscription
+
+    def __repr__(self) -> str:
+        return f"<Node {self.name!r} gpus={len(self.gpus)}>"

@@ -1,0 +1,63 @@
+"""GrOUT's core: CEs, dependency DAGs, hierarchical scheduling, coherence.
+
+Public entry points are :class:`GroutRuntime` (distributed, the paper's
+contribution) and :class:`GrCudaRuntime` (single-node baseline).
+"""
+
+from repro.core.autoscale import KpiAutoscaler, ScalingDecision
+from repro.core.arrays import (
+    CONTROLLER,
+    ArrayState,
+    Directory,
+    ManagedArray,
+    partition_rows,
+)
+from repro.core.ce import CeKind, ComputationalElement, depends_on
+from repro.core.controller import Controller, ControllerStats
+from repro.core.dag import DependencyDag
+from repro.core.grcuda import GrCudaRuntime
+from repro.core.intranode import IntraNodeScheduler
+from repro.core.policies import (
+    ExplorationLevel,
+    LeastLoadedPolicy,
+    MinTransferSizePolicy,
+    MinTransferTimePolicy,
+    Policy,
+    RoundRobinPolicy,
+    SchedulingContext,
+    VectorStepPolicy,
+    available_policies,
+    make_policy,
+    register_policy,
+)
+from repro.core.runtime import GroutRuntime
+
+__all__ = [
+    "CONTROLLER",
+    "ArrayState",
+    "CeKind",
+    "ComputationalElement",
+    "Controller",
+    "ControllerStats",
+    "DependencyDag",
+    "Directory",
+    "ExplorationLevel",
+    "GrCudaRuntime",
+    "GroutRuntime",
+    "IntraNodeScheduler",
+    "KpiAutoscaler",
+    "LeastLoadedPolicy",
+    "ManagedArray",
+    "ScalingDecision",
+    "MinTransferSizePolicy",
+    "MinTransferTimePolicy",
+    "Policy",
+    "RoundRobinPolicy",
+    "SchedulingContext",
+    "VectorStepPolicy",
+    "available_policies",
+    "depends_on",
+    "make_policy",
+    "register_policy",
+    "partition_rows",
+]

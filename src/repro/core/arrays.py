@@ -1,0 +1,236 @@
+"""Managed (UVM) arrays and the cluster-wide coherence directory.
+
+A :class:`ManagedArray` is what ``polyglot.eval(GrOUT, "float[SIZE]")``
+returns under the hood: a NumPy backing for *numerical* correctness plus a
+**modeled** byte footprint for the performance model.  The two are decoupled
+by a scale factor so a "160 GB" experiment carries megabytes of real data —
+the substitution DESIGN.md documents for the unavailable hardware.
+
+The :class:`Directory` tracks, per array, which nodes currently hold an
+up-to-date copy (host+device combined, node granularity), the last writer
+CE, and in-flight replication transfers.  It is the logical view Algorithm 1
+consults ("param.upToDateOn(node)", "upToDateOnlyOnController").
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from repro.sim import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.ce import ComputationalElement
+
+_buffer_ids = itertools.count(1)
+
+#: Directory name of the controller node (arrays are born there).
+CONTROLLER = "controller"
+
+
+class ManagedArray:
+    """One UVM-managed allocation, shared CPU↔GPU and across nodes.
+
+    Parameters
+    ----------
+    shape:
+        Shape of the *actual* NumPy backing.
+    dtype:
+        Element type.
+    virtual_nbytes:
+        Modeled footprint used by every cost model; defaults to the real
+        backing size (scale factor 1).
+    name:
+        Optional label for traces and debugging.
+    """
+
+    def __init__(self, shape: tuple[int, ...] | int, dtype: object = np.float32,
+                 *, virtual_nbytes: int | None = None,
+                 name: str | None = None):
+        self.data = np.zeros(shape, dtype=dtype)
+        if virtual_nbytes is None:
+            virtual_nbytes = self.data.nbytes
+        if virtual_nbytes < self.data.nbytes:
+            raise ValueError(
+                f"virtual_nbytes {virtual_nbytes} smaller than the real "
+                f"backing ({self.data.nbytes}); scale must be >= 1")
+        self._virtual_nbytes = int(virtual_nbytes)
+        self.buffer_id = next(_buffer_ids)
+        self.name = name or f"array{self.buffer_id}"
+
+    # -- SizedBuffer protocol ----------------------------------------------
+
+    @property
+    def nbytes(self) -> int:
+        """Modeled bytes — what every cost model sees."""
+        return self._virtual_nbytes
+
+    @property
+    def real_nbytes(self) -> int:
+        """Bytes of the actual NumPy backing."""
+        return self.data.nbytes
+
+    @property
+    def scale(self) -> float:
+        """virtual bytes per real byte (1.0 = unscaled)."""
+        return self._virtual_nbytes / self.data.nbytes
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Shape of the backing array."""
+        return self.data.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Element dtype of the backing array."""
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        return (f"<ManagedArray {self.name!r} shape={self.shape} "
+                f"virtual={self._virtual_nbytes/2**30:.3g} GiB>")
+
+
+def partition_rows(array: ManagedArray, parts: int,
+                   name: str | None = None) -> list[ManagedArray]:
+    """Split an array's leading axis into ``parts`` managed chunk views.
+
+    Chunks share the parent's backing memory (NumPy views) so kernels write
+    through to the parent, but each chunk is an independent coherence and
+    costing unit — this is how the MV workload row-partitions its matrix.
+    """
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    n = array.shape[0]
+    if parts > n:
+        raise ValueError(f"cannot split axis of {n} into {parts} parts")
+    base = name or array.name
+    bounds = np.linspace(0, n, parts + 1, dtype=int)
+    chunks = []
+    for i in range(parts):
+        lo, hi = int(bounds[i]), int(bounds[i + 1])
+        view = array.data[lo:hi]
+        chunk = ManagedArray.__new__(ManagedArray)
+        chunk.data = view
+        chunk._virtual_nbytes = max(
+            int(array.nbytes * (hi - lo) / n), view.nbytes)
+        chunk.buffer_id = next(_buffer_ids)
+        chunk.name = f"{base}[{lo}:{hi}]"
+        chunks.append(chunk)
+    return chunks
+
+
+class ArrayState:
+    """Directory entry of one managed array."""
+
+    __slots__ = ("up_to_date", "last_writer", "readers_since_write",
+                 "inflight", "nbytes")
+
+    def __init__(self, home: str, nbytes: int = 0):
+        self.up_to_date: set[str] = {home}
+        self.last_writer: "ComputationalElement | None" = None
+        self.readers_since_write: list["ComputationalElement"] = []
+        #: node -> completion event of a replication transfer headed there
+        self.inflight: dict[str, Event] = {}
+        #: modeled footprint, recorded for demand accounting (autoscaler)
+        self.nbytes = nbytes
+
+
+class Directory:
+    """Cluster-wide logical coherence state, keyed by buffer id.
+
+    Updated synchronously in program order by the Controller; physical data
+    movement is ordered separately through simulation events.
+    """
+
+    def __init__(self, home: str = CONTROLLER):
+        self.home = home
+        self._states: dict[int, ArrayState] = {}
+
+    def register(self, array: ManagedArray) -> ArrayState:
+        """Create (or return) the entry of an array, born on home."""
+        state = self._states.get(array.buffer_id)
+        if state is None:
+            state = ArrayState(self.home, nbytes=array.nbytes)
+            self._states[array.buffer_id] = state
+        return state
+
+    @property
+    def total_bytes(self) -> int:
+        """Modeled bytes of every registered array (cluster demand)."""
+        return sum(s.nbytes for s in self._states.values())
+
+    def state(self, array: ManagedArray) -> ArrayState:
+        """The entry of a registered array (raises otherwise)."""
+        try:
+            return self._states[array.buffer_id]
+        except KeyError:
+            raise KeyError(
+                f"{array!r} was never registered with this runtime") from None
+
+    def forget(self, array: ManagedArray) -> None:
+        """Drop an array's entry (no-op when absent)."""
+        self._states.pop(array.buffer_id, None)
+
+    # -- queries used by Algorithm 1 and the policies -------------------------
+
+    def up_to_date_on(self, array: ManagedArray, node: str) -> bool:
+        """Whether a node holds a current copy."""
+        return node in self.state(array).up_to_date
+
+    def only_on_controller(self, array: ManagedArray) -> bool:
+        """Whether the controller is the sole holder."""
+        return self.state(array).up_to_date == {self.home}
+
+    def holders(self, array: ManagedArray) -> set[str]:
+        """The set of nodes holding current copies."""
+        return set(self.state(array).up_to_date)
+
+    def bytes_up_to_date(self, arrays: Iterable[ManagedArray],
+                         node: str) -> int:
+        """Policy helper: bytes of these params already valid on ``node``."""
+        return sum(a.nbytes for a in arrays
+                   if node in self.state(a).up_to_date)
+
+    # -- transitions -----------------------------------------------------------
+
+    def record_replication(self, array: ManagedArray, node: str,
+                           done: Event) -> None:
+        """A copy is being shipped to ``node``; logically valid already."""
+        state = self.state(array)
+        state.up_to_date.add(node)
+        state.inflight[node] = done
+
+    def replication_event(self, array: ManagedArray,
+                          node: str) -> Event | None:
+        """The pending transfer a consumer on ``node`` must also wait for."""
+        ev = self.state(array).inflight.get(node)
+        if ev is not None and ev.processed:
+            del self.state(array).inflight[node]
+            return None
+        return ev
+
+    def record_write(self, array: ManagedArray, node: str,
+                     ce: "ComputationalElement") -> set[str]:
+        """A CE on ``node`` writes the array: everyone else is invalidated.
+
+        Returns the set of nodes that lost their copy (the runtime drops
+        their UVM replicas and registrations).
+        """
+        state = self.state(array)
+        invalidated = state.up_to_date - {node}
+        state.up_to_date = {node}
+        state.inflight = {n: ev for n, ev in state.inflight.items()
+                          if n == node}
+        state.last_writer = ce
+        state.readers_since_write = []
+        return invalidated
+
+    def record_read(self, array: ManagedArray,
+                    ce: "ComputationalElement") -> None:
+        """Track a reader for later WAR dependencies."""
+        self.state(array).readers_since_write.append(ce)

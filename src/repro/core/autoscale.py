@@ -1,0 +1,142 @@
+"""KPI-driven autoscaling — the heuristic model §V-F sketches.
+
+"There exists a direct link between execution time and oversubscription
+factor that might be exploited to set desired Key Performance Indicators
+(KPI) to be maintained during the workload execution."  This module
+implements that sketch: the autoscaler watches the cluster's
+oversubscription pressure (the observable that *causes* the execution-time
+cliff) and provisions workers until every node sits at or below a target
+OSF — by default just under the earliest degradation knee of the
+calibrated UVM model.
+
+Two modes:
+
+* :meth:`KpiAutoscaler.plan` — static sizing: given a footprint, how many
+  nodes keep each under the target?  (What a user would call before
+  submitting a job.)
+* :meth:`KpiAutoscaler.step` — reactive: inspect the live runtime and add
+  workers while the observed pressure exceeds the target.  Call it between
+  workload phases (scheduling is eager, so calling it before the CE wave
+  is what lets the new nodes absorb work).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.runtime import GroutRuntime
+
+#: Default KPI: keep every node's OSF at/below 1.0 — under the earliest
+#: knee (RANDOM at 1.05) of the calibrated degradation curves, i.e. out of
+#: the cliff region for every access pattern.
+DEFAULT_TARGET_OSF = 1.0
+
+
+@dataclass(frozen=True, slots=True)
+class ScalingDecision:
+    """One autoscaler recommendation/action."""
+
+    current_workers: int
+    recommended_workers: int
+    observed_osf: float        # max per-node OSF that triggered it
+    target_osf: float
+    added: tuple[str, ...] = ()    # worker names provisioned (step mode)
+
+    @property
+    def scaled(self) -> bool:
+        """Whether the decision adds workers."""
+        return self.recommended_workers > self.current_workers
+
+
+@dataclass(slots=True)
+class KpiAutoscaler:
+    """Keeps a GrOUT cluster's per-node oversubscription under a target.
+
+    Parameters
+    ----------
+    target_osf:
+        The KPI: maximum tolerated per-node oversubscription factor.
+    max_workers:
+        Provisioning cap (the paper notes cloud scale-up tops out, but
+        scale-out budgets are finite too).
+    """
+
+    target_osf: float = DEFAULT_TARGET_OSF
+    max_workers: int = 16
+    decisions: list[ScalingDecision] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.target_osf <= 0:
+            raise ValueError("target_osf must be positive")
+        if self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+
+    # -- static sizing ------------------------------------------------------
+
+    def workers_for(self, footprint_bytes: int,
+                    node_gpu_bytes: int) -> int:
+        """Nodes needed to keep per-node OSF at/below the target."""
+        if footprint_bytes <= 0:
+            return 1
+        need = footprint_bytes / (self.target_osf * node_gpu_bytes)
+        return max(1, min(self.max_workers, math.ceil(need - 1e-9)))
+
+    def plan(self, footprint_bytes: int, node_gpu_bytes: int,
+             current_workers: int = 1) -> ScalingDecision:
+        """Static recommendation for a known footprint."""
+        recommended = max(current_workers,
+                          self.workers_for(footprint_bytes,
+                                           node_gpu_bytes))
+        decision = ScalingDecision(
+            current_workers=current_workers,
+            recommended_workers=recommended,
+            observed_osf=footprint_bytes
+            / (current_workers * node_gpu_bytes),
+            target_osf=self.target_osf,
+        )
+        self.decisions.append(decision)
+        return decision
+
+    # -- reactive scaling --------------------------------------------------------
+
+    def observed_pressure(self, runtime: GroutRuntime) -> float:
+        """The live KPI: the worst per-node OSF across the cluster, or —
+        if higher — the *pending demand* per node.
+
+        Demand (bytes registered with the controller ÷ cluster GPU
+        memory) anticipates allocations that have not landed on workers
+        yet, so scaling can happen before the first launch wave instead
+        of after the damage is done.
+        """
+        observed = max((w.oversubscription()
+                        for w in runtime.cluster.workers), default=0.0)
+        capacity = runtime.cluster.total_gpu_memory_bytes
+        demand = (runtime.controller.directory.total_bytes / capacity
+                  if capacity else 0.0)
+        return max(observed, demand)
+
+    def step(self, runtime: GroutRuntime) -> ScalingDecision:
+        """Provision workers while the observed pressure exceeds the KPI.
+
+        Node memory is assumed homogeneous (the paper's setup); each new
+        worker proportionally dilutes future placements, so the projected
+        pressure after adding ``k`` nodes is ``observed * n / (n + k)``.
+        """
+        current = len(runtime.cluster.workers)
+        observed = self.observed_pressure(runtime)
+        added: list[str] = []
+        workers = current
+        while (workers < self.max_workers
+               and observed * current / workers > self.target_osf):
+            added.append(runtime.controller.add_worker())
+            workers += 1
+        decision = ScalingDecision(
+            current_workers=current,
+            recommended_workers=workers,
+            observed_osf=observed,
+            target_osf=self.target_osf,
+            added=tuple(added),
+        )
+        self.decisions.append(decision)
+        return decision

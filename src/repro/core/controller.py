@@ -1,0 +1,222 @@
+"""The GrOUT Controller — Algorithm 1.
+
+For every incoming CE the controller (1) inserts it into the **Global DAG**,
+(2) applies the selected inter-node policy, and (3) issues the data
+movements that make every parameter up-to-date on the chosen node:
+controller→worker sends when the data only lives here, worker↔worker P2P
+otherwise.  The CE is then forwarded to the worker, whose intra-node
+scheduler (Algorithm 2) picks the GPU stream.
+
+Scheduling decisions are timed with ``perf_counter`` — the per-CE overhead
+Fig. 9 reports — and the decision itself costs nothing in simulated time
+(the paper finds these microseconds "do not significantly impact the
+overall execution time since they can be interleaved").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.cluster.cluster import Cluster
+from repro.sim import Event
+from repro.core.arrays import Directory, ManagedArray
+from repro.core.ce import CeKind, ComputationalElement
+from repro.core.dag import DependencyDag
+from repro.core.intranode import IntraNodeScheduler
+from repro.core.policies import Policy, SchedulingContext
+
+#: Host memory streaming bandwidth charged for host-side CE bodies.
+HOST_MEM_BANDWIDTH = 20e9
+
+
+@dataclass(slots=True)
+class ControllerStats:
+    """Counters the evaluation section reports on."""
+
+    ces_scheduled: int = 0
+    transfers_issued: int = 0
+    p2p_transfers: int = 0
+    bytes_requested: int = 0
+    decision_seconds: list[float] = field(default_factory=list)
+
+    @property
+    def mean_decision_seconds(self) -> float:
+        """Average wall-clock cost of one scheduling decision."""
+        if not self.decision_seconds:
+            return 0.0
+        return sum(self.decision_seconds) / len(self.decision_seconds)
+
+
+class Controller:
+    """Node-level scheduler and coherence authority of a GrOUT cluster."""
+
+    def __init__(self, cluster: Cluster, policy: Policy, *,
+                 max_streams_per_gpu: int = 4,
+                 prune_every: int = 256):
+        self.cluster = cluster
+        self.engine = cluster.engine
+        self.policy = policy
+        self.directory = Directory(home=cluster.controller.name)
+        self.workers: dict[str, IntraNodeScheduler] = {
+            w.name: IntraNodeScheduler(
+                w, max_streams_per_gpu=max_streams_per_gpu)
+            for w in cluster.workers
+        }
+        self.dag = DependencyDag()
+        self.stats = ControllerStats()
+        self.context = SchedulingContext(
+            workers=[w.name for w in cluster.workers],
+            directory=self.directory,
+            topology=cluster.topology,
+            controller=cluster.controller.name,
+        )
+        self._prune_every = prune_every
+        self._max_streams_per_gpu = max_streams_per_gpu
+        self._pending: list[Event] = []
+
+    def add_worker(self) -> str:
+        """Attach a freshly provisioned worker (autoscaling, §V-F).
+
+        Already-scheduled CEs keep their placement; the policies see the
+        new node from the next decision on.
+        """
+        node = self.cluster.add_worker()
+        self.workers[node.name] = IntraNodeScheduler(
+            node, max_streams_per_gpu=self._max_streams_per_gpu)
+        self.context.workers = [w.name for w in self.cluster.workers]
+        return node.name
+
+    # -- public entry point ------------------------------------------------------
+
+    def schedule(self, ce: ComputationalElement) -> Event:
+        """Run Algorithm 1 on one CE; returns (and attaches) its done event."""
+        # Add CE to the Global DAG's frontier.
+        started = time.perf_counter()
+        ancestors = self.dag.add(ce)
+
+        # Apply the node-level scheduling policy.
+        if ce.kind is CeKind.KERNEL:
+            node_name = self.policy.assign(ce, self.context)
+        elif ce.kind is CeKind.PREFETCH:
+            # User-directed placement (the hand-tuning primitive); falls
+            # back to the policy when no node was named.
+            node_name = ce.assigned_node or self.policy.assign(
+                ce, self.context)
+        else:
+            node_name = self.cluster.controller.name
+        self.stats.decision_seconds.append(time.perf_counter() - started)
+        ce.assigned_node = node_name
+
+        waits: list[Event] = [
+            a.done for a in ancestors
+            if a.done is not None and not a.done.processed
+        ]
+
+        # Issue the necessary data movements.
+        for array in ce.arrays:
+            ev = self._ensure_on_node(array, node_name)
+            if ev is not None:
+                waits.append(ev)
+
+        # Coherence transitions happen in program order, here and now.
+        for array in ce.reads:
+            self.directory.record_read(array, ce)
+        for array in ce.writes:
+            invalidated = self.directory.record_write(array, node_name, ce)
+            for victim in invalidated:
+                worker = self.workers.get(victim)
+                if worker is not None:
+                    worker.drop_replica(array)
+
+        # Forward the CE.
+        if ce.kind in (CeKind.KERNEL, CeKind.PREFETCH):
+            latency = self.cluster.topology.latency(
+                self.cluster.controller.name, node_name)
+            if latency > 0:
+                waits.append(self.engine.timeout(
+                    latency, name=f"ctl->{node_name}"))
+            done = self.workers[node_name].submit(ce, waits)
+        else:
+            done = self._run_host_ce(ce, waits)
+        ce.done = done
+        self._pending.append(done)
+        self.stats.ces_scheduled += 1
+        if self.stats.ces_scheduled % self._prune_every == 0:
+            self.dag.prune_completed(
+                lambda c: c.done is not None and c.done.processed)
+            self._pending = [e for e in self._pending if not e.processed]
+        return done
+
+    # -- Algorithm 1, data-movement phase -----------------------------------------
+
+    def _ensure_on_node(self, array: ManagedArray,
+                        node_name: str) -> Event | None:
+        """Return the event a consumer on ``node_name`` must wait for."""
+        directory = self.directory
+        if directory.up_to_date_on(array, node_name):
+            # Possibly still in flight from an earlier replication.
+            return directory.replication_event(array, node_name)
+
+        state = directory.state(array)
+        if directory.only_on_controller(array):
+            src = self.cluster.controller.name
+        else:
+            # A candidate P2P node: the up-to-date holder with the best
+            # link to the destination (prefer workers over the controller).
+            candidates = [h for h in state.up_to_date if h != node_name]
+            workers_first = sorted(
+                candidates,
+                key=lambda h: (h == self.cluster.controller.name,
+                               self.cluster.topology.transfer_seconds(
+                                   h, node_name, array.nbytes)))
+            src = workers_first[0]
+            if src != self.cluster.controller.name:
+                self.stats.p2p_transfers += 1
+
+        producer = state.last_writer.done if state.last_writer else None
+        done = self.engine.process(
+            self._move(array, src, node_name, producer),
+            name=f"move:{array.name}->{node_name}")
+        directory.record_replication(array, node_name, done)
+        self.stats.transfers_issued += 1
+        self.stats.bytes_requested += array.nbytes
+        return done
+
+    def _move(self, array: ManagedArray, src: str, dst: str,
+              producer: Event | None):
+        """Process: wait for the producer, flush source GPUs, cross the wire."""
+        if producer is not None and not producer.processed:
+            yield producer
+        source_worker = self.workers.get(src)
+        if source_worker is not None:
+            wb = source_worker.writeback_seconds(array)
+            if wb > 0:
+                yield self.engine.timeout(wb)
+        yield from self.cluster.fabric.transfer_process(
+            src, dst, array.nbytes, label=array.name)
+        return array.nbytes
+
+    # -- host-side CEs ---------------------------------------------------------------
+
+    def _run_host_ce(self, ce: ComputationalElement,
+                     waits: list[Event]) -> Event:
+        engine = self.engine
+
+        def body():
+            if waits:
+                yield engine.all_of(waits)
+            nbytes = ce.param_bytes
+            if nbytes:
+                yield engine.timeout(nbytes / HOST_MEM_BANDWIDTH)
+            result = ce.host_body() if ce.host_body is not None else None
+            return result
+
+        return engine.process(body(), name=ce.display_name)
+
+    # -- draining ------------------------------------------------------------------
+
+    def pending_events(self) -> list[Event]:
+        """Completion events of CEs still in flight."""
+        self._pending = [e for e in self._pending if not e.processed]
+        return list(self._pending)

@@ -1,0 +1,190 @@
+"""The dependency DAG of Algorithm 1 (Global on the Controller, Local on
+each Worker — same structure, different population).
+
+Insertion follows the paper's procedure: collect the frontier CEs that
+conflict with the new one, filter redundant ancestors (drop A when another
+candidate B already transitively depends on A), add edges, update the
+frontier.
+
+One refinement over the paper's simplified pseudo-code: the frontier is
+maintained *per buffer* (last writer + readers since that write) rather
+than as a single set of childless CEs.  A purely child-based frontier loses
+WAW edges — if A wrote X and Y, and B read only X, a later writer of Y
+would scan a frontier containing just B and miss its dependency on A.  The
+per-buffer frontier is what GrCUDA's scheduler [27] actually keeps, and the
+union over buffers is exactly "the frontier" Algorithm 1 iterates.
+
+Transitive reachability is kept incrementally as per-node ancestor id-sets,
+so ``filterRedundant`` is a set intersection rather than a graph search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.ce import ComputationalElement
+
+
+@dataclass(slots=True)
+class _NodeInfo:
+    ancestors: set[int] = field(default_factory=set)   # transitive, by ce_id
+    parents: list[ComputationalElement] = field(default_factory=list)
+    children: list[ComputationalElement] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class _BufferFrontier:
+    last_writer: ComputationalElement | None = None
+    readers: list[ComputationalElement] = field(default_factory=list)
+
+
+class DependencyDag:
+    """Append-only CE dependency graph with a per-buffer frontier."""
+
+    def __init__(self) -> None:
+        self._info: dict[int, _NodeInfo] = {}
+        self._nodes: dict[int, ComputationalElement] = {}
+        self._buffers: dict[int, _BufferFrontier] = {}
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def frontier(self) -> list[ComputationalElement]:
+        """CEs a future insertion could directly depend on."""
+        seen: dict[int, ComputationalElement] = {}
+        for bf in self._buffers.values():
+            if bf.last_writer is not None:
+                seen.setdefault(bf.last_writer.ce_id, bf.last_writer)
+            for r in bf.readers:
+                seen.setdefault(r.ce_id, r)
+        return list(seen.values())
+
+    @property
+    def size(self) -> int:
+        """Number of CEs currently in the DAG."""
+        return len(self._nodes)
+
+    def __contains__(self, ce: ComputationalElement) -> bool:
+        return ce.ce_id in self._nodes
+
+    def parents(self, ce: ComputationalElement) -> list[ComputationalElement]:
+        """Direct (filtered) ancestors of a CE."""
+        return list(self._info[ce.ce_id].parents)
+
+    def children(self, ce: ComputationalElement) -> list[ComputationalElement]:
+        """Direct dependents of a CE."""
+        return list(self._info[ce.ce_id].children)
+
+    def ancestors(self, ce: ComputationalElement) -> set[int]:
+        """Transitive ancestor ce_ids."""
+        return set(self._info[ce.ce_id].ancestors)
+
+    def edge_count(self) -> int:
+        """Total number of dependency edges."""
+        return sum(len(i.children) for i in self._info.values())
+
+    def pending_accessors(self, buffer_id: int) -> list[ComputationalElement]:
+        """The CEs a host-side *write* of this buffer must wait for:
+        the last writer (RAW) and every reader since (WAR)."""
+        bf = self._buffers.get(buffer_id)
+        if bf is None:
+            return []
+        out = list(bf.readers)
+        if bf.last_writer is not None:
+            out.append(bf.last_writer)
+        return out
+
+    def nodes(self) -> list[ComputationalElement]:
+        """Every CE currently in the DAG, insertion order."""
+        return list(self._nodes.values())
+
+    # -- Algorithm 1, DAG phase -------------------------------------------------
+
+    def add(self, ce: ComputationalElement) -> list[ComputationalElement]:
+        """Insert a CE; returns its (redundancy-filtered) direct ancestors."""
+        if ce.ce_id in self._nodes:
+            raise ValueError(f"{ce!r} already in the DAG")
+
+        # Scan the (per-buffer) frontier for conflicting CEs.
+        candidates: dict[int, ComputationalElement] = {}
+        for access in ce.accesses:
+            bf = self._buffers.get(access.buffer.buffer_id)
+            if bf is None:
+                continue
+            if access.direction.writes:
+                # WAR against every reader, WAW against the writer.
+                for r in bf.readers:
+                    candidates.setdefault(r.ce_id, r)
+                if bf.last_writer is not None:
+                    candidates.setdefault(bf.last_writer.ce_id,
+                                          bf.last_writer)
+            elif bf.last_writer is not None:
+                # RAW against the last writer.
+                candidates.setdefault(bf.last_writer.ce_id, bf.last_writer)
+        candidates.pop(ce.ce_id, None)
+
+        filtered = self._filter_redundant(list(candidates.values()))
+
+        info = _NodeInfo()
+        for parent in filtered:
+            pinfo = self._info[parent.ce_id]
+            pinfo.children.append(ce)
+            info.parents.append(parent)
+            info.ancestors.add(parent.ce_id)
+            info.ancestors |= pinfo.ancestors
+        self._info[ce.ce_id] = info
+        self._nodes[ce.ce_id] = ce
+
+        # updateFrontier.
+        for access in ce.accesses:
+            bf = self._buffers.setdefault(access.buffer.buffer_id,
+                                          _BufferFrontier())
+            if access.direction.writes:
+                bf.last_writer = ce
+                bf.readers = []
+            elif all(r.ce_id != ce.ce_id for r in bf.readers):
+                bf.readers.append(ce)
+        return filtered
+
+    def _filter_redundant(
+        self, candidates: list[ComputationalElement]
+    ) -> list[ComputationalElement]:
+        """Drop candidate A when another candidate transitively depends on A."""
+        if len(candidates) < 2:
+            return candidates
+        ids = {c.ce_id for c in candidates}
+        redundant: set[int] = set()
+        for c in candidates:
+            redundant |= (self._info[c.ce_id].ancestors & ids)
+        return [c for c in candidates if c.ce_id not in redundant]
+
+    # -- maintenance ------------------------------------------------------------
+
+    def prune_completed(self, is_done) -> int:
+        """Drop finished CEs no longer reachable from the frontier.
+
+        Long-running workloads (CG iterations) would otherwise grow the DAG
+        without bound.  A completed CE can still matter only while it is a
+        frontier member (future edges attach there); redundancy filtering
+        consults ancestor sets *of frontier candidates* and only ever
+        intersects them with candidate ids, so dead ids in those sets are
+        inert and get trimmed below.
+        """
+        keep_ids = {ce.ce_id for ce in self.frontier}
+        doomed = [cid for cid, ce in self._nodes.items()
+                  if cid not in keep_ids and is_done(ce)]
+        for cid in doomed:
+            info = self._info.pop(cid)
+            for child in info.children:
+                cinfo = self._info.get(child.ce_id)
+                if cinfo is not None:
+                    cinfo.parents = [p for p in cinfo.parents
+                                     if p.ce_id != cid]
+            del self._nodes[cid]
+        if doomed:
+            # Dead ids can never reappear as redundancy-filter candidates;
+            # trimming keeps ancestor sets bounded on long CE chains.
+            live = set(self._nodes)
+            for info in self._info.values():
+                info.ancestors &= live
+        return len(doomed)

@@ -1,0 +1,210 @@
+"""Intra-node scheduling — Algorithm 2, GrCUDA's runtime scheduler [27].
+
+Each worker keeps a **Local DAG** (partial view of the workload), assigns
+every incoming CE to a CUDA stream on one of its GPUs, and guards
+correctness with async wait-events on ancestor computations.  Stream
+assignment follows GrCUDA's heuristic: a CE with a single local parent
+inherits the parent's stream (FIFO order already serialises them); anything
+else lands on an idle — or failing that, fresh — stream of the least-loaded
+GPU, maximising transfer/compute and compute/compute overlap.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cluster.node import Node
+from repro.gpu.device import Gpu
+from repro.gpu.kernel import KernelLaunch
+from repro.gpu.stream import Stream
+from repro.sim import Event
+from repro.core.ce import CeKind, ComputationalElement
+from repro.core.dag import DependencyDag
+from repro.uvm.perfmodel import KernelCost
+
+
+class IntraNodeScheduler:
+    """One worker's GPU-stream scheduler (the second hierarchy layer)."""
+
+    def __init__(self, node: Node, *, max_streams_per_gpu: int = 4):
+        if not node.has_gpus:
+            raise ValueError(f"{node!r} has no GPUs to schedule on")
+        if max_streams_per_gpu < 1:
+            raise ValueError("max_streams_per_gpu must be >= 1")
+        self.node = node
+        self.max_streams_per_gpu = max_streams_per_gpu
+        self.local_dag = DependencyDag()
+        self._pending_load: dict[int, float] = {g.gpu_id: 0.0
+                                                for g in node.gpus}
+        self._stream_of: dict[int, Stream] = {}    # ce_id -> stream
+        self._planned_gpu: dict[int, int] = {}     # buffer_id -> gpu_id
+        self.kernel_costs: list[tuple[ComputationalElement, KernelCost]] = []
+
+    # -- Algorithm 2 -----------------------------------------------------------
+
+    def submit(self, ce: ComputationalElement,
+               waits: Sequence[Event] = ()) -> Event:
+        """Place a kernel or prefetch CE on a stream; returns its
+        completion event."""
+        if ce.kind is CeKind.PREFETCH:
+            return self._submit_prefetch(ce, waits)
+        if ce.kind is not CeKind.KERNEL:
+            raise ValueError(f"intra-node scheduler only takes kernels, "
+                             f"got {ce.kind}")
+        assert ce.kernel is not None and ce.config is not None
+
+        # Add CE to the Local DAG's frontier (partial view of the workload).
+        local_parents = self.local_dag.add(ce)
+
+        # Apply the intra-node scheduling policy.
+        gpu = self._select_gpu(ce, local_parents)
+        stream = self._select_stream(gpu, ce, local_parents)
+        ce.assigned_lane = stream.lane
+        self._stream_of[ce.ce_id] = stream
+
+        uvm = self.node.uvm
+        assert uvm is not None
+        # Node-level footprint bookkeeping happens at submit time: the CE's
+        # parameters now belong to this node's UVM space (its OSF rises),
+        # even though page migration is priced at execution time.
+        for array in ce.arrays:
+            uvm.register(array)
+
+        # Exec CE & add sync events on ancestors.
+        parent_waits = [p.done for p in local_parents
+                        if p.done is not None and not p.done.processed]
+        launch = KernelLaunch(ce.kernel, ce.config, tuple(ce.args),
+                              tuple(ce.accesses))
+        load = float(launch.touched_bytes)
+        self._pending_load[gpu.gpu_id] += load
+
+        def body():
+            # Parameters register at execution time: a coherence
+            # invalidation issued for a *later* CE (program order) must not
+            # strip a queued kernel of its own registrations.
+            for array in ce.arrays:
+                uvm.register(array)
+            cost = uvm.price_kernel(gpu, launch)
+            self.kernel_costs.append((ce, cost))
+            # The fault/migration phase holds the GPU's host link so that
+            # concurrent streams do not each enjoy full PCIe bandwidth.
+            link_seconds = cost.migration_seconds + cost.thrash_seconds
+            if link_seconds > 0:
+                yield from gpu.host_link.acquire(link_seconds)
+            remainder = max(0.0, cost.duration - link_seconds)
+            if remainder > 0:
+                yield self.node.engine.timeout(remainder)
+            if ce.kernel.executor is not None:
+                ce.kernel.executor(*ce.args)
+            return cost
+
+        done = stream.enqueue(body, name=ce.display_name,
+                              category="kernel",
+                              waits=list(waits) + parent_waits)
+        done.callbacks.append(
+            lambda _ev: self._complete(gpu.gpu_id, load))
+        return done
+
+    def _submit_prefetch(self, ce: ComputationalElement,
+                         waits: Sequence[Event]) -> Event:
+        """``cudaMemPrefetchAsync``: stream-ordered bulk migration."""
+        self.local_dag.add(ce)
+        uvm = self.node.uvm
+        assert uvm is not None
+        gpu_index = int(ce.args[0]) if ce.args else 0
+        gpu = self.node.gpus[gpu_index % len(self.node.gpus)]
+        stream = gpu.default_stream()
+        ce.assigned_lane = stream.lane
+        self._stream_of[ce.ce_id] = stream
+        for array in ce.arrays:
+            uvm.register(array)
+            # Locality bookkeeping follows the prefetch by design.
+            self._planned_gpu[array.buffer_id] = gpu.gpu_id
+
+        def body():
+            seconds = sum(uvm.prefetch(gpu, array) for array in ce.arrays)
+            if seconds > 0:
+                yield from gpu.host_link.acquire(seconds)
+            return seconds
+
+        return stream.enqueue(body, name=ce.display_name,
+                              category="prefetch", waits=list(waits))
+
+    def _complete(self, gpu_id: int, load: float) -> None:
+        self._pending_load[gpu_id] -= load
+        self.local_dag.prune_completed(
+            lambda ce: ce.done is not None and ce.done.processed)
+
+    # -- placement heuristics -----------------------------------------------------
+
+    def _select_gpu(self, ce: ComputationalElement,
+                    parents: list[ComputationalElement]) -> Gpu:
+        # Data locality first (GrCUDA's device-selection heuristic): the
+        # GPU *planned* to hold the most parameter bytes wins — scheduling
+        # is eager, so physical residency lags; the plan is what keeps a
+        # chunk pinned to one device across CG iterations instead of
+        # ping-ponging its gigabytes between the two.
+        votes: dict[int, int] = {}
+        for access in ce.accesses:
+            gpu_id = self._planned_gpu.get(access.buffer.buffer_id)
+            if gpu_id is not None:
+                votes[gpu_id] = votes.get(gpu_id, 0) \
+                    + access.buffer.nbytes
+        gpu = None
+        if votes:
+            winner, weight = max(votes.items(), key=lambda kv: kv[1])
+            # Locality only decides when it covers a meaningful share of
+            # the CE's bytes — a shared broadcast vector must not drag
+            # every chunk onto one device.
+            if weight >= 0.5 * max(1, ce.param_bytes):
+                gpu = next((g for g in self.node.gpus
+                            if g.gpu_id == winner), None)
+        if gpu is None and len(parents) == 1:
+            # No data anywhere yet: inherit a lone parent's GPU.
+            parent_stream = self._stream_of.get(parents[0].ce_id)
+            if parent_stream is not None:
+                gpu = parent_stream.gpu
+        if gpu is None:
+            gpu = min(self.node.gpus,
+                      key=lambda g: (self._pending_load[g.gpu_id], g.index))
+        for access in ce.accesses:
+            self._planned_gpu[access.buffer.buffer_id] = gpu.gpu_id
+        return gpu
+
+    def _select_stream(self, gpu: Gpu, ce: ComputationalElement,
+                       parents: list[ComputationalElement]) -> Stream:
+        # Single parent on this GPU whose op is still the stream tail:
+        # FIFO order subsumes the dependency, reuse the stream.
+        if len(parents) == 1:
+            parent_stream = self._stream_of.get(parents[0].ce_id)
+            if (parent_stream is not None and parent_stream.gpu is gpu
+                    and parent_stream.last_completion is
+                    parents[0].done):
+                return parent_stream
+        # An idle stream, if any.
+        for stream in gpu.streams:
+            tail = stream.last_completion
+            if tail is None or tail.processed:
+                return stream
+        # Grow the pool, then fall back to the shortest queue.
+        if len(gpu.streams) < self.max_streams_per_gpu:
+            return gpu.new_stream()
+        return min(gpu.streams, key=lambda s: s.ops_enqueued)
+
+    # -- replica management (used by the GrOUT coherence layer) --------------------
+
+    def drop_replica(self, array) -> None:
+        """Invalidate a local copy after a remote node took ownership."""
+        uvm = self.node.uvm
+        assert uvm is not None
+        if uvm.is_registered(array.buffer_id):
+            uvm.invalidate(array.buffer_id)
+            uvm.unregister(array.buffer_id)
+
+    def writeback_seconds(self, array) -> float:
+        """Flush local dirty pages before shipping the array elsewhere."""
+        uvm = self.node.uvm
+        assert uvm is not None
+        if not uvm.is_registered(array.buffer_id):
+            return 0.0
+        return uvm.writeback(array.buffer_id).seconds

@@ -1,0 +1,298 @@
+"""Inter-node scheduling policies (§IV-D) plus the exploration heuristic
+of §V-E.
+
+Offline policies (``round-robin``, ``vector-step``) ignore runtime state
+and cost O(1) per decision; online policies (``min-transfer-size``,
+``min-transfer-time``) inspect the coherence directory and the
+interconnection matrix, costing O(nodes × params) — the scaling behaviour
+Fig. 9 measures.
+
+The exploration heuristic: a node is *viable* for greedy assignment only if
+at least ``threshold`` of the CE's parameter bytes are already up-to-date
+there; with no viable node the policy falls back to round-robin "in favor
+of exploration" (§V-E).
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.arrays import Directory, ManagedArray
+from repro.core.ce import ComputationalElement
+from repro.net.topology import Topology
+
+
+class ExplorationLevel(enum.Enum):
+    """The paper's Low/Medium/High exploration-vs-exploitation ratios.
+
+    The value is the fraction of the *best-covered* worker's up-to-date
+    bytes a node must hold to stay viable for greedy assignment.  Because
+    the best-covered node is always viable under any level, the levels
+    only matter near ties — which is exactly the paper's observation that
+    "the heuristic greediness has no noteworthy impact" (§V-E) while the
+    *choice of policy* dominates.
+    """
+
+    LOW = 0.25       # greedy: near-empty nodes still considered
+    MEDIUM = 0.50
+    HIGH = 0.90      # explorative: only nodes close to the best coverage
+
+    @property
+    def threshold(self) -> float:
+        """Viability cutoff as a fraction of the best coverage."""
+        return self.value
+
+
+@dataclass(slots=True)
+class SchedulingContext:
+    """Everything a policy may consult when placing a CE."""
+
+    workers: Sequence[str]
+    directory: Directory
+    topology: Topology
+    controller: str = "controller"
+
+    def __post_init__(self) -> None:
+        if not self.workers:
+            raise ValueError("SchedulingContext needs at least one worker")
+
+
+class Policy(ABC):
+    """Base class of every inter-node scheduling policy."""
+
+    name: str = "policy"
+
+    @abstractmethod
+    def assign(self, ce: ComputationalElement,
+               ctx: SchedulingContext) -> str:
+        """Pick the worker that will execute ``ce``."""
+
+    def reset(self) -> None:
+        """Forget internal state (start of a new run)."""
+
+
+class RoundRobinPolicy(Policy):
+    """Cycle through the workers in a circular pattern (Fig. 4a)."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def assign(self, ce: ComputationalElement,
+               ctx: SchedulingContext) -> str:
+        """Next worker in the circular order."""
+        worker = ctx.workers[self._next % len(ctx.workers)]
+        self._next += 1
+        return worker
+
+    def reset(self) -> None:
+        """Restart the cycle at worker 0."""
+        self._next = 0
+
+
+class VectorStepPolicy(Policy):
+    """Assign ``vector[i]`` consecutive CEs to each node in turn (Fig. 4b).
+
+    With vector ``[1, 2, 3]`` and two nodes: one CE to node 0, two to
+    node 1, three to node 0, and so on — the paper's §IV-D example.
+    """
+
+    name = "vector-step"
+
+    def __init__(self, vector: Sequence[int]):
+        if not vector or any(v < 1 for v in vector):
+            raise ValueError("vector must be non-empty positive counts")
+        self.vector = tuple(int(v) for v in vector)
+        self._slot = 0       # index into the vector
+        self._used = 0       # CEs already assigned in the current slot
+        self._node = 0       # current node index
+
+    def assign(self, ce: ComputationalElement,
+               ctx: SchedulingContext) -> str:
+        """Current node until its slot count is consumed."""
+        worker = ctx.workers[self._node % len(ctx.workers)]
+        self._used += 1
+        if self._used >= self.vector[self._slot % len(self.vector)]:
+            self._used = 0
+            self._slot += 1
+            self._node += 1
+        return worker
+
+    def reset(self) -> None:
+        """Restart at the first slot and node."""
+        self._slot = self._used = self._node = 0
+
+
+#: Minimum fraction of a CE's bytes the best-covered worker must already
+#: hold before the online policies exploit at all; below it they explore
+#: (round-robin).  Keeps a few stray megabytes of shared vector from
+#: gravity-welling every CE onto one node *unless* the shared data is a
+#: real fraction of the working set (which is exactly when the paper's MV
+#: pile-up happens, §V-E).
+EXPLOIT_FLOOR = 0.02
+
+
+class _InformedPolicy(Policy):
+    """Shared machinery of the two online policies."""
+
+    def __init__(self, level: ExplorationLevel = ExplorationLevel.MEDIUM):
+        self.level = level
+        self._fallback = RoundRobinPolicy()
+
+    def reset(self) -> None:
+        self._fallback.reset()
+
+    def _viable(self, ce: ComputationalElement,
+                ctx: SchedulingContext) -> list[str]:
+        """Workers holding enough up-to-date data to exploit.
+
+        Viability is relative to the best-covered worker: with no data on
+        any worker the policy explores (round-robin fallback); otherwise
+        every worker within ``threshold`` of the leader competes.
+        """
+        if ce.param_bytes == 0:
+            return []
+        coverage = {w: ctx.directory.bytes_up_to_date(ce.arrays, w)
+                    for w in ctx.workers}
+        best = max(coverage.values())
+        if best < EXPLOIT_FLOOR * ce.param_bytes:
+            return []
+        cutoff = self.level.threshold * best
+        return [w for w, c in coverage.items() if c >= cutoff]
+
+    def _missing(self, ce: ComputationalElement, ctx: SchedulingContext,
+                 worker: str) -> list[ManagedArray]:
+        return [a for a in ce.arrays
+                if not ctx.directory.up_to_date_on(a, worker)]
+
+    def assign(self, ce: ComputationalElement,
+               ctx: SchedulingContext) -> str:
+        viable = self._viable(ce, ctx)
+        if not viable:
+            return self._fallback.assign(ce, ctx)
+        best = min(viable, key=lambda w: (self._cost(ce, ctx, w),
+                                          ctx.workers.index(w)))
+        return best
+
+    def _cost(self, ce: ComputationalElement, ctx: SchedulingContext,
+              worker: str) -> float:
+        raise NotImplementedError
+
+
+class MinTransferSizePolicy(_InformedPolicy):
+    """Minimise the bytes that must move to run the CE (Fig. 4c)."""
+
+    name = "min-transfer-size"
+
+    def _cost(self, ce: ComputationalElement, ctx: SchedulingContext,
+              worker: str) -> float:
+        return float(sum(a.nbytes for a in self._missing(ce, ctx, worker)))
+
+
+class MinTransferTimePolicy(_InformedPolicy):
+    """Minimise the empirical transfer time using the interconnection
+    matrix built at initialisation (Fig. 4d)."""
+
+    name = "min-transfer-time"
+
+    def _cost(self, ce: ComputationalElement, ctx: SchedulingContext,
+              worker: str) -> float:
+        seconds = 0.0
+        for array in self._missing(ce, ctx, worker):
+            holders = ctx.directory.holders(array)
+            sources = holders - {worker}
+            if not sources:
+                continue
+            seconds += min(
+                ctx.topology.transfer_seconds(src, worker, array.nbytes)
+                for src in sources)
+        return seconds
+
+
+class LeastLoadedPolicy(Policy):
+    """Balance by *outstanding work*: pick the worker with the fewest
+    scheduled-but-unfinished parameter bytes.
+
+    Not one of the paper's four policies — included as the reference
+    example of §IV-D's claim that "policies can be easily implemented
+    into the framework": it only needs the CE stream itself.
+    """
+
+    name = "least-loaded"
+
+    def __init__(self) -> None:
+        self._outstanding: dict[str, float] = {}
+
+    def assign(self, ce: ComputationalElement,
+               ctx: SchedulingContext) -> str:
+        """Worker with the least outstanding bytes (ties: listing order)."""
+        best = min(ctx.workers,
+                   key=lambda w: (self._outstanding.get(w, 0.0),
+                                  ctx.workers.index(w)))
+        load = float(ce.param_bytes)
+        self._outstanding[best] = self._outstanding.get(best, 0.0) + load
+        if ce.done is not None and not ce.done.processed:
+            ce.done.callbacks.append(
+                lambda _ev, w=best, b=load: self._credit(w, b))
+        else:
+            # Completion hook attaches post-schedule; fall back to decay.
+            self._outstanding[best] *= 0.5
+        return best
+
+    def _credit(self, worker: str, nbytes: float) -> None:
+        self._outstanding[worker] = max(
+            0.0, self._outstanding.get(worker, 0.0) - nbytes)
+
+    def reset(self) -> None:
+        """Forget all outstanding-load accounting."""
+        self._outstanding.clear()
+
+
+#: User-extensible policy registry (name -> zero/one-arg factory).
+_POLICY_FACTORIES: dict[str, object] = {}
+
+
+def register_policy(name: str, factory) -> None:
+    """Register a custom policy factory under a name.
+
+    ``factory`` is called as ``factory(level=...)`` if it accepts the
+    keyword, else with no arguments.  Registering an existing name
+    overrides it — the hook §IV-D promises for "user-specific scenarios".
+    """
+    if not name:
+        raise ValueError("policy name must be non-empty")
+    _POLICY_FACTORIES[name] = factory
+
+
+def available_policies() -> list[str]:
+    """Every name ``make_policy`` accepts (built-ins + registered)."""
+    builtin = ["round-robin", "vector-step", "min-transfer-size",
+               "min-transfer-time", "least-loaded"]
+    return sorted(set(builtin) | set(_POLICY_FACTORIES))
+
+
+def make_policy(name: str, *, vector: Sequence[int] | None = None,
+                level: ExplorationLevel = ExplorationLevel.MEDIUM) -> Policy:
+    """Factory keyed by the paper's policy names (plus registered ones)."""
+    custom = _POLICY_FACTORIES.get(name)
+    if custom is not None:
+        try:
+            return custom(level=level)          # type: ignore[operator]
+        except TypeError:
+            return custom()                     # type: ignore[operator]
+    if name == "round-robin":
+        return RoundRobinPolicy()
+    if name == "vector-step":
+        return VectorStepPolicy(vector if vector is not None else [1])
+    if name == "min-transfer-size":
+        return MinTransferSizePolicy(level)
+    if name == "min-transfer-time":
+        return MinTransferTimePolicy(level)
+    if name == "least-loaded":
+        return LeastLoadedPolicy()
+    raise ValueError(f"unknown policy {name!r}; available: "
+                     f"{available_policies()}")

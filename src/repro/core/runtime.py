@@ -1,0 +1,200 @@
+"""The GrOUT runtime facade — what user programs (and the polyglot layer)
+talk to.
+
+The execution model mirrors GrCUDA's async scheduler: ``launch`` and
+``host_write`` return immediately after Algorithm 1 runs (the work is wired
+into the simulation), while ``host_read`` and ``sync`` advance simulated
+time until the needed results exist.  Transfer/compute and
+compute/compute overlap therefore falls out of the event wiring, with no
+user involvement — the paper's headline usability claim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster, paper_cluster
+from repro.gpu.kernel import ArrayAccess, Direction, KernelSpec, LaunchConfig
+from repro.sim import Engine, Tracer
+from repro.core.arrays import ManagedArray
+from repro.core.ce import CeKind, ComputationalElement
+from repro.core.controller import Controller
+from repro.core.policies import Policy, RoundRobinPolicy
+
+
+def _as_dims(dims: int | tuple[int, ...]) -> tuple[int, ...]:
+    if isinstance(dims, int):
+        return (dims,)
+    return tuple(dims)
+
+
+class GroutRuntime:
+    """Transparent scale-out runtime over a simulated GPU cluster."""
+
+    def __init__(self, cluster: Cluster | None = None, *,
+                 policy: Policy | None = None,
+                 n_workers: int = 2,
+                 max_streams_per_gpu: int = 4,
+                 **cluster_kwargs: object):
+        if cluster is None:
+            cluster = paper_cluster(n_workers, **cluster_kwargs)  # type: ignore[arg-type]
+        elif cluster_kwargs:
+            raise ValueError(
+                "pass either a prebuilt cluster or cluster kwargs, not both")
+        self.cluster = cluster
+        self.policy = policy if policy is not None else RoundRobinPolicy()
+        self.controller = Controller(
+            cluster, self.policy, max_streams_per_gpu=max_streams_per_gpu)
+
+    # -- environment ------------------------------------------------------------
+
+    @property
+    def engine(self) -> Engine:
+        """The simulation engine under this runtime."""
+        return self.cluster.engine
+
+    @property
+    def tracer(self) -> Tracer:
+        """The cluster-wide span tracer."""
+        return self.cluster.tracer
+
+    @property
+    def elapsed(self) -> float:
+        """Simulated seconds since the runtime's engine started."""
+        return self.engine.now
+
+    # -- allocation ----------------------------------------------------------------
+
+    def device_array(self, shape: int | tuple[int, ...],
+                     dtype: object = np.float32, *,
+                     virtual_nbytes: int | None = None,
+                     name: str | None = None) -> ManagedArray:
+        """Allocate a UVM-managed array, born up-to-date on the controller."""
+        array = ManagedArray(shape, dtype, virtual_nbytes=virtual_nbytes,
+                             name=name)
+        self.controller.directory.register(array)
+        return array
+
+    def adopt(self, array: ManagedArray) -> ManagedArray:
+        """Register an externally created array (e.g. a partition chunk)."""
+        self.controller.directory.register(array)
+        return array
+
+    def free(self, array: ManagedArray) -> None:
+        """Drop an array from the coherence directory and every worker."""
+        for worker in self.controller.workers.values():
+            worker.drop_replica(array)
+        self.controller.directory.forget(array)
+
+    # -- computation -----------------------------------------------------------------
+
+    def launch(self, kernel: KernelSpec,
+               grid: int | tuple[int, ...],
+               block: int | tuple[int, ...],
+               args: tuple[object, ...],
+               accesses: list[ArrayAccess] | None = None,
+               label: str | None = None) -> ComputationalElement:
+        """Asynchronously launch a kernel; returns its CE immediately."""
+        if accesses is None:
+            accesses = kernel.accesses(args)
+        ce = ComputationalElement(
+            kind=CeKind.KERNEL,
+            accesses=tuple(accesses),
+            kernel=kernel,
+            config=LaunchConfig(_as_dims(grid), _as_dims(block)),
+            args=tuple(args),
+            label=label,
+        )
+        self.controller.schedule(ce)
+        return ce
+
+    def prefetch(self, array: ManagedArray, worker: str | None = None,
+                 gpu_index: int = 0,
+                 label: str | None = None) -> ComputationalElement:
+        """Migrate an array to a worker's GPU ahead of use.
+
+        Names a worker explicitly (user-directed placement) or lets the
+        active policy pick one; also triggers the network replication that
+        makes the data available on that node.
+        """
+        ce = ComputationalElement(
+            kind=CeKind.PREFETCH,
+            accesses=(ArrayAccess(array, Direction.IN),),
+            args=(gpu_index,),
+            label=label or f"prefetch:{array.name}",
+        )
+        if worker is not None:
+            if worker not in self.controller.workers:
+                raise KeyError(f"unknown worker {worker!r}")
+            ce.assigned_node = worker
+        self.controller.schedule(ce)
+        return ce
+
+    def advise(self, array: ManagedArray, advise,
+               device: int | None = None) -> None:
+        """Apply a memory advise on every worker's UVM space."""
+        for scheduler in self.controller.workers.values():
+            uvm = scheduler.node.uvm
+            assert uvm is not None
+            uvm.advise(array.buffer_id, advise, device)
+
+    def host_write(self, array: "ManagedArray | list[ManagedArray]",
+                   body=None,
+                   label: str | None = None) -> ComputationalElement:
+        """Asynchronous host-side write/initialisation of array(s).
+
+        ``body`` runs at simulated execution time and should fill the
+        backing(s); ordering against kernels is handled by the DAG.  A list
+        initialises several arrays as one CE (one host sweep).
+        """
+        arrays = array if isinstance(array, list) else [array]
+        ce = ComputationalElement(
+            kind=CeKind.HOST_WRITE,
+            accesses=tuple(ArrayAccess(a, Direction.OUT) for a in arrays),
+            host_body=body,
+            label=label or f"write:{arrays[0].name}",
+        )
+        self.controller.schedule(ce)
+        return ce
+
+    def host_barrier(self, array: ManagedArray) -> None:
+        """Block (in simulated time) until every scheduled CE touching
+        the array — readers included — has completed.
+
+        Required before the host mutates the backing *in place* (the
+        polyglot view's ``x[i] = v`` fast path): a pending reader kernel
+        must not observe the new value (WAR at the data level).
+        """
+        for ce in self.controller.dag.pending_accessors(array.buffer_id):
+            if ce.done is not None and not ce.done.processed:
+                self.engine.run(until=ce.done)
+
+    def host_read(self, array: ManagedArray,
+                  label: str | None = None) -> np.ndarray:
+        """Synchronous host read: advances simulation until the data is
+        valid on the controller, then returns the NumPy backing."""
+        ce = ComputationalElement(
+            kind=CeKind.HOST_READ,
+            accesses=(ArrayAccess(array, Direction.IN),),
+            label=label or f"read:{array.name}",
+        )
+        done = self.controller.schedule(ce)
+        self.engine.run(until=done)
+        return array.data
+
+    # -- synchronisation ---------------------------------------------------------------
+
+    def sync(self, timeout: float | None = None) -> bool:
+        """Run the simulation until every scheduled CE completed.
+
+        With ``timeout`` (simulated seconds, absolute horizon from *now*),
+        returns False if work remains — how the harness models the paper's
+        2.5 h per-run cap.
+        """
+        if timeout is not None:
+            self.engine.run(until=self.engine.now + timeout)
+            return not self.controller.pending_events()
+        for event in self.controller.pending_events():
+            if not event.processed:
+                self.engine.run(until=event)
+        return True

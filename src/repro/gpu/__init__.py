@@ -1,0 +1,51 @@
+"""Simulated GPU hardware: device specs, streams, kernels.
+
+The layering contract: this package depends only on :mod:`repro.sim`.
+UVM memory behaviour lives one level up in :mod:`repro.uvm`.
+"""
+
+from repro.gpu.kernel import (
+    AccessPattern,
+    ArrayAccess,
+    Direction,
+    KernelLaunch,
+    KernelSpec,
+    LaunchConfig,
+    SizedBuffer,
+)
+from repro.gpu.device import Gpu
+from repro.gpu.specs import (
+    A100_40GB,
+    GIB,
+    INTEL_MAX_1100,
+    KIB,
+    MI100_32GB,
+    MIB,
+    TEST_GPU_1GB,
+    UVM_BASE_PAGE,
+    V100_16GB,
+    GpuSpec,
+)
+from repro.gpu.stream import Stream
+
+__all__ = [
+    "A100_40GB",
+    "AccessPattern",
+    "ArrayAccess",
+    "Direction",
+    "GIB",
+    "Gpu",
+    "GpuSpec",
+    "INTEL_MAX_1100",
+    "KIB",
+    "MI100_32GB",
+    "KernelLaunch",
+    "KernelSpec",
+    "LaunchConfig",
+    "MIB",
+    "SizedBuffer",
+    "Stream",
+    "TEST_GPU_1GB",
+    "UVM_BASE_PAGE",
+    "V100_16GB",
+]

@@ -1,0 +1,86 @@
+"""The simulated GPU device: streams, copy engines, identity.
+
+Memory residency is deliberately *not* held here — the UVM manager
+(`repro.uvm`) owns the per-device page tables so that one coherent model
+covers every GPU of a node.  The device exposes only the raw hardware:
+execution streams and DMA copy engines (contention points).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.sim import Engine, Resource, Tracer
+from repro.gpu.specs import GpuSpec
+from repro.gpu.stream import Stream
+
+_gpu_ids = itertools.count()
+
+
+class Gpu:
+    """One GPU installed in a simulated node."""
+
+    def __init__(self, engine: Engine, spec: GpuSpec, *,
+                 node_name: str = "node?", index: int = 0,
+                 tracer: Tracer | None = None):
+        self.engine = engine
+        self.spec = spec
+        self.node_name = node_name
+        self.index = index
+        self.tracer = tracer
+        self.gpu_id = next(_gpu_ids)
+        self._streams: list[Stream] = []
+        # DMA engines serialise bulk copies; kernels do not use them.
+        self.copy_engine = Resource(engine, capacity=spec.copy_engines,
+                                    name=f"{self.lane}/dma")
+        # One PCIe link to the host: concurrent streams' fault/migration
+        # phases share it, whatever the copy-engine count.
+        self.host_link = Resource(engine, capacity=1,
+                                  name=f"{self.lane}/pcie")
+
+    @property
+    def lane(self) -> str:
+        """Trace-lane prefix, e.g. ``worker0/gpu1``."""
+        return f"{self.node_name}/gpu{self.index}"
+
+    @property
+    def memory_bytes(self) -> int:
+        """On-device memory capacity."""
+        return self.spec.memory_bytes
+
+    # -- streams ---------------------------------------------------------
+
+    @property
+    def streams(self) -> list[Stream]:
+        """Streams created so far, in creation order."""
+        return list(self._streams)
+
+    def new_stream(self) -> Stream:
+        """Create and register the next execution stream."""
+        stream = Stream(self.engine, self, len(self._streams),
+                        tracer=self.tracer)
+        self._streams.append(stream)
+        return stream
+
+    def default_stream(self) -> Stream:
+        """Stream 0, created on first use (CUDA's legacy default stream)."""
+        if not self._streams:
+            return self.new_stream()
+        return self._streams[0]
+
+    # -- simple cost helpers ----------------------------------------------
+
+    def compute_time(self, flops: float) -> float:
+        """Seconds of pure arithmetic for ``flops`` at peak throughput."""
+        if flops < 0:
+            raise ValueError("flops must be non-negative")
+        return flops / self.spec.fp32_flops
+
+    def hbm_time(self, nbytes: float) -> float:
+        """Seconds to stream ``nbytes`` through device memory."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return nbytes / self.spec.hbm_bandwidth
+
+    def __repr__(self) -> str:
+        return f"<Gpu {self.lane} {self.spec.name}>"

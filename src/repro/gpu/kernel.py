@@ -1,0 +1,194 @@
+"""Kernel descriptions and memory-access descriptors.
+
+A simulated kernel carries two things:
+
+* an optional **executor** — a Python callable that performs the real
+  (NumPy) computation on the scaled-down array backings, keeping the
+  reproduction numerically honest; and
+* a **cost descriptor** — arithmetic intensity plus one
+  :class:`ArrayAccess` per parameter, which is everything the UVM
+  performance model needs to price the launch.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Protocol, Sequence, runtime_checkable
+
+
+class Direction(enum.Flag):
+    """Data-flow direction of one kernel parameter."""
+
+    IN = enum.auto()
+    OUT = enum.auto()
+    INOUT = IN | OUT
+
+    @property
+    def reads(self) -> bool:
+        """Whether the parameter is read."""
+        return bool(self & Direction.IN)
+
+    @property
+    def writes(self) -> bool:
+        """Whether the parameter is written."""
+        return bool(self & Direction.OUT)
+
+
+class AccessPattern(enum.Enum):
+    """How a kernel walks a parameter's pages.
+
+    The pattern drives both which pages the UVM model marks touched and the
+    fault-amplification factor under oversubscription (random access fetches
+    a 64 KiB granule to use a few bytes, cf. the FALL pages of [7]).
+    """
+
+    SEQUENTIAL = "sequential"   # streaming sweep, page i before page i+1
+    STRIDED = "strided"         # regular stride, still prefetch-friendly
+    RANDOM = "random"           # data-dependent, prefetch-hostile
+
+
+@runtime_checkable
+class SizedBuffer(Protocol):
+    """Minimal interface a kernel parameter must expose to the cost model."""
+
+    @property
+    def nbytes(self) -> int:
+        """Modeled footprint in bytes."""
+        ...                             # pragma: no cover
+
+    @property
+    def buffer_id(self) -> int:
+        """Stable unique identifier."""
+        ...                             # pragma: no cover
+
+
+@dataclass(frozen=True, slots=True)
+class ArrayAccess:
+    """One parameter's access descriptor for a single kernel launch.
+
+    Attributes
+    ----------
+    buffer:
+        The managed array being accessed.
+    direction:
+        Read/write/both; writes mark pages dirty (eviction must write back).
+    pattern:
+        Page-visit order, see :class:`AccessPattern`.
+    fraction:
+        Portion of the array touched by this launch, in ``(0, 1]``.
+    passes:
+        Number of full sweeps over the touched region (reuse factor).
+    """
+
+    buffer: SizedBuffer
+    direction: Direction = Direction.IN
+    pattern: AccessPattern = AccessPattern.SEQUENTIAL
+    fraction: float = 1.0
+    passes: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {self.fraction}")
+        if self.passes <= 0:
+            raise ValueError(f"passes must be positive, got {self.passes}")
+
+    @property
+    def touched_bytes(self) -> int:
+        """Bytes this access touches (fraction of the buffer)."""
+        return int(self.buffer.nbytes * self.fraction)
+
+
+@dataclass(frozen=True, slots=True)
+class LaunchConfig:
+    """CUDA-style execution configuration."""
+
+    grid: tuple[int, ...]
+    block: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        for dims, label in ((self.grid, "grid"), (self.block, "block")):
+            if not dims or len(dims) > 3 or any(d < 1 for d in dims):
+                raise ValueError(f"invalid {label} dims {dims}")
+
+    @property
+    def total_threads(self) -> int:
+        """grid x block thread count."""
+        threads = 1
+        for g in self.grid:
+            threads *= g
+        for b in self.block:
+            threads *= b
+        return threads
+
+
+Executor = Callable[..., None]
+
+
+@dataclass(slots=True)
+class KernelSpec:
+    """A compiled (simulated) GPU kernel.
+
+    Attributes
+    ----------
+    name:
+        Kernel symbol name.
+    flops_per_byte:
+        Arithmetic intensity over *touched* bytes; used when ``flops_fn``
+        is not given.
+    executor:
+        Optional callable performing the real computation on the NumPy
+        backings; called positionally with the launch arguments.
+    access_fn:
+        Maps the launch arguments to per-parameter :class:`ArrayAccess`
+        descriptors.  Required for execution on the simulated device.
+    source:
+        Original kernel source string, when built via the polyglot
+        ``buildkernel`` front-end.
+    """
+
+    name: str
+    flops_per_byte: float = 1.0
+    executor: Executor | None = None
+    access_fn: Callable[[Sequence[object]], list[ArrayAccess]] | None = None
+    flops_fn: Callable[[Sequence[object]], float] | None = None
+    source: str | None = None
+
+    def flop_estimate(self, args: Sequence[object],
+                      accesses: Sequence[ArrayAccess]) -> float:
+        """Total floating-point work of a launch with these arguments."""
+        if self.flops_fn is not None:
+            return float(self.flops_fn(args))
+        touched = sum(a.touched_bytes * a.passes for a in accesses)
+        return self.flops_per_byte * touched
+
+    def accesses(self, args: Sequence[object]) -> list[ArrayAccess]:
+        """Derive per-parameter access descriptors for these arguments."""
+        if self.access_fn is None:
+            raise ValueError(
+                f"kernel {self.name!r} has no access_fn; cannot derive "
+                "its memory-access descriptors")
+        return self.access_fn(args)
+
+    def __repr__(self) -> str:
+        return f"<KernelSpec {self.name!r} ai={self.flops_per_byte:g}>"
+
+
+@dataclass(frozen=True, slots=True)
+class KernelLaunch:
+    """A fully bound kernel invocation ready for pricing/execution."""
+
+    kernel: KernelSpec
+    config: LaunchConfig
+    args: tuple[object, ...]
+    accesses: tuple[ArrayAccess, ...] = field(default=())
+
+    @property
+    def touched_bytes(self) -> int:
+        """Total bytes the launch touches across parameters."""
+        return sum(a.touched_bytes for a in self.accesses)
+
+    @property
+    def flops(self) -> float:
+        """Floating-point work of the launch."""
+        return self.kernel.flop_estimate(self.args, self.accesses)

@@ -1,0 +1,149 @@
+"""Hardware specifications for simulated GPUs.
+
+Bandwidth figures are expressed in **bytes per second** and memory sizes in
+**bytes** so that the rest of the code never has to guess units.  Presets
+correspond to the devices named by the paper (NVIDIA Tesla V100 16 GB on the
+OCI worker nodes) plus a few common alternatives used in tests/ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+#: Base granule at which UVM migrates memory.  Real UVM uses 64 KiB blocks
+#: coalesced up to 2 MiB by the prefetcher; this is the default base page.
+UVM_BASE_PAGE = 64 * KIB
+
+
+@dataclass(frozen=True, slots=True)
+class GpuSpec:
+    """Static description of one GPU device.
+
+    Attributes
+    ----------
+    name:
+        Marketing name, e.g. ``"V100-16GB"``.
+    memory_bytes:
+        On-device (HBM) capacity available to UVM.
+    hbm_bandwidth:
+        Device-memory bandwidth, bytes/s.
+    pcie_bandwidth:
+        Host link bandwidth, bytes/s (effective, not theoretical).
+    nvlink_bandwidth:
+        Peer GPU link bandwidth within a node, bytes/s (0 = no NVLink).
+    fp32_flops:
+        Peak single-precision throughput, FLOP/s.
+    sm_count:
+        Number of streaming multiprocessors (used for occupancy effects).
+    copy_engines:
+        Number of concurrent DMA engines (H2D/D2H overlap capability).
+    fault_batch_latency:
+        Fixed cost, in seconds, to service one batch of UVM page faults
+        (driver round-trip + TLB shootdown), per [22]'s batching analysis.
+    fault_batch_pages:
+        Number of base pages the fault handler migrates per batch.
+    kernel_launch_overhead:
+        Fixed host-side cost of one kernel launch, seconds.
+    page_size:
+        UVM migration granule in bytes.
+    """
+
+    name: str
+    memory_bytes: int
+    hbm_bandwidth: float
+    pcie_bandwidth: float
+    nvlink_bandwidth: float
+    fp32_flops: float
+    sm_count: int = 80
+    copy_engines: int = 2
+    fault_batch_latency: float = 45e-6
+    fault_batch_pages: int = 256
+    kernel_launch_overhead: float = 6e-6
+    page_size: int = UVM_BASE_PAGE
+
+    def __post_init__(self) -> None:
+        if self.memory_bytes <= 0:
+            raise ValueError("memory_bytes must be positive")
+        if self.page_size <= 0 or self.memory_bytes % self.page_size:
+            raise ValueError(
+                f"page_size {self.page_size} must divide memory_bytes")
+        for attr in ("hbm_bandwidth", "pcie_bandwidth", "fp32_flops"):
+            if getattr(self, attr) <= 0:
+                raise ValueError(f"{attr} must be positive")
+        if self.nvlink_bandwidth < 0:
+            raise ValueError("nvlink_bandwidth must be >= 0")
+
+    @property
+    def total_pages(self) -> int:
+        """Device capacity in UVM base pages."""
+        return self.memory_bytes // self.page_size
+
+    def with_page_size(self, page_size: int) -> "GpuSpec":
+        """Copy of this spec with a different UVM granule (for coarse runs)."""
+        return replace(self, page_size=page_size)
+
+    def pages_for(self, nbytes: int) -> int:
+        """Number of base pages covering ``nbytes``."""
+        return -(-int(nbytes) // self.page_size)
+
+
+#: The paper's worker GPU: NVIDIA Tesla V100 SXM2 16 GB.
+V100_16GB = GpuSpec(
+    name="V100-16GB",
+    memory_bytes=16 * GIB,
+    hbm_bandwidth=900e9,
+    pcie_bandwidth=12e9,       # effective PCIe 3.0 x16
+    nvlink_bandwidth=50e9,     # one NVLink2 brick pair, effective
+    fp32_flops=14e12,
+    sm_count=80,
+)
+
+#: A100 40 GB — used only in ablation sweeps.
+A100_40GB = GpuSpec(
+    name="A100-40GB",
+    memory_bytes=40 * GIB,
+    hbm_bandwidth=1555e9,
+    pcie_bandwidth=25e9,       # PCIe 4.0 x16 effective
+    nvlink_bandwidth=100e9,
+    fp32_flops=19.5e12,
+    sm_count=108,
+)
+
+#: AMD Instinct MI100 — the paper's conclusion notes the methodology
+#: "can be easily extended" to other vendors' unified-memory stacks;
+#: the model is vendor-agnostic, only the constants change.
+MI100_32GB = GpuSpec(
+    name="MI100-32GB",
+    memory_bytes=32 * GIB,
+    hbm_bandwidth=1230e9,
+    pcie_bandwidth=25e9,       # PCIe 4.0 x16 effective
+    nvlink_bandwidth=75e9,     # Infinity Fabric bridge, effective
+    fp32_flops=23.1e12,
+    sm_count=120,              # compute units
+)
+
+#: Intel Data Center GPU Max 1100 (SYCL USM stack).
+INTEL_MAX_1100 = GpuSpec(
+    name="IntelMax-48GB",
+    memory_bytes=48 * GIB,
+    hbm_bandwidth=1229e9,
+    pcie_bandwidth=25e9,
+    nvlink_bandwidth=0.0,      # single-card SKU, no Xe Link
+    fp32_flops=22.2e12,
+    sm_count=56,
+)
+
+#: Small synthetic device for fast unit tests (1 GiB, modest speeds).
+TEST_GPU_1GB = GpuSpec(
+    name="TestGPU-1GB",
+    memory_bytes=1 * GIB,
+    hbm_bandwidth=100e9,
+    pcie_bandwidth=10e9,
+    nvlink_bandwidth=20e9,
+    fp32_flops=1e12,
+    sm_count=8,
+)

@@ -1,0 +1,89 @@
+"""CUDA-stream semantics on the simulation engine.
+
+A :class:`Stream` is a FIFO queue of device operations: each enqueued
+operation starts only after (a) the previous operation on the same stream
+completed and (b) all explicitly awaited events fired — exactly the CUDA
+ordering rules GrCUDA's intra-node scheduler relies on (Algorithm 2 inserts
+async wait-events on ancestor computations).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Generator, Sequence
+
+from repro.sim import Engine, Event, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpu.device import Gpu
+
+#: An operation body: a generator receiving the engine, run when the stream
+#: reaches it.  Its (simulated) duration is whatever the generator consumes.
+OpBody = Callable[[], Generator]
+
+
+class Stream:
+    """One in-order execution queue on a simulated GPU."""
+
+    def __init__(self, engine: Engine, gpu: "Gpu", index: int,
+                 tracer: Tracer | None = None):
+        self.engine = engine
+        self.gpu = gpu
+        self.index = index
+        self.tracer = tracer
+        self._tail: Event | None = None   # completion of last enqueued op
+        self._ops_enqueued = 0
+        self._busy_until = 0.0            # bookkeeping for policies
+
+    @property
+    def lane(self) -> str:
+        """Trace-lane name of this stream."""
+        return f"{self.gpu.lane}/stream{self.index}"
+
+    @property
+    def ops_enqueued(self) -> int:
+        """Operations enqueued over the stream's lifetime."""
+        return self._ops_enqueued
+
+    @property
+    def last_completion(self) -> Event | None:
+        """Completion event of the most recently enqueued operation."""
+        return self._tail
+
+    def enqueue(self, body: OpBody, *, name: str = "op",
+                category: str = "kernel",
+                waits: Sequence[Event] = ()) -> Event:
+        """Queue an operation; returns its completion event.
+
+        ``waits`` are additional events (CUDA wait-events) that must fire
+        before the operation may start, on top of stream FIFO order.
+        """
+        done = self.engine.event(name=f"{self.lane}:{name}:done")
+        prereqs = [e for e in ([self._tail] if self._tail else []) + list(waits)
+                   if e is not None]
+        self._ops_enqueued += 1
+
+        def runner() -> Generator:
+            if prereqs:
+                yield self.engine.all_of(prereqs)
+            start = self.engine.now
+            result = yield from body()
+            end = self.engine.now
+            self._busy_until = max(self._busy_until, end)
+            if self.tracer is not None:
+                self.tracer.record(self.lane, category, name, start, end)
+            done.succeed(result)
+
+        self.engine.process(runner(), name=f"{self.lane}:{name}")
+        self._tail = done
+        return done
+
+    def synchronize(self) -> Event:
+        """Event firing once everything currently enqueued has completed."""
+        if self._tail is None or self._tail.processed:
+            ev = self.engine.event(name=f"{self.lane}:sync")
+            ev.succeed()
+            return ev
+        return self._tail
+
+    def __repr__(self) -> str:
+        return f"<Stream {self.lane} ops={self._ops_enqueued}>"

@@ -1,0 +1,21 @@
+"""Simulated cluster interconnect (NICs, links, contention)."""
+
+from repro.net.fabric import Fabric
+from repro.net.topology import (
+    GBIT,
+    MBIT,
+    NicSpec,
+    Topology,
+    paper_topology,
+    uniform_topology,
+)
+
+__all__ = [
+    "Fabric",
+    "GBIT",
+    "MBIT",
+    "NicSpec",
+    "Topology",
+    "paper_topology",
+    "uniform_topology",
+]

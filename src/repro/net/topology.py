@@ -1,0 +1,143 @@
+"""Cluster interconnect description: the bandwidth/latency matrices.
+
+The paper's `min-transfer-time` policy consumes exactly this: "during the
+initialization of the framework, an interconnection matrix containing the
+bandwidth between all the nodes is constructed for later use" (§IV-D).
+Heterogeneous NICs/VNICs with different SLAs are expressed by per-node line
+rates or explicit per-pair overrides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+MBIT = 1e6 / 8      # 1 Mbit/s in bytes/s
+GBIT = 1e9 / 8
+
+
+@dataclass(frozen=True, slots=True)
+class NicSpec:
+    """One node's network interface.
+
+    ``max_flows`` is how many concurrent transfers the NIC sustains at
+    their full pair bandwidth — a fat NIC talking to slower peers (the
+    controller's 8000 Mbit/s vs the workers' 4000) serves two flows at
+    once rather than serialising them at half its line rate.
+    """
+
+    bandwidth: float          # bytes/s line rate
+    latency: float = 100e-6   # one-way latency contribution, seconds
+    max_flows: int = 1
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency < 0:
+            raise ValueError("latency must be >= 0")
+        if self.max_flows < 1:
+            raise ValueError("max_flows must be >= 1")
+
+
+class Topology:
+    """Named nodes plus effective pairwise bandwidth/latency.
+
+    By default the bandwidth of a pair is the min of the two NIC line rates
+    and the latency the sum of the two NIC latencies; explicit per-pair
+    overrides model switches, locality domains or throttled VNICs.
+    """
+
+    def __init__(self) -> None:
+        self._nics: dict[str, NicSpec] = {}
+        self._bw_override: dict[tuple[str, str], float] = {}
+        self._lat_override: dict[tuple[str, str], float] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_node(self, name: str, nic: NicSpec) -> None:
+        """Register a node's NIC (names must be unique)."""
+        if name in self._nics:
+            raise ValueError(f"node {name!r} already in topology")
+        self._nics[name] = nic
+
+    def set_link(self, a: str, b: str, *, bandwidth: float | None = None,
+                 latency: float | None = None) -> None:
+        """Override one (symmetric) pair's effective link characteristics."""
+        self._require(a), self._require(b)
+        for pair in ((a, b), (b, a)):
+            if bandwidth is not None:
+                if bandwidth <= 0:
+                    raise ValueError("bandwidth must be positive")
+                self._bw_override[pair] = bandwidth
+            if latency is not None:
+                self._lat_override[pair] = latency
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def nodes(self) -> list[str]:
+        """Every registered node name."""
+        return list(self._nics)
+
+    def nic(self, name: str) -> NicSpec:
+        """The NIC spec of one node."""
+        return self._require(name)
+
+    def _require(self, name: str) -> NicSpec:
+        try:
+            return self._nics[name]
+        except KeyError:
+            raise KeyError(f"unknown node {name!r}") from None
+
+    def bandwidth(self, src: str, dst: str) -> float:
+        """Effective bytes/s between two distinct nodes."""
+        if src == dst:
+            raise ValueError("bandwidth of a node to itself is undefined")
+        override = self._bw_override.get((src, dst))
+        if override is not None:
+            return override
+        return min(self._require(src).bandwidth,
+                   self._require(dst).bandwidth)
+
+    def latency(self, src: str, dst: str) -> float:
+        """One-way latency between two nodes, seconds."""
+        if src == dst:
+            return 0.0
+        override = self._lat_override.get((src, dst))
+        if override is not None:
+            return override
+        return self._require(src).latency + self._require(dst).latency
+
+    def transfer_seconds(self, src: str, dst: str, nbytes: int) -> float:
+        """Uncontended wire time of one transfer."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        if src == dst or nbytes == 0:
+            return 0.0
+        return self.latency(src, dst) + nbytes / self.bandwidth(src, dst)
+
+    def bandwidth_matrix(self) -> dict[tuple[str, str], float]:
+        """The paper's interconnection matrix (both directions, no self)."""
+        return {(a, b): self.bandwidth(a, b)
+                for a in self._nics for b in self._nics if a != b}
+
+
+def uniform_topology(names: list[str], bandwidth: float,
+                     latency: float = 100e-6) -> Topology:
+    """All nodes with identical NICs."""
+    topo = Topology()
+    for name in names:
+        topo.add_node(name, NicSpec(bandwidth, latency))
+    return topo
+
+
+def paper_topology(n_workers: int) -> Topology:
+    """The OCI setup of §V-A: 8000 Mbit/s controller, 4000 Mbit/s workers."""
+    if n_workers < 1:
+        raise ValueError("need at least one worker")
+    topo = Topology()
+    # The controller's NIC is twice the workers': it can feed two workers
+    # at their full rate simultaneously.
+    topo.add_node("controller", NicSpec(8000 * MBIT, max_flows=2))
+    for i in range(n_workers):
+        topo.add_node(f"worker{i}", NicSpec(4000 * MBIT))
+    return topo

@@ -1,0 +1,60 @@
+"""Polyglot API emulation (GraalVM/Truffle substitute).
+
+Gives GrOUT/GrCUDA the exact call surface of the paper's Listing 1 — string
+kernels built at runtime, array-type expressions, ``kernel(grid, block)(…)``
+launches — without a JVM underneath.
+"""
+
+from repro.polyglot.api import (
+    DeviceArrayView,
+    GrCUDA,
+    GrOUT,
+    Polyglot,
+    PolyglotError,
+    PolyglotKernel,
+    polyglot,
+)
+from repro.polyglot.manifest import (
+    ManifestError,
+    ManifestResult,
+    load_manifest,
+    run_manifest,
+)
+from repro.polyglot.kernelc import (
+    KernelAst,
+    KernelInterpreter,
+    KernelSyntaxError,
+    parse_kernel,
+)
+from repro.polyglot.types import (
+    DTYPE_MAP,
+    SignatureParam,
+    TypeSyntaxError,
+    is_array_type,
+    parse_array_type,
+    parse_signature,
+)
+
+__all__ = [
+    "DTYPE_MAP",
+    "DeviceArrayView",
+    "GrCUDA",
+    "GrOUT",
+    "KernelAst",
+    "KernelInterpreter",
+    "KernelSyntaxError",
+    "ManifestError",
+    "ManifestResult",
+    "Polyglot",
+    "PolyglotError",
+    "PolyglotKernel",
+    "SignatureParam",
+    "TypeSyntaxError",
+    "is_array_type",
+    "load_manifest",
+    "parse_array_type",
+    "parse_kernel",
+    "parse_signature",
+    "polyglot",
+    "run_manifest",
+]

@@ -1,0 +1,291 @@
+"""The polyglot surface of Listing 1/2.
+
+Mirrors GraalVM's ``polyglot`` module closely enough that the paper's
+minimal example runs verbatim (modulo the import path)::
+
+    from repro.polyglot import polyglot, GrOUT
+    build = polyglot.eval(GrOUT, "buildkernel")
+    square = build(KERNEL, KERNEL_SIGNATURE)
+    x = polyglot.eval(GrOUT, "float[100]")
+    for i in range(100):
+        x[i] = i
+    square(GRID_SIZE, BLOCK_SIZE)(x, 100)
+    print(x[3])
+
+and the Listing 2 claim — moving a workload from GrCUDA to GrOUT is a
+one-token language change — holds by construction because both languages
+dispatch to runtimes with identical surfaces.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+from repro.gpu.kernel import AccessPattern, ArrayAccess, Direction, KernelSpec
+from repro.core.arrays import ManagedArray
+from repro.core.ce import ComputationalElement
+from repro.polyglot.kernelc import KernelAst, KernelInterpreter, parse_kernel
+from repro.polyglot.types import (
+    TypeSyntaxError,
+    is_array_type,
+    parse_array_type,
+    parse_signature,
+)
+
+#: Language identifiers, mirroring the paper's constants.
+GrOUT = "grout"
+GrCUDA = "grcuda"
+
+
+class PolyglotError(RuntimeError):
+    """Raised on polyglot-level misuse (no runtime bound, bad code string)."""
+
+
+class DeviceArrayView:
+    """User-facing handle of a UVM array with host read/write semantics.
+
+    Element access behaves like UVM from host code: reads synchronise with
+    pending device work touching the array; writes first synchronise, then
+    mutate the backing, and are published to the DAG right before the next
+    kernel launch that uses the array.
+    """
+
+    def __init__(self, runtime, array: ManagedArray):
+        self._runtime = runtime
+        self._array = array
+        self._needs_sync = False     # device work since last host sync
+        self._host_dirty = False     # host writes not yet published
+
+    # -- plumbing used by PolyglotKernel -----------------------------------
+
+    @property
+    def array(self) -> ManagedArray:
+        """The underlying managed array."""
+        return self._array
+
+    @property
+    def nbytes(self) -> int:
+        """Modeled bytes of the underlying array."""
+        return self._array.nbytes
+
+    def _sync_for_host(self, for_write: bool = False) -> None:
+        if not self._needs_sync:
+            return
+        self._runtime.host_read(self._array)
+        if for_write:
+            # In-place mutation must additionally wait for pending
+            # *readers* (WAR): a queued kernel must not see the new value.
+            self._runtime.host_barrier(self._array)
+        self._needs_sync = False
+
+    def _flush_host_writes(self) -> None:
+        """Publish buffered host writes as one HOST_WRITE CE."""
+        if self._host_dirty:
+            self._runtime.host_write(self._array)
+            self._host_dirty = False
+
+    def _mark_device_use(self) -> None:
+        self._needs_sync = True
+
+    # -- host-side accessors ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._array)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Shape of the backing array."""
+        return self._array.shape
+
+    def __getitem__(self, key):
+        self._sync_for_host()
+        value = self._array.data[key]
+        if isinstance(value, np.generic):
+            return value.item()       # plain Python scalar, like GraalVM
+        return value
+
+    def __setitem__(self, key, value) -> None:
+        self._sync_for_host(for_write=True)
+        self._array.data[key] = value
+        self._host_dirty = True
+
+    def __iter__(self):
+        self._sync_for_host()
+        return iter(self._array.data)
+
+    def to_numpy(self) -> np.ndarray:
+        """Synchronised copy of the array contents."""
+        self._sync_for_host()
+        return self._array.data.copy()
+
+    def __repr__(self) -> str:
+        self._sync_for_host()
+        return repr(self._array.data)
+
+
+class PolyglotKernel:
+    """A built kernel: call as ``kernel(grid, block)(*args)`` (Listing 1)."""
+
+    def __init__(self, runtime, ast: KernelAst, signature: str | None = None):
+        self._runtime = runtime
+        self._ast = ast
+        self._interpreter = KernelInterpreter(ast)
+        self._directions = self._resolve_directions(ast, signature)
+        self._spec = KernelSpec(
+            name=ast.name,
+            source=None,
+            flops_per_byte=0.0,   # flops_fn below supersedes this
+        )
+
+    @property
+    def name(self) -> str:
+        """The kernel's symbol name."""
+        return self._ast.name
+
+    @staticmethod
+    def _resolve_directions(ast: KernelAst,
+                            signature: str | None) -> dict[str, Direction]:
+        """Per-pointer-param direction: explicit signature wins, else the
+        parser's read/write analysis, else const-ness."""
+        directions: dict[str, Direction] = {}
+        for p in ast.params:
+            if not p.is_pointer:
+                continue
+            reads = p.name in ast.reads
+            writes = p.name in ast.writes
+            if writes and reads:
+                directions[p.name] = Direction.INOUT
+            elif writes:
+                directions[p.name] = Direction.OUT
+            elif reads:
+                directions[p.name] = Direction.IN
+            else:
+                directions[p.name] = (Direction.IN if p.is_const
+                                      else Direction.INOUT)
+        if signature is not None:
+            sig_name, sig_params = parse_signature(signature)
+            if sig_name != ast.name:
+                raise PolyglotError(
+                    f"signature is for {sig_name!r} but the source defines "
+                    f"{ast.name!r}")
+            if len(sig_params) != len(ast.params):
+                raise PolyglotError(
+                    f"signature has {len(sig_params)} parameters, source "
+                    f"has {len(ast.params)}")
+            for sp, p in zip(sig_params, ast.params):
+                if sp.is_pointer != p.is_pointer:
+                    raise PolyglotError(
+                        f"pointer mismatch for parameter {p.name!r}")
+                if sp.direction is not None:
+                    directions[p.name] = sp.direction
+        return directions
+
+    def __call__(self, grid: int | tuple[int, ...],
+                 block: int | tuple[int, ...]):
+        """Bind the execution configuration; returns the launcher."""
+
+        def launcher(*args: object) -> ComputationalElement:
+            if len(args) != len(self._ast.params):
+                raise TypeError(
+                    f"kernel {self._ast.name!r} expects "
+                    f"{len(self._ast.params)} arguments, got {len(args)}")
+            unwrapped: list[object] = []
+            views: list[DeviceArrayView] = []
+            accesses: list[ArrayAccess] = []
+            for param, arg in zip(self._ast.params, args):
+                if param.is_pointer:
+                    if isinstance(arg, DeviceArrayView):
+                        view, array = arg, arg.array
+                        views.append(view)
+                        view._flush_host_writes()
+                    elif isinstance(arg, ManagedArray):
+                        view, array = None, arg
+                    else:
+                        raise TypeError(
+                            f"pointer parameter {param.name!r} needs a "
+                            f"device array, got {type(arg).__name__}")
+                    pattern = (AccessPattern.RANDOM
+                               if param.name in self._ast.gathers
+                               else AccessPattern.SEQUENTIAL)
+                    accesses.append(ArrayAccess(
+                        array, self._directions[param.name], pattern))
+                    unwrapped.append(array)
+                else:
+                    unwrapped.append(arg)
+
+            grid_t = grid if isinstance(grid, tuple) else (int(grid),)
+            block_t = block if isinstance(block, tuple) else (int(block),)
+            total_threads = int(np.prod(grid_t)) * int(np.prod(block_t))
+            flops = self._ast.flops_per_thread * total_threads
+            interpreter = self._interpreter
+
+            def executor(*exec_args: object) -> None:
+                interpreter.run(grid_t, block_t, tuple(exec_args))
+
+            spec = dataclasses.replace(
+                self._spec, executor=executor,
+                flops_fn=lambda _args: flops)
+            ce = self._runtime.launch(spec, grid_t, block_t,
+                                      tuple(unwrapped), accesses=accesses)
+            for view in views:
+                view._mark_device_use()
+            return ce
+
+        return launcher
+
+
+class _BuildKernel:
+    """The callable ``polyglot.eval(GrOUT, "buildkernel")`` returns."""
+
+    def __init__(self, runtime):
+        self._runtime = runtime
+
+    def __call__(self, source: str,
+                 signature: str | None = None) -> PolyglotKernel:
+        ast = parse_kernel(source)
+        return PolyglotKernel(self._runtime, ast, signature)
+
+
+class Polyglot:
+    """The ``polyglot`` module surface: bind runtimes, evaluate code."""
+
+    def __init__(self) -> None:
+        self._runtimes: dict[str, object] = {}
+
+    def bind(self, language: str, runtime) -> None:
+        """Associate a language id (GrOUT/GrCUDA) with a runtime instance."""
+        self._runtimes[language] = runtime
+
+    def runtime(self, language: str):
+        """The runtime bound to a language id (raises if unbound)."""
+        rt = self._runtimes.get(language)
+        if rt is None:
+            raise PolyglotError(
+                f"no runtime bound for language {language!r}; call "
+                "polyglot.bind(language, runtime) first")
+        return rt
+
+    def eval(self, language: str, code: str):
+        """Evaluate a GrOUT/GrCUDA code string.
+
+        ``"buildkernel"`` returns the kernel builder; an array type
+        expression (``"float[100]"``) allocates a managed array.
+        """
+        rt = self.runtime(language)
+        code = code.strip()
+        if code == "buildkernel":
+            return _BuildKernel(rt)
+        if is_array_type(code):
+            dtype, shape = parse_array_type(code)
+            array = rt.device_array(shape, dtype)
+            return DeviceArrayView(rt, array)
+        raise PolyglotError(
+            f"cannot evaluate {code!r}: expected 'buildkernel' or an array "
+            "type like 'float[100]'")
+
+
+#: Module-level instance, used exactly like GraalVM's ``import polyglot``.
+polyglot = Polyglot()

@@ -1,0 +1,173 @@
+"""Language-agnostic workload manifests.
+
+The paper's GrOUT is reachable from "all of the major programming
+languages" through GraalVM's polyglot interop.  Outside a JVM the
+portable equivalent is a declarative interface: any language that can
+emit JSON can drive the runtime through a **manifest** — arrays, kernels
+(CUDA C source strings, exactly like ``buildkernel``), and a program of
+write/launch/prefetch/read steps.
+
+Example manifest::
+
+    {
+      "arrays":  [{"name": "x", "type": "float[1024]"}],
+      "kernels": [{"name": "square",
+                   "source": "__global__ void square(float* x, int n){...}",
+                   "signature": "square(x: inout pointer float, n: sint32)"}],
+      "program": [
+        {"op": "write",  "array": "x", "fill": "arange"},
+        {"op": "launch", "kernel": "square", "grid": 8, "block": 128,
+         "args": ["x", 1024]},
+        {"op": "read",   "array": "x", "as": "result"}
+      ]
+    }
+
+``run_manifest`` executes it on any runtime (GrOUT or GrCUDA — the
+Listing 2 property holds here too) and returns the values read back.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.polyglot.api import DeviceArrayView, PolyglotError, _BuildKernel
+from repro.polyglot.types import parse_array_type
+
+#: Supported host-side initialisers for "write" steps.
+FILLS = {
+    "zeros": lambda n, rng: np.zeros(n),
+    "ones": lambda n, rng: np.ones(n),
+    "arange": lambda n, rng: np.arange(n),
+    "random": lambda n, rng: rng.random(n),
+    "normal": lambda n, rng: rng.standard_normal(n),
+}
+
+
+class ManifestError(ValueError):
+    """Raised on malformed or inconsistent manifests."""
+
+
+@dataclass(slots=True)
+class ManifestResult:
+    """Outcome of one manifest execution."""
+
+    reads: dict[str, np.ndarray] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+    ce_count: int = 0
+
+
+def _require(mapping: dict, key: str, context: str):
+    try:
+        return mapping[key]
+    except KeyError:
+        raise ManifestError(f"{context} is missing the {key!r} field") \
+            from None
+
+
+def load_manifest(source: "str | dict") -> dict:
+    """Parse and structurally validate a manifest (JSON string or dict)."""
+    if isinstance(source, str):
+        try:
+            manifest = json.loads(source)
+        except json.JSONDecodeError as exc:
+            raise ManifestError(f"manifest is not valid JSON: {exc}") \
+                from None
+    else:
+        manifest = source
+    if not isinstance(manifest, dict):
+        raise ManifestError("manifest must be a JSON object")
+    for section in ("arrays", "program"):
+        if not isinstance(manifest.get(section), list):
+            raise ManifestError(f"manifest needs a {section!r} list")
+    manifest.setdefault("kernels", [])
+    names = [_require(a, "name", "array entry")
+             for a in manifest["arrays"]]
+    if len(set(names)) != len(names):
+        raise ManifestError("duplicate array names in manifest")
+    return manifest
+
+
+def run_manifest(runtime, source: "str | dict", *,
+                 seed: int = 0) -> ManifestResult:
+    """Execute a manifest on any runtime; returns the read-back values."""
+    manifest = load_manifest(source)
+    rng = np.random.default_rng(seed)
+    result = ManifestResult()
+
+    views: dict[str, DeviceArrayView] = {}
+    for entry in manifest["arrays"]:
+        name = entry["name"]
+        dtype, shape = parse_array_type(
+            _require(entry, "type", f"array {name!r}"))
+        virtual = entry.get("virtual_bytes")
+        array = runtime.device_array(
+            shape, dtype, virtual_nbytes=virtual, name=name)
+        views[name] = DeviceArrayView(runtime, array)
+
+    build = _BuildKernel(runtime)
+    kernels = {}
+    for entry in manifest["kernels"]:
+        name = _require(entry, "name", "kernel entry")
+        kernel = build(_require(entry, "source", f"kernel {name!r}"),
+                       entry.get("signature"))
+        if kernel.name != name:
+            raise ManifestError(
+                f"kernel entry {name!r} defines source for "
+                f"{kernel.name!r}")
+        kernels[name] = kernel
+
+    def view(name: str) -> DeviceArrayView:
+        try:
+            return views[name]
+        except KeyError:
+            raise ManifestError(f"unknown array {name!r}") from None
+
+    start = runtime.elapsed
+    for i, step in enumerate(manifest["program"]):
+        op = _require(step, "op", f"program step {i}")
+        if op == "write":
+            target = view(_require(step, "array", f"step {i}"))
+            fill = step.get("fill", "zeros")
+            if fill not in FILLS:
+                raise ManifestError(
+                    f"step {i}: unknown fill {fill!r}; "
+                    f"choose from {sorted(FILLS)}")
+            data = FILLS[fill](np.prod(target.shape), rng) \
+                .reshape(target.shape)
+            target[...] = data.astype(target.array.dtype)
+            result.ce_count += 1
+        elif op == "launch":
+            kernel_name = _require(step, "kernel", f"step {i}")
+            kernel = kernels.get(kernel_name)
+            if kernel is None:
+                raise ManifestError(
+                    f"step {i}: unknown kernel {kernel_name!r}")
+            args = [views[a] if isinstance(a, str) and a in views else a
+                    for a in step.get("args", [])]
+            launcher = kernel(int(_require(step, "grid", f"step {i}")),
+                              int(_require(step, "block", f"step {i}")))
+            launcher(*args)
+            result.ce_count += 1
+        elif op == "prefetch":
+            target = view(_require(step, "array", f"step {i}"))
+            prefetch = getattr(runtime, "prefetch", None)
+            if prefetch is None:
+                raise ManifestError(
+                    f"step {i}: runtime does not support prefetch")
+            prefetch(target.array)
+            result.ce_count += 1
+        elif op == "read":
+            name = _require(step, "array", f"step {i}")
+            key = step.get("as", name)
+            result.reads[key] = view(name).to_numpy()
+        elif op == "sync":
+            runtime.sync()
+        else:
+            raise ManifestError(f"step {i}: unknown op {op!r}")
+
+    runtime.sync()
+    result.elapsed_seconds = runtime.elapsed - start
+    return result

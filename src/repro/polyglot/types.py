@@ -1,0 +1,125 @@
+"""The polyglot type DSL: ``polyglot.eval(GrOUT, "float[100]")``.
+
+Parses GrCUDA/GrOUT array-type expressions into NumPy dtypes and shapes,
+and NIDL-style kernel signatures into per-parameter directions.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpu.kernel import Direction
+
+#: CUDA C scalar type -> NumPy dtype.
+DTYPE_MAP: dict[str, np.dtype] = {
+    "bool": np.dtype(np.bool_),
+    "char": np.dtype(np.int8),
+    "sint8": np.dtype(np.int8),
+    "uint8": np.dtype(np.uint8),
+    "short": np.dtype(np.int16),
+    "sint16": np.dtype(np.int16),
+    "uint16": np.dtype(np.uint16),
+    "int": np.dtype(np.int32),
+    "sint32": np.dtype(np.int32),
+    "uint32": np.dtype(np.uint32),
+    "long": np.dtype(np.int64),
+    "sint64": np.dtype(np.int64),
+    "uint64": np.dtype(np.uint64),
+    "float": np.dtype(np.float32),
+    "double": np.dtype(np.float64),
+}
+
+_ARRAY_RE = re.compile(
+    r"^\s*(?P<type>[a-zA-Z_]\w*)\s*(?P<dims>(\[\s*\d+\s*\])+)\s*$")
+_DIM_RE = re.compile(r"\[\s*(\d+)\s*\]")
+
+
+class TypeSyntaxError(ValueError):
+    """Raised on malformed type or signature expressions."""
+
+
+def parse_array_type(expr: str) -> tuple[np.dtype, tuple[int, ...]]:
+    """Parse ``"float[100]"`` / ``"double[10][20]"`` into (dtype, shape)."""
+    m = _ARRAY_RE.match(expr)
+    if m is None:
+        raise TypeSyntaxError(f"not an array type expression: {expr!r}")
+    type_name = m.group("type")
+    dtype = DTYPE_MAP.get(type_name)
+    if dtype is None:
+        raise TypeSyntaxError(f"unknown element type {type_name!r}")
+    shape = tuple(int(d) for d in _DIM_RE.findall(m.group("dims")))
+    if any(d <= 0 for d in shape):
+        raise TypeSyntaxError(f"array dims must be positive in {expr!r}")
+    return dtype, shape
+
+
+def is_array_type(expr: str) -> bool:
+    """Whether the string looks like an array-type expression."""
+    return _ARRAY_RE.match(expr) is not None
+
+
+@dataclass(frozen=True, slots=True)
+class SignatureParam:
+    """One parameter of a NIDL kernel signature."""
+
+    name: str
+    direction: Direction | None    # None for scalars
+    is_pointer: bool
+    type_name: str
+
+
+_SIG_RE = re.compile(r"^\s*(?P<kernel>[a-zA-Z_]\w*)\s*\((?P<params>.*)\)\s*$",
+                     re.DOTALL)
+
+
+def parse_signature(signature: str) -> tuple[str, list[SignatureParam]]:
+    """Parse a GrCUDA-style NIDL signature.
+
+    Accepted forms per parameter (comma separated)::
+
+        x: inout pointer float     # named form
+        const pointer float        # anonymous form (direction from const)
+        n: sint32                  # scalar
+
+    Directions: ``in``/``const`` (read), ``out`` (write), ``inout``.
+    """
+    m = _SIG_RE.match(signature)
+    if m is None:
+        raise TypeSyntaxError(f"malformed signature {signature!r}")
+    kernel_name = m.group("kernel")
+    params: list[SignatureParam] = []
+    body = m.group("params").strip()
+    if not body:
+        return kernel_name, params
+    for i, raw in enumerate(body.split(",")):
+        raw = raw.strip()
+        if ":" in raw:
+            name, spec = (part.strip() for part in raw.split(":", 1))
+        else:
+            name, spec = f"arg{i}", raw
+        words = spec.split()
+        if not words:
+            raise TypeSyntaxError(f"empty parameter spec in {signature!r}")
+        direction: Direction | None = None
+        is_pointer = "pointer" in words
+        if is_pointer:
+            if "inout" in words:
+                direction = Direction.INOUT
+            elif "out" in words:
+                direction = Direction.OUT
+            elif "in" in words or "const" in words:
+                direction = Direction.IN
+            else:
+                direction = Direction.INOUT   # GrCUDA's safe default
+        type_name = words[-1]
+        if type_name in ("pointer", "in", "out", "inout", "const"):
+            raise TypeSyntaxError(
+                f"parameter {name!r} is missing an element type")
+        if type_name not in DTYPE_MAP:
+            raise TypeSyntaxError(f"unknown element type {type_name!r} "
+                                  f"for parameter {name!r}")
+        params.append(SignatureParam(name, direction, is_pointer, type_name))
+    return kernel_name, params

@@ -1,0 +1,34 @@
+"""Deterministic discrete-event simulation engine.
+
+This package is the execution substrate for the whole reproduction: GPU
+streams, UVM page migrations and network transfers are all simulated
+processes scheduled on one :class:`Engine` clock.
+"""
+
+from repro.sim.engine import Engine, run_process
+from repro.sim.errors import EventStateError, Interrupt, SimError, StopSimulation
+from repro.sim.events import AllOf, AnyOf, Condition, Event, EventState, Timeout
+from repro.sim.process import Process
+from repro.sim.resources import Request, Resource, Store
+from repro.sim.trace import Span, Tracer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "Engine",
+    "Event",
+    "EventState",
+    "EventStateError",
+    "Interrupt",
+    "Process",
+    "Request",
+    "Resource",
+    "SimError",
+    "Span",
+    "StopSimulation",
+    "Store",
+    "Timeout",
+    "Tracer",
+    "run_process",
+]

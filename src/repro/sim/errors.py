@@ -1,0 +1,30 @@
+"""Exception types used by the discrete-event simulation engine."""
+
+from __future__ import annotations
+
+
+class SimError(Exception):
+    """Base class for all simulation-engine errors."""
+
+
+class StopSimulation(SimError):
+    """Raised internally to stop :meth:`repro.sim.Engine.run` early."""
+
+
+class EventStateError(SimError):
+    """An event was triggered or awaited in an illegal state."""
+
+
+class Interrupt(SimError):
+    """Thrown into a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`repro.sim.Process.interrupt`.
+    """
+
+    def __init__(self, cause: object = None):
+        super().__init__(cause)
+        self.cause = cause
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Interrupt(cause={self.cause!r})"

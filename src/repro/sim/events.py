@@ -1,0 +1,200 @@
+"""Event primitives for the discrete-event engine.
+
+The design follows the classic generator-based simulation style (SimPy
+lineage): an :class:`Event` is a one-shot occurrence that processes can wait
+on by ``yield``-ing it.  Events move through three states:
+
+``PENDING``
+    Created, not yet triggered.  Waiting processes stay suspended.
+``TRIGGERED``
+    ``succeed``/``fail`` was called; the event sits in the engine queue.
+``PROCESSED``
+    The engine popped the event and resumed all waiters.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from repro.sim.errors import EventStateError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+Callback = Callable[["Event"], None]
+
+
+class EventState(enum.Enum):
+    """Lifecycle of an event: pending, triggered (queued), processed."""
+
+    PENDING = "pending"
+    TRIGGERED = "triggered"
+    PROCESSED = "processed"
+
+
+class Event:
+    """A one-shot occurrence at a point in simulated time.
+
+    Parameters
+    ----------
+    engine:
+        Owning engine; the event can only be scheduled on its queue.
+    name:
+        Optional label used in traces and ``repr``.
+    """
+
+    __slots__ = ("engine", "name", "callbacks", "_state", "_value", "_ok",
+                 "_defused")
+
+    def __init__(self, engine: "Engine", name: str | None = None):
+        self.engine = engine
+        self.name = name
+        self.callbacks: list[Callback] = []
+        self._state = EventState.PENDING
+        self._value: object = None
+        self._ok = True
+        # A failed event with no waiter aborts the run (see Engine.step);
+        # attaching a waiter "defuses" it because the failure is delivered.
+        self._defused = False
+
+    # -- state inspection --------------------------------------------------
+
+    @property
+    def state(self) -> EventState:
+        """Current lifecycle state."""
+        return self._state
+
+    @property
+    def triggered(self) -> bool:
+        """True once succeed/fail was called."""
+        return self._state is not EventState.PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the engine delivered the event."""
+        return self._state is EventState.PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> object:
+        """The payload passed to :meth:`succeed` or the failure exception."""
+        if self._state is EventState.PENDING:
+            raise EventStateError(f"value of {self!r} is not yet available")
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+
+    def succeed(self, value: object = None) -> "Event":
+        """Trigger the event successfully with an optional payload."""
+        if self._state is not EventState.PENDING:
+            raise EventStateError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self._state = EventState.TRIGGERED
+        self.engine._schedule(self, delay=0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; waiters get the exception thrown."""
+        if self._state is not EventState.PENDING:
+            raise EventStateError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self._state = EventState.TRIGGERED
+        self.engine._schedule(self, delay=0.0)
+        return self
+
+    # -- engine hooks --------------------------------------------------------
+
+    def _mark_processed(self) -> None:
+        self._state = EventState.PROCESSED
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"<{type(self).__name__}{label} {self._state.value}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically ``delay`` time units in the future."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, engine: "Engine", delay: float, value: object = None,
+                 name: str | None = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(engine, name=name)
+        self.delay = float(delay)
+        self._ok = True
+        self._value = value
+        self._state = EventState.TRIGGERED
+        engine._schedule(self, delay=self.delay)
+
+
+class Condition(Event):
+    """Composite event that triggers when ``evaluate`` says enough children fired.
+
+    The payload is a dict mapping each fired child event to its value, in
+    trigger order.  If any child fails before the condition is met, the
+    condition fails with that exception.
+    """
+
+    __slots__ = ("events", "_evaluate", "_fired")
+
+    def __init__(self, engine: "Engine", events: Iterable[Event],
+                 evaluate: Callable[[list[Event], int], bool],
+                 name: str | None = None):
+        super().__init__(engine, name=name)
+        self.events: list[Event] = list(events)
+        self._evaluate = evaluate
+        self._fired: list[Event] = []
+        for ev in self.events:
+            if ev.engine is not engine:
+                raise ValueError("all events of a condition must share an engine")
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            ev._defused = True
+            if ev.processed:
+                self._on_child(ev)
+            else:
+                ev.callbacks.append(self._on_child)
+
+    def _on_child(self, child: Event) -> None:
+        if self.triggered:
+            return
+        if not child.ok:
+            self.fail(child.value)  # type: ignore[arg-type]
+            return
+        self._fired.append(child)
+        if self._evaluate(self.events, len(self._fired)):
+            self.succeed({ev: ev.value for ev in self._fired})
+
+
+class AllOf(Condition):
+    """Condition met when *all* child events have succeeded."""
+
+    __slots__ = ()
+
+    def __init__(self, engine: "Engine", events: Iterable[Event],
+                 name: str | None = None):
+        super().__init__(engine, events,
+                         lambda evs, n: n == len(evs), name=name)
+
+
+class AnyOf(Condition):
+    """Condition met when *any one* child event has succeeded."""
+
+    __slots__ = ()
+
+    def __init__(self, engine: "Engine", events: Iterable[Event],
+                 name: str | None = None):
+        super().__init__(engine, events, lambda evs, n: n >= 1, name=name)

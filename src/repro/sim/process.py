@@ -1,0 +1,111 @@
+"""Generator-based simulation processes.
+
+A process drives a Python generator: every ``yield``-ed :class:`Event`
+suspends the process until that event fires, at which point the generator is
+resumed with the event's value (or has the failure exception thrown in).
+A process is itself an event that fires when its generator returns, so
+processes can wait on each other.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.sim.errors import Interrupt, SimError
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+
+class Process(Event):
+    """An active entity executing a generator on an :class:`Engine`."""
+
+    __slots__ = ("_generator", "_waiting_on")
+
+    def __init__(self, engine: "Engine", generator: Generator,
+                 name: str | None = None):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(
+                f"Process requires a generator, got {type(generator).__name__}"
+                " — did you forget to call the generator function?")
+        super().__init__(engine, name=name or getattr(
+            generator, "__name__", None))
+        self._generator = generator
+        self._waiting_on: Event | None = None
+        # Kick-start on a zero-delay event so creation order does not matter.
+        start = Event(engine, name=f"{self.name}:start")
+        start.callbacks.append(self._resume)
+        start._defused = True
+        start.succeed()
+
+    # -- public API ----------------------------------------------------------
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The event the process was waiting on remains pending; the process can
+        re-wait on it after handling the interrupt.
+        """
+        if not self.is_alive:
+            raise SimError(f"cannot interrupt finished process {self!r}")
+        if self.engine.active_process is self:
+            raise SimError("a process cannot interrupt itself")
+        target = self._waiting_on
+        if target is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - already detached
+                pass
+            self._waiting_on = None
+        carrier = Event(self.engine, name=f"{self.name}:interrupt")
+        carrier.callbacks.append(self._resume)
+        carrier._defused = True
+        carrier.fail(Interrupt(cause))
+
+    # -- engine plumbing -----------------------------------------------------
+
+    def _resume(self, trigger: Event) -> None:
+        self._waiting_on = None
+        engine = self.engine
+        prev_active, engine._active = engine._active, self
+        try:
+            while True:
+                try:
+                    if trigger.ok:
+                        target = self._generator.send(trigger.value)
+                    else:
+                        target = self._generator.throw(trigger.value)
+                except StopIteration as stop:
+                    self.succeed(stop.value)
+                    return
+                except BaseException as exc:
+                    # The process died: propagate through its own event so
+                    # waiters see the failure (or the engine aborts).
+                    self.fail(exc)
+                    return
+                if not isinstance(target, Event):
+                    self.fail(TypeError(
+                        f"process {self.name!r} yielded {target!r}; "
+                        "processes may only yield Event instances"))
+                    return
+                if target.engine is not engine:
+                    self.fail(SimError(
+                        f"process {self.name!r} yielded an event from a "
+                        "different engine"))
+                    return
+                target._defused = True
+                if target.processed:
+                    # Already fired: loop immediately with its outcome.
+                    trigger = target
+                    continue
+                self._waiting_on = target
+                target.callbacks.append(self._resume)
+                return
+        finally:
+            engine._active = prev_active

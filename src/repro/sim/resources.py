@@ -1,0 +1,147 @@
+"""Shared-resource primitives: counted resources and FIFO stores.
+
+These model contention points in the simulated system — PCIe lanes, NIC
+links, GPU copy engines — where at most ``capacity`` users may hold the
+resource simultaneously and the rest queue in FIFO order (deterministic by
+construction, matching the engine's tie-breaking).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Generator
+
+from repro.sim.errors import SimError
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+
+class Request(Event):
+    """Event that fires when the requested resource slot is granted."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.engine, name=f"req:{resource.name}")
+        self.resource = resource
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """A counted resource with a FIFO wait queue.
+
+    Examples
+    --------
+    >>> from repro.sim import Engine
+    >>> eng = Engine()
+    >>> link = Resource(eng, capacity=1, name="nic")
+    >>> def user(eng, link):
+    ...     req = link.request()
+    ...     yield req
+    ...     yield eng.timeout(1.0)
+    ...     link.release(req)
+    """
+
+    def __init__(self, engine: "Engine", capacity: int = 1,
+                 name: str = "resource"):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self._holders: set[Request] = set()
+        self._waiters: deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of granted, unreleased requests."""
+        return len(self._holders)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiters)
+
+    def request(self) -> Request:
+        """Ask for a slot; the returned event fires when granted."""
+        req = Request(self)
+        if len(self._holders) < self.capacity:
+            self._holders.add(req)
+            req.succeed(self)
+        else:
+            self._waiters.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a previously granted slot; grants the next waiter."""
+        if request in self._holders:
+            self._holders.remove(request)
+        elif request in self._waiters:
+            # Cancelling a queued request is allowed (e.g. interrupted user).
+            self._waiters.remove(request)
+            return
+        else:
+            raise SimError(
+                f"release() of a request not holding {self.name!r}")
+        while self._waiters and len(self._holders) < self.capacity:
+            nxt = self._waiters.popleft()
+            self._holders.add(nxt)
+            nxt.succeed(self)
+
+    def acquire(self, duration: float) -> Generator:
+        """Process helper: hold the resource for ``duration`` time units."""
+        req = self.request()
+        yield req
+        try:
+            yield self.engine.timeout(duration)
+        finally:
+            self.release(req)
+
+    def __repr__(self) -> str:
+        return (f"<Resource {self.name!r} {self.count}/{self.capacity} "
+                f"queued={self.queue_length}>")
+
+
+class Store:
+    """An unbounded FIFO queue of items with blocking ``get``.
+
+    Used as a mailbox between simulated components (e.g. the Controller
+    posting CEs to a Worker's inbox).
+    """
+
+    def __init__(self, engine: "Engine", name: str = "store"):
+        self.engine = engine
+        self.name = name
+        self._items: deque[object] = deque()
+        self._getters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: object) -> None:
+        """Deposit an item; wakes the oldest blocked getter, if any."""
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that fires with the next item."""
+        ev = Event(self.engine, name=f"get:{self.name}")
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def __repr__(self) -> str:
+        return (f"<Store {self.name!r} items={len(self._items)} "
+                f"waiting={len(self._getters)}>")

@@ -1,0 +1,111 @@
+"""Timeline tracing for simulated executions.
+
+Every interesting activity (kernel execution, page migration, network
+transfer, scheduling decision) records a :class:`Span` on the engine-wide
+:class:`Tracer`.  Tests assert on spans (overlap, ordering, placement) and
+the benchmark harness derives utilisation and per-category time breakdowns
+from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class Span:
+    """One closed interval of activity on a named lane."""
+
+    lane: str            # e.g. "node0/gpu1/stream2", "net:node0->node1"
+    category: str        # e.g. "kernel", "migration", "transfer", "sched"
+    name: str            # human label, e.g. the kernel name
+    start: float
+    end: float
+    meta: dict = field(default_factory=dict, compare=False)
+
+    @property
+    def duration(self) -> float:
+        """Length of the interval in seconds."""
+        return self.end - self.start
+
+    def overlaps(self, other: "Span") -> bool:
+        """Strict interval overlap (shared endpoints do not count)."""
+        return self.start < other.end and other.start < self.end
+
+
+class Tracer:
+    """Append-only span log with simple query helpers."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._spans: list[Span] = []
+
+    def record(self, lane: str, category: str, name: str,
+               start: float, end: float, **meta: object) -> None:
+        """Append one span (no-op when tracing is disabled)."""
+        if not self.enabled:
+            return
+        if end < start:
+            raise ValueError(
+                f"span {name!r} ends before it starts ({start} > {end})")
+        self._spans.append(Span(lane, category, name, start, end, dict(meta)))
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def spans(self) -> list[Span]:
+        """Copy of every recorded span, in record order."""
+        return list(self._spans)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self._spans)
+
+    def by_category(self, category: str) -> list[Span]:
+        """Spans whose category matches exactly."""
+        return [s for s in self._spans if s.category == category]
+
+    def by_lane(self, lane: str) -> list[Span]:
+        """Spans recorded on one lane."""
+        return [s for s in self._spans if s.lane == lane]
+
+    def lanes(self) -> list[str]:
+        """Sorted distinct lane names."""
+        return sorted({s.lane for s in self._spans})
+
+    def total_time(self, category: str | None = None) -> float:
+        """Sum of span durations (double-counts overlapping spans)."""
+        spans: Iterable[Span] = self._spans
+        if category is not None:
+            spans = (s for s in spans if s.category == category)
+        return sum(s.duration for s in spans)
+
+    def busy_time(self, lane: str) -> float:
+        """Union length of a lane's spans (no double counting)."""
+        intervals = sorted((s.start, s.end) for s in self.by_lane(lane))
+        busy = 0.0
+        cur_start, cur_end = None, None
+        for start, end in intervals:
+            if cur_end is None or start > cur_end:
+                if cur_end is not None:
+                    busy += cur_end - cur_start  # type: ignore[operator]
+                cur_start, cur_end = start, end
+            else:
+                cur_end = max(cur_end, end)
+        if cur_end is not None:
+            busy += cur_end - cur_start  # type: ignore[operator]
+        return busy
+
+    def makespan(self) -> float:
+        """End of the last span minus start of the first."""
+        if not self._spans:
+            return 0.0
+        return (max(s.end for s in self._spans)
+                - min(s.start for s in self._spans))
+
+    def clear(self) -> None:
+        """Drop every recorded span."""
+        self._spans.clear()

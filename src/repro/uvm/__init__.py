@@ -1,0 +1,56 @@
+"""Simulated NVIDIA Unified Virtual Memory.
+
+Implements the substrate the paper treats as a black box: page tables at
+the UVM migration granule, a batching fault/migration engine (demand
+faults vs. bulk-DMA prefetch pricing), LRU / FALL-aware LFU / random
+eviction, the density tree-prefetcher, ``cudaMemAdvise`` equivalents
+(including read-mostly duplication and host-pinned zero-copy), explicit
+``cudaMemPrefetchAsync``, NVLink peer-to-peer page migration, and a
+calibrated performance model whose oversubscription cliffs reproduce the
+paper's Fig. 1/6a behaviour.
+"""
+
+from repro.uvm.access import merge_page_sets, page_set, pages_for_bytes
+from repro.uvm.advise import Advise, AdviseRegistry, AdviseSet
+from repro.uvm.calibration import (
+    NO_THRASH,
+    PAPER_CALIBRATION,
+    PatternParams,
+    UvmModelParams,
+)
+from repro.uvm.manager import HostAccessCost, UvmSpace, UvmStats
+from repro.uvm.migration import MigrationEngine, MigrationStats
+from repro.uvm.pagetable import (
+    BufferPages,
+    DevicePageTable,
+    EvictionResult,
+    UvmError,
+)
+from repro.uvm.perfmodel import KernelCost, KernelPricer
+from repro.uvm.prefetch import PrefetchConfig, expand_faults
+
+__all__ = [
+    "Advise",
+    "AdviseRegistry",
+    "AdviseSet",
+    "BufferPages",
+    "DevicePageTable",
+    "EvictionResult",
+    "HostAccessCost",
+    "KernelCost",
+    "KernelPricer",
+    "MigrationEngine",
+    "MigrationStats",
+    "NO_THRASH",
+    "PAPER_CALIBRATION",
+    "PatternParams",
+    "PrefetchConfig",
+    "UvmError",
+    "UvmModelParams",
+    "UvmSpace",
+    "UvmStats",
+    "expand_faults",
+    "merge_page_sets",
+    "page_set",
+    "pages_for_bytes",
+]

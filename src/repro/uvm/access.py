@@ -1,0 +1,80 @@
+"""Translate kernel access descriptors into concrete page sets.
+
+Page selection is deterministic: RANDOM patterns derive their subset from a
+seed mixed from the buffer id and the launch sequence number, so identical
+schedules replay identical fault traces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.kernel import AccessPattern, ArrayAccess
+
+
+def pages_for_bytes(nbytes: int, page_size: int) -> int:
+    """Number of base pages covering ``nbytes`` (at least one)."""
+    if nbytes <= 0:
+        return 1
+    return -(-int(nbytes) // page_size)
+
+
+def touched_page_count(access: ArrayAccess, page_size: int) -> int:
+    """Pages an access touches, honouring its fraction."""
+    total = pages_for_bytes(access.buffer.nbytes, page_size)
+    return max(1, min(total, int(round(total * access.fraction))))
+
+
+def page_set(access: ArrayAccess, page_size: int, seed: int,
+             entropy: int | None = None) -> np.ndarray:
+    """Concrete sorted page indices an access touches.
+
+    * SEQUENTIAL — a contiguous window; its start rotates with the seed so
+      repeated partial sweeps do not artificially pin the same prefix.
+    * STRIDED — evenly spaced pages across the whole buffer.
+    * RANDOM — a seeded uniform sample without replacement.
+
+    ``entropy`` decorrelates different buffers under the same ``seed``.
+    Callers that care about cross-run determinism (the kernel pricer)
+    must pass something stable — e.g. a first-use ordinal — because the
+    default, the global buffer id, differs between runs in one process.
+    """
+    total = pages_for_bytes(access.buffer.nbytes, page_size)
+    count = touched_page_count(access, page_size)
+    if count >= total:
+        return np.arange(total, dtype=np.int64)
+    if entropy is None:
+        entropy = access.buffer.buffer_id
+
+    if access.pattern is AccessPattern.SEQUENTIAL:
+        start = (seed * 2654435761 % total) if access.fraction < 1.0 else 0
+        idx = (np.arange(count, dtype=np.int64) + start) % total
+        return np.sort(idx)
+    if access.pattern is AccessPattern.STRIDED:
+        idx = np.linspace(0, total - 1, num=count, dtype=np.int64)
+        return np.unique(idx)
+    if access.pattern is AccessPattern.RANDOM:
+        mixed = (entropy * 0x9E3779B97F4A7C15 + seed) % (1 << 64)
+        rng = np.random.default_rng(mixed)
+        return np.sort(rng.choice(total, size=count, replace=False)
+                       .astype(np.int64))
+    raise ValueError(f"unknown access pattern {access.pattern!r}")
+
+
+def merge_page_sets(sets: list[tuple[np.ndarray, bool]]) -> tuple[np.ndarray, np.ndarray]:
+    """Union several (pages, writes?) sets of one buffer.
+
+    Returns ``(pages, write_mask)`` where ``write_mask[i]`` says whether
+    page ``pages[i]`` is written by at least one access.
+    """
+    if not sets:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
+    all_pages = np.concatenate([p for p, _ in sets])
+    all_writes = np.concatenate(
+        [np.full(len(p), w, dtype=bool) for p, w in sets])
+    order = np.argsort(all_pages, kind="stable")
+    pages_sorted = all_pages[order]
+    writes_sorted = all_writes[order]
+    uniq, start = np.unique(pages_sorted, return_index=True)
+    write_mask = np.logical_or.reduceat(writes_sorted, start)
+    return uniq, write_mask

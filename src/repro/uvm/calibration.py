@@ -1,0 +1,121 @@
+"""Calibration constants of the UVM performance model.
+
+The model's skeleton is physics (bytes over links, fault-batch latencies);
+what cannot be derived from first principles — because the real UVM driver
+is a black box, as the paper stresses in §II-A — is the *degradation curve*
+of the fault path under memory pressure.  Following the characterisation
+literature the paper builds on ([7], [9], [18], [19]), we model the
+effective fault bandwidth as
+
+    eff(osf) = fault_bw_efficiency / (1 + beta * max(0, osf - knee)**gamma)
+
+where ``osf`` is the device-level oversubscription factor (managed bytes /
+device capacity).  ``knee``, ``beta`` and ``gamma`` are per-access-pattern
+constants: sequential streaming survives oversubscription far longer than
+random access (the prefetcher and evict-ahead pipeline keep the link busy),
+while random/FALL-heavy access collapses almost immediately [7].
+
+``PAPER_CALIBRATION`` is tuned so the reproduction lands near the paper's
+anchors (see EXPERIMENTS.md):
+
+* near-linear scaling of single-node runs while footprints fit (≤1× OSF);
+* MLE's ~72× step at 32→64 GB (2× OSF, random-heavy ensemble);
+* CG's ~77× step at 64→96 GB (3× OSF, sequential iterative);
+* MV's ~342× step at 64→96 GB (3× OSF, single-pass streaming at scale);
+* GrOUT on two nodes flattening those steps to ~4–13×.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpu.kernel import AccessPattern
+
+
+@dataclass(frozen=True, slots=True)
+class PatternParams:
+    """Thrash-curve constants for one access pattern."""
+
+    knee: float      # OSF below which the fault path runs at base efficiency
+    beta: float      # degradation strength past the knee
+    gamma: float     # degradation curvature past the knee
+    batch_penalty: float = 1.0   # multiplier on fault-batch count
+    prefetchable: bool = True    # whether the tree prefetcher helps
+
+    def __post_init__(self) -> None:
+        if self.knee < 0 or self.beta < 0 or self.gamma <= 0:
+            raise ValueError("invalid thrash-curve constants")
+        if self.batch_penalty < 1.0:
+            raise ValueError("batch_penalty must be >= 1")
+
+    def degradation(self, osf: float) -> float:
+        """Divisor applied to the fault bandwidth at oversubscription ``osf``."""
+        excess = max(0.0, osf - self.knee)
+        return 1.0 + self.beta * excess ** self.gamma
+
+
+@dataclass(frozen=True, slots=True)
+class UvmModelParams:
+    """Every tunable of the UVM timing model, in one place."""
+
+    #: Fraction of raw PCIe bandwidth the un-thrashed fault path achieves.
+    fault_bw_efficiency: float = 0.80
+    #: Dirty-page eviction costs this multiple of the page bytes (D2H).
+    writeback_factor: float = 1.0
+    #: Fraction of migration time hidden under concurrent execution when the
+    #: working set fits (prefetch pipelining); 0 = fully serial.
+    migration_overlap: float = 0.5
+    #: Under thrashing the SMs stall on faults; compute overlaps this little.
+    thrash_overlap: float = 0.05
+    #: Per-pattern degradation curves.
+    patterns: dict[AccessPattern, PatternParams] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fault_bw_efficiency <= 1.0:
+            raise ValueError("fault_bw_efficiency must be in (0, 1]")
+        for name in ("migration_overlap", "thrash_overlap"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        for pattern in AccessPattern:
+            if pattern not in self.patterns:
+                raise ValueError(f"missing PatternParams for {pattern}")
+
+    def pattern(self, pattern: AccessPattern) -> PatternParams:
+        """Constants of one access pattern's degradation curve."""
+        return self.patterns[pattern]
+
+
+def _paper_patterns() -> dict[AccessPattern, PatternParams]:
+    return {
+        # Streaming sweeps: evict-ahead keeps the link at full efficiency
+        # up to ~2× OSF, then cyclic-LRU interference compounds violently
+        # (MV's 342× step, Fig. 6a).
+        AccessPattern.SEQUENTIAL: PatternParams(
+            knee=2.05, beta=430.0, gamma=2.2, batch_penalty=1.0),
+        # Regular strides: prefetch still works; past the same knee the
+        # degradation is an order of magnitude gentler (CG's 77× step).
+        AccessPattern.STRIDED: PatternParams(
+            knee=2.0, beta=70.0, gamma=2.0, batch_penalty=1.5),
+        # Data-dependent access: FALL pages defeat the prefetcher, so the
+        # collapse starts as soon as the device oversubscribes at all [7] —
+        # but it *saturates* (gamma < 1): the fault path is already running
+        # at its floor (MLE's 72× step at 2×, then flattening).
+        AccessPattern.RANDOM: PatternParams(
+            knee=1.05, beta=48.0, gamma=0.5, batch_penalty=4.0,
+            prefetchable=False),
+    }
+
+
+#: Constants used by every paper-reproduction benchmark.
+PAPER_CALIBRATION = UvmModelParams(patterns=_paper_patterns())
+
+
+#: A flat, degradation-free variant for unit tests that want pure link physics.
+NO_THRASH = UvmModelParams(
+    fault_bw_efficiency=1.0,
+    migration_overlap=0.0,
+    thrash_overlap=0.0,
+    patterns={p: PatternParams(knee=float("inf"), beta=0.0, gamma=1.0)
+              for p in AccessPattern},
+)

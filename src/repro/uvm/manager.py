@@ -1,0 +1,359 @@
+"""The node-level UVM space: one coherent view over a node's GPUs.
+
+``UvmSpace`` is what a simulated node's executor talks to: it owns one page
+table + migration engine + kernel pricer per GPU, tracks which managed
+buffers exist, and defines the *pressure* (device-level oversubscription
+factor) that drives the calibrated degradation curves.
+
+Pressure of a device = bytes of all buffers ever touched on it (and still
+alive there) ÷ device capacity — the closest observable analogue of the
+paper's "allocated vs. available memory" factor at per-GPU granularity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpu.device import Gpu
+from repro.gpu.kernel import AccessPattern, KernelLaunch, SizedBuffer
+from repro.uvm.access import pages_for_bytes
+from repro.uvm.advise import Advise, AdviseRegistry
+from repro.uvm.calibration import PAPER_CALIBRATION, UvmModelParams
+from repro.uvm.migration import MigrationEngine
+from repro.uvm.pagetable import DevicePageTable, UvmError
+from repro.uvm.perfmodel import KernelCost, KernelPricer
+from repro.uvm.prefetch import PrefetchConfig
+
+
+@dataclass(frozen=True, slots=True)
+class HostAccessCost:
+    """Pricing of a host-side read or write of a managed buffer."""
+
+    seconds: float
+    writeback_bytes: int
+    invalidated_bytes: int
+
+
+@dataclass(slots=True)
+class UvmStats:
+    """Cumulative UVM traffic of one node (every GPU combined)."""
+
+    kernel_launches: int = 0
+    cold_bytes: int = 0
+    refault_bytes: int = 0
+    writeback_bytes: int = 0
+    peer_bytes: int = 0
+    prefetch_bytes: int = 0
+    host_writeback_bytes: int = 0
+    invalidated_bytes: int = 0
+    thrashing_launches: int = 0
+
+    @property
+    def link_bytes(self) -> int:
+        """Everything that crossed the host link (H2D + D2H)."""
+        return (self.cold_bytes + self.refault_bytes
+                + self.writeback_bytes + self.prefetch_bytes
+                + self.host_writeback_bytes)
+
+
+class _DeviceUvm:
+    """Per-GPU bundle of page table, migration engine and pricer."""
+
+    def __init__(self, gpu: Gpu, params: UvmModelParams,
+                 prefetch: PrefetchConfig, eviction_order: str,
+                 rng: np.random.Generator):
+        spec = gpu.spec
+        self.gpu = gpu
+        self.table = DevicePageTable(spec.total_pages, spec.page_size)
+        self.engine = MigrationEngine(
+            self.table, spec, params, prefetch=prefetch,
+            eviction_order=eviction_order, rng=rng)
+        self.pricer = KernelPricer(self.engine, spec, params)
+        self.touched_buffers: dict[int, int] = {}   # buffer_id -> nbytes
+
+    @property
+    def pressure(self) -> float:
+        managed = sum(self.touched_buffers.values())
+        return managed / self.gpu.spec.memory_bytes
+
+    def forget(self, buffer_id: int) -> None:
+        self.touched_buffers.pop(buffer_id, None)
+        if self.table.is_registered(buffer_id):
+            self.table.unregister(buffer_id)
+
+
+class UvmSpace:
+    """Unified memory space of one node (all its GPUs + host backing)."""
+
+    def __init__(self, gpus: list[Gpu], *,
+                 params: UvmModelParams = PAPER_CALIBRATION,
+                 prefetch: PrefetchConfig | None = None,
+                 eviction_order: str = "lru",
+                 seed: int = 0):
+        if not gpus:
+            raise ValueError("UvmSpace needs at least one GPU")
+        self.params = params
+        self.prefetch_config = prefetch or PrefetchConfig()
+        self.eviction_order = eviction_order
+        self.advises = AdviseRegistry()
+        self.stats = UvmStats()
+        rng = np.random.default_rng(seed)
+        self._devices = {gpu.gpu_id: _DeviceUvm(
+            gpu, params, self.prefetch_config, eviction_order, rng)
+            for gpu in gpus}
+        self._buffers: dict[int, int] = {}   # buffer_id -> nbytes
+
+    # -- buffer registry -----------------------------------------------------
+
+    def register(self, buffer: SizedBuffer) -> None:
+        """Add a buffer to the managed space (idempotent)."""
+        existing = self._buffers.get(buffer.buffer_id)
+        if existing is not None and existing != buffer.nbytes:
+            raise UvmError(
+                f"buffer {buffer.buffer_id} re-registered with a different "
+                "size")
+        self._buffers[buffer.buffer_id] = buffer.nbytes
+
+    def unregister(self, buffer_id: int) -> None:
+        """Remove a buffer from the space and every device."""
+        self._buffers.pop(buffer_id, None)
+        for dev in self._devices.values():
+            dev.forget(buffer_id)
+        self.advises.forget(buffer_id)
+
+    def is_registered(self, buffer_id: int) -> bool:
+        """Whether a buffer belongs to this space."""
+        return buffer_id in self._buffers
+
+    @property
+    def managed_bytes(self) -> int:
+        """Total modeled bytes of every registered buffer."""
+        return sum(self._buffers.values())
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Sum of the node's GPU memory capacities."""
+        return sum(d.gpu.spec.memory_bytes for d in self._devices.values())
+
+    @property
+    def oversubscription(self) -> float:
+        """The paper's node-level OSF: managed bytes / total GPU memory.
+
+        Host-pinned buffers never compete for device memory, so they do
+        not contribute pressure.
+        """
+        managed = sum(
+            nbytes for buffer_id, nbytes in self._buffers.items()
+            if not self.advises.for_buffer(buffer_id).preferred_host)
+        return managed / self.capacity_bytes
+
+    def advise(self, buffer_id: int, advise: Advise,
+               device: int | None = None) -> None:
+        """Apply a ``cudaMemAdvise`` equivalent.
+
+        Advising before first use is the normal CUDA pattern, so this does
+        not require the buffer to be registered yet.
+        """
+        self.advises.advise(buffer_id, advise, device)
+
+    def _require(self, buffer_id: int) -> int:
+        try:
+            return self._buffers[buffer_id]
+        except KeyError:
+            raise UvmError(
+                f"buffer {buffer_id} is not registered in this UVM space"
+            ) from None
+
+    def _device(self, gpu: Gpu) -> _DeviceUvm:
+        try:
+            return self._devices[gpu.gpu_id]
+        except KeyError:
+            raise UvmError(f"{gpu!r} does not belong to this UVM space") \
+                from None
+
+    def device_pressure(self, gpu: Gpu) -> float:
+        """Per-GPU footprint-based oversubscription estimate."""
+        return self._device(gpu).pressure
+
+    def resident_bytes(self, buffer_id: int, gpu: Gpu | None = None) -> int:
+        """Resident bytes of a buffer on one GPU or node-wide."""
+        devices = ([self._device(gpu)] if gpu is not None
+                   else list(self._devices.values()))
+        total = 0
+        for dev in devices:
+            if dev.table.is_registered(buffer_id):
+                total += dev.table.resident_bytes(buffer_id)
+        return total
+
+    # -- kernel pricing --------------------------------------------------------
+
+    def price_kernel(self, gpu: Gpu, launch: KernelLaunch) -> KernelCost:
+        """Price one launch on ``gpu``, mutating residency state.
+
+        The degradation operating point is the *node-level* OSF (managed
+        bytes ÷ total GPU memory) — the paper's "allocated vs. available"
+        factor: the whole allocation competes for the node's device memory
+        regardless of which GPU a particular kernel lands on.
+        """
+        dev = self._device(gpu)
+        page_size = dev.table.page_size
+        peer_seconds = 0.0
+        peer_bytes = 0
+        pinned: set[int] = set()
+        for access in launch.accesses:
+            buffer = access.buffer
+            nbytes = self._require(buffer.buffer_id)
+            advise_set = self.advises.for_buffer(buffer.buffer_id)
+            if advise_set.preferred_host:
+                # Zero-copy access: never migrated, no device footprint.
+                pinned.add(buffer.buffer_id)
+                continue
+            if not dev.table.is_registered(buffer.buffer_id):
+                dev.table.register(
+                    buffer.buffer_id, pages_for_bytes(nbytes, page_size),
+                    read_mostly=advise_set.read_mostly)
+            dev.touched_buffers[buffer.buffer_id] = nbytes
+            seconds, moved = self._peer_migrate(dev, buffer.buffer_id)
+            peer_seconds += seconds
+            peer_bytes += moved
+        cost = dev.pricer.price(launch, self.oversubscription,
+                                pinned_host=frozenset(pinned))
+        if peer_seconds > 0:
+            cost = dataclasses.replace(
+                cost, duration=cost.duration + peer_seconds,
+                peer_seconds=peer_seconds, peer_bytes=peer_bytes)
+        stats = self.stats
+        stats.kernel_launches += 1
+        stats.cold_bytes += cost.cold_bytes
+        stats.refault_bytes += cost.refault_bytes
+        stats.writeback_bytes += cost.writeback_bytes
+        stats.peer_bytes += cost.peer_bytes
+        if cost.thrashing:
+            stats.thrashing_launches += 1
+        return cost
+
+    def _peer_migrate(self, target: _DeviceUvm,
+                      buffer_id: int) -> tuple[float, int]:
+        """Pull a buffer's pages from a peer GPU over NVLink.
+
+        UVM migrates pages between devices of one node over NVLink when
+        available — far cheaper than re-faulting them from the host.
+        Read-mostly buffers are *duplicated* (the peer keeps its copy);
+        everything else moves.  Returns (seconds, bytes moved); (0, 0)
+        when there is no NVLink or no better-stocked peer.
+        """
+        nvlink = target.gpu.spec.nvlink_bandwidth
+        if nvlink <= 0 or len(self._devices) < 2:
+            return 0.0, 0
+        table = target.table
+        target_pages = (table.resident_bytes(buffer_id) // table.page_size
+                        if table.is_registered(buffer_id) else 0)
+        best: _DeviceUvm | None = None
+        best_pages = target_pages
+        for dev in self._devices.values():
+            if dev is target or not dev.table.is_registered(buffer_id):
+                continue
+            pages = dev.table.buffer(buffer_id).resident_count
+            if pages > best_pages:
+                best, best_pages = dev, pages
+        if best is None:
+            return 0.0, 0
+
+        src_state = best.table.buffer(buffer_id)
+        pages = np.flatnonzero(src_state.resident)
+        if table.is_registered(buffer_id):
+            pages = pages[~table.buffer(buffer_id).resident[pages]]
+        if len(pages) == 0:
+            return 0.0, 0
+        if len(pages) > table.capacity_pages:
+            pages = pages[-table.capacity_pages:]
+
+        read_mostly = self.advises.for_buffer(buffer_id).read_mostly
+        dirty = bool(src_state.dirty[pages].any())
+        evicted = table.ensure_free(
+            len(pages), order=self.eviction_order)
+        table.admit(buffer_id, pages, write=dirty and not read_mostly)
+        if not read_mostly:
+            best.table.drop(buffer_id)
+        moved = len(pages) * table.page_size
+        seconds = moved / nvlink
+        if evicted.dirty_pages:
+            # Displaced dirty pages still go home over PCIe.
+            seconds += target.engine.transfer_seconds(
+                0, evicted.dirty_pages, AccessPattern.SEQUENTIAL,
+                self.oversubscription)
+        return seconds, moved
+
+    # -- explicit prefetch (the hand-tuning alternative, §I) ---------------------
+
+    def prefetch(self, gpu: Gpu, buffer: SizedBuffer) -> float:
+        """``cudaMemPrefetchAsync`` equivalent: bulk-migrate a buffer to a
+        device ahead of use.
+
+        Prefetch is the efficient path — no fault batching round-trips, the
+        link runs at its raw rate — which is exactly why the hand-tuning
+        school of §I reaches for it.  Returns the seconds the bulk copy
+        takes (to be charged on the owning stream).
+        """
+        dev = self._device(gpu)
+        table = dev.table
+        nbytes = self._require(buffer.buffer_id)
+        if not table.is_registered(buffer.buffer_id):
+            read_mostly = self.advises.for_buffer(
+                buffer.buffer_id).read_mostly
+            table.register(
+                buffer.buffer_id,
+                pages_for_bytes(nbytes, table.page_size),
+                read_mostly=read_mostly)
+        dev.touched_buffers[buffer.buffer_id] = nbytes
+
+        state = table.buffer(buffer.buffer_id)
+        pages = np.flatnonzero(~state.resident)
+        if len(pages) == 0:
+            return 0.0
+        if len(pages) > table.capacity_pages:
+            pages = pages[-table.capacity_pages:]
+        evicted = table.ensure_free(len(pages), order=self.eviction_order,
+                                    protect=buffer.buffer_id)
+        table.admit(buffer.buffer_id, pages, write=False)
+        moved = len(pages) * table.page_size
+        self.stats.prefetch_bytes += moved
+        wb = evicted.dirty_pages * table.page_size \
+            * self.params.writeback_factor
+        return (moved + wb) / dev.gpu.spec.pcie_bandwidth
+
+    # -- host access & coherence ------------------------------------------------
+
+    def host_access(self, buffer_id: int, *, write: bool) -> HostAccessCost:
+        """Price the host touching a buffer (read needs device write-back,
+        write additionally invalidates device replicas)."""
+        self._require(buffer_id)
+        seconds = 0.0
+        wb_bytes = invalidated = 0
+        for dev in self._devices.values():
+            if not dev.table.is_registered(buffer_id):
+                continue
+            stats = dev.engine.writeback(buffer_id, osf=dev.pressure)
+            seconds += stats.seconds
+            wb_bytes += stats.writeback_pages * dev.table.page_size
+            if write:
+                invalidated += dev.engine.invalidate(buffer_id) \
+                    * dev.table.page_size
+        self.stats.host_writeback_bytes += wb_bytes
+        self.stats.invalidated_bytes += invalidated
+        return HostAccessCost(seconds, wb_bytes, invalidated)
+
+    def writeback(self, buffer_id: int) -> HostAccessCost:
+        """Flush dirty pages of a buffer so the host copy is current."""
+        return self.host_access(buffer_id, write=False)
+
+    def invalidate(self, buffer_id: int) -> int:
+        """Drop every device replica (remote node took ownership)."""
+        self._require(buffer_id)
+        dropped = 0
+        for dev in self._devices.values():
+            dropped += dev.engine.invalidate(buffer_id) * dev.table.page_size
+        return dropped

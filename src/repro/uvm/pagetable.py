@@ -1,0 +1,316 @@
+"""Per-device page tables for the simulated UVM space.
+
+Residency is tracked at base-page granularity (default 64 KiB, the real
+UVM migration granule) with NumPy bitmaps, so a 160 GB buffer costs a few
+megabytes of bookkeeping and every operation is vectorised.
+
+The host's DRAM acts as the backing store: a page is either *resident* on
+this device (possibly *dirty*, i.e. the host copy is stale) or lives on the
+host.  Duplicated read-only residency (``cudaMemAdviseSetReadMostly``) is
+modelled by admitting pages with dirtiness suppressed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class UvmError(Exception):
+    """Raised on illegal UVM-state transitions."""
+
+
+@dataclass(slots=True)
+class BufferPages:
+    """Residency bitmaps of one managed buffer on one device."""
+
+    buffer_id: int
+    n_pages: int
+    resident: np.ndarray      # bool[n_pages]
+    dirty: np.ndarray         # bool[n_pages]
+    last_access: np.ndarray   # int64[n_pages], global LRU clock (0 = never)
+    access_count: np.ndarray  # int64[n_pages], lifetime touch count (LFU)
+    read_mostly: bool = False
+
+    @classmethod
+    def empty(cls, buffer_id: int, n_pages: int) -> "BufferPages":
+        if n_pages <= 0:
+            raise ValueError(f"buffer needs >= 1 page, got {n_pages}")
+        return cls(
+            buffer_id=buffer_id,
+            n_pages=n_pages,
+            resident=np.zeros(n_pages, dtype=bool),
+            dirty=np.zeros(n_pages, dtype=bool),
+            last_access=np.zeros(n_pages, dtype=np.int64),
+            access_count=np.zeros(n_pages, dtype=np.int64),
+        )
+
+    @property
+    def resident_count(self) -> int:
+        """Number of resident pages."""
+        return int(self.resident.sum())
+
+    @property
+    def dirty_count(self) -> int:
+        """Number of dirty pages."""
+        return int(self.dirty.sum())
+
+
+@dataclass(frozen=True, slots=True)
+class EvictionResult:
+    """Outcome of freeing device pages."""
+
+    evicted_pages: int
+    dirty_pages: int     # subset of evicted pages needing write-back
+
+
+class DevicePageTable:
+    """All UVM bookkeeping for one GPU.
+
+    Parameters
+    ----------
+    capacity_pages:
+        Device pages available to managed memory (HBM size / page size).
+    page_size:
+        Bytes per base page; only used by byte-level convenience helpers.
+    """
+
+    def __init__(self, capacity_pages: int, page_size: int):
+        if capacity_pages <= 0:
+            raise ValueError("capacity_pages must be positive")
+        self.capacity_pages = capacity_pages
+        self.page_size = page_size
+        self._buffers: dict[int, BufferPages] = {}
+        self._resident_total = 0
+        self._clock = 0
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, buffer_id: int, n_pages: int,
+                 read_mostly: bool = False) -> None:
+        """Start tracking a managed buffer (idempotent for same shape)."""
+        existing = self._buffers.get(buffer_id)
+        if existing is not None:
+            if existing.n_pages != n_pages:
+                raise UvmError(
+                    f"buffer {buffer_id} re-registered with {n_pages} pages, "
+                    f"was {existing.n_pages}")
+            return
+        pages = BufferPages.empty(buffer_id, n_pages)
+        pages.read_mostly = read_mostly
+        self._buffers[buffer_id] = pages
+
+    def unregister(self, buffer_id: int) -> None:
+        """Drop a buffer; its resident pages are freed without write-back."""
+        pages = self._buffers.pop(buffer_id, None)
+        if pages is not None:
+            self._resident_total -= pages.resident_count
+
+    def is_registered(self, buffer_id: int) -> bool:
+        """Whether the buffer is tracked on this device."""
+        return buffer_id in self._buffers
+
+    def buffer(self, buffer_id: int) -> BufferPages:
+        """Bitmap state of one buffer (raises for unknown ids)."""
+        try:
+            return self._buffers[buffer_id]
+        except KeyError:
+            raise UvmError(f"buffer {buffer_id} is not registered") from None
+
+    def buffers(self) -> list[BufferPages]:
+        """Every tracked buffer's state."""
+        return list(self._buffers.values())
+
+    # -- global state --------------------------------------------------------
+
+    @property
+    def resident_pages(self) -> int:
+        """Total resident pages on the device."""
+        return self._resident_total
+
+    @property
+    def free_pages(self) -> int:
+        """Remaining device page capacity."""
+        return self.capacity_pages - self._resident_total
+
+    @property
+    def clock(self) -> int:
+        """Current LRU clock value."""
+        return self._clock
+
+    def tick(self) -> int:
+        """Advance the LRU clock; one tick per logical operation."""
+        self._clock += 1
+        return self._clock
+
+    def resident_bytes(self, buffer_id: int | None = None) -> int:
+        """Resident bytes of one buffer, or of the whole device."""
+        if buffer_id is None:
+            return self._resident_total * self.page_size
+        return self.buffer(buffer_id).resident_count * self.page_size
+
+    # -- faults & admission ----------------------------------------------------
+
+    def fault_pages(self, buffer_id: int, pages: np.ndarray) -> np.ndarray:
+        """Subset of ``pages`` not currently resident (the faults)."""
+        state = self.buffer(buffer_id)
+        return pages[~state.resident[pages]]
+
+    def admit(self, buffer_id: int, pages: np.ndarray, *,
+              write: bool, clock: int | None = None) -> int:
+        """Make ``pages`` resident and stamp their access clock.
+
+        Returns the number of *newly* admitted pages.  The caller is
+        responsible for having evicted enough beforehand; over-committing
+        raises because it means the migration engine mis-accounted.
+        """
+        state = self.buffer(buffer_id)
+        if clock is None:
+            clock = self.tick()
+        if len(pages) == 0:
+            return 0
+        was_resident = state.resident[pages]
+        new = int((~was_resident).sum())
+        if new > self.free_pages:
+            raise UvmError(
+                f"admitting {new} pages exceeds free capacity "
+                f"{self.free_pages} — evict first")
+        state.resident[pages] = True
+        state.last_access[pages] = clock
+        state.access_count[pages] += 1
+        if write and not state.read_mostly:
+            state.dirty[pages] = True
+        self._resident_total += new
+        return new
+
+    def touch(self, buffer_id: int, pages: np.ndarray, *,
+              write: bool, clock: int | None = None) -> None:
+        """Refresh the clock (and dirtiness) of already-resident pages."""
+        state = self.buffer(buffer_id)
+        if clock is None:
+            clock = self.tick()
+        resident = pages[state.resident[pages]]
+        state.last_access[resident] = clock
+        state.access_count[resident] += 1
+        if write and not state.read_mostly:
+            state.dirty[resident] = True
+
+    # -- eviction -----------------------------------------------------------------
+
+    def evict(self, n_pages: int, *, order: str = "lru",
+              rng: np.random.Generator | None = None,
+              protect: int | None = None) -> EvictionResult:
+        """Free ``n_pages`` device pages.
+
+        Parameters
+        ----------
+        order:
+            ``"lru"`` (oldest clock first), ``"lfu"`` (fewest lifetime
+            touches first — the FALL-aware policy of [7]: streaming pages
+            get evicted before frequently re-used ones), or ``"random"``.
+        rng:
+            Required for ``"random"``; deterministic generator.
+        protect:
+            Optional buffer_id whose pages are evicted only as a last
+            resort (the buffer the current kernel is actively streaming).
+
+        Returns page counts; the *caller* charges write-back time for the
+        dirty subset.
+        """
+        if n_pages <= 0:
+            return EvictionResult(0, 0)
+        if n_pages > self._resident_total:
+            raise UvmError(
+                f"cannot evict {n_pages} pages, only {self._resident_total} "
+                "resident")
+
+        # Candidate pool per buffer: clocks, counts, local indices.
+        entries: list[tuple[np.ndarray, np.ndarray, np.ndarray,
+                            BufferPages, bool]] = []
+        for state in self._buffers.values():
+            idx = np.flatnonzero(state.resident)
+            if len(idx) == 0:
+                continue
+            entries.append((state.last_access[idx],
+                            state.access_count[idx], idx, state,
+                            state.buffer_id == protect))
+
+        remaining = n_pages
+        evicted = dirty = 0
+        # Two rounds: everything except the protected buffer, then it too.
+        for round_protected in (False, True):
+            if remaining <= 0:
+                break
+            pool = [e for e in entries if e[4] == round_protected]
+            if not pool:
+                continue
+            clocks = np.concatenate([e[0] for e in pool])
+            counts = np.concatenate([e[1] for e in pool])
+            owner = np.concatenate(
+                [np.full(len(e[0]), i) for i, e in enumerate(pool)])
+            local = np.concatenate([e[2] for e in pool])
+            take = min(remaining, len(clocks))
+            if order == "lru":
+                sel = np.argpartition(clocks, take - 1)[:take] \
+                    if take < len(clocks) else np.arange(len(clocks))
+            elif order == "lfu":
+                # Fewest touches first, oldest clock breaking ties.
+                sel = np.lexsort((clocks, counts))[:take]
+            elif order == "random":
+                if rng is None:
+                    raise ValueError("random eviction requires an rng")
+                sel = rng.choice(len(clocks), size=take, replace=False)
+            else:
+                raise ValueError(f"unknown eviction order {order!r}")
+            for i, entry in enumerate(pool):
+                mask = owner[sel] == i
+                pages = local[sel[mask]]
+                if len(pages) == 0:
+                    continue
+                state = entry[3]
+                dirty += int(state.dirty[pages].sum())
+                state.resident[pages] = False
+                state.dirty[pages] = False
+            evicted += take
+            remaining -= take
+
+        self._resident_total -= evicted
+        return EvictionResult(evicted, dirty)
+
+    def ensure_free(self, n_pages: int, **evict_kwargs: object) -> EvictionResult:
+        """Evict just enough to have ``n_pages`` free; no-op if already free."""
+        need = n_pages - self.free_pages
+        if need <= 0:
+            return EvictionResult(0, 0)
+        if n_pages > self.capacity_pages:
+            raise UvmError(
+                f"request for {n_pages} free pages exceeds device capacity "
+                f"{self.capacity_pages}")
+        return self.evict(need, **evict_kwargs)  # type: ignore[arg-type]
+
+    # -- write-back ----------------------------------------------------------------
+
+    def clean(self, buffer_id: int) -> int:
+        """Mark a buffer's dirty pages clean (after write-back); returns count."""
+        state = self.buffer(buffer_id)
+        n = state.dirty_count
+        state.dirty[:] = False
+        return n
+
+    def drop(self, buffer_id: int) -> int:
+        """Evict all pages of one buffer without write-back; returns count.
+
+        Used when another node takes ownership and the local copy is
+        invalidated (the coherence layer already shipped the data).
+        """
+        state = self.buffer(buffer_id)
+        n = state.resident_count
+        state.resident[:] = False
+        state.dirty[:] = False
+        self._resident_total -= n
+        return n
+
+    def __repr__(self) -> str:
+        return (f"<DevicePageTable {self._resident_total}/"
+                f"{self.capacity_pages} pages, {len(self._buffers)} buffers>")

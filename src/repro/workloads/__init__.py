@@ -1,0 +1,58 @@
+"""The paper's workload suite: MLE, CG, MV (§V-B) plus Black–Scholes (Fig. 1)."""
+
+from repro.workloads.base import (
+    DEFAULT_MAX_REAL_ELEMENTS,
+    RunResult,
+    Workload,
+    real_elements,
+)
+from repro.workloads.blackscholes import (
+    BlackScholes,
+    black_scholes_reference,
+    make_bs_kernel,
+)
+from repro.workloads.cg import ConjugateGradient
+from repro.workloads.images import ImagePipeline, reference_pipeline
+from repro.workloads.mle import MlEnsemble
+from repro.workloads.mv import MatVec, make_mv_kernel
+
+#: Harness registry keyed by the paper's workload names.
+WORKLOADS: dict[str, type[Workload]] = {
+    "bs": BlackScholes,
+    "mle": MlEnsemble,
+    "cg": ConjugateGradient,
+    "mv": MatVec,
+    # Beyond the paper's three: the GrCUDA-suite-style vision pipeline,
+    # demonstrating that the suite is user-extensible.
+    "img": ImagePipeline,
+}
+
+
+def make_workload(name: str, footprint_bytes: int, **kwargs) -> Workload:
+    """Instantiate a suite workload by its paper name."""
+    try:
+        cls = WORKLOADS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}"
+        ) from None
+    return cls(footprint_bytes, **kwargs)
+
+
+__all__ = [
+    "BlackScholes",
+    "ConjugateGradient",
+    "DEFAULT_MAX_REAL_ELEMENTS",
+    "ImagePipeline",
+    "MatVec",
+    "MlEnsemble",
+    "RunResult",
+    "WORKLOADS",
+    "Workload",
+    "black_scholes_reference",
+    "make_bs_kernel",
+    "make_mv_kernel",
+    "make_workload",
+    "real_elements",
+    "reference_pipeline",
+]

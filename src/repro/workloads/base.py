@@ -1,0 +1,147 @@
+"""Workload infrastructure: footprint sizing, scaled backings, verification.
+
+Every workload is parameterised by its **modeled** memory footprint (the
+paper's x-axis, 4–160 GB) while the NumPy backings stay small, so the
+numerics remain exact and testable at every size.  A workload runs against
+either runtime (GrOUT or GrCUDA) through the identical surface — the
+Listing 2 property.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpu.specs import GIB
+
+#: Default cap on real elements per managed array (keeps numerics cheap).
+DEFAULT_MAX_REAL_ELEMENTS = 1 << 12
+
+#: Fraction of the declared footprint carried by a workload's *primary*
+#: data, leaving headroom for vectors/intermediates so the total managed
+#: allocation matches the declared footprint (the paper profiles inputs
+#: "to generate a memory footprint for the desired oversubscription
+#: level"); without it, a nominally 1×-OSF run would spill by epsilon and
+#: thrash spuriously.
+FOOTPRINT_FILL = 0.94
+
+
+@dataclass(frozen=True, slots=True)
+class RunResult:
+    """Outcome of one workload execution."""
+
+    name: str
+    footprint_bytes: int
+    elapsed_seconds: float    # simulated
+    completed: bool           # False when the run hit the time cap
+    verified: bool
+    ce_count: int
+
+    @property
+    def footprint_gb(self) -> float:
+        """Modeled footprint in GiB."""
+        return self.footprint_bytes / GIB
+
+
+def real_elements(virtual_elements: int,
+                  cap: int = DEFAULT_MAX_REAL_ELEMENTS) -> int:
+    """Real backing size for a virtual element count (power-of-two cap)."""
+    if virtual_elements <= 0:
+        raise ValueError("virtual_elements must be positive")
+    return min(virtual_elements, cap)
+
+
+class Workload(abc.ABC):
+    """Base class of the paper's workload suite.
+
+    Subclasses implement :meth:`build` (allocate + initialise arrays) and
+    :meth:`run` (enqueue every CE, asynchronously); :meth:`verify` checks
+    the numerical output against a NumPy reference.
+    """
+
+    #: Short identifier used by the harness ("mle", "cg", "mv", "bs").
+    name: str = "workload"
+
+    def __init__(self, footprint_bytes: int, *,
+                 n_chunks: int | None = None,
+                 seed: int = 0):
+        if footprint_bytes <= 0:
+            raise ValueError("footprint_bytes must be positive")
+        self.footprint_bytes = int(footprint_bytes)
+        self.n_chunks = n_chunks if n_chunks is not None \
+            else self.default_chunks(self.footprint_bytes)
+        if self.n_chunks < 1:
+            raise ValueError("n_chunks must be >= 1")
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+        self._ce_count = 0
+
+    @staticmethod
+    def default_chunks(footprint_bytes: int) -> int:
+        """Enough chunks that both GPUs of both nodes see balanced work."""
+        return int(np.clip(footprint_bytes // (4 * GIB), 8, 64))
+
+    def tuned_vector(self, n_workers: int) -> list[int]:
+        """The offline (user-profiled) vector-step vector for this workload.
+
+        The paper's roofline policy is vector-step "customized to better
+        map to the workload" (§V-E); each workload knows its own CE cycle
+        and emits a vector that keeps chunk↔node affinity stable.
+        """
+        return [1]
+
+    # -- protocol ------------------------------------------------------------
+
+    @abc.abstractmethod
+    def build(self, rt) -> None:
+        """Allocate managed arrays and enqueue host initialisation."""
+
+    @abc.abstractmethod
+    def run(self, rt) -> None:
+        """Enqueue the workload's kernels (asynchronously)."""
+
+    @abc.abstractmethod
+    def verify(self) -> bool:
+        """Check the computed output against a NumPy reference."""
+
+    # -- bookkeeping ------------------------------------------------------------
+
+    def _count(self, ce) -> object:
+        self._ce_count += 1
+        return ce
+
+    @property
+    def ce_count(self) -> int:
+        """CEs issued so far by this workload instance."""
+        return self._ce_count
+
+    # -- driver ---------------------------------------------------------------------
+
+    def execute(self, rt, *, timeout: float | None = None,
+                check: bool = True) -> RunResult:
+        """Build, run and synchronise on ``rt``; returns the result record.
+
+        ``timeout`` models the paper's 2.5 h per-run cap (simulated
+        seconds); an incomplete run reports ``completed=False`` and skips
+        verification.
+        """
+        start = rt.elapsed
+        self.build(rt)
+        self.run(rt)
+        completed = rt.sync(timeout=timeout)
+        elapsed = rt.elapsed - start
+        verified = bool(completed and (not check or self.verify()))
+        return RunResult(
+            name=self.name,
+            footprint_bytes=self.footprint_bytes,
+            elapsed_seconds=elapsed,
+            completed=completed,
+            verified=verified,
+            ce_count=self._ce_count,
+        )
+
+    def __repr__(self) -> str:
+        return (f"<{type(self).__name__} {self.footprint_bytes/GIB:.3g} GiB "
+                f"chunks={self.n_chunks}>")

@@ -1,0 +1,307 @@
+"""CG — conjugate gradient with a row-partitioned matrix (§V-B).
+
+The iterative structure is what makes CG interesting for GrOUT: every
+iteration broadcasts the direction vector ``p`` to all matrix chunks,
+gathers per-chunk partial results for the scalar reductions, then updates
+the vectors — "multiple inter-dependent CEs that stress network
+communication".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.kernel import (
+    AccessPattern,
+    ArrayAccess,
+    Direction,
+    KernelSpec,
+)
+from repro.workloads.base import FOOTPRINT_FILL, Workload
+
+#: Real backing size of the solution vector (must be >= n_chunks).
+REAL_N = 512
+
+
+def _chunk_bounds(n: int, parts: int) -> list[tuple[int, int]]:
+    bounds = np.linspace(0, n, parts + 1, dtype=int)
+    return [(int(bounds[i]), int(bounds[i + 1])) for i in range(parts)]
+
+
+class ConjugateGradient(Workload):
+    """CG solve of an SPD system, matrix row-chunked across the cluster."""
+
+    name = "cg"
+
+    def __init__(self, footprint_bytes: int, *, n_chunks: int | None = None,
+                 iterations: int = 20, seed: int = 0):
+        if n_chunks is None:
+            n_chunks = min(32, Workload.default_chunks(footprint_bytes))
+        super().__init__(footprint_bytes, n_chunks=n_chunks, seed=seed)
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        self.iterations = iterations
+        # Virtual problem size: footprint is the (square, float32) matrix,
+        # with fill headroom for the solver vectors.
+        self.n_virtual = int(np.sqrt(FOOTPRINT_FILL
+                                     * self.footprint_bytes / 4))
+        self.bounds = _chunk_bounds(REAL_N, self.n_chunks)
+        self.residual_history: list[float] = []
+        self._arrays_built = False
+
+    # -- kernels -----------------------------------------------------------------
+
+    def _k_matvec(self) -> KernelSpec:
+        bounds = self.bounds
+
+        def executor(a_c, p, ap_c, chunk_idx):
+            ap_c.data[:] = a_c.data @ p.data
+
+        def access_fn(args):
+            a_c, p, ap_c, chunk_idx = args
+            seq = AccessPattern.SEQUENTIAL
+            # The matrix is walked row-by-row with per-row reduction
+            # strides (CSR-style), prefetch-friendly but not a pure sweep.
+            return [ArrayAccess(a_c, Direction.IN, AccessPattern.STRIDED,
+                                passes=1.0),
+                    ArrayAccess(p, Direction.IN, seq),
+                    ArrayAccess(ap_c, Direction.OUT, seq)]
+
+        def flops_fn(args):
+            chunk_idx = args[3]
+            lo, hi = bounds[chunk_idx]
+            rows_virtual = self.n_virtual * (hi - lo) / REAL_N
+            return 2.0 * rows_virtual * self.n_virtual
+
+        return KernelSpec("cg_matvec", executor=executor,
+                          access_fn=access_fn, flops_fn=flops_fn)
+
+    def _k_partial_dot(self) -> KernelSpec:
+        bounds = self.bounds
+
+        def executor(p, ap_c, out_c, chunk_idx):
+            lo, hi = bounds[chunk_idx]
+            out_c.data[0] = float(p.data[lo:hi] @ ap_c.data)
+
+        def access_fn(args):
+            p, ap_c, out_c, chunk_idx = args
+            seq = AccessPattern.SEQUENTIAL
+            return [ArrayAccess(p, Direction.IN, seq),
+                    ArrayAccess(ap_c, Direction.IN, seq),
+                    ArrayAccess(out_c, Direction.OUT, seq)]
+
+        def flops_fn(args):
+            return 2.0 * self.n_virtual / self.n_chunks
+
+        return KernelSpec("cg_pdot", executor=executor,
+                          access_fn=access_fn, flops_fn=flops_fn)
+
+    def _k_alpha(self) -> KernelSpec:
+        def executor(*args):
+            alpha, rs_old = args[0], args[1]
+            partials = args[2:]
+            pap = sum(float(p.data[0]) for p in partials)
+            alpha.data[0] = rs_old.data[0] / pap if pap != 0 else 0.0
+
+        def access_fn(args):
+            seq = AccessPattern.SEQUENTIAL
+            accesses = [ArrayAccess(args[0], Direction.OUT, seq),
+                        ArrayAccess(args[1], Direction.IN, seq)]
+            accesses += [ArrayAccess(p, Direction.IN, seq)
+                         for p in args[2:]]
+            return accesses
+
+        return KernelSpec("cg_alpha", flops_per_byte=0.25,
+                          executor=executor, access_fn=access_fn)
+
+    def _k_update_xr(self) -> KernelSpec:
+        def executor(*args):
+            x, r, p, alpha = args[:4]
+            ap_chunks = args[4:]
+            a = float(alpha.data[0])
+            x.data += a * p.data
+            ap_full = np.concatenate([c.data for c in ap_chunks])
+            r.data -= a * ap_full
+
+        def access_fn(args):
+            seq = AccessPattern.SEQUENTIAL
+            x, r, p, alpha = args[:4]
+            accesses = [ArrayAccess(x, Direction.INOUT, seq),
+                        ArrayAccess(r, Direction.INOUT, seq),
+                        ArrayAccess(p, Direction.IN, seq),
+                        ArrayAccess(alpha, Direction.IN, seq)]
+            accesses += [ArrayAccess(c, Direction.IN, seq)
+                         for c in args[4:]]
+            return accesses
+
+        def flops_fn(args):
+            return 4.0 * self.n_virtual
+
+        return KernelSpec("cg_update_xr", executor=executor,
+                          access_fn=access_fn, flops_fn=flops_fn)
+
+    def _k_beta(self) -> KernelSpec:
+        history = self.residual_history
+
+        def executor(r, rs_old, rs_new, beta):
+            rs = float(r.data @ r.data)
+            rs_new.data[0] = rs
+            prev = float(rs_old.data[0])
+            beta.data[0] = rs / prev if prev != 0 else 0.0
+            rs_old.data[0] = rs
+            history.append(np.sqrt(rs))
+
+        def access_fn(args):
+            r, rs_old, rs_new, beta = args
+            seq = AccessPattern.SEQUENTIAL
+            return [ArrayAccess(r, Direction.IN, seq),
+                    ArrayAccess(rs_old, Direction.INOUT, seq),
+                    ArrayAccess(rs_new, Direction.OUT, seq),
+                    ArrayAccess(beta, Direction.OUT, seq)]
+
+        def flops_fn(args):
+            return 2.0 * self.n_virtual
+
+        return KernelSpec("cg_beta", executor=executor,
+                          access_fn=access_fn, flops_fn=flops_fn)
+
+    def _k_update_p(self) -> KernelSpec:
+        def executor(p, r, beta):
+            p.data[:] = r.data + float(beta.data[0]) * p.data
+
+        def access_fn(args):
+            p, r, beta = args
+            seq = AccessPattern.SEQUENTIAL
+            return [ArrayAccess(p, Direction.INOUT, seq),
+                    ArrayAccess(r, Direction.IN, seq),
+                    ArrayAccess(beta, Direction.IN, seq)]
+
+        def flops_fn(args):
+            return 2.0 * self.n_virtual
+
+        return KernelSpec("cg_update_p", executor=executor,
+                          access_fn=access_fn, flops_fn=flops_fn)
+
+    def tuned_vector(self, n_workers: int) -> list[int]:
+        """Align the vector with CG's per-iteration CE cycle (2C + 4 CEs)
+        so every matrix chunk stays on one node across iterations.
+
+        Layout per iteration: the matvec wave splits ``share`` chunks per
+        node, the partial-dot wave mirrors it, and the four scalar/vector
+        tail CEs (alpha, update_xr, beta, update_p) ride on the last
+        node's final slot — keeping the slot count a multiple of
+        ``n_workers`` so the next iteration starts back on worker 0.
+        Exact alignment assumes ``n_chunks % n_workers == 0`` (the harness
+        sizes chunks accordingly); otherwise the vector still cycles but
+        chunk↔node affinity degrades.
+        """
+        share = max(1, self.n_chunks // n_workers)
+        vector = [share] * n_workers          # matvec wave
+        vector += [share] * (n_workers - 1)   # dot wave, all but last node
+        vector += [share + 4]                 # last dots + the 4 tail CEs
+        return vector
+
+    # -- workload protocol -----------------------------------------------------------
+
+    def build(self, rt) -> None:
+        """Allocate the SPD system, vectors and partials."""
+        n_v = self.n_virtual
+        vec_bytes = n_v * 4
+        rows_v = max(1, n_v // self.n_chunks)
+        chunk_bytes = rows_v * n_v * 4
+
+        # A real SPD system, then row slices as chunk backings.
+        rng = np.random.default_rng(self.seed)
+        q = rng.standard_normal((REAL_N, REAL_N))
+        self.a_full = (q @ q.T) / REAL_N + np.eye(REAL_N) * REAL_N * 0.05
+        self.b_full = rng.standard_normal(REAL_N)
+
+        self.a_chunks = []
+        self.ap_chunks = []
+        self.pap_partials = []
+        for c, (lo, hi) in enumerate(self.bounds):
+            a_c = rt.device_array((hi - lo, REAL_N), np.float64,
+                                  virtual_nbytes=chunk_bytes,
+                                  name=f"cg.A{c}")
+            ap_c = rt.device_array(hi - lo, np.float64,
+                                   virtual_nbytes=max(8, vec_bytes
+                                                      // self.n_chunks),
+                                   name=f"cg.Ap{c}")
+            pap_c = rt.device_array(1, np.float64, name=f"cg.pap{c}")
+            self.a_chunks.append(a_c)
+            self.ap_chunks.append(ap_c)
+            self.pap_partials.append(pap_c)
+
+            def init_a(a=a_c, lo=lo, hi=hi):
+                a.data[:] = self.a_full[lo:hi]
+
+            self._count(rt.host_write(a_c, init_a, label=f"cg.initA{c}"))
+
+        self.x = rt.device_array(REAL_N, np.float64,
+                                 virtual_nbytes=vec_bytes, name="cg.x")
+        self.r = rt.device_array(REAL_N, np.float64,
+                                 virtual_nbytes=vec_bytes, name="cg.r")
+        self.p = rt.device_array(REAL_N, np.float64,
+                                 virtual_nbytes=vec_bytes, name="cg.p")
+        self.alpha = rt.device_array(1, np.float64, name="cg.alpha")
+        self.beta = rt.device_array(1, np.float64, name="cg.beta")
+        self.rs_old = rt.device_array(1, np.float64, name="cg.rs_old")
+        self.rs_new = rt.device_array(1, np.float64, name="cg.rs_new")
+
+        def init_vectors():
+            self.x.data[:] = 0.0
+            self.r.data[:] = self.b_full
+            self.p.data[:] = self.b_full
+            self.rs_old.data[0] = float(self.b_full @ self.b_full)
+
+        self._count(rt.host_write(
+            [self.x, self.r, self.p, self.rs_old], init_vectors,
+            label="cg.init_vec"))
+        self._arrays_built = True
+
+    def run(self, rt) -> None:
+        """Enqueue all iterations' matvec/dot/update CEs."""
+        k_mv = self._k_matvec()
+        k_pd = self._k_partial_dot()
+        k_alpha = self._k_alpha()
+        k_xr = self._k_update_xr()
+        k_beta = self._k_beta()
+        k_p = self._k_update_p()
+        for _ in range(self.iterations):
+            for c in range(self.n_chunks):
+                self._count(rt.launch(
+                    k_mv, 4096, 256,
+                    (self.a_chunks[c], self.p, self.ap_chunks[c], c),
+                    label=f"cg.mv{c}"))
+            for c in range(self.n_chunks):
+                self._count(rt.launch(
+                    k_pd, 64, 256,
+                    (self.p, self.ap_chunks[c], self.pap_partials[c], c),
+                    label=f"cg.pdot{c}"))
+            self._count(rt.launch(
+                k_alpha, 1, 32,
+                (self.alpha, self.rs_old, *self.pap_partials),
+                label="cg.alpha"))
+            self._count(rt.launch(
+                k_xr, 1024, 256,
+                (self.x, self.r, self.p, self.alpha, *self.ap_chunks),
+                label="cg.update_xr"))
+            self._count(rt.launch(
+                k_beta, 64, 256,
+                (self.r, self.rs_old, self.rs_new, self.beta),
+                label="cg.beta"))
+            self._count(rt.launch(
+                k_p, 1024, 256, (self.p, self.r, self.beta),
+                label="cg.update_p"))
+
+    def verify(self) -> bool:
+        """Residual consistency + norm reduction check."""
+        if not self._arrays_built:
+            return False
+        # Residual must be consistent with x and strictly reduced.
+        recomputed = self.b_full - self.a_full @ self.x.data
+        if not np.allclose(recomputed, self.r.data, rtol=1e-6, atol=1e-8):
+            return False
+        norm_b = float(np.linalg.norm(self.b_full))
+        final = float(np.linalg.norm(self.r.data))
+        return final < 0.5 * norm_b

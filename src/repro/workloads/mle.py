@@ -1,0 +1,239 @@
+"""MLE — machine-learning ensemble inference (§V-B, Fig. 5 left).
+
+Two pipelines over the same chunked feature matrix, deliberately
+imbalanced (the paper calls this out): a heavy branch with data-dependent
+feature gathers (random-forest-style access — the FALL pages of [7]) and a
+light linear branch, combined per chunk into class predictions.
+
+The random-access pattern of the heavy branch is what collapses MLE a full
+oversubscription step *earlier* than CG/MV in Fig. 6a.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.kernel import (
+    AccessPattern,
+    ArrayAccess,
+    Direction,
+    KernelSpec,
+)
+from repro.workloads.base import FOOTPRINT_FILL, Workload, real_elements
+
+N_CLASSES = 8
+N_FEATURES = 64     # real backing features
+HIDDEN = 32
+
+
+def _softmax(z: np.ndarray) -> np.ndarray:
+    z = z - z.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+class MlEnsemble(Workload):
+    """Two-pipeline ensemble inference on a chunked dataset."""
+
+    name = "mle"
+
+    def __init__(self, footprint_bytes: int, *, n_chunks: int | None = None,
+                 seed: int = 0):
+        super().__init__(footprint_bytes, n_chunks=n_chunks, seed=seed)
+        # Footprint = the feature matrix (rows × features, float32), with
+        # fill headroom for the per-chunk intermediates.
+        self.rows_virtual = max(
+            self.n_chunks,
+            int(FOOTPRINT_FILL * 0.94 * self.footprint_bytes)
+            // (4 * N_FEATURES))
+        self._rows_real = real_elements(
+            max(1, self.rows_virtual // self.n_chunks), 1 << 9)
+        self.chunks: list[dict] = []
+        self.weights: dict = {}
+
+    # -- kernels ---------------------------------------------------------------
+
+    def _k_forest(self) -> KernelSpec:
+        """Heavy branch, stage 1: gather-style feature projection."""
+        rows_v = self.rows_virtual / self.n_chunks
+
+        def executor(x_c, w1, h_c):
+            h_c.data[:] = np.maximum(x_c.data @ w1.data, 0.0)
+
+        def access_fn(args):
+            x_c, w1, h_c = args
+            return [
+                ArrayAccess(x_c, Direction.IN, AccessPattern.RANDOM,
+                            passes=2.0),
+                ArrayAccess(w1, Direction.IN, AccessPattern.SEQUENTIAL),
+                ArrayAccess(h_c, Direction.OUT, AccessPattern.SEQUENTIAL),
+            ]
+
+        def flops_fn(args):
+            return 2.0 * rows_v * N_FEATURES * HIDDEN
+
+        return KernelSpec("mle_forest", executor=executor,
+                          access_fn=access_fn, flops_fn=flops_fn)
+
+    def _k_forest_head(self) -> KernelSpec:
+        """Heavy branch, stage 2: hidden -> class logits."""
+        rows_v = self.rows_virtual / self.n_chunks
+
+        def executor(h_c, w2, la_c):
+            la_c.data[:] = h_c.data @ w2.data
+
+        def access_fn(args):
+            h_c, w2, la_c = args
+            seq = AccessPattern.SEQUENTIAL
+            return [ArrayAccess(h_c, Direction.IN, seq),
+                    ArrayAccess(w2, Direction.IN, seq),
+                    ArrayAccess(la_c, Direction.OUT, seq)]
+
+        def flops_fn(args):
+            return 2.0 * rows_v * HIDDEN * N_CLASSES
+
+        return KernelSpec("mle_forest_head", executor=executor,
+                          access_fn=access_fn, flops_fn=flops_fn)
+
+    def _k_bayes(self) -> KernelSpec:
+        """Light branch: one linear pass (naive-Bayes log-likelihoods)."""
+        rows_v = self.rows_virtual / self.n_chunks
+
+        def executor(x_c, wb, lb_c):
+            lb_c.data[:] = x_c.data @ wb.data
+
+        def access_fn(args):
+            x_c, wb, lb_c = args
+            seq = AccessPattern.SEQUENTIAL
+            # Per-class likelihoods walk the features column-wise.
+            return [ArrayAccess(x_c, Direction.IN, AccessPattern.STRIDED),
+                    ArrayAccess(wb, Direction.IN, seq),
+                    ArrayAccess(lb_c, Direction.OUT, seq)]
+
+        def flops_fn(args):
+            return 2.0 * rows_v * N_FEATURES * N_CLASSES
+
+        return KernelSpec("mle_bayes", executor=executor,
+                          access_fn=access_fn, flops_fn=flops_fn)
+
+    def _k_combine(self) -> KernelSpec:
+        """Softmax-average the branches, emit per-row class predictions."""
+        rows_v = self.rows_virtual / self.n_chunks
+
+        def executor(la_c, lb_c, pred_c):
+            probs = 0.5 * (_softmax(la_c.data) + _softmax(lb_c.data))
+            pred_c.data[:] = probs.argmax(axis=1).astype(pred_c.dtype)
+
+        def access_fn(args):
+            la_c, lb_c, pred_c = args
+            seq = AccessPattern.SEQUENTIAL
+            return [ArrayAccess(la_c, Direction.IN, seq),
+                    ArrayAccess(lb_c, Direction.IN, seq),
+                    ArrayAccess(pred_c, Direction.OUT, seq)]
+
+        def flops_fn(args):
+            return 20.0 * rows_v * N_CLASSES
+
+        return KernelSpec("mle_combine", executor=executor,
+                          access_fn=access_fn, flops_fn=flops_fn)
+
+    def tuned_vector(self, n_workers: int) -> list[int]:
+        """Split each chunk by *pipeline branch*: the heavy forest branch
+        (forest + head) on one node, the light Bayes branch (bayes +
+        combine) on the next — the natural mapping of the paper's
+        two-pipeline ensemble, at the price of replicating the features to
+        both branches' nodes."""
+        return [2, 2]
+
+    # -- workload protocol --------------------------------------------------------
+
+    def build(self, rt) -> None:
+        """Allocate weights and the feature chunks."""
+        rows_v_chunk = max(1, self.rows_virtual // self.n_chunks)
+        x_bytes = rows_v_chunk * N_FEATURES * 4
+        inter_bytes = max(64, rows_v_chunk * HIDDEN * 4 // 64)
+
+        rng = np.random.default_rng(self.seed)
+        self.weights = {
+            "w1": rt.device_array((N_FEATURES, HIDDEN), np.float32,
+                                  name="mle.w1"),
+            "w2": rt.device_array((HIDDEN, N_CLASSES), np.float32,
+                                  name="mle.w2"),
+            "wb": rt.device_array((N_FEATURES, N_CLASSES), np.float32,
+                                  name="mle.wb"),
+        }
+        w_init = {k: rng.standard_normal(v.shape).astype(np.float32)
+                  for k, v in self.weights.items()}
+
+        def init_weights():
+            for k, v in self.weights.items():
+                v.data[:] = w_init[k]
+
+        self._count(rt.host_write(list(self.weights.values()),
+                                  init_weights, label="mle.init_w"))
+
+        for c in range(self.n_chunks):
+            chunk = {
+                "x": rt.device_array((self._rows_real, N_FEATURES),
+                                     np.float32, virtual_nbytes=x_bytes,
+                                     name=f"mle.x{c}"),
+                "h": rt.device_array((self._rows_real, HIDDEN), np.float32,
+                                     virtual_nbytes=inter_bytes,
+                                     name=f"mle.h{c}"),
+                "la": rt.device_array((self._rows_real, N_CLASSES),
+                                      np.float32,
+                                      virtual_nbytes=inter_bytes,
+                                      name=f"mle.la{c}"),
+                "lb": rt.device_array((self._rows_real, N_CLASSES),
+                                      np.float32,
+                                      virtual_nbytes=inter_bytes,
+                                      name=f"mle.lb{c}"),
+                "pred": rt.device_array(self._rows_real, np.int32,
+                                        virtual_nbytes=inter_bytes,
+                                        name=f"mle.pred{c}"),
+            }
+            self.chunks.append(chunk)
+            x_init = np.random.default_rng(self.seed + 1 + c) \
+                .standard_normal((self._rows_real, N_FEATURES)) \
+                .astype(np.float32)
+
+            def init_x(chunk=chunk, values=x_init):
+                chunk["x"].data[:] = values
+
+            self._count(rt.host_write(chunk["x"], init_x,
+                                      label=f"mle.initX{c}"))
+
+    def run(self, rt) -> None:
+        """Launch both pipelines plus combine per chunk."""
+        k_forest = self._k_forest()
+        k_head = self._k_forest_head()
+        k_bayes = self._k_bayes()
+        k_combine = self._k_combine()
+        w = self.weights
+        for c, chunk in enumerate(self.chunks):
+            self._count(rt.launch(
+                k_forest, 2048, 256, (chunk["x"], w["w1"], chunk["h"]),
+                label=f"mle.forest{c}"))
+            self._count(rt.launch(
+                k_head, 512, 256, (chunk["h"], w["w2"], chunk["la"]),
+                label=f"mle.head{c}"))
+            self._count(rt.launch(
+                k_bayes, 512, 256, (chunk["x"], w["wb"], chunk["lb"]),
+                label=f"mle.bayes{c}"))
+            self._count(rt.launch(
+                k_combine, 512, 256,
+                (chunk["la"], chunk["lb"], chunk["pred"]),
+                label=f"mle.combine{c}"))
+
+    def verify(self) -> bool:
+        """Recompute the ensemble predictions in NumPy."""
+        w = self.weights
+        for chunk in self.chunks:
+            x = chunk["x"].data
+            la = np.maximum(x @ w["w1"].data, 0.0) @ w["w2"].data
+            lb = x @ w["wb"].data
+            probs = 0.5 * (_softmax(la) + _softmax(lb))
+            expected = probs.argmax(axis=1)
+            if not np.array_equal(chunk["pred"].data, expected):
+                return False
+        return True

@@ -1,0 +1,123 @@
+"""MV — dense row-partitioned matrix–vector product (§V-B).
+
+``y = M @ x`` with the matrix split into row chunks, one kernel per chunk:
+massively parallel, single-pass, memory-bound streaming.  At scale this is
+the workload UVM punishes hardest (the 342× step of Fig. 6a) because its
+per-byte compute is too thin to hide any fault traffic.
+
+The matrix is *short and fat* (few rows, an enormous feature dimension —
+the usual shape of a dense scoring/embedding-lookup pass), so the shared
+input vector ``x`` is a non-trivial fraction of every chunk.  That shape is
+what makes locality-greedy online policies collapse MV in Fig. 8: once one
+node holds ``x``, every chunk CE looks cheapest there.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.kernel import (
+    AccessPattern,
+    ArrayAccess,
+    Direction,
+    KernelSpec,
+)
+from repro.workloads.base import FOOTPRINT_FILL, Workload
+
+#: Matrix rows per chunk: x/chunk ≈ 1/ROWS_PER_CHUNK ≈ 8 % shared data.
+ROWS_PER_CHUNK = 12
+
+#: Real backing sizes (numerics stay exact at any modeled footprint).
+REAL_COLS = 512
+
+
+def make_mv_kernel() -> KernelSpec:
+    """One row-chunk of the product: y_c = M_c @ x."""
+
+    def executor(m_chunk, x, y_chunk, rows, cols):
+        y_chunk.data[:] = m_chunk.data @ x.data
+
+    def access_fn(args):
+        m_chunk, x, y_chunk, rows, cols = args
+        seq = AccessPattern.SEQUENTIAL
+        return [
+            ArrayAccess(m_chunk, Direction.IN, seq, passes=1.0),
+            ArrayAccess(x, Direction.IN, seq),
+            ArrayAccess(y_chunk, Direction.OUT, seq),
+        ]
+
+    def flops_fn(args):
+        rows, cols = args[3], args[4]
+        return 2.0 * float(rows) * float(cols)
+
+    return KernelSpec("mv_chunk", executor=executor, access_fn=access_fn,
+                      flops_fn=flops_fn)
+
+
+class MatVec(Workload):
+    """Row-partitioned dense matrix–vector product."""
+
+    name = "mv"
+
+    def __init__(self, footprint_bytes: int, *, n_chunks: int | None = None,
+                 seed: int = 0):
+        super().__init__(footprint_bytes, n_chunks=n_chunks, seed=seed)
+        self.rows_virtual = ROWS_PER_CHUNK * self.n_chunks
+        # Footprint = matrix + x; the fat dimension carries the bytes.
+        self.cols_virtual = max(
+            REAL_COLS,
+            int(FOOTPRINT_FILL * self.footprint_bytes)
+            // (4 * (self.rows_virtual + 1)))
+        self.kernel = make_mv_kernel()
+        self.m_chunks: list = []
+        self.y_chunks: list = []
+        self.x = None
+
+    def build(self, rt) -> None:
+        """Allocate x and the matrix row chunks."""
+        chunk_virtual_bytes = ROWS_PER_CHUNK * self.cols_virtual * 4
+        self.x = rt.device_array(REAL_COLS, np.float32,
+                                 virtual_nbytes=self.cols_virtual * 4,
+                                 name="mv.x")
+        rng = np.random.default_rng(self.seed)
+        x_init = rng.standard_normal(REAL_COLS).astype(np.float32)
+
+        def init_x(x=self.x, values=x_init):
+            x.data[:] = values
+
+        self._count(rt.host_write(self.x, init_x, label="mv.init_x"))
+
+        for c in range(self.n_chunks):
+            m_c = rt.device_array(
+                (ROWS_PER_CHUNK, REAL_COLS), np.float32,
+                virtual_nbytes=chunk_virtual_bytes, name=f"mv.M{c}")
+            y_c = rt.device_array(
+                ROWS_PER_CHUNK, np.float32,
+                virtual_nbytes=ROWS_PER_CHUNK * 4, name=f"mv.y{c}")
+            self.m_chunks.append(m_c)
+            self.y_chunks.append(y_c)
+            block = np.random.default_rng(self.seed + 1 + c) \
+                .standard_normal((ROWS_PER_CHUNK, REAL_COLS)) \
+                .astype(np.float32)
+
+            def init_m(m=m_c, values=block):
+                m.data[:] = values
+
+            self._count(rt.host_write(m_c, init_m, label=f"mv.init_M{c}"))
+
+    def run(self, rt) -> None:
+        """Launch one product kernel per row chunk."""
+        for c in range(self.n_chunks):
+            args = (self.m_chunks[c], self.x, self.y_chunks[c],
+                    ROWS_PER_CHUNK, self.cols_virtual)
+            self._count(rt.launch(self.kernel, 4096, 256, args,
+                                  label=f"mv{c}"))
+
+    def verify(self) -> bool:
+        """Check every chunk product against NumPy."""
+        assert self.x is not None
+        for m_c, y_c in zip(self.m_chunks, self.y_chunks):
+            expected = m_c.data @ self.x.data
+            if not np.allclose(y_c.data, expected, rtol=1e-4, atol=1e-4):
+                return False
+        return True

@@ -1,0 +1,101 @@
+"""Unit tests of the figure-drift comparison tool."""
+
+import json
+
+import pytest
+
+from repro.bench import Comparison, Drift, compare_figures, figure_to_dict
+
+
+BASE = {
+    "figure": "Fig6Result",
+    "mode": "grcuda",
+    "sizes_gb": [4, 32, 96],
+    "workloads": ["mv"],
+    "slowdowns": {"mv": [1.0, 8.0, 5000.0]},
+    "steps": {"mv": [8.0, 625.0]},
+    "seconds": {"mv": [0.2, 1.6, 1000.0]},
+}
+
+
+def variant(**overrides):
+    out = json.loads(json.dumps(BASE))
+    out.update(overrides)
+    return out
+
+
+class TestDrift:
+    def test_ratio(self):
+        assert Drift("x", 2.0, 3.0).ratio == pytest.approx(1.5)
+        assert Drift("x", 0.0, 1.0).ratio == float("inf")
+        assert Drift("x", 0.0, 0.0).ratio == 1.0
+
+    def test_str(self):
+        assert "2 -> 3" in str(Drift("steps.mv[0]", 2.0, 3.0))
+
+
+class TestCompare:
+    def test_identical_has_no_drift(self):
+        comparison = compare_figures(BASE, variant())
+        assert comparison.figure == "Fig6Result"
+        assert not comparison.drifts and not comparison.structural
+        assert comparison.within(1.0001)
+
+    def test_numeric_drift_located(self):
+        changed = variant(steps={"mv": [8.0, 400.0]})
+        comparison = compare_figures(BASE, changed)
+        assert len(comparison.drifts) == 1
+        drift = comparison.drifts[0]
+        assert drift.path == "steps.mv[1]"
+        assert drift.ratio == pytest.approx(400 / 625)
+        assert not comparison.within(1.2)
+        assert comparison.within(2.0)
+
+    def test_worst_picks_biggest_deviation(self):
+        changed = variant(slowdowns={"mv": [1.0, 9.0, 500.0]},
+                          steps={"mv": [9.0, 55.6]})
+        comparison = compare_figures(BASE, changed)
+        assert comparison.worst().path == "steps.mv[1]"
+
+    def test_structural_mismatch_fails_tolerance(self):
+        changed = variant(workloads=["mv", "cg"])
+        comparison = compare_figures(BASE, changed)
+        assert comparison.structural
+        assert not comparison.within(100.0)
+
+    def test_figure_type_mismatch(self):
+        changed = variant(figure="Fig7Result")
+        comparison = compare_figures(BASE, changed)
+        assert comparison.structural
+
+    def test_from_files(self, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps(BASE))
+        b.write_text(json.dumps(variant(
+            seconds={"mv": [0.2, 1.6, 1100.0]})))
+        comparison = compare_figures(str(a), str(b))
+        assert comparison.drifts[0].path == "seconds.mv[2]"
+
+    def test_real_figure_export_self_compare(self):
+        from repro.bench import fig9
+        payload = figure_to_dict(fig9(node_counts=(2,), repeats=1))
+        # identical payload: structure clean, zero-or-no drifts
+        comparison = compare_figures(payload, payload)
+        assert comparison.within(1.000001)
+
+
+class TestCliCompare:
+    def test_pass_and_fail_exit_codes(self, tmp_path, capsys):
+        from repro.cli import main
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps(BASE))
+        b.write_text(json.dumps(variant(
+            steps={"mv": [8.0, 900.0]})))
+        assert main(["compare", str(a), str(a)]) == 0
+        assert "yes" in capsys.readouterr().out
+        assert main(["compare", str(a), str(b),
+                     "--tolerance", "1.2"]) == 1
+        out = capsys.readouterr().out
+        assert "steps.mv[1]" in out and "NO" in out

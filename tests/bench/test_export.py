@@ -1,0 +1,65 @@
+"""Unit tests of the figure JSON exporter."""
+
+import io
+import json
+
+import pytest
+
+from repro.bench import fig5, fig9, figure_to_dict, write_figure_json
+
+
+class TestFigureToDict:
+    def test_fig9_round_trip(self):
+        result = fig9(node_counts=(2, 8), repeats=1)
+        payload = figure_to_dict(result)
+        assert payload["figure"] == "Fig9Result"
+        assert payload["node_counts"] == [2, 8]
+        assert set(payload["micros"]) == {
+            "round-robin", "vector-step",
+            "min-transfer-size", "min-transfer-time"}
+        # JSON-serialisable end to end
+        json.dumps(payload)
+
+    def test_fig5_nested_structures(self):
+        result = fig5(("mv",))
+        payload = figure_to_dict(result)
+        assert payload["workloads"] == ["mv"]
+        assert isinstance(payload["edges"]["mv"], list)
+        label, parents = payload["edges"]["mv"][0]
+        assert isinstance(label, str) and isinstance(parents, list)
+        json.dumps(payload)
+
+    def test_non_dataclass_rejected(self):
+        with pytest.raises(TypeError):
+            figure_to_dict({"not": "a dataclass"})
+
+
+class TestWriteFigureJson:
+    def test_to_stream(self):
+        result = fig9(node_counts=(2,), repeats=1)
+        buf = io.StringIO()
+        write_figure_json(result, buf)
+        assert json.loads(buf.getvalue())["figure"] == "Fig9Result"
+
+    def test_to_file(self, tmp_path):
+        result = fig9(node_counts=(2,), repeats=1)
+        path = tmp_path / "fig.json"
+        write_figure_json(result, str(path))
+        assert json.loads(path.read_text())["node_counts"] == [2]
+
+    def test_cli_json_flag(self, tmp_path, capsys):
+        from repro.cli import main
+        path = tmp_path / "fig9.json"
+        assert main(["figure", "9", "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["figure"] == "Fig9Result"
+        assert "written to" in capsys.readouterr().out
+
+
+class TestSweepRepeats:
+    def test_repeats_forwarded(self):
+        from repro.bench import sweep
+        from repro.gpu.specs import GIB
+        results = list(sweep(["mv"], [2], modes=("grcuda",), repeats=2))
+        assert len(results) == 1
+        assert results[0].completed

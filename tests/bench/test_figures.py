@@ -1,0 +1,70 @@
+"""Smoke tests of the figure generators at trimmed scale."""
+
+import pytest
+
+from repro.bench import fig1, fig6a, fig6b, fig7, fig8, fig9
+
+SMALL_SIZES = (4, 32)
+
+
+class TestFig1:
+    def test_structure_and_render(self):
+        result = fig1(SMALL_SIZES)
+        assert result.sizes_gb == [4, 32]
+        assert len(result.seconds) == 2
+        assert result.oversubscribed == [False, False]
+        text = result.render()
+        assert "Black-Scholes" in text and "32" in text
+
+
+class TestFig6:
+    def test_fig6a_series_complete(self):
+        result = fig6a(SMALL_SIZES, workloads=("mv",))
+        assert result.mode == "grcuda"
+        assert len(result.slowdowns["mv"]) == 2
+        assert result.slowdowns["mv"][0] == 1.0
+        assert len(result.steps["mv"]) == 1
+        assert "6a" in result.render()
+
+    def test_fig6b_uses_grout(self):
+        result = fig6b(SMALL_SIZES, workloads=("mv",))
+        assert result.mode == "grout"
+        assert "6b" in result.render()
+
+
+class TestFig7:
+    def test_speedups_and_osf(self):
+        result = fig7(SMALL_SIZES, workloads=("mv",))
+        assert result.osf == [0.125, 1.0]
+        assert len(result.speedups["mv"]) == 2
+        assert all(s > 0 for s in result.speedups["mv"])
+        assert "speedup" in result.render()
+
+
+class TestFig8:
+    def test_all_policy_cells_present(self):
+        result = fig8(footprint_gb=8, workloads=("mv",))
+        cells = result.seconds["mv"]
+        assert "round-robin" in cells and "vector-step" in cells
+        assert "min-transfer-size/low" in cells
+        assert len(cells) == 8
+        norm = result.normalized("mv")
+        assert norm["round-robin"] == pytest.approx(1.0)
+        assert "Fig. 8" in result.render()
+
+
+class TestFig9:
+    def test_policies_and_counts(self):
+        result = fig9(node_counts=(2, 8), repeats=1)
+        assert set(result.micros) == {
+            "round-robin", "vector-step",
+            "min-transfer-size", "min-transfer-time"}
+        for series in result.micros.values():
+            assert len(series) == 2
+            assert all(u > 0 for u in series)
+        assert "microseconds" in result.render()
+
+    def test_informed_policies_cost_more(self):
+        result = fig9(node_counts=(8,), repeats=1)
+        assert result.micros["min-transfer-size"][0] > \
+            result.micros["round-robin"][0]

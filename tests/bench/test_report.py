@@ -1,0 +1,41 @@
+"""Unit tests of the text report renderer."""
+
+from repro.bench import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_header_rule(self):
+        out = format_table(["name", "value"],
+                           [("a", 1.0), ("bbbb", 22.5)])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1].replace(" ", "")) == {"-"}
+        # right-aligned columns of equal width
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1
+
+    def test_title_prepended(self):
+        out = format_table(["c"], [(1,)], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [(0.123456,), (12345.6,), (0.0,)])
+        assert "0.123" in out
+        assert "12,346" in out
+
+    def test_bool_rendering(self):
+        out = format_table(["ok"], [(True,), (False,)])
+        assert "yes" in out and "no" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert len(out.splitlines()) == 2
+
+
+class TestFormatSeries:
+    def test_pairs_with_unit(self):
+        out = format_series("slowdown", [4, 8], [1.0, 2.5], "x")
+        assert out == "slowdown: 4=1x 8=2.5x"
+
+    def test_no_unit(self):
+        assert format_series("t", ["a"], [3.0]) == "t: a=3"

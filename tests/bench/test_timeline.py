@@ -1,0 +1,83 @@
+"""Unit tests of the ASCII timeline renderer."""
+
+import pytest
+
+from repro.bench.timeline import (
+    TimelineOptions,
+    render_timeline,
+    utilisation_report,
+)
+from repro.sim import Tracer
+
+
+@pytest.fixture
+def trace():
+    tr = Tracer()
+    tr.record("gpu0/stream0", "kernel", "k1", 0.0, 2.0)
+    tr.record("gpu0/stream0", "kernel", "k2", 3.0, 4.0)
+    tr.record("net:a->b", "transfer", "t1", 0.0, 4.0, nbytes=10)
+    return tr
+
+
+class TestOptions:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimelineOptions(width=5)
+        with pytest.raises(ValueError):
+            TimelineOptions(max_lanes=0)
+
+
+class TestRenderTimeline:
+    def test_empty_trace(self):
+        assert "no spans" in render_timeline(Tracer())
+
+    def test_lanes_and_glyphs(self, trace):
+        out = render_timeline(trace)
+        assert "gpu0/stream0" in out and "net:a->b" in out
+        assert "#" in out and "=" in out
+        assert "legend:" in out
+        assert "kernel x2" in out and "transfer x1" in out
+
+    def test_bar_lengths_proportional(self, trace):
+        out = render_timeline(trace, TimelineOptions(width=40))
+        net_row = [ln for ln in out.splitlines() if "net:a->b" in ln][0]
+        bar = net_row.split("|")[1]
+        assert bar.count("=") == 40       # spans the whole horizon
+
+    def test_max_lanes_truncates(self):
+        tr = Tracer()
+        for i in range(5):
+            tr.record(f"lane{i}", "kernel", "k", 0.0, 1.0)
+        out = render_timeline(tr, TimelineOptions(max_lanes=2))
+        assert "more lanes" in out
+
+    def test_min_duration_filters(self, trace):
+        trace.record("gpu0/stream0", "kernel", "tiny", 0.0, 1e-9)
+        out = render_timeline(trace, TimelineOptions(min_duration=0.5))
+        assert "kernel x2" in out      # tiny span dropped
+
+    def test_unknown_category_gets_glyph(self):
+        tr = Tracer()
+        tr.record("lane", "exotic", "x", 0.0, 1.0)
+        out = render_timeline(tr)
+        assert "exotic" in out
+
+    def test_short_span_still_one_cell(self):
+        tr = Tracer()
+        tr.record("lane", "kernel", "long", 0.0, 100.0)
+        tr.record("lane2", "kernel", "blip", 0.0, 0.001)
+        out = render_timeline(tr)
+        blip_row = [ln for ln in out.splitlines() if "lane2" in ln][0]
+        assert "#" in blip_row
+
+
+class TestUtilisation:
+    def test_empty(self):
+        assert "no spans" in utilisation_report(Tracer())
+
+    def test_fractions(self, trace):
+        out = utilisation_report(trace)
+        net_row = [ln for ln in out.splitlines() if "net:a->b" in ln][0]
+        assert "100.0%" in net_row
+        gpu_row = [ln for ln in out.splitlines() if "gpu0" in ln][0]
+        assert "75.0%" in gpu_row

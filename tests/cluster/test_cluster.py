@@ -1,0 +1,96 @@
+"""Unit tests of node and cluster composition."""
+
+import pytest
+
+from repro.cluster import (
+    PAPER_CONTROLLER,
+    PAPER_WORKER,
+    Cluster,
+    Node,
+    NodeSpec,
+    paper_cluster,
+)
+from repro.gpu import GIB, TEST_GPU_1GB, V100_16GB
+from repro.gpu.specs import MIB
+from repro.sim import Engine
+
+
+class TestNodeSpec:
+    def test_paper_worker_matches_section_va(self):
+        assert PAPER_WORKER.n_gpus == 2
+        assert PAPER_WORKER.gpu_spec is V100_16GB
+        assert PAPER_WORKER.gpu_memory_bytes == 32 * GIB
+        assert PAPER_WORKER.ram_bytes == 180 * GIB
+        assert PAPER_WORKER.nic.bandwidth == pytest.approx(500e6)
+
+    def test_paper_controller_matches_section_va(self):
+        assert PAPER_CONTROLLER.n_gpus == 0
+        assert PAPER_CONTROLLER.ram_bytes == 256 * GIB
+        assert PAPER_CONTROLLER.nic.bandwidth == pytest.approx(1e9)
+
+    def test_gpus_require_spec(self):
+        with pytest.raises(ValueError):
+            NodeSpec(gpu_spec=None, n_gpus=2)
+
+    def test_negative_gpus_rejected(self):
+        with pytest.raises(ValueError):
+            NodeSpec(n_gpus=-1)
+
+
+class TestNode:
+    def test_gpu_composition(self, test_node):
+        assert test_node.has_gpus
+        assert len(test_node.gpus) == 2
+        assert test_node.gpus[0].lane == "testnode/gpu0"
+        assert test_node.uvm is not None
+
+    def test_cpu_only_node(self, engine):
+        node = Node(engine, "ctl", PAPER_CONTROLLER)
+        assert not node.has_gpus
+        assert node.uvm is None
+        assert node.oversubscription() == 0.0
+
+    def test_oversubscription_tracks_uvm(self, test_node):
+        from repro.core import ManagedArray
+        array = ManagedArray(8, virtual_nbytes=1 * GIB)
+        test_node.uvm.register(array)
+        assert test_node.oversubscription() == pytest.approx(0.5)
+
+
+class TestCluster:
+    def test_needs_workers(self, engine):
+        with pytest.raises(ValueError):
+            Cluster(engine, worker_specs=[])
+
+    def test_paper_cluster_layout(self):
+        cluster = paper_cluster(3)
+        assert cluster.n_workers == 3
+        assert [n.name for n in cluster.nodes] == [
+            "controller", "worker0", "worker1", "worker2"]
+        assert cluster.total_gpu_memory_bytes == 3 * 32 * GIB
+
+    def test_node_lookup(self):
+        cluster = paper_cluster(2)
+        assert cluster.node("worker1").name == "worker1"
+        with pytest.raises(KeyError):
+            cluster.node("ghost")
+
+    def test_oversubscription_is_paper_axis(self):
+        cluster = paper_cluster(1)
+        assert cluster.oversubscription(32 * GIB) == pytest.approx(1.0)
+        assert cluster.oversubscription(96 * GIB) == pytest.approx(3.0)
+
+    def test_page_size_override(self):
+        cluster = paper_cluster(1, page_size=16 * MIB)
+        gpu = cluster.workers[0].gpus[0]
+        assert gpu.spec.page_size == 16 * MIB
+
+    def test_topology_covers_all_nodes(self):
+        cluster = paper_cluster(2)
+        assert set(cluster.topology.nodes) == {
+            "controller", "worker0", "worker1"}
+
+    def test_custom_gpu_spec(self):
+        cluster = paper_cluster(1, gpu_spec=TEST_GPU_1GB,
+                                gpus_per_worker=1)
+        assert cluster.total_gpu_memory_bytes == TEST_GPU_1GB.memory_bytes

@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import Node, NodeSpec, paper_cluster
+from repro.core import GrCudaRuntime, GroutRuntime
+from repro.gpu import TEST_GPU_1GB, GpuSpec, Gpu
+from repro.gpu.specs import MIB
+from repro.net.topology import NicSpec
+from repro.sim import Engine, Tracer
+
+
+@pytest.fixture
+def engine() -> Engine:
+    return Engine()
+
+
+@pytest.fixture
+def tracer() -> Tracer:
+    return Tracer()
+
+
+@pytest.fixture
+def small_spec() -> GpuSpec:
+    """A 1 GiB test GPU with a 1 MiB page granule (1024 pages)."""
+    return TEST_GPU_1GB.with_page_size(1 * MIB)
+
+
+@pytest.fixture
+def gpu(engine, small_spec, tracer) -> Gpu:
+    return Gpu(engine, small_spec, node_name="n0", index=0, tracer=tracer)
+
+
+@pytest.fixture
+def test_node(engine, small_spec, tracer) -> Node:
+    spec = NodeSpec(gpu_spec=small_spec, n_gpus=2,
+                    ram_bytes=16 * 1024 * MIB, nic=NicSpec(500e6))
+    return Node(engine, "testnode", spec, tracer=tracer)
+
+
+@pytest.fixture
+def grcuda(small_spec) -> GrCudaRuntime:
+    """Single-node runtime on the small test GPU pair."""
+    return GrCudaRuntime(gpu_spec=small_spec)
+
+
+@pytest.fixture
+def grout(small_spec) -> GroutRuntime:
+    """Two-worker GrOUT runtime on small test GPUs."""
+    cluster = paper_cluster(2, gpu_spec=small_spec)
+    return GroutRuntime(cluster)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)

@@ -1,0 +1,165 @@
+"""Unit tests of managed arrays and the coherence directory."""
+
+import numpy as np
+import pytest
+
+from repro.core import ManagedArray, partition_rows
+from repro.core.arrays import Directory
+from repro.core.ce import CeKind, ComputationalElement
+from repro.gpu import ArrayAccess, Direction
+from repro.gpu.specs import MIB
+
+
+def make_ce(array, direction=Direction.IN):
+    return ComputationalElement(
+        kind=CeKind.HOST_WRITE if direction.writes else CeKind.HOST_READ,
+        accesses=(ArrayAccess(array, direction),))
+
+
+class TestManagedArray:
+    def test_defaults_to_real_size(self):
+        a = ManagedArray(100, np.float32)
+        assert a.nbytes == 400 and a.real_nbytes == 400
+        assert a.scale == 1.0
+
+    def test_virtual_footprint_decoupled(self):
+        a = ManagedArray(100, np.float32, virtual_nbytes=400 * MIB)
+        assert a.nbytes == 400 * MIB
+        assert a.real_nbytes == 400
+        assert a.scale == pytest.approx(MIB)
+
+    def test_virtual_smaller_than_real_rejected(self):
+        with pytest.raises(ValueError):
+            ManagedArray(100, np.float32, virtual_nbytes=10)
+
+    def test_unique_buffer_ids(self):
+        a, b = ManagedArray(4), ManagedArray(4)
+        assert a.buffer_id != b.buffer_id
+
+    def test_shape_dtype_len(self):
+        a = ManagedArray((4, 8), np.float64)
+        assert a.shape == (4, 8)
+        assert a.dtype == np.float64
+        assert len(a) == 4
+
+    def test_data_zero_initialised(self):
+        assert not ManagedArray(16).data.any()
+
+
+class TestPartitionRows:
+    def test_chunks_share_backing(self):
+        parent = ManagedArray((8, 4), np.float32)
+        chunks = partition_rows(parent, 2)
+        chunks[0].data[:] = 7.0
+        assert (parent.data[:4] == 7.0).all()
+        assert (parent.data[4:] == 0.0).all()
+
+    def test_virtual_bytes_split_proportionally(self):
+        parent = ManagedArray((8, 4), np.float32, virtual_nbytes=800 * MIB)
+        chunks = partition_rows(parent, 4)
+        assert all(c.nbytes == 200 * MIB for c in chunks)
+
+    def test_uneven_split(self):
+        parent = ManagedArray((10, 2), np.float32)
+        chunks = partition_rows(parent, 3)
+        assert sum(len(c) for c in chunks) == 10
+
+    def test_too_many_parts_rejected(self):
+        with pytest.raises(ValueError):
+            partition_rows(ManagedArray((2, 2)), 3)
+
+    def test_chunk_ids_fresh(self):
+        parent = ManagedArray((4, 2))
+        chunks = partition_rows(parent, 2)
+        ids = {parent.buffer_id, chunks[0].buffer_id, chunks[1].buffer_id}
+        assert len(ids) == 3
+
+
+class TestDirectory:
+    def test_arrays_born_on_home(self):
+        d = Directory(home="controller")
+        a = ManagedArray(4)
+        d.register(a)
+        assert d.holders(a) == {"controller"}
+        assert d.only_on_controller(a)
+
+    def test_register_idempotent(self):
+        d = Directory()
+        a = ManagedArray(4)
+        s1 = d.register(a)
+        s1.up_to_date.add("worker0")
+        assert d.register(a) is s1
+
+    def test_unregistered_array_raises(self):
+        d = Directory()
+        with pytest.raises(KeyError):
+            d.state(ManagedArray(4))
+
+    def test_replication_adds_holder(self, engine):
+        d = Directory()
+        a = ManagedArray(4)
+        d.register(a)
+        ev = engine.event()
+        d.record_replication(a, "worker0", ev)
+        assert d.up_to_date_on(a, "worker0")
+        assert not d.only_on_controller(a)
+        assert d.replication_event(a, "worker0") is ev
+
+    def test_replication_event_cleared_once_processed(self, engine):
+        d = Directory()
+        a = ManagedArray(4)
+        d.register(a)
+        ev = engine.event()
+        d.record_replication(a, "worker0", ev)
+        ev.succeed()
+        engine.run()
+        assert d.replication_event(a, "worker0") is None
+
+    def test_write_invalidates_other_holders(self, engine):
+        d = Directory()
+        a = ManagedArray(4)
+        d.register(a)
+        d.record_replication(a, "worker0", engine.event())
+        d.record_replication(a, "worker1", engine.event())
+        ce = make_ce(a, Direction.OUT)
+        invalidated = d.record_write(a, "worker1", ce)
+        assert invalidated == {"controller", "worker0"}
+        assert d.holders(a) == {"worker1"}
+        assert d.state(a).last_writer is ce
+
+    def test_write_clears_foreign_inflight(self, engine):
+        d = Directory()
+        a = ManagedArray(4)
+        d.register(a)
+        d.record_replication(a, "worker0", engine.event())
+        d.record_write(a, "worker1", make_ce(a, Direction.OUT))
+        assert d.replication_event(a, "worker0") is None
+
+    def test_bytes_up_to_date(self, engine):
+        d = Directory()
+        a = ManagedArray(4, virtual_nbytes=100 * MIB)
+        b = ManagedArray(4, virtual_nbytes=50 * MIB)
+        d.register(a)
+        d.register(b)
+        d.record_replication(a, "worker0", engine.event())
+        assert d.bytes_up_to_date([a, b], "worker0") == 100 * MIB
+        assert d.bytes_up_to_date([a, b], "controller") == 150 * MIB
+
+    def test_readers_tracked_until_write(self):
+        d = Directory()
+        a = ManagedArray(4)
+        d.register(a)
+        r1, r2 = make_ce(a), make_ce(a)
+        d.record_read(a, r1)
+        d.record_read(a, r2)
+        assert d.state(a).readers_since_write == [r1, r2]
+        d.record_write(a, "worker0", make_ce(a, Direction.OUT))
+        assert d.state(a).readers_since_write == []
+
+    def test_forget(self):
+        d = Directory()
+        a = ManagedArray(4)
+        d.register(a)
+        d.forget(a)
+        with pytest.raises(KeyError):
+            d.state(a)

@@ -1,0 +1,125 @@
+"""Unit tests of the KPI autoscaler (§V-F's future-work heuristic)."""
+
+import pytest
+
+from repro.cluster import paper_cluster
+from repro.core import GroutRuntime, KpiAutoscaler
+from repro.core.autoscale import DEFAULT_TARGET_OSF
+from repro.gpu import ArrayAccess, Direction, KernelSpec, TEST_GPU_1GB
+from repro.gpu.specs import GIB, MIB
+
+NODE_BYTES = 32 * GIB      # one paper worker
+
+
+def read_kernel():
+    def access_fn(args):
+        return [ArrayAccess(args[0], Direction.IN)]
+
+    return KernelSpec("r", flops_per_byte=0.5, access_fn=access_fn)
+
+
+class TestStaticPlan:
+    def test_small_footprint_one_node(self):
+        scaler = KpiAutoscaler()
+        assert scaler.workers_for(8 * GIB, NODE_BYTES) == 1
+
+    @pytest.mark.parametrize("gb,expected", [
+        (32, 1), (33, 2), (64, 2), (96, 3), (160, 5)])
+    def test_sizing_math(self, gb, expected):
+        scaler = KpiAutoscaler()
+        assert scaler.workers_for(gb * GIB, NODE_BYTES) == expected
+
+    def test_target_osf_scales_requirement(self):
+        relaxed = KpiAutoscaler(target_osf=2.0)
+        assert relaxed.workers_for(96 * GIB, NODE_BYTES) == 2
+
+    def test_max_workers_cap(self):
+        scaler = KpiAutoscaler(max_workers=3)
+        assert scaler.workers_for(1000 * GIB, NODE_BYTES) == 3
+
+    def test_plan_records_decision(self):
+        scaler = KpiAutoscaler()
+        decision = scaler.plan(96 * GIB, NODE_BYTES, current_workers=1)
+        assert decision.scaled
+        assert decision.recommended_workers == 3
+        assert decision.observed_osf == pytest.approx(3.0)
+        assert scaler.decisions == [decision]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            KpiAutoscaler(target_osf=0.0)
+        with pytest.raises(ValueError):
+            KpiAutoscaler(max_workers=0)
+
+
+class TestClusterGrowth:
+    def test_add_worker_wires_everything(self):
+        cluster = paper_cluster(1, gpu_spec=TEST_GPU_1GB)
+        rt = GroutRuntime(cluster)
+        name = rt.controller.add_worker()
+        assert name == "worker1"
+        assert cluster.n_workers == 2
+        assert "worker1" in cluster.topology.nodes
+        assert list(rt.controller.context.workers) == [
+            "worker0", "worker1"]
+        # the new worker is schedulable end to end
+        a = rt.device_array(64, virtual_nbytes=10 * MIB)
+        ces = [rt.launch(read_kernel(), 4, 128, (a,)) for _ in range(2)]
+        rt.sync()
+        assert {ce.assigned_node for ce in ces} == {"worker0", "worker1"}
+
+
+class TestReactiveStep:
+    def _loaded_runtime(self, footprint_gb, workers=1):
+        rt = GroutRuntime(paper_cluster(workers, page_size=32 * MIB))
+        arrays = [rt.device_array(
+            64, virtual_nbytes=int(footprint_gb * GIB / 4))
+            for _ in range(4)]
+        for a in arrays:
+            rt.launch(read_kernel(), 4, 128, (a,))
+        rt.sync()
+        return rt
+
+    def test_no_scaling_under_target(self):
+        rt = self._loaded_runtime(16)
+        scaler = KpiAutoscaler()
+        decision = scaler.step(rt)
+        assert not decision.scaled and decision.added == ()
+
+    def test_scales_to_target(self):
+        rt = self._loaded_runtime(96)       # OSF 3 on one node
+        scaler = KpiAutoscaler()
+        decision = scaler.step(rt)
+        assert decision.scaled
+        assert decision.recommended_workers == 3
+        assert len(decision.added) == 2
+        assert len(rt.cluster.workers) == 3
+
+    def test_respects_max_workers(self):
+        rt = self._loaded_runtime(96)
+        scaler = KpiAutoscaler(max_workers=2)
+        decision = scaler.step(rt)
+        assert decision.recommended_workers == 2
+
+    def test_default_target_below_every_knee(self):
+        from repro.gpu.kernel import AccessPattern
+        from repro.uvm import PAPER_CALIBRATION
+        for pattern in AccessPattern:
+            knee = PAPER_CALIBRATION.pattern(pattern).knee
+            assert DEFAULT_TARGET_OSF <= knee
+
+    def test_scaled_run_beats_unscaled(self):
+        """End to end: autoscale before the launch wave, run faster."""
+        from repro.workloads import make_workload
+
+        def run(autoscale):
+            wl = make_workload("mv", 96 * GIB)
+            rt = GroutRuntime(paper_cluster(1, page_size=32 * MIB))
+            wl.build(rt)
+            if autoscale:
+                KpiAutoscaler().step(rt)
+            wl.run(rt)
+            rt.sync(timeout=9000)
+            return rt.elapsed
+
+        assert run(True) < run(False) / 2

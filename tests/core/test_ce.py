@@ -1,0 +1,109 @@
+"""Unit tests of Computational Elements and the conflict predicate."""
+
+import pytest
+
+from repro.core import ManagedArray
+from repro.core.ce import CeKind, ComputationalElement, depends_on
+from repro.gpu import ArrayAccess, Direction, KernelSpec, LaunchConfig
+
+
+def kernel_ce(*accesses, label=None):
+    return ComputationalElement(
+        kind=CeKind.KERNEL, accesses=tuple(accesses),
+        kernel=KernelSpec("k"), config=LaunchConfig((1,), (32,)),
+        label=label)
+
+
+class TestConstruction:
+    def test_kernel_ce_requires_kernel_and_config(self):
+        with pytest.raises(ValueError):
+            ComputationalElement(kind=CeKind.KERNEL, accesses=())
+
+    def test_host_ce_must_not_carry_kernel(self):
+        with pytest.raises(ValueError):
+            ComputationalElement(
+                kind=CeKind.HOST_READ, accesses=(),
+                kernel=KernelSpec("k"))
+
+    def test_accesses_must_be_managed_arrays(self):
+        class Fake:
+            nbytes = 8
+            buffer_id = 1
+
+        with pytest.raises(TypeError):
+            ComputationalElement(
+                kind=CeKind.HOST_READ,
+                accesses=(ArrayAccess(Fake()),))
+
+    def test_unique_ids(self):
+        a = ManagedArray(4)
+        c1, c2 = kernel_ce(ArrayAccess(a)), kernel_ce(ArrayAccess(a))
+        assert c1.ce_id != c2.ce_id
+
+    def test_display_name_prefers_label(self):
+        a = ManagedArray(4)
+        assert kernel_ce(ArrayAccess(a), label="myk").display_name == "myk"
+        assert "k#" in kernel_ce(ArrayAccess(a)).display_name
+
+
+class TestAccessViews:
+    def test_reads_writes_split(self):
+        a, b, c = ManagedArray(4), ManagedArray(4), ManagedArray(4)
+        ce = kernel_ce(ArrayAccess(a, Direction.IN),
+                       ArrayAccess(b, Direction.OUT),
+                       ArrayAccess(c, Direction.INOUT))
+        assert ce.reads == [a, c]
+        assert ce.writes == [b, c]
+        assert ce.arrays == [a, b, c]
+
+    def test_duplicate_buffer_deduplicated(self):
+        a = ManagedArray(4)
+        ce = kernel_ce(ArrayAccess(a, Direction.IN),
+                       ArrayAccess(a, Direction.OUT))
+        assert ce.arrays == [a]
+        assert ce.writes == [a] and ce.reads == [a]
+
+    def test_buffer_predicates(self):
+        a, b = ManagedArray(4), ManagedArray(4)
+        ce = kernel_ce(ArrayAccess(a, Direction.IN),
+                       ArrayAccess(b, Direction.OUT))
+        assert ce.reads_buffer(a.buffer_id)
+        assert not ce.writes_buffer(a.buffer_id)
+        assert ce.writes_buffer(b.buffer_id)
+
+    def test_param_bytes_sums_unique(self):
+        a = ManagedArray(4, virtual_nbytes=100)
+        ce = kernel_ce(ArrayAccess(a, Direction.IN),
+                       ArrayAccess(a, Direction.OUT))
+        assert ce.param_bytes == 100
+
+
+class TestDependsOn:
+    def test_read_read_independent(self):
+        a = ManagedArray(4)
+        c1 = kernel_ce(ArrayAccess(a, Direction.IN))
+        c2 = kernel_ce(ArrayAccess(a, Direction.IN))
+        assert not depends_on(c2, c1)
+
+    def test_raw(self):
+        a = ManagedArray(4)
+        writer = kernel_ce(ArrayAccess(a, Direction.OUT))
+        reader = kernel_ce(ArrayAccess(a, Direction.IN))
+        assert depends_on(reader, writer)
+
+    def test_war(self):
+        a = ManagedArray(4)
+        reader = kernel_ce(ArrayAccess(a, Direction.IN))
+        writer = kernel_ce(ArrayAccess(a, Direction.OUT))
+        assert depends_on(writer, reader)
+
+    def test_waw(self):
+        a = ManagedArray(4)
+        w1 = kernel_ce(ArrayAccess(a, Direction.OUT))
+        w2 = kernel_ce(ArrayAccess(a, Direction.OUT))
+        assert depends_on(w2, w1)
+
+    def test_disjoint_buffers_independent(self):
+        c1 = kernel_ce(ArrayAccess(ManagedArray(4), Direction.INOUT))
+        c2 = kernel_ce(ArrayAccess(ManagedArray(4), Direction.INOUT))
+        assert not depends_on(c2, c1)

@@ -1,0 +1,178 @@
+"""Unit tests of the dependency DAG (Algorithm 1's first phase)."""
+
+import pytest
+
+from repro.core import DependencyDag, ManagedArray
+from repro.core.ce import CeKind, ComputationalElement
+from repro.gpu import ArrayAccess, Direction, KernelSpec, LaunchConfig
+
+
+def ce(*accesses, label=None):
+    return ComputationalElement(
+        kind=CeKind.KERNEL, accesses=tuple(accesses),
+        kernel=KernelSpec("k"), config=LaunchConfig((1,), (32,)),
+        label=label)
+
+
+def read(a):
+    return ArrayAccess(a, Direction.IN)
+
+
+def write(a):
+    return ArrayAccess(a, Direction.OUT)
+
+
+def update(a):
+    return ArrayAccess(a, Direction.INOUT)
+
+
+class TestEdges:
+    def test_first_ce_has_no_ancestors(self):
+        dag = DependencyDag()
+        a = ManagedArray(4)
+        assert dag.add(ce(read(a))) == []
+
+    def test_raw_edge(self):
+        dag = DependencyDag()
+        a = ManagedArray(4)
+        producer = ce(write(a))
+        consumer = ce(read(a))
+        dag.add(producer)
+        assert dag.add(consumer) == [producer]
+        assert dag.children(producer) == [consumer]
+        assert dag.parents(consumer) == [producer]
+
+    def test_war_edges_to_all_readers(self):
+        dag = DependencyDag()
+        a = ManagedArray(4)
+        w0 = ce(write(a))
+        r1, r2 = ce(read(a)), ce(read(a))
+        writer = ce(write(a))
+        dag.add(w0)
+        dag.add(r1)
+        dag.add(r2)
+        parents = dag.add(writer)
+        # w0 is transitively covered through the readers (filterRedundant)
+        assert set(parents) == {r1, r2}
+
+    def test_independent_readers_share_writer(self):
+        dag = DependencyDag()
+        a = ManagedArray(4)
+        w = ce(write(a))
+        dag.add(w)
+        r1, r2 = ce(read(a)), ce(read(a))
+        assert dag.add(r1) == [w]
+        assert dag.add(r2) == [w]
+        assert not dag.ancestors(r2) & {r1.ce_id}
+
+    def test_waw_through_nonconflicting_reader(self):
+        """Regression for the paper's simplified frontier: A writes X and
+        Y; B reads only X; a later writer of Y must still depend on A."""
+        dag = DependencyDag()
+        x, y = ManagedArray(4), ManagedArray(4)
+        a = ce(write(x), write(y), label="A")
+        b = ce(read(x), label="B")
+        c = ce(write(y), label="C")
+        dag.add(a)
+        dag.add(b)
+        assert dag.add(c) == [a]
+
+    def test_redundant_ancestor_filtered(self):
+        """A and B both conflict with C but B depends on A: drop A."""
+        dag = DependencyDag()
+        data = ManagedArray(4)
+        a = ce(update(data), label="A")
+        b = ce(update(data), label="B")
+        c = ce(update(data), label="C")
+        dag.add(a)
+        dag.add(b)
+        assert dag.add(c) == [b]
+
+    def test_diamond(self):
+        dag = DependencyDag()
+        src, left, right = (ManagedArray(4) for _ in range(3))
+        a = ce(write(src))
+        b = ce(read(src), write(left))
+        c = ce(read(src), write(right))
+        d = ce(read(left), read(right))
+        dag.add(a)
+        dag.add(b)
+        dag.add(c)
+        assert set(dag.add(d)) == {b, c}
+        assert dag.ancestors(d) == {a.ce_id, b.ce_id, c.ce_id}
+
+    def test_duplicate_insert_rejected(self):
+        dag = DependencyDag()
+        node = ce(read(ManagedArray(4)))
+        dag.add(node)
+        with pytest.raises(ValueError):
+            dag.add(node)
+
+
+class TestFrontier:
+    def test_frontier_tracks_latest_accessors(self):
+        dag = DependencyDag()
+        a = ManagedArray(4)
+        w1 = ce(write(a))
+        dag.add(w1)
+        assert dag.frontier == [w1]
+        r = ce(read(a))
+        dag.add(r)
+        assert set(dag.frontier) == {w1, r}
+        w2 = ce(write(a))
+        dag.add(w2)
+        assert dag.frontier == [w2]
+
+    def test_frontier_per_buffer(self):
+        dag = DependencyDag()
+        x, y = ManagedArray(4), ManagedArray(4)
+        wx, wy = ce(write(x)), ce(write(y))
+        dag.add(wx)
+        dag.add(wy)
+        assert set(dag.frontier) == {wx, wy}
+
+    def test_size_and_edge_count(self):
+        dag = DependencyDag()
+        a = ManagedArray(4)
+        chain = [ce(update(a)) for _ in range(4)]
+        for node in chain:
+            dag.add(node)
+        assert dag.size == 4
+        assert dag.edge_count() == 3
+
+
+class TestPrune:
+    def _chain(self, n):
+        dag = DependencyDag()
+        a = ManagedArray(4)
+        nodes = [ce(update(a)) for _ in range(n)]
+        for node in nodes:
+            dag.add(node)
+        return dag, nodes
+
+    def test_prune_keeps_incomplete(self):
+        dag, nodes = self._chain(5)
+        assert dag.prune_completed(lambda c: False) == 0
+        assert dag.size == 5
+
+    def test_prune_drops_finished_non_frontier(self):
+        dag, nodes = self._chain(5)
+        finished = set(nodes[:3])
+        removed = dag.prune_completed(lambda c: c in finished)
+        # the chain's last element stays (frontier); its direct ancestor
+        # set is trimmed of dead ids
+        assert removed > 0
+        assert nodes[-1] in dag
+
+    def test_pruned_dag_still_correct(self):
+        dag, nodes = self._chain(3)
+        dag.prune_completed(lambda c: c in set(nodes[:2]))
+        a = nodes[0].accesses[0].buffer
+        new = ce(update(a))
+        parents = dag.add(new)
+        assert parents == [nodes[2]]
+
+    def test_frontier_never_pruned(self):
+        dag, nodes = self._chain(3)
+        dag.prune_completed(lambda c: True)
+        assert nodes[-1] in dag

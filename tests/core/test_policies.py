@@ -1,0 +1,176 @@
+"""Unit tests of the inter-node scheduling policies (§IV-D, §V-E)."""
+
+import pytest
+
+from repro.core import ManagedArray
+from repro.core.ce import CeKind, ComputationalElement
+from repro.core.arrays import Directory
+from repro.core.policies import (
+    ExplorationLevel,
+    MinTransferSizePolicy,
+    MinTransferTimePolicy,
+    RoundRobinPolicy,
+    SchedulingContext,
+    VectorStepPolicy,
+    make_policy,
+)
+from repro.gpu import ArrayAccess, Direction, KernelSpec, LaunchConfig
+from repro.gpu.specs import MIB
+from repro.net.topology import NicSpec, Topology, uniform_topology
+
+
+def ce(*arrays):
+    accesses = tuple(ArrayAccess(a, Direction.IN) for a in arrays)
+    return ComputationalElement(
+        kind=CeKind.KERNEL, accesses=accesses,
+        kernel=KernelSpec("k"), config=LaunchConfig((1,), (32,)))
+
+
+@pytest.fixture
+def ctx():
+    workers = ["worker0", "worker1", "worker2"]
+    topo = uniform_topology(["controller"] + workers, 1e9)
+    return SchedulingContext(workers=workers, directory=Directory(),
+                             topology=topo)
+
+
+def place(ctx, array, *nodes):
+    state = ctx.directory.register(array)
+    state.up_to_date = {"controller", *nodes}
+    return array
+
+
+class TestRoundRobin:
+    def test_cycles_workers(self, ctx):
+        pol = RoundRobinPolicy()
+        a = place(ctx, ManagedArray(4))
+        got = [pol.assign(ce(a), ctx) for _ in range(6)]
+        assert got == ["worker0", "worker1", "worker2"] * 2
+
+    def test_reset(self, ctx):
+        pol = RoundRobinPolicy()
+        a = place(ctx, ManagedArray(4))
+        pol.assign(ce(a), ctx)
+        pol.reset()
+        assert pol.assign(ce(a), ctx) == "worker0"
+
+
+class TestVectorStep:
+    def test_paper_example(self, ctx):
+        """Vector [1,2,3] on two nodes: 1 CE to node0, 2 to node1, 3 to
+        node0 (the §IV-D worked example)."""
+        two = SchedulingContext(workers=["n0", "n1"],
+                                directory=ctx.directory,
+                                topology=uniform_topology(
+                                    ["controller", "n0", "n1"], 1e9))
+        pol = VectorStepPolicy([1, 2, 3])
+        a = place(ctx, ManagedArray(4))
+        got = [pol.assign(ce(a), two) for _ in range(6)]
+        assert got == ["n0", "n1", "n1", "n0", "n0", "n0"]
+
+    def test_invalid_vector(self):
+        with pytest.raises(ValueError):
+            VectorStepPolicy([])
+        with pytest.raises(ValueError):
+            VectorStepPolicy([1, 0])
+
+    def test_reset(self, ctx):
+        pol = VectorStepPolicy([2])
+        a = place(ctx, ManagedArray(4))
+        pol.assign(ce(a), ctx)
+        pol.reset()
+        assert pol.assign(ce(a), ctx) == "worker0"
+
+
+class TestMinTransferSize:
+    def test_explores_when_no_worker_has_data(self, ctx):
+        pol = MinTransferSizePolicy()
+        a = place(ctx, ManagedArray(4, virtual_nbytes=100 * MIB))
+        got = [pol.assign(ce(a), ctx) for _ in range(3)]
+        assert got == ["worker0", "worker1", "worker2"]
+
+    def test_exploits_dominant_holder(self, ctx):
+        pol = MinTransferSizePolicy()
+        big = place(ctx, ManagedArray(4, virtual_nbytes=100 * MIB),
+                    "worker1")
+        small = place(ctx, ManagedArray(4, virtual_nbytes=1 * MIB))
+        assert pol.assign(ce(big, small), ctx) == "worker1"
+
+    def test_exploit_floor_ignores_crumbs(self, ctx):
+        """A few shared kilobytes must not gravity-well everything."""
+        pol = MinTransferSizePolicy()
+        crumb = place(ctx, ManagedArray(4, virtual_nbytes=1 * MIB),
+                      "worker2")
+        big = place(ctx, ManagedArray(4, virtual_nbytes=1000 * MIB))
+        first = pol.assign(ce(big, crumb), ctx)
+        assert first == "worker0"          # round-robin exploration
+
+    def test_high_level_prunes_weak_holders(self, ctx):
+        big0 = place(ctx, ManagedArray(4, virtual_nbytes=100 * MIB),
+                     "worker0")
+        big1 = place(ctx, ManagedArray(4, virtual_nbytes=60 * MIB),
+                     "worker1")
+        target = ce(big0, big1)
+        high = MinTransferSizePolicy(ExplorationLevel.HIGH)
+        # worker1 holds 60% of the best's coverage < 90% cutoff
+        assert high.assign(target, ctx) == "worker0"
+        low = MinTransferSizePolicy(ExplorationLevel.LOW)
+        # with LOW both are viable; worker0 still wins on missing bytes
+        assert low.assign(target, ctx) == "worker0"
+
+    def test_minimises_missing_bytes(self, ctx):
+        a = place(ctx, ManagedArray(4, virtual_nbytes=100 * MIB),
+                  "worker0", "worker1")
+        b = place(ctx, ManagedArray(4, virtual_nbytes=50 * MIB), "worker1")
+        assert MinTransferSizePolicy().assign(ce(a, b), ctx) == "worker1"
+
+
+class TestMinTransferTime:
+    def test_prefers_faster_link(self):
+        topo = Topology()
+        topo.add_node("controller", NicSpec(1e9))
+        topo.add_node("fast", NicSpec(10e9))
+        topo.add_node("slow", NicSpec(1e8))
+        topo.add_node("holder", NicSpec(10e9))
+        directory = Directory()
+        ctx = SchedulingContext(workers=["fast", "slow", "holder"],
+                                directory=directory, topology=topo)
+        held = ManagedArray(4, virtual_nbytes=100 * MIB)
+        directory.register(held).up_to_date = {"controller", "holder"}
+        missing = ManagedArray(4, virtual_nbytes=100 * MIB)
+        directory.register(missing).up_to_date = {"controller", "fast",
+                                                  "slow", "holder"}
+        # all three viable via `missing`; cost of pulling `held` wins
+        pol = MinTransferTimePolicy(ExplorationLevel.LOW)
+        assert pol.assign(ce(held, missing), ctx) == "holder"
+
+    def test_levels_identical_when_one_holder(self, ctx):
+        a = place(ctx, ManagedArray(4, virtual_nbytes=100 * MIB),
+                  "worker1")
+        target = ce(a)
+        winners = {
+            lvl: MinTransferTimePolicy(lvl).assign(target, ctx)
+            for lvl in ExplorationLevel
+        }
+        assert set(winners.values()) == {"worker1"}
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("round-robin", RoundRobinPolicy),
+        ("vector-step", VectorStepPolicy),
+        ("min-transfer-size", MinTransferSizePolicy),
+        ("min-transfer-time", MinTransferTimePolicy),
+    ])
+    def test_known_names(self, name, cls):
+        assert isinstance(make_policy(name, vector=[1]), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_policy("magic")
+
+
+def test_context_requires_workers():
+    with pytest.raises(ValueError):
+        SchedulingContext(workers=[], directory=Directory(),
+                          topology=uniform_topology(["controller"], 1e9))

@@ -1,0 +1,130 @@
+"""Unit tests of the policy registry and the least-loaded example policy."""
+
+import pytest
+
+from repro.core import GroutRuntime, LeastLoadedPolicy
+from repro.core.arrays import Directory
+from repro.core.ce import CeKind, ComputationalElement
+from repro.core.policies import (
+    Policy,
+    RoundRobinPolicy,
+    SchedulingContext,
+    available_policies,
+    make_policy,
+    register_policy,
+)
+from repro.gpu import ArrayAccess, Direction, KernelSpec, LaunchConfig, TEST_GPU_1GB
+from repro.gpu.specs import MIB
+from repro.net.topology import uniform_topology
+from repro.core import ManagedArray
+
+
+def ce_of(nbytes):
+    a = ManagedArray(4, virtual_nbytes=nbytes)
+    return ComputationalElement(
+        kind=CeKind.KERNEL, accesses=(ArrayAccess(a, Direction.IN),),
+        kernel=KernelSpec("k"), config=LaunchConfig((1,), (32,)))
+
+
+@pytest.fixture
+def ctx():
+    workers = ["w0", "w1"]
+    return SchedulingContext(
+        workers=workers, directory=Directory(),
+        topology=uniform_topology(["controller"] + workers, 1e9))
+
+
+class TestLeastLoaded:
+    def test_alternates_equal_loads(self, ctx):
+        policy = LeastLoadedPolicy()
+        got = [policy.assign(ce_of(10 * MIB), ctx) for _ in range(4)]
+        assert got == ["w0", "w1", "w0", "w1"]
+
+    def test_big_ce_shifts_balance(self, ctx):
+        policy = LeastLoadedPolicy()
+        assert policy.assign(ce_of(100 * MIB), ctx) == "w0"
+        # the next two small CEs both fit on w1 before w0 evens out
+        assert policy.assign(ce_of(10 * MIB), ctx) == "w1"
+        assert policy.assign(ce_of(10 * MIB), ctx) == "w1"
+
+    def test_completion_credits_load(self, ctx, engine):
+        policy = LeastLoadedPolicy()
+        ce = ce_of(100 * MIB)
+        ce.done = engine.event()
+        assert policy.assign(ce, ctx) == "w0"
+        ce.done.succeed()
+        engine.run()
+        # w0's load drained: it is picked again before w1
+        assert policy.assign(ce_of(MIB), ctx) == "w0"
+
+    def test_reset(self, ctx):
+        policy = LeastLoadedPolicy()
+        policy.assign(ce_of(100 * MIB), ctx)
+        policy.reset()
+        assert policy.assign(ce_of(MIB), ctx) == "w0"
+
+    def test_end_to_end_on_runtime(self):
+        rt = GroutRuntime(n_workers=2, gpu_spec=TEST_GPU_1GB,
+                          policy=LeastLoadedPolicy())
+        def access_fn(args):
+            return [ArrayAccess(args[0], Direction.INOUT)]
+        k = KernelSpec("k", access_fn=access_fn)
+        ces = [rt.launch(k, 4, 128,
+                         (rt.device_array(4, virtual_nbytes=10 * MIB),))
+               for _ in range(4)]
+        rt.sync()
+        assert {ce.assigned_node for ce in ces} == {"worker0", "worker1"}
+
+
+class TestRegistry:
+    def test_builtins_available(self):
+        names = available_policies()
+        for expected in ("round-robin", "vector-step",
+                         "min-transfer-size", "min-transfer-time",
+                         "least-loaded"):
+            assert expected in names
+
+    def test_make_least_loaded(self):
+        assert isinstance(make_policy("least-loaded"), LeastLoadedPolicy)
+
+    def test_register_custom_policy(self, ctx):
+        class AlwaysFirst(Policy):
+            """Pins everything to the first worker."""
+            name = "always-first"
+
+            def assign(self, ce, context):
+                """First worker, always."""
+                return context.workers[0]
+
+        register_policy("always-first", AlwaysFirst)
+        try:
+            assert "always-first" in available_policies()
+            policy = make_policy("always-first")
+            assert policy.assign(ce_of(MIB), ctx) == "w0"
+        finally:
+            from repro.core import policies as mod
+            mod._POLICY_FACTORIES.pop("always-first", None)
+
+    def test_registered_factory_receives_level(self, ctx):
+        seen = {}
+
+        def factory(level=None):
+            seen["level"] = level
+            return RoundRobinPolicy()
+
+        register_policy("probe", factory)
+        try:
+            from repro.core.policies import ExplorationLevel
+            make_policy("probe", level=ExplorationLevel.HIGH)
+            assert seen["level"] is ExplorationLevel.HIGH
+        finally:
+            from repro.core import policies as mod
+            mod._POLICY_FACTORIES.pop("probe", None)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            register_policy("", RoundRobinPolicy)
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(ValueError, match="available"):
+            make_policy("quantum-annealing")

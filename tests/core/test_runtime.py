@@ -1,0 +1,121 @@
+"""Unit tests of the GroutRuntime facade."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import paper_cluster
+from repro.core import GroutRuntime, RoundRobinPolicy
+from repro.gpu import ArrayAccess, Direction, KernelSpec, TEST_GPU_1GB
+from repro.gpu.specs import MIB
+
+
+@pytest.fixture
+def rt():
+    return GroutRuntime(paper_cluster(2, gpu_spec=TEST_GPU_1GB))
+
+
+def inout_kernel(executor=None):
+    def access_fn(args):
+        return [ArrayAccess(args[0], Direction.INOUT)]
+
+    return KernelSpec("k", executor=executor, access_fn=access_fn)
+
+
+class TestConstruction:
+    def test_builds_default_cluster(self):
+        rt = GroutRuntime(n_workers=3, gpu_spec=TEST_GPU_1GB)
+        assert rt.cluster.n_workers == 3
+
+    def test_cluster_and_kwargs_conflict(self):
+        cluster = paper_cluster(2, gpu_spec=TEST_GPU_1GB)
+        with pytest.raises(ValueError):
+            GroutRuntime(cluster, gpu_spec=TEST_GPU_1GB)
+
+    def test_default_policy_is_round_robin(self, rt):
+        assert isinstance(rt.policy, RoundRobinPolicy)
+
+
+class TestAllocation:
+    def test_device_array_registered(self, rt):
+        a = rt.device_array(16, np.float64, name="x")
+        assert rt.controller.directory.holders(a) == {"controller"}
+        assert a.dtype == np.float64
+
+    def test_adopt_external_array(self, rt):
+        from repro.core import ManagedArray
+        a = ManagedArray(4)
+        rt.adopt(a)
+        assert rt.controller.directory.holders(a) == {"controller"}
+
+    def test_free_forgets_everywhere(self, rt):
+        a = rt.device_array(4, virtual_nbytes=10 * MIB)
+        rt.launch(inout_kernel(), 4, 128, (a,))
+        rt.sync()
+        rt.free(a)
+        with pytest.raises(KeyError):
+            rt.controller.directory.state(a)
+
+
+class TestExecution:
+    def test_launch_is_async(self, rt):
+        a = rt.device_array(4, virtual_nbytes=10 * MIB)
+        ce = rt.launch(inout_kernel(), 4, 128, (a,))
+        assert not ce.done.processed        # nothing ran yet
+        assert rt.elapsed == 0.0
+        rt.sync()
+        assert ce.done.processed
+
+    def test_launch_derives_accesses_from_kernel(self, rt):
+        a = rt.device_array(4, virtual_nbytes=10 * MIB)
+        ce = rt.launch(inout_kernel(), 4, 128, (a,))
+        assert ce.accesses[0].buffer is a
+
+    def test_launch_explicit_accesses_override(self, rt):
+        a = rt.device_array(4, virtual_nbytes=10 * MIB)
+        ce = rt.launch(KernelSpec("nofn"), 4, 128, (a,),
+                       accesses=[ArrayAccess(a, Direction.IN)])
+        assert ce.accesses[0].direction is Direction.IN
+
+    def test_scalar_grid_block_accepted(self, rt):
+        a = rt.device_array(4, virtual_nbytes=MIB)
+        ce = rt.launch(inout_kernel(), 16, 256, (a,))
+        assert ce.config.grid == (16,) and ce.config.block == (256,)
+
+    def test_host_write_body_runs_in_order(self, rt):
+        a = rt.device_array(8, np.float32, virtual_nbytes=MIB)
+        rt.host_write(a, lambda: a.data.fill(3.0))
+        out = rt.host_read(a)
+        assert (out == 3.0).all()
+
+    def test_host_write_multiple_arrays_one_ce(self, rt):
+        a = rt.device_array(4)
+        b = rt.device_array(4)
+        ce = rt.host_write([a, b], lambda: None)
+        assert set(x.buffer_id for x in ce.arrays) == \
+            {a.buffer_id, b.buffer_id}
+
+    def test_elapsed_advances_with_work(self, rt):
+        a = rt.device_array(4, virtual_nbytes=100 * MIB)
+        rt.launch(inout_kernel(), 4, 128, (a,))
+        rt.sync()
+        assert rt.elapsed > 0
+
+
+class TestSync:
+    def test_sync_idempotent(self, rt):
+        a = rt.device_array(4, virtual_nbytes=MIB)
+        rt.launch(inout_kernel(), 4, 128, (a,))
+        assert rt.sync()
+        assert rt.sync()
+
+    def test_sync_timeout_reports_incomplete(self, rt):
+        a = rt.device_array(4, virtual_nbytes=500 * MIB)
+        rt.launch(inout_kernel(), 4, 128, (a,))
+        assert rt.sync(timeout=1e-6) is False
+        assert rt.sync() is True
+
+    def test_timeout_sync_advances_clock_to_horizon(self, rt):
+        a = rt.device_array(4, virtual_nbytes=500 * MIB)
+        rt.launch(inout_kernel(), 4, 128, (a,))
+        rt.sync(timeout=0.001)
+        assert rt.elapsed == pytest.approx(0.001)

@@ -1,0 +1,99 @@
+"""Unit tests of kernel descriptors and access declarations."""
+
+import pytest
+
+from repro.gpu import (
+    AccessPattern,
+    ArrayAccess,
+    Direction,
+    KernelLaunch,
+    KernelSpec,
+    LaunchConfig,
+)
+
+
+class FakeBuffer:
+    _next = iter(range(1, 10_000))
+
+    def __init__(self, nbytes):
+        self.nbytes = nbytes
+        self.buffer_id = next(self._next)
+
+
+class TestDirection:
+    def test_reads_writes_flags(self):
+        assert Direction.IN.reads and not Direction.IN.writes
+        assert Direction.OUT.writes and not Direction.OUT.reads
+        assert Direction.INOUT.reads and Direction.INOUT.writes
+
+
+class TestArrayAccess:
+    def test_touched_bytes_scales_with_fraction(self):
+        buf = FakeBuffer(1000)
+        assert ArrayAccess(buf).touched_bytes == 1000
+        assert ArrayAccess(buf, fraction=0.25).touched_bytes == 250
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.5, 1.5])
+    def test_invalid_fraction(self, fraction):
+        with pytest.raises(ValueError):
+            ArrayAccess(FakeBuffer(100), fraction=fraction)
+
+    def test_invalid_passes(self):
+        with pytest.raises(ValueError):
+            ArrayAccess(FakeBuffer(100), passes=0.0)
+
+    def test_defaults(self):
+        access = ArrayAccess(FakeBuffer(100))
+        assert access.direction is Direction.IN
+        assert access.pattern is AccessPattern.SEQUENTIAL
+        assert access.passes == 1.0
+
+
+class TestLaunchConfig:
+    def test_total_threads(self):
+        assert LaunchConfig((4, 2), (32,)).total_threads == 4 * 2 * 32
+
+    @pytest.mark.parametrize("grid", [(), (0,), (1, 1, 1, 1)])
+    def test_invalid_dims(self, grid):
+        with pytest.raises(ValueError):
+            LaunchConfig(grid, (32,))
+
+
+class TestKernelSpec:
+    def test_flop_estimate_from_intensity(self):
+        spec = KernelSpec("k", flops_per_byte=2.0)
+        buf = FakeBuffer(100)
+        accesses = [ArrayAccess(buf, passes=3.0)]
+        assert spec.flop_estimate((), accesses) == 2.0 * 100 * 3.0
+
+    def test_flops_fn_overrides_intensity(self):
+        spec = KernelSpec("k", flops_per_byte=2.0,
+                          flops_fn=lambda args: 1234.0)
+        assert spec.flop_estimate((), []) == 1234.0
+
+    def test_accesses_requires_access_fn(self):
+        with pytest.raises(ValueError):
+            KernelSpec("k").accesses(())
+
+    def test_access_fn_receives_args(self):
+        buf = FakeBuffer(64)
+        spec = KernelSpec(
+            "k", access_fn=lambda args: [ArrayAccess(args[0])])
+        accesses = spec.accesses((buf, 42))
+        assert accesses[0].buffer is buf
+
+
+class TestKernelLaunch:
+    def test_touched_bytes_sums_accesses(self):
+        a, b = FakeBuffer(100), FakeBuffer(200)
+        launch = KernelLaunch(
+            KernelSpec("k"), LaunchConfig((1,), (32,)), (a, b),
+            (ArrayAccess(a), ArrayAccess(b, fraction=0.5)))
+        assert launch.touched_bytes == 200
+
+    def test_flops_delegates_to_kernel(self):
+        a = FakeBuffer(100)
+        launch = KernelLaunch(
+            KernelSpec("k", flops_per_byte=1.5),
+            LaunchConfig((1,), (32,)), (a,), (ArrayAccess(a),))
+        assert launch.flops == 150.0

@@ -1,0 +1,62 @@
+"""Unit tests of GPU hardware specs."""
+
+import pytest
+
+from repro.gpu import A100_40GB, GIB, TEST_GPU_1GB, V100_16GB, GpuSpec
+from repro.gpu.specs import MIB, UVM_BASE_PAGE
+
+
+class TestPresets:
+    def test_v100_matches_paper(self):
+        assert V100_16GB.memory_bytes == 16 * GIB
+        assert V100_16GB.name == "V100-16GB"
+
+    def test_presets_are_valid(self):
+        for spec in (V100_16GB, A100_40GB, TEST_GPU_1GB):
+            assert spec.total_pages > 0
+            assert spec.memory_bytes % spec.page_size == 0
+
+    def test_default_page_is_uvm_granule(self):
+        assert V100_16GB.page_size == UVM_BASE_PAGE == 64 * 1024
+
+
+class TestValidation:
+    def test_rejects_nonpositive_memory(self):
+        with pytest.raises(ValueError):
+            GpuSpec("bad", 0, 1e9, 1e9, 0, 1e12)
+
+    @pytest.mark.parametrize("field", ["hbm_bandwidth", "pcie_bandwidth",
+                                       "fp32_flops"])
+    def test_rejects_nonpositive_rates(self, field):
+        kwargs = dict(name="bad", memory_bytes=GIB, hbm_bandwidth=1e9,
+                      pcie_bandwidth=1e9, nvlink_bandwidth=0.0,
+                      fp32_flops=1e12)
+        kwargs[field] = 0.0
+        with pytest.raises(ValueError):
+            GpuSpec(**kwargs)
+
+    def test_rejects_negative_nvlink(self):
+        with pytest.raises(ValueError):
+            GpuSpec("bad", GIB, 1e9, 1e9, -1.0, 1e12)
+
+    def test_page_size_must_divide_memory(self):
+        with pytest.raises(ValueError):
+            GpuSpec("bad", GIB, 1e9, 1e9, 0, 1e12, page_size=3 * MIB)
+
+
+class TestHelpers:
+    def test_with_page_size_preserves_everything_else(self):
+        coarse = V100_16GB.with_page_size(16 * MIB)
+        assert coarse.page_size == 16 * MIB
+        assert coarse.memory_bytes == V100_16GB.memory_bytes
+        assert coarse.total_pages == 16 * GIB // (16 * MIB)
+
+    def test_pages_for_rounds_up(self):
+        spec = TEST_GPU_1GB.with_page_size(MIB)
+        assert spec.pages_for(1) == 1
+        assert spec.pages_for(MIB) == 1
+        assert spec.pages_for(MIB + 1) == 2
+
+    def test_total_pages(self):
+        spec = TEST_GPU_1GB.with_page_size(MIB)
+        assert spec.total_pages == 1024

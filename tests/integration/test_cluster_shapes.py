@@ -1,0 +1,77 @@
+"""Integration tests across cluster shapes (GPU counts, vendors, sizes)."""
+
+import pytest
+
+from repro.cluster import Cluster, NodeSpec, paper_cluster
+from repro.core import GroutRuntime, GrCudaRuntime
+from repro.gpu import A100_40GB, GIB, MI100_32GB, MIB, TEST_GPU_1GB
+from repro.net.topology import NicSpec
+from repro.sim import Engine
+from repro.workloads import make_workload
+
+
+class TestGpuCounts:
+    @pytest.mark.parametrize("gpus_per_worker", [1, 2, 4])
+    def test_workload_correct_any_gpu_count(self, gpus_per_worker):
+        wl = make_workload("cg", 1 * GIB, n_chunks=4, iterations=4)
+        rt = GroutRuntime(n_workers=2, gpu_spec=TEST_GPU_1GB,
+                          gpus_per_worker=gpus_per_worker,
+                          page_size=4 * MIB)
+        res = wl.execute(rt)
+        assert res.verified
+
+    def test_more_gpus_spread_kernels(self):
+        from repro.gpu import ArrayAccess, Direction, KernelSpec
+
+        def access_fn(args):
+            return [ArrayAccess(args[0], Direction.INOUT)]
+
+        k = KernelSpec("k", access_fn=access_fn)
+        rt = GroutRuntime(n_workers=1, gpu_spec=TEST_GPU_1GB,
+                          gpus_per_worker=4)
+        ces = [rt.launch(k, 4, 128,
+                         (rt.device_array(4, virtual_nbytes=50 * MIB),))
+               for _ in range(8)]
+        rt.sync()
+        gpus_used = {ce.assigned_lane.rsplit("/", 2)[1] for ce in ces}
+        assert len(gpus_used) == 4
+
+
+class TestVendorClusters:
+    @pytest.mark.parametrize("spec", [A100_40GB, MI100_32GB])
+    def test_suite_runs_on_other_vendors(self, spec):
+        wl = make_workload("mv", 8 * GIB, n_chunks=8)
+        rt = GrCudaRuntime(gpu_spec=spec.with_page_size(16 * MIB))
+        res = wl.execute(rt)
+        assert res.verified
+
+    def test_bigger_gpus_move_the_knee(self):
+        """The same footprint oversubscribes a V100 pair but fits an
+        A100 pair — the cliff follows capacity, not the workload."""
+        def run(spec):
+            wl = make_workload("mv", 64 * GIB)
+            rt = GrCudaRuntime(gpu_spec=spec.with_page_size(32 * MIB))
+            wl.execute(rt, timeout=9000, check=False)
+            return rt.elapsed, rt.oversubscription()
+
+        v100_time, v100_osf = run(
+            __import__("repro.gpu", fromlist=["V100_16GB"]).V100_16GB)
+        a100_time, a100_osf = run(A100_40GB)
+        assert v100_osf > 1.0 > a100_osf * 1.05 or a100_osf < 1.0
+        assert a100_time < v100_time
+
+
+class TestMixedWorkerSpecs:
+    def test_heterogeneous_worker_memory(self):
+        """A cluster can mix node sizes; OSF accounting stays per node."""
+        small = NodeSpec(gpu_spec=TEST_GPU_1GB, n_gpus=1,
+                         nic=NicSpec(500e6))
+        big = NodeSpec(gpu_spec=TEST_GPU_1GB, n_gpus=4,
+                       nic=NicSpec(500e6))
+        cluster = Cluster(Engine(), worker_specs=[small, big])
+        assert cluster.workers[0].gpu_memory_bytes == 1 * GIB
+        assert cluster.workers[1].gpu_memory_bytes == 4 * GIB
+        rt = GroutRuntime(cluster)
+        wl = make_workload("bs", 1 * GIB, n_chunks=4)
+        res = wl.execute(rt)
+        assert res.verified

@@ -1,0 +1,149 @@
+"""Integration tests across the full stack (runtime + UVM + network)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GrCudaRuntime,
+    GroutRuntime,
+    MinTransferSizePolicy,
+    VectorStepPolicy,
+)
+from repro.gpu import ArrayAccess, Direction, KernelSpec, TEST_GPU_1GB
+from repro.gpu.specs import GIB, MIB
+from repro.cluster import paper_cluster
+from repro.workloads import make_workload
+
+
+def axpy_kernel():
+    def executor(y, x, a):
+        y.data[:] = y.data + a * x.data
+
+    def access_fn(args):
+        y, x, a = args
+        return [ArrayAccess(y, Direction.INOUT),
+                ArrayAccess(x, Direction.IN)]
+
+    return KernelSpec("axpy", flops_per_byte=0.25, executor=executor,
+                      access_fn=access_fn)
+
+
+class TestNumericalEquivalence:
+    """GrOUT and GrCUDA must produce bit-identical results."""
+
+    @pytest.mark.parametrize("workload", ["bs", "mv", "cg", "mle"])
+    def test_same_results_both_runtimes(self, workload):
+        outputs = {}
+        for mode in ("grcuda", "grout"):
+            wl = make_workload(workload, 2 * GIB, n_chunks=4, seed=7)
+            rt = GrCudaRuntime(page_size=4 * MIB) if mode == "grcuda" \
+                else GroutRuntime(n_workers=2, page_size=4 * MIB)
+            res = wl.execute(rt)
+            assert res.verified, (workload, mode)
+            if workload == "mv":
+                outputs[mode] = np.concatenate(
+                    [c.data for c in wl.y_chunks])
+            elif workload == "cg":
+                outputs[mode] = wl.x.data.copy()
+            elif workload == "bs":
+                outputs[mode] = np.concatenate(
+                    [c["call"].data for c in wl.chunks])
+            else:
+                outputs[mode] = np.concatenate(
+                    [c["pred"].data for c in wl.chunks])
+        assert np.array_equal(outputs["grcuda"], outputs["grout"])
+
+
+class TestOverlap:
+    def test_transfer_compute_overlap_on_grout(self):
+        """Independent chunk kernels must overlap their network transfers
+        with earlier chunks' execution (the paper's automatic
+        transfer/computation overlap)."""
+        rt = GroutRuntime(n_workers=2, page_size=4 * MIB)
+        k = axpy_kernel()
+        ces = []
+        for i in range(4):
+            y = rt.device_array(64, virtual_nbytes=200 * MIB,
+                                name=f"y{i}")
+            x = rt.device_array(64, virtual_nbytes=200 * MIB,
+                                name=f"x{i}")
+            ces.append(rt.launch(k, 4, 128, (y, x, 2.0)))
+        rt.sync()
+        transfers = rt.tracer.by_category("transfer")
+        kernels = rt.tracer.by_category("kernel")
+        assert any(t.overlaps(kc) for t in transfers for kc in kernels)
+
+    def test_sequential_time_exceeds_parallel(self):
+        """Two dependent kernels take longer than two independent ones."""
+        def run(dependent):
+            rt = GrCudaRuntime(gpu_spec=TEST_GPU_1GB)
+            k = axpy_kernel()
+            a = rt.device_array(64, virtual_nbytes=200 * MIB)
+            b = a if dependent else rt.device_array(
+                64, virtual_nbytes=200 * MIB)
+            x = rt.device_array(64, virtual_nbytes=10 * MIB)
+            rt.launch(k, 4, 128, (a, x, 1.0))
+            rt.launch(k, 4, 128, (b, x, 1.0))
+            rt.sync()
+            return rt.elapsed
+
+        assert run(dependent=True) > run(dependent=False)
+
+
+class TestScaleOutBehaviour:
+    def test_distribution_halves_node_footprint(self):
+        cluster = paper_cluster(2, page_size=16 * MIB)
+        rt = GroutRuntime(cluster, policy=VectorStepPolicy([1]))
+        wl = make_workload("mv", 8 * GIB, n_chunks=8)
+        wl.execute(rt, check=False)
+        osf = [w.oversubscription() for w in cluster.workers]
+        total = 8 / 64     # 8 GB over 2x 32GB nodes
+        for o in osf:
+            assert o < 0.75 * (8 / 32)   # clearly below single-node OSF
+        assert sum(osf) >= total
+
+    def test_small_workload_faster_on_single_node(self):
+        """Below oversubscription the network cost makes GrOUT lose —
+        Fig. 7's 'under normal conditions' claim."""
+        wl1 = make_workload("mv", 4 * GIB, n_chunks=8)
+        single = wl1.execute(GrCudaRuntime(page_size=8 * MIB),
+                             check=False)
+        wl2 = make_workload("mv", 4 * GIB, n_chunks=8)
+        dist = wl2.execute(GroutRuntime(n_workers=2, page_size=8 * MIB),
+                           check=False)
+        assert single.elapsed_seconds < dist.elapsed_seconds
+
+    def test_oversubscribed_workload_faster_distributed(self):
+        """Past the cliff the ordering flips — the paper's headline."""
+        wl1 = make_workload("mv", 96 * GIB)
+        single = wl1.execute(GrCudaRuntime(page_size=32 * MIB),
+                             check=False)
+        wl2 = make_workload("mv", 96 * GIB)
+        dist = wl2.execute(GroutRuntime(n_workers=2, page_size=32 * MIB),
+                           check=False)
+        assert dist.elapsed_seconds < single.elapsed_seconds / 5
+
+    def test_online_policy_still_correct(self):
+        wl = make_workload("cg", 2 * GIB, n_chunks=4, iterations=6)
+        rt = GroutRuntime(n_workers=2, page_size=4 * MIB,
+                          policy=MinTransferSizePolicy())
+        res = wl.execute(rt)
+        assert res.verified
+
+    def test_four_workers_correct(self):
+        wl = make_workload("mle", 2 * GIB, n_chunks=8)
+        rt = GroutRuntime(n_workers=4, page_size=4 * MIB)
+        res = wl.execute(rt)
+        assert res.verified
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_timelines(self):
+        def run():
+            wl = make_workload("cg", 2 * GIB, n_chunks=4, iterations=4,
+                               seed=3)
+            rt = GroutRuntime(n_workers=2, page_size=4 * MIB)
+            wl.execute(rt, check=False)
+            return rt.elapsed
+
+        assert run() == run()

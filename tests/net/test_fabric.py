@@ -1,0 +1,108 @@
+"""Unit tests of the contended transfer fabric."""
+
+import pytest
+
+from repro.net import Fabric, NicSpec, Topology, uniform_topology
+from repro.sim import Engine, Tracer
+
+
+@pytest.fixture
+def setup():
+    engine = Engine()
+    topo = uniform_topology(["a", "b", "c"], 1e9, latency=0.0)
+    tracer = Tracer()
+    return engine, Fabric(engine, topo, tracer=tracer), tracer
+
+
+class TestTransfers:
+    def test_wire_time_matches_topology(self, setup):
+        engine, fabric, _ = setup
+        done = fabric.transfer("a", "b", 500_000_000)
+        engine.run()
+        assert done.value == pytest.approx(0.5)
+        assert engine.now == pytest.approx(0.5)
+
+    def test_zero_bytes_instant(self, setup):
+        engine, fabric, _ = setup
+        done = fabric.transfer("a", "b", 0)
+        engine.run()
+        assert done.value == 0.0 and engine.now == 0.0
+
+    def test_same_node_instant(self, setup):
+        engine, fabric, _ = setup
+        done = fabric.transfer("a", "a", 10**9)
+        engine.run()
+        assert done.value == 0.0
+
+    def test_negative_bytes_rejected(self, setup):
+        engine, fabric, _ = setup
+        fabric.transfer("a", "b", -1)
+        with pytest.raises(ValueError):
+            engine.run()
+
+    def test_stats_accumulate(self, setup):
+        engine, fabric, _ = setup
+        fabric.transfer("a", "b", 100)
+        fabric.transfer("b", "c", 200)
+        engine.run()
+        assert fabric.bytes_moved == 300
+        assert fabric.transfer_count == 2
+
+    def test_spans_carry_nbytes(self, setup):
+        engine, fabric, tracer = setup
+        fabric.transfer("a", "b", 123, label="payload")
+        engine.run()
+        span = tracer.by_category("transfer")[0]
+        assert span.meta["nbytes"] == 123
+        assert span.lane == "net:a->b"
+
+
+class TestContention:
+    def test_same_ingress_serialises(self, setup):
+        engine, fabric, _ = setup
+        fabric.transfer("a", "b", 10**9)
+        fabric.transfer("c", "b", 10**9)
+        engine.run()
+        assert engine.now == pytest.approx(2.0)
+
+    def test_same_egress_serialises(self, setup):
+        engine, fabric, _ = setup
+        fabric.transfer("a", "b", 10**9)
+        fabric.transfer("a", "c", 10**9)
+        engine.run()
+        assert engine.now == pytest.approx(2.0)
+
+    def test_disjoint_pairs_parallel(self, setup):
+        engine, fabric, _ = setup
+        fabric.transfer("a", "b", 10**9)
+        fabric.transfer("c", "a", 10**9)   # different tx and rx ends
+        engine.run()
+        assert engine.now == pytest.approx(1.0)
+
+    def test_multi_flow_nic_feeds_two_destinations(self):
+        """The paper controller NIC: 2 flows at full pair rate."""
+        engine = Engine()
+        topo = Topology()
+        topo.add_node("hub", NicSpec(2e9, latency=0.0, max_flows=2))
+        topo.add_node("w0", NicSpec(1e9, latency=0.0))
+        topo.add_node("w1", NicSpec(1e9, latency=0.0))
+        fabric = Fabric(engine, topo)
+        fabric.transfer("hub", "w0", 10**9)
+        fabric.transfer("hub", "w1", 10**9)
+        engine.run()
+        assert engine.now == pytest.approx(1.0)
+
+    def test_no_head_of_line_blocking(self):
+        """Two queued flows to a busy destination must not starve a flow
+        to an idle destination (regression for the egress/ingress order)."""
+        engine = Engine()
+        topo = Topology()
+        topo.add_node("hub", NicSpec(2e9, latency=0.0, max_flows=2))
+        topo.add_node("w0", NicSpec(1e9, latency=0.0))
+        topo.add_node("w1", NicSpec(1e9, latency=0.0))
+        fabric = Fabric(engine, topo)
+        fabric.transfer("hub", "w0", 10**9)
+        fabric.transfer("hub", "w0", 10**9)    # queues on w0 ingress
+        done = fabric.transfer("hub", "w1", 10**9)
+        engine.run(until=done)
+        assert engine.now == pytest.approx(1.0)

@@ -1,0 +1,92 @@
+"""Unit tests of the interconnect topology."""
+
+import pytest
+
+from repro.net import MBIT, NicSpec, Topology, paper_topology, uniform_topology
+
+
+class TestNicSpec:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            NicSpec(0)
+        with pytest.raises(ValueError):
+            NicSpec(1e9, latency=-1.0)
+        with pytest.raises(ValueError):
+            NicSpec(1e9, max_flows=0)
+
+
+class TestTopology:
+    def test_duplicate_node_rejected(self):
+        topo = Topology()
+        topo.add_node("a", NicSpec(1e9))
+        with pytest.raises(ValueError):
+            topo.add_node("a", NicSpec(1e9))
+
+    def test_pair_bandwidth_is_min_of_nics(self):
+        topo = Topology()
+        topo.add_node("fast", NicSpec(10e9))
+        topo.add_node("slow", NicSpec(1e9))
+        assert topo.bandwidth("fast", "slow") == 1e9
+        assert topo.bandwidth("slow", "fast") == 1e9
+
+    def test_latency_sums_both_ends(self):
+        topo = Topology()
+        topo.add_node("a", NicSpec(1e9, latency=10e-6))
+        topo.add_node("b", NicSpec(1e9, latency=30e-6))
+        assert topo.latency("a", "b") == pytest.approx(40e-6)
+        assert topo.latency("a", "a") == 0.0
+
+    def test_self_bandwidth_undefined(self):
+        topo = uniform_topology(["a", "b"], 1e9)
+        with pytest.raises(ValueError):
+            topo.bandwidth("a", "a")
+
+    def test_unknown_node_raises(self):
+        topo = uniform_topology(["a"], 1e9)
+        with pytest.raises(KeyError):
+            topo.bandwidth("a", "ghost")
+
+    def test_link_override_applies_both_directions(self):
+        topo = uniform_topology(["a", "b"], 1e9)
+        topo.set_link("a", "b", bandwidth=5e8, latency=1e-3)
+        for pair in (("a", "b"), ("b", "a")):
+            assert topo.bandwidth(*pair) == 5e8
+            assert topo.latency(*pair) == 1e-3
+
+    def test_override_rejects_bad_bandwidth(self):
+        topo = uniform_topology(["a", "b"], 1e9)
+        with pytest.raises(ValueError):
+            topo.set_link("a", "b", bandwidth=0)
+
+    def test_transfer_seconds(self):
+        topo = uniform_topology(["a", "b"], 1e9, latency=0.0)
+        assert topo.transfer_seconds("a", "b", 2_000_000_000) == \
+            pytest.approx(2.0)
+        assert topo.transfer_seconds("a", "b", 0) == 0.0
+        assert topo.transfer_seconds("a", "a", 100) == 0.0
+        with pytest.raises(ValueError):
+            topo.transfer_seconds("a", "b", -1)
+
+    def test_bandwidth_matrix_excludes_self(self):
+        topo = uniform_topology(["a", "b", "c"], 1e9)
+        matrix = topo.bandwidth_matrix()
+        assert len(matrix) == 6
+        assert ("a", "a") not in matrix
+
+
+class TestPaperTopology:
+    def test_paper_rates(self):
+        topo = paper_topology(2)
+        assert topo.nic("controller").bandwidth == pytest.approx(
+            8000 * MBIT)
+        assert topo.nic("worker0").bandwidth == pytest.approx(4000 * MBIT)
+        # controller<->worker limited by the worker NIC (500 MB/s)
+        assert topo.bandwidth("controller", "worker0") == pytest.approx(
+            500e6)
+
+    def test_controller_serves_two_flows(self):
+        assert paper_topology(2).nic("controller").max_flows == 2
+
+    def test_requires_workers(self):
+        with pytest.raises(ValueError):
+            paper_topology(0)

@@ -1,0 +1,215 @@
+"""Unit tests of __device__ helper functions and while loops."""
+
+import numpy as np
+import pytest
+
+from repro.polyglot import KernelInterpreter, KernelSyntaxError, parse_kernel
+
+
+def run(src, grid, block, *args):
+    KernelInterpreter(parse_kernel(src)).run((grid,), (block,), args)
+
+
+class TestDeviceFunctions:
+    def test_single_helper(self):
+        x = np.array([-4.0, 0.0, 4.0], dtype=np.float32)
+        run("""
+        __device__ float relu(float v) {
+            return v > 0.0 ? v : 0.0;
+        }
+        __global__ void k(float* x, int n) {
+            int i = threadIdx.x;
+            if (i < n) x[i] = relu(x[i]);
+        }
+        """, 1, 4, x, 3)
+        assert np.array_equal(x, [0.0, 0.0, 4.0])
+
+    def test_helpers_can_call_helpers(self):
+        x = np.array([2.0, 3.0], dtype=np.float64)
+        run("""
+        __device__ double square(double v) { return v * v; }
+        __device__ double quad(double v) { return square(square(v)); }
+        __global__ void k(double* x, int n) {
+            int i = threadIdx.x;
+            if (i < n) x[i] = quad(x[i]);
+        }
+        """, 1, 2, x, 2)
+        assert np.array_equal(x, [16.0, 81.0])
+
+    def test_helper_with_locals_and_control_flow(self):
+        x = np.linspace(-2, 2, 8).astype(np.float64)
+        run("""
+        __device__ double poly(double v) {
+            double acc = 0.0;
+            for (int k = 0; k < 3; k += 1) {
+                acc = acc * v + 1.0;
+            }
+            return acc;
+        }
+        __global__ void k(double* x, int n) {
+            int i = threadIdx.x;
+            if (i < n) x[i] = poly(x[i]);
+        }
+        """, 1, 8, x.copy() * 0 + x, 8)
+        # Horner with coefficients [1,1,1]: v^2 + v + 1
+        # (acc starts 0: ((0*v+1)*v+1)*v+1)
+        expected = x * x + x + 1
+        got = x.copy()
+        run("""
+        __device__ double poly(double v) {
+            double acc = 0.0;
+            for (int k = 0; k < 3; k += 1) {
+                acc = acc * v + 1.0;
+            }
+            return acc;
+        }
+        __global__ void k(double* x, int n) {
+            int i = threadIdx.x;
+            if (i < n) x[i] = poly(x[i]);
+        }
+        """, 1, 8, got, 8)
+        assert np.allclose(got, expected)
+
+    def test_helper_vectorises_per_thread(self):
+        """Arguments are per-thread arrays; results must stay per-thread."""
+        x = np.arange(16, dtype=np.float32)
+        run("""
+        __device__ float pick(float v, float w) {
+            return v > 8.0 ? v : w;
+        }
+        __global__ void k(float* x, int n) {
+            int i = threadIdx.x;
+            if (i < n) x[i] = pick(x[i], 0.0 - 1.0);
+        }
+        """, 1, 16, x, 16)
+        expected = np.where(np.arange(16) > 8, np.arange(16), -1.0)
+        assert np.array_equal(x, expected.astype(np.float32))
+
+    def test_flops_include_helper_body(self):
+        with_fn = parse_kernel("""
+        __device__ float heavy(float v) {
+            return exp(v) * log(v) + sqrt(v);
+        }
+        __global__ void k(float* x, int n) {
+            int i = threadIdx.x;
+            if (i < n) x[i] = heavy(x[i]);
+        }
+        """)
+        without = parse_kernel("""
+        __global__ void k(float* x, int n) {
+            int i = threadIdx.x;
+            if (i < n) x[i] = x[i] + 1.0;
+        }
+        """)
+        assert with_fn.flops_per_thread > 5 * without.flops_per_thread
+
+    def test_wrong_arity_raises(self):
+        src = """
+        __device__ float addp(float a, float b) { return a + b; }
+        __global__ void k(float* x, int n) {
+            int i = threadIdx.x;
+            if (i < n) x[i] = addp(x[i]);
+        }
+        """
+        with pytest.raises(KernelSyntaxError):
+            run(src, 1, 4, np.zeros(4, dtype=np.float32), 4)
+
+
+class TestDeviceFunctionValidation:
+    def test_pointer_params_rejected(self):
+        with pytest.raises(KernelSyntaxError):
+            parse_kernel("""
+            __device__ float deref(float* p) { return p[0]; }
+            __global__ void k(float* x, int n) { }
+            """)
+
+    def test_missing_return_rejected(self):
+        with pytest.raises(KernelSyntaxError):
+            parse_kernel("""
+            __device__ float nothing(float v) { float w = v; }
+            __global__ void k(float* x, int n) { }
+            """)
+
+    def test_early_valued_return_rejected(self):
+        with pytest.raises(KernelSyntaxError):
+            parse_kernel("""
+            __device__ float branchy(float v) {
+                if (v > 0.0) { return v; }
+                return 0.0 - v;
+            }
+            __global__ void k(float* x, int n) { }
+            """)
+
+    def test_two_kernels_rejected(self):
+        with pytest.raises(KernelSyntaxError):
+            parse_kernel("""
+            __global__ void a(float* x, int n) { }
+            __global__ void b(float* x, int n) { }
+            """)
+
+    def test_no_kernel_rejected(self):
+        with pytest.raises(KernelSyntaxError):
+            parse_kernel("""
+            __device__ float f(float v) { return v; }
+            """)
+
+    def test_valued_return_in_kernel_rejected(self):
+        src = """
+        __global__ void k(float* x, int n) {
+            return 1.0;
+        }
+        """
+        with pytest.raises(KernelSyntaxError):
+            run(src, 1, 1, np.zeros(1, dtype=np.float32), 1)
+
+
+class TestWhile:
+    def test_uniform_while(self):
+        out = np.zeros(4, dtype=np.int32)
+        run("""
+        __global__ void powers(int* out, int n) {
+            int i = threadIdx.x;
+            if (i < n) {
+                int v = 1;
+                int k = 0;
+                while (k < 6) {
+                    v = v * 2;
+                    k += 1;
+                }
+                out[i] = v + i;
+            }
+        }
+        """, 1, 4, out, 4)
+        assert np.array_equal(out, [64, 65, 66, 67])
+
+    def test_divergent_while_per_thread_trip_counts(self):
+        """Each thread iterates a different number of times (SIMT
+        re-convergence semantics)."""
+        out = np.zeros(4, dtype=np.int32)
+        run("""
+        __global__ void steps(int* out, int n) {
+            int i = threadIdx.x;
+            if (i < n) {
+                int v = 0;
+                while (v < i) { v += 1; }
+                out[i] = v;
+            }
+        }
+        """, 1, 4, out, 4)
+        assert np.array_equal(out, [0, 1, 2, 3])
+
+    def test_while_in_device_function(self):
+        x = np.array([10.0], dtype=np.float64)
+        run("""
+        __device__ double halve_until_small(double v) {
+            while (v > 1.0) {
+                v = v / 2.0;
+            }
+            return v;
+        }
+        __global__ void k(double* x, int n) {
+            int i = threadIdx.x;
+            if (i < n) x[i] = halve_until_small(x[i]);
+        }
+        """, 1, 1, x, 1)
+        assert x[0] == pytest.approx(0.625)

@@ -1,0 +1,154 @@
+"""Edge-case tests of the kernel-C front-end (operators, literals, misc)."""
+
+import numpy as np
+import pytest
+
+from repro.polyglot import KernelInterpreter, KernelSyntaxError, parse_kernel
+
+
+def run(src, grid, block, *args):
+    KernelInterpreter(parse_kernel(src)).run((grid,), (block,), args)
+
+
+class TestOperators:
+    def test_increment_decrement_statements(self):
+        out = np.zeros(1, dtype=np.int32)
+        run("""
+        __global__ void k(int* out, int n) {
+            int i = threadIdx.x;
+            if (i < n) {
+                int v = 5;
+                v++;
+                v++;
+                v--;
+                out[i] = v;
+            }
+        }
+        """, 1, 1, out, 1)
+        assert out[0] == 6
+
+    def test_bitwise_and_shifts(self):
+        out = np.zeros(4, dtype=np.int32)
+        run("""
+        __global__ void k(int* out, int n) {
+            int i = threadIdx.x;
+            if (i < n) {
+                out[i] = ((i << 2) | 1) & 7;
+            }
+        }
+        """, 1, 4, out, 4)
+        assert out.tolist() == [1, 5, 1, 5]
+
+    def test_modulo(self):
+        out = np.zeros(6, dtype=np.int32)
+        run("""
+        __global__ void k(int* out, int n) {
+            int i = threadIdx.x;
+            if (i < n) out[i] = i % 3;
+        }
+        """, 1, 6, out, 6)
+        assert out.tolist() == [0, 1, 2, 0, 1, 2]
+
+    def test_logical_not_and_combined(self):
+        out = np.zeros(4, dtype=np.float32)
+        run("""
+        __global__ void k(float* out, int n) {
+            int i = threadIdx.x;
+            if (i < n) {
+                out[i] = (i > 0 && i < 3) || !(i < 4) ? 1.0 : 0.0;
+            }
+        }
+        """, 1, 4, out, 4)
+        assert out.tolist() == [0.0, 1.0, 1.0, 0.0]
+
+    def test_unary_minus_chain(self):
+        out = np.zeros(1, dtype=np.float32)
+        run("""
+        __global__ void k(float* out, int n) {
+            int i = threadIdx.x;
+            if (i < n) out[i] = -(-3.5);
+        }
+        """, 1, 1, out, 1)
+        assert out[0] == pytest.approx(3.5)
+
+
+class TestLiterals:
+    def test_float_suffix_and_scientific(self):
+        out = np.zeros(2, dtype=np.float64)
+        run("""
+        __global__ void k(double* out, int n) {
+            int i = threadIdx.x;
+            if (i < n) {
+                out[0] = 2.5f;
+                out[1] = 1e-3;
+            }
+        }
+        """, 1, 1, out, 2)
+        assert out[0] == pytest.approx(2.5)
+        assert out[1] == pytest.approx(1e-3)
+
+    def test_hex_literal(self):
+        out = np.zeros(1, dtype=np.int32)
+        run("""
+        __global__ void k(int* out, int n) {
+            int i = threadIdx.x;
+            if (i < n) out[i] = 0xFF;
+        }
+        """, 1, 1, out, 1)
+        assert out[0] == 255
+
+    def test_leading_dot_float(self):
+        out = np.zeros(1, dtype=np.float32)
+        run("""
+        __global__ void k(float* out, int n) {
+            int i = threadIdx.x;
+            if (i < n) out[i] = .25;
+        }
+        """, 1, 1, out, 1)
+        assert out[0] == pytest.approx(0.25)
+
+
+class TestMisc:
+    def test_empty_statement_and_nested_blocks(self):
+        out = np.zeros(1, dtype=np.float32)
+        run("""
+        __global__ void k(float* out, int n) {
+            ;
+            { int i = threadIdx.x;
+              if (i < n) { out[i] = 1.0; } }
+        }
+        """, 1, 1, out, 1)
+        assert out[0] == 1.0
+
+    def test_grid_dim_builtin(self):
+        out = np.zeros(8, dtype=np.int32)
+        run("""
+        __global__ void k(int* out, int n) {
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            if (i < n) out[i] = gridDim.x * 100 + blockDim.x;
+        }
+        """, 2, 4, out, 8)
+        assert (out == 204).all()
+
+    def test_multidim_backing_flat_indexed(self):
+        buf = np.zeros((2, 3), dtype=np.float32)
+        run("""
+        __global__ void k(float* buf, int n) {
+            int i = threadIdx.x;
+            if (i < n) buf[i] = i;
+        }
+        """, 1, 8, buf, 6)
+        assert np.array_equal(buf, np.arange(6, dtype=np.float32)
+                              .reshape(2, 3))
+
+    def test_unterminated_block_raises(self):
+        with pytest.raises(KernelSyntaxError):
+            parse_kernel("__global__ void k(float* x, int n) { x[0] = 1.0;")
+
+    def test_stray_token_raises(self):
+        with pytest.raises(KernelSyntaxError):
+            parse_kernel("__global__ void k(float* x, int n) { } banana")
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(KernelSyntaxError):
+            parse_kernel("__global__ void k(float* x, int n) { x[0] = $; }")

@@ -1,0 +1,250 @@
+"""Unit tests of the SPMD NumPy kernel interpreter (numerical results)."""
+
+import numpy as np
+import pytest
+
+from repro.polyglot import KernelInterpreter, parse_kernel
+
+
+def run(src, grid, block, *args):
+    interp = KernelInterpreter(parse_kernel(src))
+    interp.run(grid if isinstance(grid, tuple) else (grid,),
+               block if isinstance(block, tuple) else (block,), args)
+
+
+class TestElementwise:
+    def test_square(self):
+        x = np.arange(64, dtype=np.float32)
+        run("""
+        __global__ void square(float* x, int n) {
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            if (i < n) x[i] = x[i] * x[i];
+        }
+        """, 2, 32, x, 64)
+        assert np.array_equal(x, (np.arange(64) ** 2).astype(np.float32))
+
+    def test_saxpy_compound_assign(self):
+        x = np.ones(50, dtype=np.float32) * 2
+        y = np.arange(50, dtype=np.float32)
+        run("""
+        __global__ void saxpy(const float* x, float* y, float a, int n) {
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            if (i >= n) return;
+            y[i] += a * x[i];
+        }
+        """, 2, 32, x, y, 3.0, 50)
+        assert np.allclose(y, np.arange(50) + 6.0)
+
+    def test_guard_prevents_oob_writes(self):
+        x = np.zeros(10, dtype=np.float32)
+        run("""
+        __global__ void fill(float* x, int n) {
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            if (i < n) x[i] = 1.0;
+        }
+        """, 4, 32, x, 10)    # 128 threads, only 10 valid
+        assert x.sum() == 10.0
+
+    def test_excess_threads_without_guard_clamped(self):
+        """Out-of-range indices never corrupt memory (clamped reads,
+        masked writes)."""
+        x = np.zeros(4, dtype=np.float32)
+        run("""
+        __global__ void all(float* x, int n) {
+            int i = threadIdx.x;
+            if (i < 4) x[i] = 2.0;
+        }
+        """, 1, 32, x, 4)
+        assert np.array_equal(x, [2.0, 2.0, 2.0, 2.0])
+
+
+class TestControlFlow:
+    def test_if_else_divergence(self):
+        x = np.array([-2.0, -1.0, 1.0, 2.0], dtype=np.float32)
+        run("""
+        __global__ void sign(float* x, int n) {
+            int i = threadIdx.x;
+            if (i < n) {
+                if (x[i] > 0.0) { x[i] = 1.0; }
+                else { x[i] = 0.0 - 1.0; }
+            }
+        }
+        """, 1, 4, x, 4)
+        assert np.array_equal(x, [-1.0, -1.0, 1.0, 1.0])
+
+    def test_ternary(self):
+        x = np.array([-3.0, 5.0], dtype=np.float32)
+        run("""
+        __global__ void relu(float* x, int n) {
+            int i = threadIdx.x;
+            if (i < n) x[i] = x[i] > 0.0 ? x[i] : 0.0;
+        }
+        """, 1, 2, x, 2)
+        assert np.array_equal(x, [0.0, 5.0])
+
+    def test_divergent_return_deactivates_threads(self):
+        x = np.zeros(8, dtype=np.float32)
+        run("""
+        __global__ void half(float* x, int n) {
+            int i = threadIdx.x;
+            if (i >= 4) return;
+            x[i] = 1.0;
+        }
+        """, 1, 8, x, 8)
+        assert x[:4].sum() == 4.0 and x[4:].sum() == 0.0
+
+    def test_uniform_for_loop(self):
+        x = np.ones(4, dtype=np.float32)
+        run("""
+        __global__ void pow2(float* x, int steps, int n) {
+            int i = threadIdx.x;
+            if (i < n) {
+                for (int k = 0; k < steps; k += 1) {
+                    x[i] = x[i] * 2.0;
+                }
+            }
+        }
+        """, 1, 4, x, 5, 4)
+        assert np.array_equal(x, [32.0] * 4)
+
+    def test_per_thread_loop_bound_rejected(self):
+        x = np.zeros(4, dtype=np.float32)
+        with pytest.raises(Exception):
+            run("""
+            __global__ void bad(float* x, int n) {
+                int i = threadIdx.x;
+                for (int k = 0; k < i; k += 1) { x[i] = 1.0; }
+            }
+            """, 1, 4, x, 4)
+
+
+class TestMemoryPatterns:
+    def test_gather(self):
+        src = np.arange(10, dtype=np.float32) * 10
+        ind = np.array([9, 0, 5], dtype=np.int32)
+        out = np.zeros(3, dtype=np.float32)
+        run("""
+        __global__ void gather(const float* src, const int* ind,
+                               float* out, int n) {
+            int i = threadIdx.x;
+            if (i < n) out[i] = src[ind[i]];
+        }
+        """, 1, 32, src, ind, out, 3)
+        assert np.array_equal(out, [90.0, 0.0, 50.0])
+
+    def test_scatter(self):
+        ind = np.array([2, 0, 1], dtype=np.int32)
+        out = np.zeros(3, dtype=np.float32)
+        run("""
+        __global__ void scatter(const int* ind, float* out, int n) {
+            int i = threadIdx.x;
+            if (i < n) out[ind[i]] = i;
+        }
+        """, 1, 32, ind, out, 3)
+        assert np.array_equal(out, [1.0, 2.0, 0.0])
+
+    def test_atomic_add_reduction(self):
+        x = np.arange(100, dtype=np.float64)
+        acc = np.zeros(1, dtype=np.float64)
+        run("""
+        __global__ void total(const double* x, double* acc, int n) {
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            if (i < n) { atomicAdd(&acc[0], x[i]); }
+        }
+        """, 4, 32, x, acc, 100)
+        assert acc[0] == pytest.approx(4950.0)
+
+    def test_atomic_add_with_duplicate_targets(self):
+        hist = np.zeros(2, dtype=np.float64)
+        ind = np.array([0, 1, 0, 0, 1], dtype=np.int32)
+        run("""
+        __global__ void hist2(const int* ind, double* hist, int n) {
+            int i = threadIdx.x;
+            if (i < n) { atomicAdd(&hist[ind[i]], 1.0); }
+        }
+        """, 1, 8, ind, hist, 5)
+        assert np.array_equal(hist, [3.0, 2.0])
+
+
+class TestMath:
+    def test_black_scholes_call_price(self):
+        s = np.full(4, 100.0)
+        call = np.zeros(4)
+        run("""
+        __global__ void bs(const double* s, double* call, double r,
+                           double v, double t, double k, int n) {
+            int i = threadIdx.x;
+            if (i < n) {
+                double d1 = (log(s[i] / k) + (r + 0.5 * v * v) * t)
+                            / (v * sqrt(t));
+                double d2 = d1 - v * sqrt(t);
+                call[i] = s[i] * normcdf(d1)
+                          - k * exp(0.0 - r * t) * normcdf(d2);
+            }
+        }
+        """, 1, 4, s, call, 0.05, 0.2, 1.0, 100.0, 4)
+        assert call[0] == pytest.approx(10.4506, abs=1e-3)
+
+    def test_min_max_abs(self):
+        x = np.array([-5.0, 3.0], dtype=np.float32)
+        run("""
+        __global__ void k(float* x, int n) {
+            int i = threadIdx.x;
+            if (i < n) x[i] = fmin(fabs(x[i]), 4.0);
+        }
+        """, 1, 2, x, 2)
+        assert np.array_equal(x, [4.0, 3.0])
+
+    def test_integer_division_is_floor(self):
+        out = np.zeros(6, dtype=np.int32)
+        run("""
+        __global__ void halves(int* out, int n) {
+            int i = threadIdx.x;
+            if (i < n) out[i] = i / 2;
+        }
+        """, 1, 6, out, 6)
+        assert np.array_equal(out, [0, 0, 1, 1, 2, 2])
+
+
+class TestDispatch:
+    def test_multi_block_indexing(self):
+        x = np.zeros(64, dtype=np.float32)
+        run("""
+        __global__ void ids(float* x, int n) {
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            if (i < n) x[i] = blockIdx.x;
+        }
+        """, 4, 16, x, 64)
+        assert np.array_equal(x, np.repeat(np.arange(4), 16)
+                              .astype(np.float32))
+
+    def test_wrong_arity_raises(self):
+        interp = KernelInterpreter(parse_kernel("""
+        __global__ void k(float* x, int n) {
+            int i = threadIdx.x;
+            if (i < n) x[i] = 0.0;
+        }
+        """))
+        with pytest.raises(TypeError):
+            interp.run((1,), (1,), (np.zeros(1, dtype=np.float32),))
+
+    def test_pointer_param_needs_array(self):
+        interp = KernelInterpreter(parse_kernel("""
+        __global__ void k(float* x, int n) {
+            int i = threadIdx.x;
+            if (i < n) x[i] = 0.0;
+        }
+        """))
+        with pytest.raises(TypeError):
+            interp.run((1,), (1,), (3.0, 1))
+
+    def test_managed_array_unwrapped(self):
+        from repro.core import ManagedArray
+        a = ManagedArray(4, np.float32)
+        run("""
+        __global__ void one(float* x, int n) {
+            int i = threadIdx.x;
+            if (i < n) x[i] = 1.0;
+        }
+        """, 1, 4, a, 4)
+        assert (a.data == 1.0).all()

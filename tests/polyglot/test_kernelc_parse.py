@@ -1,0 +1,217 @@
+"""Unit tests of the mini CUDA-C parser and its static analysis."""
+
+import pytest
+
+from repro.polyglot import KernelSyntaxError, parse_kernel
+
+
+SQUARE = """
+__global__ void square(float* x, int n) {
+    int idx = blockIdx.x * blockDim.x + threadIdx.x;
+    if (idx < n) { x[idx] = x[idx] * x[idx]; }
+}
+"""
+
+
+class TestSignatureParsing:
+    def test_name_and_params(self):
+        ast = parse_kernel(SQUARE)
+        assert ast.name == "square"
+        assert [p.name for p in ast.params] == ["x", "n"]
+        assert ast.params[0].is_pointer and not ast.params[1].is_pointer
+
+    def test_extern_c_prefix(self):
+        ast = parse_kernel('extern "C" ' + SQUARE)
+        assert ast.name == "square"
+
+    def test_const_pointer(self):
+        ast = parse_kernel("""
+        __global__ void k(const float* x, float* y, int n) {
+            int i = threadIdx.x;
+            if (i < n) y[i] = x[i];
+        }
+        """)
+        assert ast.params[0].is_const and not ast.params[1].is_const
+
+    def test_restrict_qualifier_accepted(self):
+        ast = parse_kernel("""
+        __global__ void k(float* __restrict__ x, int n) {
+            int i = threadIdx.x;
+            if (i < n) x[i] = 0.0;
+        }
+        """)
+        assert ast.params[0].name == "x"
+
+    def test_missing_global_rejected(self):
+        with pytest.raises(KernelSyntaxError):
+            parse_kernel("void k(float* x) { }")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(KernelSyntaxError):
+            parse_kernel("__global__ void k(tensor* x) { }")
+
+    def test_comments_stripped(self):
+        ast = parse_kernel("""
+        // line comment
+        __global__ void k(float* x /* inline */, int n) {
+            /* block
+               comment */
+            int i = threadIdx.x;
+            if (i < n) x[i] = 1.0;   // trailing
+        }
+        """)
+        assert ast.name == "k"
+
+
+class TestDirectionAnalysis:
+    def test_read_write_sets(self):
+        ast = parse_kernel("""
+        __global__ void saxpy(const float* x, float* y, float a, int n) {
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            if (i < n) y[i] += a * x[i];
+        }
+        """)
+        assert ast.reads == {"x", "y"}       # += reads the target too
+        assert ast.writes == {"y"}
+
+    def test_pure_write(self):
+        ast = parse_kernel("""
+        __global__ void fill(float* out, float v, int n) {
+            int i = threadIdx.x;
+            if (i < n) out[i] = v;
+        }
+        """)
+        assert ast.writes == {"out"} and "out" not in ast.reads
+
+    def test_atomic_add_is_read_write(self):
+        ast = parse_kernel("""
+        __global__ void reduce(const float* x, float* acc, int n) {
+            int i = threadIdx.x;
+            if (i < n) { atomicAdd(&acc[0], x[i]); }
+        }
+        """)
+        assert "acc" in ast.writes and "acc" in ast.reads
+
+
+class TestGatherDetection:
+    def test_indirect_load_flagged(self):
+        ast = parse_kernel("""
+        __global__ void gather(const float* src, const int* ind,
+                               float* out, int n) {
+            int i = threadIdx.x;
+            if (i < n) out[i] = src[ind[i]];
+        }
+        """)
+        assert "src" in ast.gathers
+        assert "out" not in ast.gathers
+
+    def test_data_dependent_local_propagates(self):
+        ast = parse_kernel("""
+        __global__ void hop(const int* ind, float* data, int n) {
+            int i = threadIdx.x;
+            if (i < n) {
+                int j = ind[i];
+                data[j] = 1.0;
+            }
+        }
+        """)
+        assert "data" in ast.gathers
+
+    def test_linear_index_not_gather(self):
+        ast = parse_kernel(SQUARE)
+        assert not ast.gathers
+
+
+class TestFlopEstimation:
+    def test_square_counts_multiply(self):
+        ast = parse_kernel(SQUARE)
+        assert ast.flops_per_thread >= 1.0
+
+    def test_transcendental_weighting(self):
+        cheap = parse_kernel("""
+        __global__ void add1(float* x, int n) {
+            int i = threadIdx.x;
+            if (i < n) x[i] = x[i] + 1.0;
+        }
+        """)
+        costly = parse_kernel("""
+        __global__ void expk(float* x, int n) {
+            int i = threadIdx.x;
+            if (i < n) x[i] = exp(x[i]) * log(x[i]) + sqrt(x[i]);
+        }
+        """)
+        assert costly.flops_per_thread > 3 * cheap.flops_per_thread
+
+    def test_loop_multiplies_body(self):
+        single = parse_kernel("""
+        __global__ void one(float* x, int n) {
+            int i = threadIdx.x;
+            if (i < n) x[i] = x[i] * 2.0;
+        }
+        """)
+        looped = parse_kernel("""
+        __global__ void many(float* x, int n) {
+            int i = threadIdx.x;
+            if (i < n) {
+                for (int k = 0; k < 10; k += 1) {
+                    x[i] = x[i] * 2.0;
+                }
+            }
+        }
+        """)
+        assert looped.flops_per_thread > 5 * single.flops_per_thread
+
+
+class TestStatementSupport:
+    def test_else_branch(self):
+        parse_kernel("""
+        __global__ void clamp(float* x, int n) {
+            int i = threadIdx.x;
+            if (i < n) {
+                if (x[i] > 1.0) { x[i] = 1.0; }
+                else { x[i] = x[i]; }
+            }
+        }
+        """)
+
+    def test_ternary(self):
+        parse_kernel("""
+        __global__ void relu(float* x, int n) {
+            int i = threadIdx.x;
+            if (i < n) x[i] = x[i] > 0.0 ? x[i] : 0.0;
+        }
+        """)
+
+    def test_guard_return(self):
+        parse_kernel("""
+        __global__ void k(float* x, int n) {
+            int i = threadIdx.x;
+            if (i >= n) return;
+            x[i] = 1.0;
+        }
+        """)
+
+    def test_cast_expression(self):
+        parse_kernel("""
+        __global__ void k(float* x, int n) {
+            int i = threadIdx.x;
+            if (i < n) x[i] = (float) i;
+        }
+        """)
+
+    def test_unsupported_statement_rejected(self):
+        with pytest.raises(KernelSyntaxError):
+            parse_kernel("""
+            __global__ void k(float* x, int n) {
+                goto fail;
+            }
+            """)
+
+    def test_only_x_axis_supported(self):
+        with pytest.raises(KernelSyntaxError):
+            parse_kernel("""
+            __global__ void k(float* x, int n) {
+                int i = threadIdx.y;
+                x[i] = 0.0;
+            }
+            """)

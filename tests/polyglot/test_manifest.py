@@ -1,0 +1,136 @@
+"""Unit tests of the language-agnostic JSON manifest front-end."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import GrCudaRuntime, GroutRuntime
+from repro.gpu import TEST_GPU_1GB
+from repro.polyglot import ManifestError, load_manifest, run_manifest
+
+SQUARE_SRC = ("__global__ void square(float* x, int n) {"
+              " int i = blockIdx.x * blockDim.x + threadIdx.x;"
+              " if (i < n) x[i] = x[i] * x[i]; }")
+
+BASIC = {
+    "arrays": [{"name": "x", "type": "float[64]"}],
+    "kernels": [{"name": "square", "source": SQUARE_SRC,
+                 "signature": "square(x: inout pointer float, n: sint32)"}],
+    "program": [
+        {"op": "write", "array": "x", "fill": "arange"},
+        {"op": "launch", "kernel": "square", "grid": 2, "block": 32,
+         "args": ["x", 64]},
+        {"op": "read", "array": "x", "as": "squares"},
+    ],
+}
+
+
+def fresh_rt(kind="grout"):
+    if kind == "grout":
+        return GroutRuntime(n_workers=2, gpu_spec=TEST_GPU_1GB)
+    return GrCudaRuntime(gpu_spec=TEST_GPU_1GB)
+
+
+class TestLoad:
+    def test_accepts_dict_and_json_string(self):
+        assert load_manifest(BASIC)["arrays"][0]["name"] == "x"
+        assert load_manifest(json.dumps(BASIC))["program"][2]["op"] == \
+            "read"
+
+    def test_rejects_bad_json(self):
+        with pytest.raises(ManifestError):
+            load_manifest("{not json")
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ManifestError):
+            load_manifest("[1, 2]")
+
+    def test_rejects_missing_sections(self):
+        with pytest.raises(ManifestError):
+            load_manifest({"arrays": []})
+
+    def test_rejects_duplicate_array_names(self):
+        bad = {"arrays": [{"name": "x", "type": "float[4]"},
+                          {"name": "x", "type": "float[4]"}],
+               "program": []}
+        with pytest.raises(ManifestError):
+            load_manifest(bad)
+
+
+class TestRun:
+    @pytest.mark.parametrize("kind", ["grout", "grcuda"])
+    def test_end_to_end(self, kind):
+        result = run_manifest(fresh_rt(kind), BASIC)
+        assert np.allclose(result.reads["squares"],
+                           np.arange(64.0) ** 2)
+        assert result.ce_count == 2
+        assert result.elapsed_seconds > 0
+
+    def test_json_string_source(self):
+        result = run_manifest(fresh_rt(), json.dumps(BASIC))
+        assert "squares" in result.reads
+
+    def test_fills(self):
+        manifest = {
+            "arrays": [{"name": "a", "type": "double[8]"}],
+            "program": [{"op": "write", "array": "a", "fill": "ones"},
+                        {"op": "read", "array": "a"}],
+        }
+        result = run_manifest(fresh_rt(), manifest)
+        assert (result.reads["a"] == 1.0).all()
+
+    def test_random_fill_is_seeded(self):
+        manifest = {
+            "arrays": [{"name": "a", "type": "double[8]"}],
+            "program": [{"op": "write", "array": "a", "fill": "random"},
+                        {"op": "read", "array": "a"}],
+        }
+        one = run_manifest(fresh_rt(), manifest, seed=5)
+        two = run_manifest(fresh_rt(), manifest, seed=5)
+        assert np.array_equal(one.reads["a"], two.reads["a"])
+
+    def test_prefetch_step(self):
+        manifest = dict(BASIC)
+        manifest["program"] = [
+            {"op": "write", "array": "x", "fill": "arange"},
+            {"op": "prefetch", "array": "x"},
+            {"op": "launch", "kernel": "square", "grid": 2, "block": 32,
+             "args": ["x", 64]},
+            {"op": "read", "array": "x"},
+        ]
+        result = run_manifest(fresh_rt("grcuda"), manifest)
+        assert np.allclose(result.reads["x"], np.arange(64.0) ** 2)
+
+    def test_virtual_bytes_respected(self):
+        manifest = {
+            "arrays": [{"name": "a", "type": "float[16]",
+                        "virtual_bytes": 1 << 26}],
+            "program": [{"op": "read", "array": "a"}],
+        }
+        rt = fresh_rt()
+        run_manifest(rt, manifest)
+        # the array was registered with its modeled size
+        states = rt.controller.directory._states
+        assert (1 << 26) in {s.nbytes for s in states.values()}
+
+    @pytest.mark.parametrize("program,message", [
+        ([{"op": "dance"}], "unknown op"),
+        ([{"op": "read", "array": "ghost"}], "unknown array"),
+        ([{"op": "launch", "kernel": "ghost", "grid": 1, "block": 1}],
+         "unknown kernel"),
+        ([{"op": "write", "array": "x", "fill": "entropy"}],
+         "unknown fill"),
+        ([{"op": "launch", "kernel": "square"}], "missing"),
+    ])
+    def test_bad_programs(self, program, message):
+        manifest = dict(BASIC)
+        manifest["program"] = program
+        with pytest.raises(ManifestError, match=message):
+            run_manifest(fresh_rt(), manifest)
+
+    def test_kernel_name_mismatch(self):
+        manifest = dict(BASIC)
+        manifest["kernels"] = [{"name": "cube", "source": SQUARE_SRC}]
+        with pytest.raises(ManifestError):
+            run_manifest(fresh_rt(), manifest)

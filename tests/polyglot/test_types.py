@@ -1,0 +1,80 @@
+"""Unit tests of the polyglot type DSL and NIDL signatures."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import Direction
+from repro.polyglot import (
+    TypeSyntaxError,
+    is_array_type,
+    parse_array_type,
+    parse_signature,
+)
+
+
+class TestArrayTypes:
+    @pytest.mark.parametrize("expr,dtype,shape", [
+        ("float[100]", np.float32, (100,)),
+        ("double[7]", np.float64, (7,)),
+        ("int[4]", np.int32, (4,)),
+        ("long[2]", np.int64, (2,)),
+        ("float[10][20]", np.float32, (10, 20)),
+        ("  sint32[5] ", np.int32, (5,)),
+        ("uint8[3]", np.uint8, (3,)),
+        ("bool[2]", np.bool_, (2,)),
+    ])
+    def test_valid_expressions(self, expr, dtype, shape):
+        got_dtype, got_shape = parse_array_type(expr)
+        assert got_dtype == np.dtype(dtype)
+        assert got_shape == shape
+
+    @pytest.mark.parametrize("expr", [
+        "float", "float[]", "float[0]", "float[-3]", "quux[10]",
+        "float[10", "10[float]", "", "buildkernel",
+    ])
+    def test_invalid_expressions(self, expr):
+        with pytest.raises(TypeSyntaxError):
+            parse_array_type(expr)
+
+    def test_is_array_type(self):
+        assert is_array_type("float[10]")
+        assert not is_array_type("buildkernel")
+
+
+class TestSignatures:
+    def test_named_form(self):
+        name, params = parse_signature(
+            "square(x: inout pointer float, n: sint32)")
+        assert name == "square"
+        assert params[0].name == "x"
+        assert params[0].direction is Direction.INOUT
+        assert params[0].is_pointer
+        assert params[1].name == "n"
+        assert not params[1].is_pointer
+        assert params[1].direction is None
+
+    def test_anonymous_form(self):
+        name, params = parse_signature("saxpy(const pointer float, "
+                                       "out pointer float, float, sint32)")
+        assert name == "saxpy"
+        assert params[0].direction is Direction.IN
+        assert params[1].direction is Direction.OUT
+        assert params[0].name == "arg0"
+
+    def test_pointer_without_direction_defaults_inout(self):
+        _, params = parse_signature("k(x: pointer float)")
+        assert params[0].direction is Direction.INOUT
+
+    def test_empty_params(self):
+        name, params = parse_signature("noop()")
+        assert name == "noop" and params == []
+
+    @pytest.mark.parametrize("sig", [
+        "nope",                      # no parens
+        "k(x: pointer)",             # missing element type
+        "k(x: inout pointer wat)",   # unknown type
+        "k(x: )",                    # empty spec
+    ])
+    def test_invalid_signatures(self, sig):
+        with pytest.raises(TypeSyntaxError):
+            parse_signature(sig)

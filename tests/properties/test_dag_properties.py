@@ -1,0 +1,100 @@
+"""Property-based tests of the dependency DAG invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DependencyDag, ManagedArray
+from repro.core.ce import CeKind, ComputationalElement, depends_on
+from repro.gpu import ArrayAccess, Direction, KernelSpec, LaunchConfig
+
+N_BUFFERS = 4
+
+access_strategy = st.tuples(
+    st.integers(min_value=0, max_value=N_BUFFERS - 1),
+    st.sampled_from([Direction.IN, Direction.OUT, Direction.INOUT]),
+)
+
+ce_strategy = st.lists(access_strategy, min_size=1, max_size=3,
+                       unique_by=lambda t: t[0])
+stream_strategy = st.lists(ce_strategy, min_size=1, max_size=25)
+
+
+def build(stream):
+    arrays = [ManagedArray(4) for _ in range(N_BUFFERS)]
+    dag = DependencyDag()
+    ces = []
+    for spec in stream:
+        ce = ComputationalElement(
+            kind=CeKind.KERNEL,
+            accesses=tuple(ArrayAccess(arrays[i], d) for i, d in spec),
+            kernel=KernelSpec("k"), config=LaunchConfig((1,), (32,)))
+        dag.add(ce)
+        ces.append(ce)
+    return dag, ces
+
+
+@given(stream_strategy)
+@settings(max_examples=80)
+def test_edges_only_point_backwards(stream):
+    dag, ces = build(stream)
+    index = {ce.ce_id: i for i, ce in enumerate(ces)}
+    for ce in ces:
+        for parent in dag.parents(ce):
+            assert index[parent.ce_id] < index[ce.ce_id]
+
+
+@given(stream_strategy)
+@settings(max_examples=80)
+def test_every_conflict_is_ordered_transitively(stream):
+    """Soundness: if two CEs conflict, one must be an ancestor of the
+    other (directly or transitively)."""
+    dag, ces = build(stream)
+    for i, older in enumerate(ces):
+        for newer in ces[i + 1:]:
+            if depends_on(newer, older):
+                assert older.ce_id in dag.ancestors(newer), (
+                    older.display_name, newer.display_name)
+
+
+@given(stream_strategy)
+@settings(max_examples=80)
+def test_direct_parents_are_not_mutually_redundant(stream):
+    """filterRedundant: no parent may be an ancestor of a sibling parent."""
+    dag, ces = build(stream)
+    for ce in ces:
+        parents = dag.parents(ce)
+        ids = {p.ce_id for p in parents}
+        for p in parents:
+            assert not (dag.ancestors(p) & ids)
+
+
+@given(stream_strategy)
+@settings(max_examples=80)
+def test_ancestor_sets_closed_under_parents(stream):
+    dag, ces = build(stream)
+    for ce in ces:
+        ancestors = dag.ancestors(ce)
+        for parent in dag.parents(ce):
+            assert parent.ce_id in ancestors
+            assert dag.ancestors(parent) <= ancestors
+
+
+@given(stream_strategy, st.integers(min_value=1, max_value=20))
+@settings(max_examples=50)
+def test_prune_preserves_future_edges(stream, keep_last):
+    """Pruning completed CEs must not change the ancestors a new CE gets
+    among the surviving nodes."""
+    dag, ces = build(stream)
+    done = set(ces[:-1])
+    dag.prune_completed(lambda c: c in done)
+    # New CE touching every buffer conflicts with the whole frontier.
+    arrays = {a.buffer_id: a for ce in ces for a in ce.arrays}
+    probe = ComputationalElement(
+        kind=CeKind.KERNEL,
+        accesses=tuple(ArrayAccess(a, Direction.INOUT)
+                       for a in arrays.values()),
+        kernel=KernelSpec("probe"), config=LaunchConfig((1,), (32,)))
+    parents = dag.add(probe)
+    # Every returned parent must still be a live node.
+    for p in parents:
+        assert p in dag

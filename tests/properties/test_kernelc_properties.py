@@ -1,0 +1,91 @@
+"""Property-based tests of the kernel-C interpreter vs NumPy oracles."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.polyglot import KernelInterpreter, parse_kernel
+
+floats = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False,
+                   width=32)
+
+
+def run(src, grid, block, *args):
+    KernelInterpreter(parse_kernel(src)).run((grid,), (block,), args)
+
+
+@given(hnp.arrays(np.float32, st.integers(1, 200), elements=floats),
+       st.floats(min_value=-10, max_value=10, allow_nan=False))
+@settings(max_examples=60)
+def test_scale_matches_numpy(x, a):
+    expected = (x * np.float32(a)).astype(np.float32)
+    got = x.copy()
+    run("""
+    __global__ void scale(float* x, float a, int n) {
+        int i = blockIdx.x * blockDim.x + threadIdx.x;
+        if (i < n) x[i] = x[i] * a;
+    }
+    """, -(-len(x) // 64), 64, got, float(a), len(x))
+    assert np.allclose(got, expected, rtol=1e-5, atol=1e-5)
+
+
+@given(hnp.arrays(np.float32, st.integers(1, 128), elements=floats))
+@settings(max_examples=60)
+def test_relu_matches_numpy(x):
+    got = x.copy()
+    run("""
+    __global__ void relu(float* x, int n) {
+        int i = blockIdx.x * blockDim.x + threadIdx.x;
+        if (i < n) x[i] = x[i] > 0.0 ? x[i] : 0.0;
+    }
+    """, -(-len(x) // 32), 32, got, len(x))
+    assert np.array_equal(got, np.maximum(x, 0.0))
+
+
+@given(hnp.arrays(np.float64,
+                  st.integers(1, 100),
+                  elements=st.floats(min_value=-50, max_value=50,
+                                     allow_nan=False)))
+@settings(max_examples=60)
+def test_atomic_sum_matches_numpy(x):
+    acc = np.zeros(1, dtype=np.float64)
+    run("""
+    __global__ void total(const double* x, double* acc, int n) {
+        int i = blockIdx.x * blockDim.x + threadIdx.x;
+        if (i < n) { atomicAdd(&acc[0], x[i]); }
+    }
+    """, -(-len(x) // 32), 32, x, acc, len(x))
+    np.testing.assert_allclose(acc[0], x.sum(), rtol=1e-9, atol=1e-9)
+
+
+@given(st.integers(min_value=1, max_value=256),
+       st.integers(min_value=1, max_value=64))
+@settings(max_examples=40)
+def test_thread_indexing_covers_exact_range(n, block):
+    """Every valid index written exactly once, none out of range."""
+    x = np.zeros(n, dtype=np.float32)
+    grid = -(-n // block)
+    run("""
+    __global__ void mark(float* x, int n) {
+        int i = blockIdx.x * blockDim.x + threadIdx.x;
+        if (i < n) x[i] += 1.0;
+    }
+    """, grid, block, x, n)
+    assert np.array_equal(x, np.ones(n, dtype=np.float32))
+
+
+@given(hnp.arrays(np.int32, st.integers(1, 64),
+                  elements=st.integers(0, 63)))
+@settings(max_examples=50)
+def test_gather_matches_numpy(ind):
+    src = np.arange(64, dtype=np.float32) * 2
+    out = np.zeros(len(ind), dtype=np.float32)
+    run("""
+    __global__ void gather(const float* src, const int* ind, float* out,
+                           int n) {
+        int i = blockIdx.x * blockDim.x + threadIdx.x;
+        if (i < n) out[i] = src[ind[i]];
+    }
+    """, -(-len(ind) // 32), 32, src, ind, out, len(ind))
+    assert np.array_equal(out, src[ind])

@@ -1,0 +1,76 @@
+"""Property tests: generated manifests behave identically on both runtimes."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GrCudaRuntime, GroutRuntime
+from repro.gpu import TEST_GPU_1GB
+from repro.polyglot import run_manifest
+
+SCALE_SRC = ("__global__ void scale(float* x, float a, int n) {"
+             " int i = blockIdx.x * blockDim.x + threadIdx.x;"
+             " if (i < n) x[i] = x[i] * a; }")
+ADD_SRC = ("__global__ void addto(const float* src, float* dst, int n) {"
+           " int i = blockIdx.x * blockDim.x + threadIdx.x;"
+           " if (i < n) dst[i] = dst[i] + src[i]; }")
+
+ARRAY_NAMES = ["a", "b", "c"]
+
+step_strategy = st.one_of(
+    st.builds(lambda arr, fill: {"op": "write", "array": arr,
+                                 "fill": fill},
+              st.sampled_from(ARRAY_NAMES),
+              st.sampled_from(["zeros", "ones", "arange", "random"])),
+    st.builds(lambda arr, a: {"op": "launch", "kernel": "scale",
+                              "grid": 2, "block": 32,
+                              "args": [arr, a, 64]},
+              st.sampled_from(ARRAY_NAMES),
+              st.floats(min_value=-2.0, max_value=2.0,
+                        allow_nan=False)),
+    st.builds(lambda src, dst: {"op": "launch", "kernel": "addto",
+                                "grid": 2, "block": 32,
+                                "args": [src, dst, 64]},
+              st.sampled_from(ARRAY_NAMES),
+              st.sampled_from(ARRAY_NAMES)),
+)
+
+
+def manifest_of(steps):
+    program = list(steps)
+    program += [{"op": "read", "array": name} for name in ARRAY_NAMES]
+    return {
+        "arrays": [{"name": n, "type": "float[64]"}
+                   for n in ARRAY_NAMES],
+        "kernels": [
+            {"name": "scale", "source": SCALE_SRC},
+            {"name": "addto", "source": ADD_SRC},
+        ],
+        "program": program,
+    }
+
+
+@given(steps=st.lists(step_strategy, min_size=1, max_size=12))
+@settings(max_examples=25, deadline=None)
+def test_manifest_identical_on_both_runtimes(steps):
+    manifest = manifest_of(steps)
+    single = run_manifest(GrCudaRuntime(gpu_spec=TEST_GPU_1GB),
+                          manifest, seed=11)
+    dist = run_manifest(GroutRuntime(n_workers=2,
+                                     gpu_spec=TEST_GPU_1GB),
+                        manifest, seed=11)
+    for name in ARRAY_NAMES:
+        assert np.array_equal(single.reads[name], dist.reads[name]), name
+
+
+@given(steps=st.lists(step_strategy, min_size=1, max_size=8))
+@settings(max_examples=15, deadline=None)
+def test_manifest_rerun_is_deterministic(steps):
+    manifest = manifest_of(steps)
+    one = run_manifest(GroutRuntime(n_workers=2, gpu_spec=TEST_GPU_1GB),
+                       manifest, seed=3)
+    two = run_manifest(GroutRuntime(n_workers=2, gpu_spec=TEST_GPU_1GB),
+                       manifest, seed=3)
+    assert one.elapsed_seconds == two.elapsed_seconds
+    for name in ARRAY_NAMES:
+        assert np.array_equal(one.reads[name], two.reads[name])

@@ -1,0 +1,74 @@
+"""Property-based tests of page-table accounting invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.uvm import DevicePageTable
+
+CAPACITY = 64
+N_BUFFERS = 3
+BUF_PAGES = 48
+
+op_strategy = st.one_of(
+    st.tuples(st.just("admit"),
+              st.integers(0, N_BUFFERS - 1),
+              st.lists(st.integers(0, BUF_PAGES - 1), min_size=1,
+                       max_size=16, unique=True),
+              st.booleans()),
+    st.tuples(st.just("evict"), st.integers(1, 16)),
+    st.tuples(st.just("clean"), st.integers(0, N_BUFFERS - 1)),
+    st.tuples(st.just("drop"), st.integers(0, N_BUFFERS - 1)),
+)
+
+
+def apply_ops(ops):
+    table = DevicePageTable(CAPACITY, 4096)
+    for b in range(N_BUFFERS):
+        table.register(b, BUF_PAGES)
+    for op in ops:
+        if op[0] == "admit":
+            _, b, pages, write = op
+            pages = np.asarray(pages, dtype=np.int64)
+            need = int((~table.buffer(b).resident[pages]).sum())
+            table.ensure_free(need, order="lru")
+            table.admit(b, pages, write=write)
+        elif op[0] == "evict":
+            n = min(op[1], table.resident_pages)
+            if n:
+                table.evict(n, order="lru")
+        elif op[0] == "clean":
+            table.clean(op[1])
+        elif op[0] == "drop":
+            table.drop(op[1])
+    return table
+
+
+@given(st.lists(op_strategy, max_size=40))
+@settings(max_examples=80)
+def test_resident_counter_matches_bitmaps(ops):
+    table = apply_ops(ops)
+    actual = sum(s.resident_count for s in table.buffers())
+    assert table.resident_pages == actual
+
+
+@given(st.lists(op_strategy, max_size=40))
+@settings(max_examples=80)
+def test_capacity_never_exceeded(ops):
+    table = apply_ops(ops)
+    assert 0 <= table.resident_pages <= CAPACITY
+
+
+@given(st.lists(op_strategy, max_size=40))
+@settings(max_examples=80)
+def test_dirty_implies_resident(ops):
+    table = apply_ops(ops)
+    for state in table.buffers():
+        assert not (state.dirty & ~state.resident).any()
+
+
+@given(st.lists(op_strategy, max_size=30))
+@settings(max_examples=60)
+def test_free_plus_resident_is_capacity(ops):
+    table = apply_ops(ops)
+    assert table.free_pages + table.resident_pages == CAPACITY

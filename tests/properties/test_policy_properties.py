@@ -1,0 +1,114 @@
+"""Property-based tests of scheduling-policy invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ManagedArray
+from repro.core.arrays import Directory
+from repro.core.ce import CeKind, ComputationalElement
+from repro.core.policies import (
+    ExplorationLevel,
+    MinTransferSizePolicy,
+    MinTransferTimePolicy,
+    RoundRobinPolicy,
+    SchedulingContext,
+    VectorStepPolicy,
+)
+from repro.gpu import ArrayAccess, Direction, KernelSpec, LaunchConfig
+from repro.gpu.specs import MIB
+from repro.net.topology import uniform_topology
+
+
+def make_ctx(n_workers, placements):
+    """placements: list of (nbytes, holder_index or None)."""
+    workers = [f"w{i}" for i in range(n_workers)]
+    topo = uniform_topology(["controller"] + workers, 1e9)
+    directory = Directory()
+    arrays = []
+    for nbytes, holder in placements:
+        a = ManagedArray(1, virtual_nbytes=max(nbytes, 4))
+        state = directory.register(a)
+        if holder is not None:
+            state.up_to_date.add(workers[holder % n_workers])
+        arrays.append(a)
+    ctx = SchedulingContext(workers=workers, directory=directory,
+                            topology=topo)
+    return ctx, arrays
+
+
+def make_ce(arrays):
+    return ComputationalElement(
+        kind=CeKind.KERNEL,
+        accesses=tuple(ArrayAccess(a, Direction.IN) for a in arrays),
+        kernel=KernelSpec("k"), config=LaunchConfig((1,), (32,)))
+
+
+placement_strategy = st.lists(
+    st.tuples(st.integers(min_value=1, max_value=512).map(lambda m: m * MIB),
+              st.one_of(st.none(), st.integers(0, 7))),
+    min_size=1, max_size=5)
+
+
+@given(n_workers=st.integers(1, 8), placements=placement_strategy,
+       policy_name=st.sampled_from(["rr", "vs", "size", "time"]),
+       level=st.sampled_from(list(ExplorationLevel)))
+@settings(max_examples=100)
+def test_assignment_always_names_a_worker(n_workers, placements,
+                                          policy_name, level):
+    ctx, arrays = make_ctx(n_workers, placements)
+    policy = {
+        "rr": lambda: RoundRobinPolicy(),
+        "vs": lambda: VectorStepPolicy([2, 1]),
+        "size": lambda: MinTransferSizePolicy(level),
+        "time": lambda: MinTransferTimePolicy(level),
+    }[policy_name]()
+    for _ in range(5):
+        assert policy.assign(make_ce(arrays), ctx) in ctx.workers
+
+
+@given(n_workers=st.integers(1, 6),
+       n_ces=st.integers(1, 40))
+@settings(max_examples=60)
+def test_round_robin_is_perfectly_balanced(n_workers, n_ces):
+    ctx, arrays = make_ctx(n_workers, [(MIB, None)])
+    policy = RoundRobinPolicy()
+    counts = {w: 0 for w in ctx.workers}
+    for _ in range(n_ces):
+        counts[policy.assign(make_ce(arrays), ctx)] += 1
+    assert max(counts.values()) - min(counts.values()) <= 1
+
+
+@given(vector=st.lists(st.integers(1, 5), min_size=1, max_size=4),
+       n_workers=st.integers(1, 4))
+@settings(max_examples=60)
+def test_vector_step_consumes_exact_counts(vector, n_workers):
+    ctx, arrays = make_ctx(n_workers, [(MIB, None)])
+    policy = VectorStepPolicy(vector)
+    total = sum(vector)
+    got = [policy.assign(make_ce(arrays), ctx) for _ in range(total * 2)]
+    # the assignment sequence is periodic with the vector cycle
+    expected = []
+    node = 0
+    for count in vector * 2:
+        expected += [ctx.workers[node % n_workers]] * count
+        node += 1
+    assert got == expected[:len(got)]
+
+
+@given(placements=placement_strategy, level=st.sampled_from(
+    list(ExplorationLevel)))
+@settings(max_examples=80)
+def test_min_size_picks_a_coverage_maximiser_when_exploiting(placements,
+                                                             level):
+    """Whenever the policy exploits, its choice never has *less* coverage
+    than every other worker (it must be within the viability cutoff)."""
+    ctx, arrays = make_ctx(4, placements)
+    policy = MinTransferSizePolicy(level)
+    ce = make_ce(arrays)
+    choice = policy.assign(ce, ctx)
+    coverage = {w: ctx.directory.bytes_up_to_date(arrays, w)
+                for w in ctx.workers}
+    best = max(coverage.values())
+    from repro.core.policies import EXPLOIT_FLOOR
+    if best >= EXPLOIT_FLOOR * ce.param_bytes and best > 0:
+        assert coverage[choice] >= level.threshold * best

@@ -1,0 +1,162 @@
+"""Unit tests of Event, Timeout and the composite conditions."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Event, EventState, EventStateError, Timeout
+
+
+class TestEventLifecycle:
+    def test_starts_pending(self, engine):
+        ev = engine.event()
+        assert ev.state is EventState.PENDING
+        assert not ev.triggered and not ev.processed
+
+    def test_succeed_triggers(self, engine):
+        ev = engine.event()
+        ev.succeed(42)
+        assert ev.triggered and not ev.processed
+        engine.run()
+        assert ev.processed and ev.ok and ev.value == 42
+
+    def test_value_before_trigger_raises(self, engine):
+        with pytest.raises(EventStateError):
+            _ = engine.event().value
+
+    def test_double_succeed_raises(self, engine):
+        ev = engine.event()
+        ev.succeed()
+        with pytest.raises(EventStateError):
+            ev.succeed()
+
+    def test_fail_then_succeed_raises(self, engine):
+        ev = engine.event()
+        ev._defused = True
+        ev.fail(ValueError("x"))
+        with pytest.raises(EventStateError):
+            ev.succeed()
+
+    def test_fail_requires_exception_instance(self, engine):
+        with pytest.raises(TypeError):
+            engine.event().fail("not an exception")
+
+    def test_fail_value_is_exception(self, engine):
+        ev = engine.event()
+        ev._defused = True
+        exc = ValueError("x")
+        ev.fail(exc)
+        engine.run()
+        assert not ev.ok and ev.value is exc
+
+    def test_callbacks_receive_event(self, engine):
+        ev = engine.event()
+        got = []
+        ev.callbacks.append(got.append)
+        ev.succeed()
+        engine.run()
+        assert got == [ev]
+
+    def test_name_in_repr(self, engine):
+        assert "myevent" in repr(engine.event(name="myevent"))
+
+
+class TestTimeout:
+    def test_negative_delay_rejected(self, engine):
+        with pytest.raises(ValueError):
+            Timeout(engine, -1.0)
+
+    def test_zero_delay_fires_immediately(self, engine):
+        ev = engine.timeout(0.0)
+        engine.run()
+        assert ev.processed and engine.now == 0.0
+
+    def test_carries_value(self, engine):
+        ev = engine.timeout(1.0, value="tick")
+        engine.run()
+        assert ev.value == "tick"
+
+    def test_is_born_triggered(self, engine):
+        assert engine.timeout(1.0).triggered
+
+
+class TestAllOf:
+    def test_fires_after_all_children(self, engine):
+        children = [engine.timeout(t) for t in (1.0, 3.0, 2.0)]
+        combo = engine.all_of(children)
+        engine.run(until=combo)
+        assert engine.now == 3.0
+
+    def test_value_maps_children(self, engine):
+        a = engine.timeout(1.0, value="a")
+        b = engine.timeout(2.0, value="b")
+        combo = engine.all_of([a, b])
+        engine.run()
+        assert combo.value == {a: "a", b: "b"}
+
+    def test_empty_fires_immediately(self, engine):
+        combo = engine.all_of([])
+        assert combo.triggered
+        engine.run()
+        assert combo.value == {}
+
+    def test_already_processed_children_accepted(self, engine):
+        a = engine.timeout(1.0)
+        engine.run()
+        combo = engine.all_of([a])
+        engine.run()
+        assert combo.processed
+
+    def test_child_failure_fails_condition(self, engine):
+        good = engine.timeout(1.0)
+        bad = engine.event()
+        engine.timeout(0.5).callbacks.append(
+            lambda _: bad.fail(RuntimeError("child died")))
+        combo = engine.all_of([good, bad])
+        combo._defused = True
+        engine.run()
+        assert not combo.ok
+        assert isinstance(combo.value, RuntimeError)
+
+    def test_duplicate_children_counted_per_entry(self, engine):
+        a = engine.timeout(1.0)
+        combo = engine.all_of([a, a])
+        engine.run()
+        assert combo.processed
+
+    def test_cross_engine_child_rejected(self, engine):
+        from repro.sim import Engine
+        other = Engine()
+        foreign = other.timeout(1.0)
+        with pytest.raises(ValueError):
+            engine.all_of([foreign])
+
+
+class TestAnyOf:
+    def test_fires_on_first_child(self, engine):
+        slow = engine.timeout(5.0)
+        fast = engine.timeout(1.0)
+        combo = engine.any_of([slow, fast])
+        engine.run(until=combo)
+        assert engine.now == 1.0
+        assert fast in combo.value and slow not in combo.value
+
+    def test_empty_fires_immediately(self, engine):
+        combo = engine.any_of([])
+        engine.run()
+        assert combo.processed
+
+    def test_late_children_still_processed(self, engine):
+        slow = engine.timeout(5.0)
+        fast = engine.timeout(1.0)
+        engine.any_of([slow, fast])
+        engine.run()
+        assert slow.processed
+
+
+def test_children_of_condition_are_defused(engine):
+    """A failing child with a condition attached must not abort the run."""
+    bad = engine.event()
+    combo = AnyOf(engine, [bad, engine.timeout(1.0)])
+    engine.timeout(2.0).callbacks.append(
+        lambda _: None)
+    assert bad._defused
+    del combo

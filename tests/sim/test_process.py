@@ -1,0 +1,231 @@
+"""Unit tests of generator-based processes."""
+
+import pytest
+
+from repro.sim import Engine, Interrupt, Process, SimError
+
+
+class TestBasics:
+    def test_requires_generator(self, engine):
+        def not_a_generator():
+            return 42
+
+        with pytest.raises(TypeError):
+            engine.process(not_a_generator)  # type: ignore[arg-type]
+
+    def test_process_runs_and_returns(self, engine):
+        def proc():
+            yield engine.timeout(2.0)
+            return "done"
+
+        p = engine.process(proc())
+        engine.run()
+        assert p.processed and p.value == "done"
+
+    def test_is_alive_until_return(self, engine):
+        def proc():
+            yield engine.timeout(1.0)
+
+        p = engine.process(proc())
+        assert p.is_alive
+        engine.run()
+        assert not p.is_alive
+
+    def test_yield_value_is_event_payload(self, engine):
+        def proc():
+            got = yield engine.timeout(1.0, value="tick")
+            return got
+
+        p = engine.process(proc())
+        engine.run()
+        assert p.value == "tick"
+
+    def test_processes_wait_on_processes(self, engine):
+        def child():
+            yield engine.timeout(3.0)
+            return 7
+
+        def parent():
+            value = yield engine.process(child())
+            return value * 2
+
+        p = engine.process(parent())
+        engine.run()
+        assert p.value == 14 and engine.now == 3.0
+
+    def test_process_with_no_yield_finishes_at_zero(self, engine):
+        def proc():
+            return "instant"
+            yield  # pragma: no cover
+
+        p = engine.process(proc())
+        engine.run()
+        assert p.value == "instant" and engine.now == 0.0
+
+    def test_yield_non_event_fails_process(self, engine):
+        def proc():
+            yield 42
+
+        p = engine.process(proc())
+        p._defused = True
+        engine.run()
+        assert not p.ok and isinstance(p.value, TypeError)
+
+    def test_yield_foreign_engine_event_fails(self, engine):
+        other = Engine()
+
+        def proc():
+            yield other.timeout(1.0)
+
+        p = engine.process(proc())
+        p._defused = True
+        engine.run()
+        assert not p.ok and isinstance(p.value, SimError)
+
+    def test_already_processed_event_resumes_immediately(self, engine):
+        tick = engine.timeout(1.0)
+        engine.run()
+
+        def proc():
+            yield tick
+            return engine.now
+
+        p = engine.process(proc())
+        engine.run()
+        assert p.value == 1.0
+
+
+class TestFailures:
+    def test_exception_propagates_to_waiter(self, engine):
+        def child():
+            yield engine.timeout(1.0)
+            raise ValueError("child broke")
+
+        def parent():
+            try:
+                yield engine.process(child())
+            except ValueError as exc:
+                return f"caught: {exc}"
+
+        p = engine.process(parent())
+        engine.run()
+        assert p.value == "caught: child broke"
+
+    def test_unhandled_failure_aborts_run(self, engine):
+        def proc():
+            yield engine.timeout(1.0)
+            raise RuntimeError("unhandled")
+
+        engine.process(proc())
+        with pytest.raises(RuntimeError, match="unhandled"):
+            engine.run()
+
+    def test_failed_event_throws_into_process(self, engine):
+        ev = engine.event()
+
+        def proc():
+            try:
+                yield ev
+            except RuntimeError:
+                return "handled"
+
+        p = engine.process(proc())
+        engine.timeout(1.0).callbacks.append(
+            lambda _: ev.fail(RuntimeError("x")))
+        engine.run()
+        assert p.value == "handled"
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self, engine):
+        def victim():
+            try:
+                yield engine.timeout(100.0)
+            except Interrupt as stop:
+                return stop.cause
+
+        p = engine.process(victim())
+
+        def attacker():
+            yield engine.timeout(1.0)
+            p.interrupt("deadline")
+
+        engine.process(attacker())
+        engine.run(until=p)
+        assert p.value == "deadline" and engine.now == 1.0
+
+    def test_interrupted_process_can_rewait(self, engine):
+        tick = engine.timeout(5.0)
+
+        def victim():
+            try:
+                yield tick
+            except Interrupt:
+                pass
+            yield tick
+            return engine.now
+
+        p = engine.process(victim())
+
+        def attacker():
+            yield engine.timeout(1.0)
+            p.interrupt()
+
+        engine.process(attacker())
+        engine.run()
+        assert p.value == 5.0
+
+    def test_interrupt_finished_process_raises(self, engine):
+        def quick():
+            return None
+            yield  # pragma: no cover
+
+        p = engine.process(quick())
+        engine.run()
+        with pytest.raises(SimError):
+            p.interrupt()
+
+    def test_self_interrupt_rejected(self, engine):
+        def proc():
+            with pytest.raises(SimError):
+                engine.active_process.interrupt()
+            yield engine.timeout(1.0)
+
+        engine.process(proc())
+        engine.run()
+
+
+def test_active_process_tracked(engine):
+    observed = []
+
+    def proc():
+        observed.append(engine.active_process)
+        yield engine.timeout(1.0)
+        observed.append(engine.active_process)
+
+    p = engine.process(proc())
+    assert engine.active_process is None
+    engine.run()
+    assert observed == [p, p]
+    assert engine.active_process is None
+
+
+def test_two_processes_interleave(engine):
+    log = []
+
+    def ping():
+        for _ in range(3):
+            yield engine.timeout(2.0)
+            log.append(("ping", engine.now))
+
+    def pong():
+        yield engine.timeout(1.0)
+        for _ in range(3):
+            yield engine.timeout(2.0)
+            log.append(("pong", engine.now))
+
+    engine.process(ping())
+    engine.process(pong())
+    engine.run()
+    assert log == [("ping", 2.0), ("pong", 3.0), ("ping", 4.0),
+                   ("pong", 5.0), ("ping", 6.0), ("pong", 7.0)]

@@ -1,0 +1,75 @@
+"""Unit tests of the span tracer."""
+
+import pytest
+
+from repro.sim import Span, Tracer
+
+
+class TestSpan:
+    def test_duration(self):
+        assert Span("l", "k", "n", 1.0, 3.5).duration == 2.5
+
+    def test_overlap_strict(self):
+        a = Span("l", "k", "a", 0.0, 2.0)
+        b = Span("l", "k", "b", 1.0, 3.0)
+        c = Span("l", "k", "c", 2.0, 4.0)
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)       # shared endpoint is not overlap
+
+
+class TestTracer:
+    def test_record_and_query(self):
+        tr = Tracer()
+        tr.record("gpu0", "kernel", "k1", 0.0, 1.0)
+        tr.record("gpu1", "kernel", "k2", 0.5, 2.0)
+        tr.record("net", "transfer", "t1", 0.0, 3.0, nbytes=100)
+        assert len(tr) == 3
+        assert len(tr.by_category("kernel")) == 2
+        assert len(tr.by_lane("net")) == 1
+        assert tr.lanes() == ["gpu0", "gpu1", "net"]
+
+    def test_meta_preserved(self):
+        tr = Tracer()
+        tr.record("net", "transfer", "t", 0.0, 1.0, nbytes=42)
+        assert tr.spans[0].meta["nbytes"] == 42
+
+    def test_negative_span_rejected(self):
+        tr = Tracer()
+        with pytest.raises(ValueError):
+            tr.record("l", "k", "bad", 2.0, 1.0)
+
+    def test_disabled_tracer_records_nothing(self):
+        tr = Tracer(enabled=False)
+        tr.record("l", "k", "n", 0.0, 1.0)
+        assert len(tr) == 0
+
+    def test_total_time_sums_durations(self):
+        tr = Tracer()
+        tr.record("a", "kernel", "x", 0.0, 2.0)
+        tr.record("b", "kernel", "y", 1.0, 2.0)
+        tr.record("a", "transfer", "z", 0.0, 5.0)
+        assert tr.total_time() == 8.0
+        assert tr.total_time("kernel") == 3.0
+
+    def test_busy_time_merges_overlaps(self):
+        tr = Tracer()
+        tr.record("lane", "k", "a", 0.0, 2.0)
+        tr.record("lane", "k", "b", 1.0, 3.0)   # overlaps a
+        tr.record("lane", "k", "c", 5.0, 6.0)   # separate
+        assert tr.busy_time("lane") == pytest.approx(4.0)
+
+    def test_busy_time_empty_lane(self):
+        assert Tracer().busy_time("nothing") == 0.0
+
+    def test_makespan(self):
+        tr = Tracer()
+        assert tr.makespan() == 0.0
+        tr.record("a", "k", "x", 1.0, 2.0)
+        tr.record("b", "k", "y", 4.0, 7.0)
+        assert tr.makespan() == 6.0
+
+    def test_clear(self):
+        tr = Tracer()
+        tr.record("a", "k", "x", 0.0, 1.0)
+        tr.clear()
+        assert len(tr) == 0

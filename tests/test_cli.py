@@ -1,0 +1,110 @@
+"""Unit tests of the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "mv"])
+        assert args.workload == "mv"
+        assert args.gb == 4.0 and args.mode == "grcuda"
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "pagerank"])
+
+    def test_figure_choices(self):
+        args = build_parser().parse_args(["figure", "6a", "--quick"])
+        assert args.figure == "6a" and args.quick
+
+
+class TestRunCommand:
+    def test_grcuda_run_verified(self, capsys):
+        assert main(["run", "mv", "--gb", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "grcuda" in out and "verified" in out and "yes" in out
+
+    def test_grout_run(self, capsys):
+        assert main(["run", "bs", "--gb", "2", "--mode", "grout",
+                     "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "grout" in out
+
+    def test_no_verify_skips_check(self, capsys):
+        assert main(["run", "mv", "--gb", "2", "--no-verify"]) == 0
+        assert "skipped" in capsys.readouterr().out
+
+    def test_online_policy_and_level(self, capsys):
+        assert main(["run", "mv", "--gb", "2", "--mode", "grout",
+                     "--policy", "min-transfer-size",
+                     "--level", "high"]) == 0
+        assert "min-transfer-size" in capsys.readouterr().out
+
+    def test_timeline_flag(self, capsys):
+        assert main(["run", "mv", "--gb", "2", "--mode", "grout",
+                     "--timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out and "utilisation" in out
+
+
+class TestFigureCommand:
+    def test_quick_fig6a(self, capsys):
+        assert main(["figure", "6a", "--quick"]) == 0
+        assert "slowdown" in capsys.readouterr().out
+
+    def test_fig9(self, capsys):
+        assert main(["figure", "9"]) == 0
+        assert "microseconds" in capsys.readouterr().out
+
+
+class TestManifestCommand:
+    MANIFEST = {
+        "arrays": [{"name": "x", "type": "float[32]"}],
+        "kernels": [{
+            "name": "double_it",
+            "source": "__global__ void double_it(float* x, int n) {"
+                      " int i = threadIdx.x; if (i < n) x[i] *= 2.0; }",
+        }],
+        "program": [
+            {"op": "write", "array": "x", "fill": "arange"},
+            {"op": "launch", "kernel": "double_it", "grid": 1,
+             "block": 32, "args": ["x", 32]},
+            {"op": "read", "array": "x"},
+        ],
+    }
+
+    def test_manifest_from_file(self, tmp_path, capsys):
+        path = tmp_path / "wl.json"
+        path.write_text(json.dumps(self.MANIFEST))
+        assert main(["manifest", str(path), "--mode", "grcuda"]) == 0
+        out = capsys.readouterr().out
+        assert "executed 2 steps" in out
+        assert "x:" in out
+
+    def test_manifest_from_stdin(self, monkeypatch, capsys):
+        import io
+        monkeypatch.setattr("sys.stdin",
+                            io.StringIO(json.dumps(self.MANIFEST)))
+        assert main(["manifest", "-", "--mode", "grout"]) == 0
+        assert "executed" in capsys.readouterr().out
+
+
+class TestPlanCommand:
+    def test_plan_math(self, capsys):
+        assert main(["plan", "--gb", "96"]) == 0
+        out = capsys.readouterr().out
+        assert "3x" in out and "3" in out
+
+    def test_plan_respects_target(self, capsys):
+        assert main(["plan", "--gb", "96", "--target-osf", "3"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        row = [ln for ln in out if "recommended" in ln][0]
+        assert row.strip().endswith("1")

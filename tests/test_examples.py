@@ -1,0 +1,40 @@
+"""Smoke tests: every example script runs cleanly end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+
+#: Per-script wall-time budget (seconds); the heavier sweeps get more.
+BUDGETS = {
+    "blackscholes_scaleout.py": 300,
+    "policy_playground.py": 300,
+    "autoscaling.py": 200,
+}
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=[s.name for s in EXAMPLES])
+def test_example_runs(script):
+    timeout = BUDGETS.get(script.name, 120)
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=timeout)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_every_example_has_module_docstring():
+    for script in EXAMPLES:
+        head = script.read_text().lstrip()
+        assert head.startswith('"""'), f"{script.name} lacks a docstring"
+
+
+def test_at_least_three_domain_examples():
+    """Deliverable (b): quickstart plus >= 2 domain scenarios."""
+    names = {s.name for s in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 3

@@ -1,0 +1,108 @@
+"""Unit tests of page-set generation from access descriptors."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import AccessPattern, ArrayAccess, Direction
+from repro.uvm import merge_page_sets, page_set, pages_for_bytes
+
+
+class Buf:
+    _next = iter(range(1, 100000))
+
+    def __init__(self, nbytes):
+        self.nbytes = nbytes
+        self.buffer_id = next(self._next)
+
+
+PAGE = 4096
+
+
+class TestPagesForBytes:
+    def test_rounds_up(self):
+        assert pages_for_bytes(1, PAGE) == 1
+        assert pages_for_bytes(PAGE, PAGE) == 1
+        assert pages_for_bytes(PAGE + 1, PAGE) == 2
+
+    def test_zero_bytes_is_one_page(self):
+        assert pages_for_bytes(0, PAGE) == 1
+
+
+class TestPageSet:
+    def test_full_buffer_returns_all_pages(self):
+        buf = Buf(10 * PAGE)
+        for pattern in AccessPattern:
+            access = ArrayAccess(buf, Direction.IN, pattern)
+            assert len(page_set(access, PAGE, seed=1)) == 10
+
+    def test_sequential_partial_is_contiguous_window(self):
+        buf = Buf(100 * PAGE)
+        access = ArrayAccess(buf, Direction.IN, AccessPattern.SEQUENTIAL,
+                             fraction=0.3)
+        result = page_set(access, PAGE, seed=1)
+        assert len(result) == 30
+        # contiguous modulo wraparound: sorted gaps are 1 except one jump
+        gaps = np.diff(result)
+        assert (gaps == 1).sum() >= 28
+
+    def test_sequential_window_rotates_with_seed(self):
+        buf = Buf(100 * PAGE)
+        access = ArrayAccess(buf, Direction.IN, AccessPattern.SEQUENTIAL,
+                             fraction=0.2)
+        a = page_set(access, PAGE, seed=1)
+        b = page_set(access, PAGE, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_strided_spans_whole_buffer(self):
+        buf = Buf(100 * PAGE)
+        access = ArrayAccess(buf, Direction.IN, AccessPattern.STRIDED,
+                             fraction=0.1)
+        result = page_set(access, PAGE, seed=1)
+        assert result[0] == 0 and result[-1] == 99
+
+    def test_random_is_deterministic_per_seed(self):
+        buf = Buf(100 * PAGE)
+        access = ArrayAccess(buf, Direction.IN, AccessPattern.RANDOM,
+                             fraction=0.5)
+        a = page_set(access, PAGE, seed=5)
+        b = page_set(access, PAGE, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_random_differs_across_buffers(self):
+        a = ArrayAccess(Buf(100 * PAGE), Direction.IN,
+                        AccessPattern.RANDOM, fraction=0.5)
+        b = ArrayAccess(Buf(100 * PAGE), Direction.IN,
+                        AccessPattern.RANDOM, fraction=0.5)
+        assert not np.array_equal(page_set(a, PAGE, 1), page_set(b, PAGE, 1))
+
+    def test_results_sorted_unique(self):
+        buf = Buf(64 * PAGE)
+        for pattern in AccessPattern:
+            access = ArrayAccess(buf, Direction.IN, pattern, fraction=0.5)
+            result = page_set(access, PAGE, seed=3)
+            assert (np.diff(result) > 0).all()
+
+    def test_bounds_respected(self):
+        buf = Buf(17 * PAGE)
+        for pattern in AccessPattern:
+            access = ArrayAccess(buf, Direction.IN, pattern, fraction=0.7)
+            result = page_set(access, PAGE, seed=9)
+            assert result.min() >= 0 and result.max() < 17
+
+
+class TestMergePageSets:
+    def test_empty(self):
+        pages, writes = merge_page_sets([])
+        assert len(pages) == 0 and len(writes) == 0
+
+    def test_union_with_write_mask(self):
+        s1 = np.array([1, 2, 3], dtype=np.int64)
+        s2 = np.array([3, 4], dtype=np.int64)
+        pages, writes = merge_page_sets([(s1, False), (s2, True)])
+        assert pages.tolist() == [1, 2, 3, 4]
+        assert writes.tolist() == [False, False, True, True]
+
+    def test_write_wins_on_overlap(self):
+        s = np.array([5], dtype=np.int64)
+        pages, writes = merge_page_sets([(s, True), (s, False)])
+        assert pages.tolist() == [5] and writes.tolist() == [True]

@@ -1,0 +1,62 @@
+"""Unit tests of memory advises."""
+
+import pytest
+
+from repro.uvm import Advise, AdviseRegistry, AdviseSet
+
+
+class TestAdviseSet:
+    def test_read_mostly(self):
+        s = AdviseSet()
+        s.apply(Advise.READ_MOSTLY)
+        assert s.read_mostly
+
+    def test_preferred_host(self):
+        s = AdviseSet()
+        s.apply(Advise.PREFERRED_LOCATION_HOST)
+        assert s.preferred_host and s.preferred_device is None
+
+    def test_preferred_device_requires_index(self):
+        s = AdviseSet()
+        with pytest.raises(ValueError):
+            s.apply(Advise.PREFERRED_LOCATION_DEVICE)
+        s.apply(Advise.PREFERRED_LOCATION_DEVICE, device=1)
+        assert s.preferred_device == 1 and not s.preferred_host
+
+    def test_device_overrides_host_preference(self):
+        s = AdviseSet()
+        s.apply(Advise.PREFERRED_LOCATION_HOST)
+        s.apply(Advise.PREFERRED_LOCATION_DEVICE, device=0)
+        assert not s.preferred_host and s.preferred_device == 0
+
+    def test_accessed_by_accumulates(self):
+        s = AdviseSet()
+        with pytest.raises(ValueError):
+            s.apply(Advise.ACCESSED_BY)
+        s.apply(Advise.ACCESSED_BY, device=0)
+        s.apply(Advise.ACCESSED_BY, device=1)
+        assert s.accessed_by == {0, 1}
+
+    def test_clear(self):
+        s = AdviseSet()
+        s.apply(Advise.READ_MOSTLY)
+        s.apply(Advise.ACCESSED_BY, device=3)
+        s.clear()
+        assert not s.read_mostly and not s.accessed_by
+
+
+class TestRegistry:
+    def test_lazily_creates_sets(self):
+        reg = AdviseRegistry()
+        assert not reg.for_buffer(7).read_mostly
+        reg.advise(7, Advise.READ_MOSTLY)
+        assert reg.for_buffer(7).read_mostly
+
+    def test_forget(self):
+        reg = AdviseRegistry()
+        reg.advise(7, Advise.READ_MOSTLY)
+        reg.forget(7)
+        assert not reg.for_buffer(7).read_mostly
+
+    def test_forget_unknown_is_noop(self):
+        AdviseRegistry().forget(12345)

@@ -1,0 +1,69 @@
+"""Unit tests of the calibration constants and degradation curves."""
+
+import pytest
+
+from repro.gpu import AccessPattern
+from repro.uvm import NO_THRASH, PAPER_CALIBRATION, PatternParams, UvmModelParams
+
+
+class TestPatternParams:
+    def test_no_degradation_below_knee(self):
+        p = PatternParams(knee=2.0, beta=100.0, gamma=2.0)
+        assert p.degradation(1.0) == 1.0
+        assert p.degradation(2.0) == 1.0
+
+    def test_monotone_beyond_knee(self):
+        p = PatternParams(knee=1.0, beta=10.0, gamma=2.0)
+        values = [p.degradation(x) for x in (1.0, 1.5, 2.0, 3.0)]
+        assert values == sorted(values)
+        assert values[-1] > values[0]
+
+    def test_invalid_constants(self):
+        with pytest.raises(ValueError):
+            PatternParams(knee=-1.0, beta=1.0, gamma=1.0)
+        with pytest.raises(ValueError):
+            PatternParams(knee=1.0, beta=-1.0, gamma=1.0)
+        with pytest.raises(ValueError):
+            PatternParams(knee=1.0, beta=1.0, gamma=0.0)
+        with pytest.raises(ValueError):
+            PatternParams(knee=1.0, beta=1.0, gamma=1.0, batch_penalty=0.5)
+
+
+class TestModelParams:
+    def test_requires_every_pattern(self):
+        with pytest.raises(ValueError):
+            UvmModelParams(patterns={})
+
+    def test_efficiency_bounds(self):
+        with pytest.raises(ValueError):
+            UvmModelParams(fault_bw_efficiency=0.0,
+                           patterns=PAPER_CALIBRATION.patterns)
+        with pytest.raises(ValueError):
+            UvmModelParams(migration_overlap=1.5,
+                           patterns=PAPER_CALIBRATION.patterns)
+
+
+class TestPaperCalibration:
+    def test_random_knee_is_earliest(self):
+        knees = {p: PAPER_CALIBRATION.pattern(p).knee for p in AccessPattern}
+        assert knees[AccessPattern.RANDOM] < knees[AccessPattern.STRIDED]
+        assert knees[AccessPattern.RANDOM] < knees[AccessPattern.SEQUENTIAL]
+
+    def test_sequential_is_steepest_at_depth(self):
+        """At 3x OSF the streaming curve must dominate (MV's 342x step)."""
+        deg = {p: PAPER_CALIBRATION.pattern(p).degradation(3.0)
+               for p in AccessPattern}
+        assert deg[AccessPattern.SEQUENTIAL] > deg[AccessPattern.STRIDED]
+        assert deg[AccessPattern.SEQUENTIAL] > 150
+
+    def test_random_saturates(self):
+        """MLE flattens after its cliff: deg(3)/deg(2) stays small."""
+        p = PAPER_CALIBRATION.pattern(AccessPattern.RANDOM)
+        assert p.degradation(3.0) / p.degradation(2.0) < 2.0
+
+    def test_random_not_prefetchable(self):
+        assert not PAPER_CALIBRATION.pattern(AccessPattern.RANDOM).prefetchable
+
+    def test_no_thrash_is_flat(self):
+        for pattern in AccessPattern:
+            assert NO_THRASH.pattern(pattern).degradation(100.0) == 1.0

@@ -1,0 +1,134 @@
+"""Unit tests of the FALL-aware (LFU) eviction policy."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import (
+    AccessPattern,
+    ArrayAccess,
+    Direction,
+    Gpu,
+    INTEL_MAX_1100,
+    KernelLaunch,
+    KernelSpec,
+    LaunchConfig,
+    MI100_32GB,
+    TEST_GPU_1GB,
+)
+from repro.gpu.specs import GIB, MIB
+from repro.sim import Engine
+from repro.uvm import DevicePageTable, UvmSpace
+
+
+def pages(*idx):
+    return np.asarray(idx, dtype=np.int64)
+
+
+class TestLfuOrder:
+    def test_keeps_hot_pages(self):
+        table = DevicePageTable(capacity_pages=10, page_size=4096)
+        table.register(1, 10)
+        table.admit(1, pages(0, 1, 2), write=False, clock=1)
+        # page 0 is touched repeatedly (hot), 1 and 2 stay cold
+        for clock in range(2, 6):
+            table.touch(1, pages(0), write=False, clock=clock)
+        table.evict(2, order="lfu")
+        state = table.buffer(1)
+        assert state.resident[0]
+        assert not state.resident[1] and not state.resident[2]
+
+    def test_ties_broken_by_age(self):
+        table = DevicePageTable(capacity_pages=10, page_size=4096)
+        table.register(1, 10)
+        table.admit(1, pages(5), write=False, clock=1)
+        table.admit(1, pages(6), write=False, clock=2)
+        table.evict(1, order="lfu")
+        state = table.buffer(1)
+        assert not state.resident[5] and state.resident[6]
+
+    def test_counts_survive_across_buffers(self):
+        table = DevicePageTable(capacity_pages=4, page_size=4096)
+        table.register(1, 4)
+        table.register(2, 4)
+        table.admit(1, pages(0, 1), write=False, clock=1)
+        for clock in range(2, 8):
+            table.touch(1, pages(0, 1), write=False, clock=clock)
+        table.admit(2, pages(0, 1), write=False, clock=9)
+        result = table.evict(2, order="lfu")
+        assert result.evicted_pages == 2
+        assert table.buffer(1).resident_count == 2    # hot buffer kept
+        assert table.buffer(2).resident_count == 0
+
+
+class TestFallScenario:
+    def test_lfu_protects_reused_buffer_from_streaming_sweep(self):
+        """The FALL situation of [7]: a hot working buffer shares the
+        device with a big streaming sweep.  LRU lets the sweep flush the
+        hot pages; LFU keeps them resident."""
+
+        def run(order):
+            engine = Engine()
+            spec = TEST_GPU_1GB.with_page_size(1 * MIB)
+            gpu = Gpu(engine, spec, node_name="n", index=0)
+            space = UvmSpace([gpu], eviction_order=order)
+
+            class Buf:
+                def __init__(self, nbytes, bid):
+                    self.nbytes = nbytes
+                    self.buffer_id = bid
+
+            hot = Buf(64 * MIB, 90001 if order == "lru" else 90002)
+            stream = Buf(1536 * MIB, 90003 if order == "lru" else 90004)
+            space.register(hot)
+            space.register(stream)
+
+            def launch(buf, passes=1.0):
+                access = ArrayAccess(buf, Direction.IN,
+                                     AccessPattern.SEQUENTIAL,
+                                     passes=passes)
+                return KernelLaunch(
+                    KernelSpec("k", flops_per_byte=0.1),
+                    LaunchConfig((4,), (128,)), (buf,), (access,))
+
+            # Warm the hot buffer with several uses, then sweep.
+            total = 0.0
+            for _ in range(4):
+                total += space.price_kernel(gpu, launch(hot)).duration
+            space.price_kernel(gpu, launch(stream))
+            # The measurement: how expensive is the next hot access?
+            return space.price_kernel(gpu, launch(hot)).duration
+
+        assert run("lfu") < run("lru")
+
+
+class TestVendorPresets:
+    @pytest.mark.parametrize("spec", [MI100_32GB, INTEL_MAX_1100])
+    def test_model_is_vendor_agnostic(self, spec):
+        """The whole pricing pipeline runs on non-NVIDIA constants."""
+        engine = Engine()
+        gpu = Gpu(engine, spec.with_page_size(16 * MIB),
+                  node_name="amd", index=0)
+        space = UvmSpace([gpu])
+
+        class Buf:
+            nbytes = 1 * GIB
+            buffer_id = 95001 if spec is MI100_32GB else 95002
+
+        buf = Buf()
+        space.register(buf)
+        launch = KernelLaunch(
+            KernelSpec("k", flops_per_byte=1.0),
+            LaunchConfig((16,), (256,)), (buf,),
+            (ArrayAccess(buf, Direction.IN),))
+        cost = space.price_kernel(gpu, launch)
+        assert cost.duration > 0
+        assert space.resident_bytes(buf.buffer_id) == 1 * GIB
+
+    def test_mi100_end_to_end_workload(self):
+        from repro.core import GrCudaRuntime
+        from repro.workloads import make_workload
+
+        rt = GrCudaRuntime(gpu_spec=MI100_32GB.with_page_size(16 * MIB))
+        wl = make_workload("mv", 4 * GIB, n_chunks=4)
+        res = wl.execute(rt)
+        assert res.verified

@@ -1,0 +1,142 @@
+"""Unit tests of the node-level UVM space."""
+
+import pytest
+
+from repro.gpu import (
+    ArrayAccess,
+    Direction,
+    Gpu,
+    KernelLaunch,
+    KernelSpec,
+    LaunchConfig,
+    TEST_GPU_1GB,
+)
+from repro.gpu.specs import MIB
+from repro.uvm import Advise, UvmError, UvmSpace
+from repro.sim import Engine
+
+
+class Buf:
+    _next = iter(range(1, 100000))
+
+    def __init__(self, nbytes):
+        self.nbytes = nbytes
+        self.buffer_id = next(self._next)
+
+
+SPEC = TEST_GPU_1GB.with_page_size(1 * MIB)
+
+
+@pytest.fixture
+def gpus():
+    engine = Engine()
+    return [Gpu(engine, SPEC, node_name="n", index=i) for i in range(2)]
+
+
+@pytest.fixture
+def space(gpus):
+    return UvmSpace(gpus)
+
+
+def launch_for(buf, direction=Direction.IN):
+    access = ArrayAccess(buf, direction)
+    return KernelLaunch(KernelSpec("k", flops_per_byte=1.0),
+                        LaunchConfig((16,), (256,)), (buf,), (access,))
+
+
+class TestRegistry:
+    def test_needs_gpus(self):
+        with pytest.raises(ValueError):
+            UvmSpace([])
+
+    def test_register_and_oversubscription(self, space):
+        space.register(Buf(512 * MIB))
+        assert space.managed_bytes == 512 * MIB
+        assert space.capacity_bytes == 2048 * MIB
+        assert space.oversubscription == pytest.approx(0.25)
+
+    def test_size_conflict_raises(self, space):
+        buf = Buf(100 * MIB)
+        space.register(buf)
+        clone = Buf(200 * MIB)
+        clone.buffer_id = buf.buffer_id
+        with pytest.raises(UvmError):
+            space.register(clone)
+
+    def test_unregister_drops_everywhere(self, space, gpus):
+        buf = Buf(100 * MIB)
+        space.register(buf)
+        space.price_kernel(gpus[0], launch_for(buf))
+        space.unregister(buf.buffer_id)
+        assert not space.is_registered(buf.buffer_id)
+        assert space.managed_bytes == 0
+
+    def test_unknown_buffer_operations_raise(self, space, gpus):
+        with pytest.raises(UvmError):
+            space.price_kernel(gpus[0], launch_for(Buf(MIB)))
+        with pytest.raises(UvmError):
+            space.host_access(999, write=False)
+
+
+class TestKernelPricing:
+    def test_foreign_gpu_rejected(self, space):
+        stranger = Gpu(Engine(), SPEC, node_name="x", index=0)
+        buf = Buf(MIB)
+        space.register(buf)
+        with pytest.raises(UvmError):
+            space.price_kernel(stranger, launch_for(buf))
+
+    def test_residency_tracked_per_gpu(self, space, gpus):
+        buf = Buf(64 * MIB)
+        space.register(buf)
+        space.price_kernel(gpus[0], launch_for(buf))
+        assert space.resident_bytes(buf.buffer_id, gpus[0]) == 64 * MIB
+        assert space.resident_bytes(buf.buffer_id, gpus[1]) == 0
+        assert space.resident_bytes(buf.buffer_id) == 64 * MIB
+
+    def test_pressure_is_node_level(self, space, gpus):
+        big = Buf(1024 * MIB)
+        small = Buf(512 * MIB)
+        space.register(big)
+        space.register(small)
+        cost = space.price_kernel(gpus[0], launch_for(small))
+        assert cost.pressure == pytest.approx(1536 / 2048, rel=0.01)
+
+    def test_read_mostly_advise_suppresses_dirty(self, space, gpus):
+        buf = Buf(32 * MIB)
+        space.register(buf)
+        space.advise(buf.buffer_id, Advise.READ_MOSTLY)
+        space.price_kernel(gpus[0], launch_for(buf, Direction.OUT))
+        host = space.host_access(buf.buffer_id, write=False)
+        assert host.writeback_bytes == 0
+
+
+class TestHostAccess:
+    def test_read_writes_back_dirty(self, space, gpus):
+        buf = Buf(32 * MIB)
+        space.register(buf)
+        space.price_kernel(gpus[0], launch_for(buf, Direction.OUT))
+        host = space.host_access(buf.buffer_id, write=False)
+        assert host.writeback_bytes == 32 * MIB
+        assert host.seconds > 0
+        # replica survives a read
+        assert space.resident_bytes(buf.buffer_id) == 32 * MIB
+
+    def test_write_invalidates_replicas(self, space, gpus):
+        buf = Buf(32 * MIB)
+        space.register(buf)
+        space.price_kernel(gpus[0], launch_for(buf))
+        host = space.host_access(buf.buffer_id, write=True)
+        assert host.invalidated_bytes == 32 * MIB
+        assert space.resident_bytes(buf.buffer_id) == 0
+
+    def test_invalidate_all_devices(self, space, gpus):
+        buf = Buf(32 * MIB)
+        space.register(buf)
+        space.advise(buf.buffer_id, Advise.READ_MOSTLY)
+        space.price_kernel(gpus[0], launch_for(buf))
+        # read-mostly: the peer pre-pass duplicates instead of moving,
+        # so both GPUs hold a replica to invalidate.
+        space.price_kernel(gpus[1], launch_for(buf))
+        dropped = space.invalidate(buf.buffer_id)
+        assert dropped == 64 * MIB

@@ -1,0 +1,111 @@
+"""Unit tests of intra-node NVLink peer-to-peer page migration."""
+
+import dataclasses
+
+import pytest
+
+from repro.gpu import (
+    ArrayAccess,
+    Direction,
+    Gpu,
+    KernelLaunch,
+    KernelSpec,
+    LaunchConfig,
+    TEST_GPU_1GB,
+)
+from repro.gpu.specs import MIB
+from repro.sim import Engine
+from repro.uvm import Advise, UvmSpace
+
+
+class Buf:
+    _next = iter(range(1, 100000))
+
+    def __init__(self, nbytes):
+        self.nbytes = nbytes
+        self.buffer_id = next(self._next)
+
+
+SPEC = TEST_GPU_1GB.with_page_size(1 * MIB)
+NO_NVLINK = dataclasses.replace(SPEC, nvlink_bandwidth=0.0)
+
+
+def make_space(spec=SPEC, n_gpus=2):
+    engine = Engine()
+    gpus = [Gpu(engine, spec, node_name="n", index=i)
+            for i in range(n_gpus)]
+    return UvmSpace(gpus), gpus
+
+
+def launch_for(buf, direction=Direction.IN):
+    return KernelLaunch(KernelSpec("k", flops_per_byte=1.0),
+                        LaunchConfig((16,), (256,)), (buf,),
+                        (ArrayAccess(buf, direction),))
+
+
+class TestPeerMigration:
+    def test_pages_move_over_nvlink(self):
+        space, gpus = make_space()
+        buf = Buf(64 * MIB)
+        space.register(buf)
+        space.price_kernel(gpus[0], launch_for(buf))
+        cost = space.price_kernel(gpus[1], launch_for(buf))
+        assert cost.peer_bytes == 64 * MIB
+        assert cost.peer_seconds == pytest.approx(
+            64 * MIB / SPEC.nvlink_bandwidth, rel=0.01)
+        # the replica moved: gone from gpu0, present on gpu1
+        assert space.resident_bytes(buf.buffer_id, gpus[0]) == 0
+        assert space.resident_bytes(buf.buffer_id, gpus[1]) == 64 * MIB
+
+    def test_peer_path_cheaper_than_host_refault(self):
+        space, gpus = make_space()
+        buf = Buf(128 * MIB)
+        space.register(buf)
+        cold = space.price_kernel(gpus[0], launch_for(buf))
+        peer = space.price_kernel(gpus[1], launch_for(buf))
+        assert peer.duration < cold.duration / 2
+        assert peer.cold_bytes == 0       # nothing re-faulted from host
+
+    def test_no_nvlink_falls_back_to_host(self):
+        space, gpus = make_space(spec=NO_NVLINK)
+        buf = Buf(64 * MIB)
+        space.register(buf)
+        space.price_kernel(gpus[0], launch_for(buf))
+        cost = space.price_kernel(gpus[1], launch_for(buf))
+        assert cost.peer_bytes == 0
+        assert cost.cold_bytes == 64 * MIB
+
+    def test_read_mostly_duplicates_instead_of_moving(self):
+        space, gpus = make_space()
+        buf = Buf(64 * MIB)
+        space.register(buf)
+        space.advise(buf.buffer_id, Advise.READ_MOSTLY)
+        space.price_kernel(gpus[0], launch_for(buf))
+        cost = space.price_kernel(gpus[1], launch_for(buf))
+        assert cost.peer_bytes == 64 * MIB
+        assert space.resident_bytes(buf.buffer_id, gpus[0]) == 64 * MIB
+        assert space.resident_bytes(buf.buffer_id, gpus[1]) == 64 * MIB
+
+    def test_dirty_pages_carry_dirtiness(self):
+        space, gpus = make_space()
+        buf = Buf(32 * MIB)
+        space.register(buf)
+        space.price_kernel(gpus[0], launch_for(buf, Direction.OUT))
+        space.price_kernel(gpus[1], launch_for(buf))
+        host = space.host_access(buf.buffer_id, write=False)
+        # the moved pages are still dirty somewhere and get written back
+        assert host.writeback_bytes == 32 * MIB
+
+    def test_no_peer_data_is_noop(self):
+        space, gpus = make_space()
+        buf = Buf(64 * MIB)
+        space.register(buf)
+        cost = space.price_kernel(gpus[0], launch_for(buf))
+        assert cost.peer_bytes == 0 and cost.peer_seconds == 0.0
+
+    def test_single_gpu_node_is_noop(self):
+        space, gpus = make_space(n_gpus=1)
+        buf = Buf(64 * MIB)
+        space.register(buf)
+        cost = space.price_kernel(gpus[0], launch_for(buf))
+        assert cost.peer_bytes == 0

@@ -1,0 +1,91 @@
+"""Unit tests of the density tree-prefetcher."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import AccessPattern
+from repro.uvm import PrefetchConfig, expand_faults
+from repro.uvm.pagetable import BufferPages
+
+
+def state(n_pages, resident=()):
+    s = BufferPages.empty(1, n_pages)
+    for p in resident:
+        s.resident[p] = True
+    return s
+
+
+def faults(*idx):
+    return np.asarray(idx, dtype=np.int64)
+
+
+class TestConfig:
+    def test_invalid_block_pages(self):
+        with pytest.raises(ValueError):
+            PrefetchConfig(block_pages=0)
+
+    @pytest.mark.parametrize("density", [0.0, 1.5])
+    def test_invalid_density(self, density):
+        with pytest.raises(ValueError):
+            PrefetchConfig(density_threshold=density)
+
+
+class TestExpansion:
+    def test_dense_block_pulled_entirely(self):
+        cfg = PrefetchConfig(block_pages=8, density_threshold=0.5)
+        s = state(16, resident=[0, 1, 2])
+        out = expand_faults(faults(3), s, AccessPattern.SEQUENTIAL, cfg)
+        # block 0 = pages 0..7; density (3 resident + 1 fault)/8 = 0.5
+        assert out.tolist() == [3, 4, 5, 6, 7]
+
+    def test_sparse_block_untouched(self):
+        cfg = PrefetchConfig(block_pages=8, density_threshold=0.5)
+        s = state(16)
+        out = expand_faults(faults(3), s, AccessPattern.SEQUENTIAL, cfg)
+        assert out.tolist() == [3]
+
+    def test_random_pattern_disables_prefetch(self):
+        cfg = PrefetchConfig(block_pages=8, density_threshold=0.1)
+        s = state(16, resident=[0, 1, 2, 4, 5, 6, 7])
+        out = expand_faults(faults(3), s, AccessPattern.RANDOM, cfg)
+        assert out.tolist() == [3]
+
+    def test_disabled_config_is_identity(self):
+        cfg = PrefetchConfig(enabled=False)
+        s = state(64, resident=list(range(30)))
+        out = expand_faults(faults(31), s, AccessPattern.SEQUENTIAL, cfg)
+        assert out.tolist() == [31]
+
+    def test_empty_faults_identity(self):
+        cfg = PrefetchConfig()
+        out = expand_faults(faults(), state(8), AccessPattern.SEQUENTIAL,
+                            cfg)
+        assert len(out) == 0
+
+    def test_partial_tail_block(self):
+        """The last block may be shorter than block_pages."""
+        cfg = PrefetchConfig(block_pages=8, density_threshold=0.5)
+        s = state(12, resident=[8, 9])
+        out = expand_faults(faults(10), s, AccessPattern.SEQUENTIAL, cfg)
+        # tail block = pages 8..11, density 3/4 >= 0.5 -> whole tail
+        assert out.tolist() == [10, 11]
+
+    def test_multiple_blocks_expanded_independently(self):
+        cfg = PrefetchConfig(block_pages=4, density_threshold=0.5)
+        s = state(12, resident=[0, 4])
+        out = expand_faults(faults(1, 5, 9), s,
+                            AccessPattern.SEQUENTIAL, cfg)
+        # blocks 0 and 1 reach density 2/4; block 2 only 1/4
+        assert out.tolist() == [1, 2, 3, 5, 6, 7, 9]
+
+    def test_result_excludes_already_resident(self):
+        cfg = PrefetchConfig(block_pages=4, density_threshold=0.25)
+        s = state(4, resident=[0])
+        out = expand_faults(faults(1), s, AccessPattern.SEQUENTIAL, cfg)
+        assert 0 not in out.tolist()
+
+    def test_block_pages_one_is_identity(self):
+        cfg = PrefetchConfig(block_pages=1)
+        s = state(8, resident=[0, 1, 2])
+        out = expand_faults(faults(5), s, AccessPattern.SEQUENTIAL, cfg)
+        assert out.tolist() == [5]

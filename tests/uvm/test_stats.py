@@ -1,0 +1,100 @@
+"""Unit tests of the node-level UVM traffic counters."""
+
+import pytest
+
+from repro.gpu import (
+    ArrayAccess,
+    Direction,
+    Gpu,
+    KernelLaunch,
+    KernelSpec,
+    LaunchConfig,
+    TEST_GPU_1GB,
+)
+from repro.gpu.specs import MIB
+from repro.sim import Engine
+from repro.uvm import UvmSpace, UvmStats
+
+
+class Buf:
+    _next = iter(range(200000, 300000))
+
+    def __init__(self, nbytes):
+        self.nbytes = nbytes
+        self.buffer_id = next(self._next)
+
+
+SPEC = TEST_GPU_1GB.with_page_size(1 * MIB)
+
+
+@pytest.fixture
+def space_and_gpus():
+    engine = Engine()
+    gpus = [Gpu(engine, SPEC, node_name="n", index=i) for i in range(2)]
+    return UvmSpace(gpus), gpus
+
+
+def launch_for(buf, direction=Direction.IN, passes=1.0):
+    access = ArrayAccess(buf, direction, passes=passes)
+    return KernelLaunch(KernelSpec("k", flops_per_byte=1.0),
+                        LaunchConfig((16,), (256,)), (buf,), (access,))
+
+
+class TestCounters:
+    def test_cold_bytes_counted(self, space_and_gpus):
+        space, gpus = space_and_gpus
+        buf = Buf(64 * MIB)
+        space.register(buf)
+        space.price_kernel(gpus[0], launch_for(buf))
+        assert space.stats.kernel_launches == 1
+        assert space.stats.cold_bytes == 64 * MIB
+        assert space.stats.link_bytes == 64 * MIB
+
+    def test_warm_launch_adds_nothing(self, space_and_gpus):
+        space, gpus = space_and_gpus
+        buf = Buf(64 * MIB)
+        space.register(buf)
+        space.price_kernel(gpus[0], launch_for(buf))
+        before = space.stats.link_bytes
+        space.price_kernel(gpus[0], launch_for(buf))
+        assert space.stats.link_bytes == before
+        assert space.stats.kernel_launches == 2
+
+    def test_peer_bytes_counted(self, space_and_gpus):
+        space, gpus = space_and_gpus
+        buf = Buf(64 * MIB)
+        space.register(buf)
+        space.price_kernel(gpus[0], launch_for(buf))
+        space.price_kernel(gpus[1], launch_for(buf))
+        assert space.stats.peer_bytes == 64 * MIB
+        # NVLink traffic is not host-link traffic
+        assert space.stats.link_bytes == 64 * MIB
+
+    def test_thrashing_flagged(self, space_and_gpus):
+        space, gpus = space_and_gpus
+        big = Buf(3 * 1024 * MIB)
+        space.register(big)
+        space.price_kernel(gpus[0], launch_for(big, passes=2.0))
+        assert space.stats.thrashing_launches == 1
+        assert space.stats.refault_bytes > 0
+
+    def test_host_writeback_counted(self, space_and_gpus):
+        space, gpus = space_and_gpus
+        buf = Buf(32 * MIB)
+        space.register(buf)
+        space.price_kernel(gpus[0], launch_for(buf, Direction.OUT))
+        space.host_access(buf.buffer_id, write=True)
+        assert space.stats.host_writeback_bytes == 32 * MIB
+        assert space.stats.invalidated_bytes == 32 * MIB
+
+    def test_prefetch_counted(self, space_and_gpus):
+        space, gpus = space_and_gpus
+        buf = Buf(16 * MIB)
+        space.register(buf)
+        space.prefetch(gpus[0], buf)
+        assert space.stats.prefetch_bytes == 16 * MIB
+
+    def test_default_stats_empty(self):
+        stats = UvmStats()
+        assert stats.link_bytes == 0
+        assert stats.kernel_launches == 0

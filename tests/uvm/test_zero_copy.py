@@ -1,0 +1,121 @@
+"""Unit tests of host-pinned zero-copy access (PREFERRED_LOCATION_HOST)."""
+
+import pytest
+
+from repro.gpu import (
+    AccessPattern,
+    ArrayAccess,
+    Direction,
+    Gpu,
+    KernelLaunch,
+    KernelSpec,
+    LaunchConfig,
+    TEST_GPU_1GB,
+)
+from repro.gpu.specs import MIB
+from repro.sim import Engine
+from repro.uvm import Advise, UvmSpace
+from repro.uvm.perfmodel import ZERO_COPY_RANDOM_AMPLIFICATION
+
+
+class Buf:
+    _next = iter(range(1, 100000))
+
+    def __init__(self, nbytes):
+        self.nbytes = nbytes
+        self.buffer_id = next(self._next)
+
+
+SPEC = TEST_GPU_1GB.with_page_size(1 * MIB)
+
+
+def make_space():
+    engine = Engine()
+    gpus = [Gpu(engine, SPEC, node_name="n", index=i) for i in range(2)]
+    return UvmSpace(gpus), gpus
+
+
+def launch_for(buf, pattern=AccessPattern.SEQUENTIAL, passes=1.0):
+    access = ArrayAccess(buf, Direction.IN, pattern, passes=passes)
+    return KernelLaunch(KernelSpec("k", flops_per_byte=0.1),
+                        LaunchConfig((16,), (256,)), (buf,), (access,))
+
+
+class TestZeroCopy:
+    def test_pinned_buffer_never_resident(self):
+        space, gpus = make_space()
+        buf = Buf(100 * MIB)
+        space.register(buf)
+        space.advise(buf.buffer_id, Advise.PREFERRED_LOCATION_HOST)
+        cost = space.price_kernel(gpus[0], launch_for(buf))
+        assert space.resident_bytes(buf.buffer_id) == 0
+        assert cost.cold_bytes == 0
+        assert cost.migration_seconds == pytest.approx(
+            100 * MIB / SPEC.pcie_bandwidth)
+
+    def test_pinned_buffer_adds_no_pressure(self):
+        space, gpus = make_space()
+        big = Buf(4 * 1024 * MIB)     # 2x the node capacity
+        space.register(big)
+        space.advise(big.buffer_id, Advise.PREFERRED_LOCATION_HOST)
+        assert space.oversubscription == 0.0
+
+    def test_zero_copy_escapes_thrash_degradation(self):
+        """An oversubscribing sweep: pinned streams at raw PCIe, migrated
+        collapses on the degradation curve."""
+        def run(pinned):
+            space, gpus = make_space()
+            buf = Buf(6 * 1024 * MIB)      # 3x node OSF
+            space.register(buf)
+            if pinned:
+                space.advise(buf.buffer_id,
+                             Advise.PREFERRED_LOCATION_HOST)
+            return space.price_kernel(gpus[0], launch_for(buf)).duration
+
+        assert run(True) < run(False) / 20
+
+    def test_every_pass_pays_the_link(self):
+        space, gpus = make_space()
+        buf = Buf(100 * MIB)
+        space.register(buf)
+        space.advise(buf.buffer_id, Advise.PREFERRED_LOCATION_HOST)
+        one = space.price_kernel(gpus[0], launch_for(buf, passes=1.0))
+        space2, gpus2 = make_space()
+        buf2 = Buf(100 * MIB)
+        space2.register(buf2)
+        space2.advise(buf2.buffer_id, Advise.PREFERRED_LOCATION_HOST)
+        three = space2.price_kernel(gpus2[0],
+                                    launch_for(buf2, passes=3.0))
+        assert three.duration > 2.5 * one.duration
+
+    def test_random_access_amplified(self):
+        space, gpus = make_space()
+        buf = Buf(100 * MIB)
+        space.register(buf)
+        space.advise(buf.buffer_id, Advise.PREFERRED_LOCATION_HOST)
+        seq = space.price_kernel(gpus[0], launch_for(buf))
+        space2, gpus2 = make_space()
+        buf2 = Buf(100 * MIB)
+        space2.register(buf2)
+        space2.advise(buf2.buffer_id, Advise.PREFERRED_LOCATION_HOST)
+        rand = space2.price_kernel(
+            gpus2[0], launch_for(buf2, AccessPattern.RANDOM))
+        assert rand.duration > 0.8 * ZERO_COPY_RANDOM_AMPLIFICATION \
+            * seq.duration
+
+    def test_mixed_pinned_and_migrated(self):
+        space, gpus = make_space()
+        pinned = Buf(50 * MIB)
+        normal = Buf(50 * MIB)
+        space.register(pinned)
+        space.register(normal)
+        space.advise(pinned.buffer_id, Advise.PREFERRED_LOCATION_HOST)
+        launch = KernelLaunch(
+            KernelSpec("k", flops_per_byte=0.1),
+            LaunchConfig((16,), (256,)), (pinned, normal),
+            (ArrayAccess(pinned, Direction.IN),
+             ArrayAccess(normal, Direction.IN)))
+        cost = space.price_kernel(gpus[0], launch)
+        assert cost.cold_bytes == 50 * MIB       # only `normal` migrated
+        assert space.resident_bytes(pinned.buffer_id) == 0
+        assert space.resident_bytes(normal.buffer_id) == 50 * MIB

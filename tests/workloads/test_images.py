@@ -1,0 +1,85 @@
+"""Unit tests of the image-pipeline workload (suite extensibility)."""
+
+import numpy as np
+import pytest
+
+from repro.core import GrCudaRuntime, GroutRuntime
+from repro.core.ce import CeKind
+from repro.gpu import GIB, MIB, TEST_GPU_1GB
+from repro.workloads import ImagePipeline, make_workload, reference_pipeline
+from repro.workloads.images import (
+    EDGE_WEIGHT,
+    GAUSS,
+    SHARPEN_AMOUNT,
+    _blur_axis,
+    _sobel_mag,
+)
+
+
+class TestReference:
+    def test_gauss_taps_normalised(self):
+        assert GAUSS.sum() == pytest.approx(1.0, abs=1e-4)
+
+    def test_blur_preserves_constants(self):
+        flat = np.full((1, 16, 16), 0.7)
+        assert np.allclose(_blur_axis(flat, -1), 0.7, atol=1e-4)
+
+    def test_sobel_zero_on_flat(self):
+        flat = np.full((1, 16, 16), 0.5)
+        assert np.allclose(_sobel_mag(flat), 0.0, atol=1e-12)
+
+    def test_sobel_detects_edge(self):
+        img = np.zeros((1, 16, 16))
+        img[:, :, 8:] = 1.0
+        mag = _sobel_mag(img)
+        assert mag[:, 4:12, 7:9].max() > 1.0
+
+    def test_pipeline_output_in_range(self):
+        x = np.random.default_rng(0).random((2, 24, 24))
+        out = reference_pipeline(x)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+
+class TestWorkload:
+    @pytest.mark.parametrize("mode", ["grcuda", "grout"])
+    def test_end_to_end_verified(self, mode):
+        wl = make_workload("img", 2 * GIB, n_chunks=4)
+        rt = GrCudaRuntime(page_size=4 * MIB) if mode == "grcuda" \
+            else GroutRuntime(n_workers=2, page_size=4 * MIB)
+        res = wl.execute(rt)
+        assert res.completed and res.verified
+        assert res.ce_count == 4 * 6      # init + 5 kernels per chunk
+
+    def test_registered_in_suite(self):
+        from repro.workloads import WORKLOADS
+        assert WORKLOADS["img"] is ImagePipeline
+
+    def test_diamond_dependency_structure(self):
+        wl = ImagePipeline(256 * MIB, n_chunks=1)
+        rt = GroutRuntime(n_workers=2, gpu_spec=TEST_GPU_1GB)
+        wl.build(rt)
+        wl.run(rt)
+        dag = rt.controller.dag
+        by_label = {ce.display_name: ce for ce in dag.nodes()
+                    if ce.kind is CeKind.KERNEL}
+        combine = by_label["img.combine0"]
+        ancestors = dag.ancestors(combine)
+        for stage in ("img.blur_h0", "img.blur_v0", "img.sobel0",
+                      "img.sharpen0"):
+            assert by_label[stage].ce_id in ancestors, stage
+        # sobel and sharpen are parallel branches of the diamond
+        sobel, sharpen = by_label["img.sobel0"], by_label["img.sharpen0"]
+        assert sobel.ce_id not in dag.ancestors(sharpen)
+        assert sharpen.ce_id not in dag.ancestors(sobel)
+        rt.sync()
+
+    def test_footprint_covers_all_planes(self):
+        wl = ImagePipeline(8 * GIB, n_chunks=8)
+        rt = GrCudaRuntime(page_size=4 * MIB)
+        wl.build(rt)
+        managed = rt.node.uvm.managed_bytes
+        assert 0.7 * 8 * GIB < managed <= 8 * GIB
+
+    def test_constants_are_sane(self):
+        assert 0.0 < SHARPEN_AMOUNT < 2.0
+        assert 0.0 < EDGE_WEIGHT < 1.0

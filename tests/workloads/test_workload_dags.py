@@ -1,0 +1,102 @@
+"""Structural tests of the workloads' CE DAGs — the paper's Fig. 5."""
+
+import pytest
+
+from repro.core import GroutRuntime
+from repro.core.ce import CeKind
+from repro.gpu import TEST_GPU_1GB
+from repro.gpu.specs import MIB
+from repro.workloads import make_workload
+
+
+def build_dag(name, **kwargs):
+    wl = make_workload(name, 256 * MIB, n_chunks=2, **kwargs)
+    rt = GroutRuntime(n_workers=2, gpu_spec=TEST_GPU_1GB)
+    wl.build(rt)
+    wl.run(rt)
+    dag = rt.controller.dag
+    rt.sync()
+    return wl, dag
+
+
+def kernels_of(dag, prefix):
+    return [ce for ce in dag.nodes()
+            if ce.kind is CeKind.KERNEL
+            and ce.display_name.startswith(prefix)]
+
+
+class TestMleDag:
+    """Fig. 5 left: two imbalanced pipelines joined per chunk."""
+
+    def test_branches_are_independent(self):
+        _, dag = build_dag("mle")
+        forests = kernels_of(dag, "mle.forest")
+        bayes = kernels_of(dag, "mle.bayes")
+        for f in forests:
+            for b in bayes:
+                assert f.ce_id not in dag.ancestors(b)
+                assert b.ce_id not in dag.ancestors(f)
+
+    def test_combine_joins_both_branches(self):
+        _, dag = build_dag("mle")
+        for combine in kernels_of(dag, "mle.combine"):
+            ancestors = dag.ancestors(combine)
+            chunk = combine.display_name[-1]
+            head = kernels_of(dag, f"mle.head{chunk}")[0]
+            bayes = kernels_of(dag, f"mle.bayes{chunk}")[0]
+            assert head.ce_id in ancestors
+            assert bayes.ce_id in ancestors
+
+    def test_chunks_are_independent(self):
+        _, dag = build_dag("mle")
+        c0 = kernels_of(dag, "mle.combine0")[0]
+        c1 = kernels_of(dag, "mle.combine1")[0]
+        assert c0.ce_id not in dag.ancestors(c1)
+        assert c1.ce_id not in dag.ancestors(c0)
+
+
+class TestCgDag:
+    """Fig. 5 middle: per-iteration diamonds chained by the vectors."""
+
+    def test_iterations_chain_through_update_p(self):
+        _, dag = build_dag("cg", iterations=2)
+        matvecs = kernels_of(dag, "cg.mv")
+        update_ps = kernels_of(dag, "cg.update_p")
+        assert len(update_ps) == 2
+        # iteration-2 matvecs depend on iteration-1's p update
+        first_update = update_ps[0]
+        later = [mv for mv in matvecs
+                 if first_update.ce_id in dag.ancestors(mv)]
+        assert len(later) == 2          # the second wave (2 chunks)
+
+    def test_alpha_gathers_all_partials(self):
+        _, dag = build_dag("cg", iterations=1)
+        alpha = kernels_of(dag, "cg.alpha")[0]
+        pdots = kernels_of(dag, "cg.pdot")
+        ancestors = dag.ancestors(alpha)
+        assert all(p.ce_id in ancestors for p in pdots)
+
+    def test_matvecs_within_iteration_independent(self):
+        _, dag = build_dag("cg", iterations=1)
+        mv0, mv1 = kernels_of(dag, "cg.mv")
+        assert mv0.ce_id not in dag.ancestors(mv1)
+        assert mv1.ce_id not in dag.ancestors(mv0)
+
+
+class TestMvDag:
+    """Fig. 5 right: a flat fan-out of chunk products."""
+
+    def test_chunk_products_fully_parallel(self):
+        _, dag = build_dag("mv")
+        products = kernels_of(dag, "mv")
+        assert len(products) == 2
+        for a in products:
+            for b in products:
+                if a is not b:
+                    assert a.ce_id not in dag.ancestors(b)
+
+    def test_products_depend_only_on_init(self):
+        _, dag = build_dag("mv")
+        for product in kernels_of(dag, "mv"):
+            parents = dag.parents(product)
+            assert all(p.kind is CeKind.HOST_WRITE for p in parents)

@@ -1,0 +1,189 @@
+"""Unit tests of the workload suite: construction, correctness, structure."""
+
+import numpy as np
+import pytest
+
+from repro.core import GrCudaRuntime, GroutRuntime
+from repro.gpu import GIB, MIB
+from repro.workloads import (
+    WORKLOADS,
+    BlackScholes,
+    ConjugateGradient,
+    MatVec,
+    MlEnsemble,
+    Workload,
+    black_scholes_reference,
+    make_workload,
+)
+
+SMALL = 2 * GIB
+
+
+def small_grcuda():
+    return GrCudaRuntime(page_size=4 * MIB)
+
+
+def small_grout():
+    return GroutRuntime(n_workers=2, page_size=4 * MIB)
+
+
+class TestRegistry:
+    def test_all_paper_workloads_present(self):
+        assert {"bs", "mle", "cg", "mv"} <= set(WORKLOADS)
+
+    def test_factory(self):
+        wl = make_workload("cg", SMALL, n_chunks=4)
+        assert isinstance(wl, ConjugateGradient)
+        assert wl.n_chunks == 4
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_workload("pagerank", SMALL)
+
+
+class TestSizing:
+    def test_footprint_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MatVec(0)
+
+    def test_default_chunks_scale_with_footprint(self):
+        assert Workload.default_chunks(4 * GIB) == 8
+        assert Workload.default_chunks(64 * GIB) == 16
+        assert Workload.default_chunks(1024 * GIB) == 64
+
+    def test_virtual_total_close_to_footprint(self):
+        """Managed bytes must track the declared footprint (±10%)."""
+        for name in WORKLOADS:
+            wl = make_workload(name, 8 * GIB, n_chunks=8)
+            rt = small_grcuda()
+            wl.build(rt)
+            managed = rt.node.uvm.managed_bytes
+            assert 0.7 * 8 * GIB < managed <= 8 * GIB, (name, managed)
+
+    def test_real_backing_stays_small(self):
+        wl = make_workload("mv", 160 * GIB, n_chunks=16)
+        rt = small_grcuda()
+        wl.build(rt)
+        real = sum(c.real_nbytes for c in wl.m_chunks)
+        assert real < 64 * MIB
+
+
+class TestBlackScholes:
+    def test_reference_prices_known_value(self):
+        call, put = black_scholes_reference(
+            np.array([100.0]), np.array([100.0]), np.array([1.0]))
+        # r=0.05, vol=0.30: canonical European option values
+        assert call[0] == pytest.approx(14.2312, abs=1e-3)
+        assert put[0] == pytest.approx(9.3542, abs=1e-3)
+
+    def test_put_call_parity(self):
+        rng = np.random.default_rng(0)
+        spot = rng.uniform(50, 150, 64)
+        strike = rng.uniform(50, 150, 64)
+        tmat = rng.uniform(0.1, 2.0, 64)
+        call, put = black_scholes_reference(spot, strike, tmat)
+        from repro.workloads.blackscholes import RISK_FREE
+        parity = call - put - spot + strike * np.exp(-RISK_FREE * tmat)
+        assert np.allclose(parity, 0.0, atol=1e-8)
+
+    @pytest.mark.parametrize("make_rt", [small_grcuda, small_grout])
+    def test_end_to_end_verified(self, make_rt):
+        wl = BlackScholes(SMALL, n_chunks=4)
+        res = wl.execute(make_rt())
+        assert res.completed and res.verified
+        assert res.ce_count == 8      # 4 init + 4 kernels
+
+
+class TestMatVec:
+    @pytest.mark.parametrize("make_rt", [small_grcuda, small_grout])
+    def test_end_to_end_verified(self, make_rt):
+        wl = MatVec(SMALL, n_chunks=4)
+        res = wl.execute(make_rt())
+        assert res.completed and res.verified
+
+    def test_result_matches_numpy(self):
+        wl = MatVec(SMALL, n_chunks=4)
+        wl.execute(small_grcuda())
+        full = np.concatenate([c.data for c in wl.y_chunks])
+        matrix = np.vstack([c.data for c in wl.m_chunks])
+        assert np.allclose(full, matrix @ wl.x.data, rtol=1e-4)
+
+    def test_shared_x_is_significant_fraction(self):
+        """The Fig. 8 pile-up mechanism needs x >= EXPLOIT_FLOOR of a CE."""
+        from repro.core.policies import EXPLOIT_FLOOR
+        wl = MatVec(96 * GIB)
+        wl.build(small_grout())
+        ce_bytes = wl.m_chunks[0].nbytes + wl.x.nbytes + \
+            wl.y_chunks[0].nbytes
+        assert wl.x.nbytes >= EXPLOIT_FLOOR * ce_bytes
+
+
+class TestConjugateGradient:
+    @pytest.mark.parametrize("make_rt", [small_grcuda, small_grout])
+    def test_end_to_end_verified(self, make_rt):
+        wl = ConjugateGradient(SMALL, n_chunks=4, iterations=8)
+        res = wl.execute(make_rt())
+        assert res.completed and res.verified
+
+    def test_residual_monotone_overall(self):
+        wl = ConjugateGradient(SMALL, n_chunks=4, iterations=12)
+        wl.execute(small_grcuda())
+        hist = wl.residual_history
+        assert len(hist) == 12
+        assert hist[-1] < hist[0]
+
+    def test_residual_consistent_with_solution(self):
+        wl = ConjugateGradient(SMALL, n_chunks=4, iterations=8)
+        wl.execute(small_grcuda())
+        recomputed = wl.b_full - wl.a_full @ wl.x.data
+        assert np.allclose(recomputed, wl.r.data, rtol=1e-6, atol=1e-8)
+
+    def test_tuned_vector_aligns_with_iteration(self):
+        wl = ConjugateGradient(SMALL, n_chunks=8, iterations=2)
+        vector = wl.tuned_vector(2)
+        # one full cycle must cover exactly one iteration's CEs
+        assert sum(vector) == 2 * 8 + 4
+        assert len(vector) % 2 == 0
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            ConjugateGradient(SMALL, iterations=0)
+
+
+class TestMlEnsemble:
+    @pytest.mark.parametrize("make_rt", [small_grcuda, small_grout])
+    def test_end_to_end_verified(self, make_rt):
+        wl = MlEnsemble(SMALL, n_chunks=4)
+        res = wl.execute(make_rt())
+        assert res.completed and res.verified
+
+    def test_four_kernels_per_chunk(self):
+        wl = MlEnsemble(SMALL, n_chunks=4)
+        wl.execute(small_grcuda())
+        # 1 weight init + 4 chunk inits + 4*4 kernels
+        assert wl.ce_count == 1 + 4 + 16
+
+    def test_predictions_are_valid_classes(self):
+        from repro.workloads.mle import N_CLASSES
+        wl = MlEnsemble(SMALL, n_chunks=2)
+        wl.execute(small_grcuda())
+        for chunk in wl.chunks:
+            preds = chunk["pred"].data
+            assert preds.min() >= 0 and preds.max() < N_CLASSES
+
+    def test_branch_split_vector(self):
+        wl = MlEnsemble(SMALL, n_chunks=2)
+        assert wl.tuned_vector(2) == [2, 2]
+
+
+class TestRunResult:
+    def test_timeout_reports_incomplete(self):
+        wl = MatVec(64 * GIB, n_chunks=8)
+        res = wl.execute(small_grcuda(), timeout=1e-6)
+        assert not res.completed and not res.verified
+
+    def test_footprint_gb(self):
+        wl = MatVec(SMALL, n_chunks=4)
+        res = wl.execute(small_grcuda())
+        assert res.footprint_gb == pytest.approx(2.0)
+        assert res.name == "mv"
