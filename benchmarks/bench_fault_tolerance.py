@@ -1,0 +1,97 @@
+"""Fault-tolerance study: what a mid-run worker crash actually costs.
+
+Beyond the paper: GrOUT's Algorithm 1 re-runs cleanly for a crashed
+worker's unfinished CEs, so a run survives losing a node.  This bench
+measures the recovery overhead — fault-free elapsed vs elapsed with one
+injected crash at the halfway point (survivors absorb the work) and with
+the crash plus a replacement worker — and the cost of transient faults
+(flaky transfers riding the retry/backoff path).
+
+Every faulted run must still *verify*: recovery is only interesting if
+the numbers coming out are bit-identical to the fault-free run.
+"""
+
+from conftest import emit
+
+from repro.bench import format_table, run_grout
+from repro.gpu.specs import GIB
+from repro.sim import FaultPlan
+
+WORKLOADS = ("bs", "cg", "mv")
+FOOTPRINT_GB = 32
+N_WORKERS = 4
+
+
+def _fault_free(wl: str):
+    return run_grout(wl, FOOTPRINT_GB * GIB, n_workers=N_WORKERS)
+
+
+def _crashed(wl: str, at: float, *, replace: bool = False):
+    return run_grout(wl, FOOTPRINT_GB * GIB, n_workers=N_WORKERS,
+                     faults=FaultPlan.single_crash("worker1", at),
+                     request_replacement=replace)
+
+
+def _flaky(wl: str, at: float):
+    return run_grout(wl, FOOTPRINT_GB * GIB, n_workers=N_WORKERS,
+                     faults=FaultPlan.parse(f"flake@{at}*2"))
+
+
+def test_crash_recovery_overhead(benchmark):
+    """One worker dies mid-run; survivors re-execute its unfinished CEs."""
+
+    def collect():
+        rows = []
+        for wl in WORKLOADS:
+            base = _fault_free(wl)
+            assert base.verified, wl
+            crash = _crashed(wl, base.elapsed_seconds / 2)
+            assert crash.verified, wl
+            replaced = _crashed(wl, base.elapsed_seconds / 2, replace=True)
+            assert replaced.verified, wl
+            rows.append((
+                wl,
+                base.elapsed_seconds,
+                crash.elapsed_seconds,
+                crash.elapsed_seconds / base.elapsed_seconds,
+                replaced.elapsed_seconds,
+                replaced.elapsed_seconds / base.elapsed_seconds,
+            ))
+        return rows
+
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+    emit(format_table(
+        ["workload", "fault-free (s)", "crash (s)", "x",
+         "crash+replace (s)", "x"],
+        rows,
+        title=(f"Mid-run worker crash, {FOOTPRINT_GB} GB on "
+               f"{N_WORKERS} workers (survivors vs replacement)")))
+
+    for wl, base, crash, ratio, replaced, rratio in rows:
+        # Losing a quarter of the fleet mid-run costs time, never
+        # correctness; the slowdown stays within an order of magnitude.
+        assert ratio >= 1.0 or abs(crash - base) < 1e-6, wl
+        assert ratio < 10.0, (wl, ratio)
+
+
+def test_transient_flake_overhead(benchmark):
+    """Two flaked transfers: retry/backoff absorbs them near-free."""
+
+    def collect():
+        rows = []
+        for wl in WORKLOADS:
+            base = _fault_free(wl)
+            flaky = _flaky(wl, base.elapsed_seconds / 4)
+            assert flaky.verified, wl
+            rows.append((wl, base.elapsed_seconds, flaky.elapsed_seconds,
+                         flaky.elapsed_seconds / base.elapsed_seconds))
+        return rows
+
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+    emit(format_table(
+        ["workload", "fault-free (s)", "flaky (s)", "x"], rows,
+        title="Two mid-wire transfer failures (retry/backoff path)"))
+
+    for wl, base, flaky, ratio in rows:
+        # Backoff is milliseconds; a flake must not double the run.
+        assert ratio < 2.0, (wl, ratio)

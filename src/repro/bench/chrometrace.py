@@ -19,6 +19,8 @@ _COLOURS = {
     "migration": "thread_state_uninterruptible",
     "prefetch": "rail_load",
     "sched": "grey",
+    "fault": "terrible",
+    "retry": "bad",
 }
 
 

@@ -22,6 +22,7 @@ from repro.core.policies import (
     make_policy,
 )
 from repro.gpu.specs import GIB, MIB
+from repro.sim import FaultPlan
 from repro.workloads import RunResult, make_workload
 
 #: The paper's footprint sweep: 4 GB → 160 GB (= 5× OSF on 2×16 GB × 1 node).
@@ -103,10 +104,16 @@ def run_grout(workload: str, footprint_bytes: int, *,
               check: bool = True,
               seed: int = 0,
               repeats: int = 1,
+              faults: FaultPlan | None = None,
+              request_replacement: bool = False,
               **workload_kwargs) -> ExperimentResult:
     """One GrOUT run on ``n_workers`` paper nodes with a given policy.
 
     ``repeats`` averages over per-repetition seeds (paper protocol §V-A).
+    ``faults`` arms a deterministic :class:`FaultPlan` on every
+    repetition before the workload executes (crash/degrade/flake
+    injection; ``request_replacement`` provisions a fresh worker after
+    each crash).
     """
     wl = make_workload(workload, footprint_bytes, seed=seed,
                        **workload_kwargs)
@@ -128,6 +135,9 @@ def run_grout(workload: str, footprint_bytes: int, *,
             page_size=page_size or page_size_for(footprint_bytes),
             seed=s)
         rt = GroutRuntime(cluster, policy=policy_obj)
+        if faults is not None:
+            rt.install_faults(faults,
+                              request_replacement=request_replacement)
         res = wl_run.execute(rt, timeout=cap, check=check)
         return _to_experiment(res, wl_run.name, "grout", n_workers,
                               policy_obj.name, footprint_bytes)

@@ -21,6 +21,8 @@ CATEGORY_GLYPHS = {
     "migration": "~",
     "prefetch": "+",
     "sched": ".",
+    "fault": "!",
+    "retry": "?",
 }
 _EXTRA_GLYPHS = "*%@o"
 

@@ -33,6 +33,7 @@ from repro.bench import (
 from repro.bench.timeline import render_timeline, utilisation_report
 from repro.core import GrCudaRuntime, GroutRuntime, KpiAutoscaler
 from repro.core.policies import ExplorationLevel
+from repro.sim import FaultPlan
 from repro.gpu.specs import GIB
 from repro.workloads import WORKLOADS
 
@@ -68,6 +69,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="repetitions averaged per the paper's "
                             "protocol (default 1; simulation is "
                             "deterministic)")
+    run_p.add_argument("--faults", metavar="SPEC",
+                       help="inject failures (grout only): comma-"
+                            "separated 'crash:worker0@1.5', "
+                            "'degrade:controller-worker1@0.5x0.25', "
+                            "'flake:worker0-worker1@2.0*3'")
+    run_p.add_argument("--replace-crashed", action="store_true",
+                       help="provision a replacement worker after "
+                            "each injected crash")
     run_p.add_argument("--no-verify", action="store_true",
                        help="skip the numerical check")
     run_p.add_argument("--timeline", action="store_true",
@@ -124,7 +133,15 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_run(args: argparse.Namespace) -> int:
     footprint = int(args.gb * GIB)
     level = ExplorationLevel[args.level.upper()]
+    try:
+        faults = FaultPlan.parse(args.faults) if args.faults else None
+    except ValueError as exc:
+        print(f"--faults: {exc}", file=sys.stderr)
+        return 2
     if args.mode == "grcuda":
+        if faults is not None:
+            print("--faults requires --mode grout", file=sys.stderr)
+            return 2
         result = run_single_node(args.workload, footprint,
                                  check=not args.no_verify,
                                  repeats=args.repeats)
@@ -132,7 +149,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         result = run_grout(args.workload, footprint,
                            n_workers=args.workers, policy=args.policy,
                            level=level, check=not args.no_verify,
-                           repeats=args.repeats)
+                           repeats=args.repeats, faults=faults,
+                           request_replacement=args.replace_crashed)
     rows = [
         ("workload", result.workload),
         ("mode", result.mode),
@@ -181,6 +199,9 @@ def _traced_run(args: argparse.Namespace, footprint: int,
                   if args.policy == "vector-step"
                   else make_policy(args.policy, level=level))
         rt = GroutRuntime(cluster, policy=policy)
+        if args.faults:
+            rt.install_faults(FaultPlan.parse(args.faults),
+                              request_replacement=args.replace_crashed)
         tracer = cluster.tracer
     wl.execute(rt, timeout=9000, check=False)
     assert tracer is not None

@@ -47,6 +47,9 @@ class Cluster:
                  eviction_order=eviction_order, seed=seed + 1 + i)
             for i, spec in enumerate(worker_specs)
         ]
+        # Monotonic so names stay unique even after a crashed worker is
+        # removed and a replacement provisioned.
+        self._next_worker = len(worker_specs)
         topology = Topology()
         for node in self.nodes:
             topology.add_node(node.name, node.spec.nic)
@@ -80,15 +83,29 @@ class Cluster:
         :meth:`repro.core.Controller.add_worker`).
         """
         spec = spec if spec is not None else self._default_worker_spec
-        name = f"worker{len(self.workers)}"
+        name = f"worker{self._next_worker}"
         node = Node(self.engine, name, spec, tracer=self.tracer,
                     uvm_params=self._uvm_params, prefetch=self._prefetch,
                     eviction_order=self._eviction_order,
-                    seed=self._seed + 1 + len(self.workers))
+                    seed=self._seed + 1 + self._next_worker)
+        self._next_worker += 1
         self.workers.append(node)
         self.topology.add_node(name, spec.nic)
         self.fabric.add_node(name)
         return node
+
+    def remove_worker(self, name: str) -> Node:
+        """Retire a worker (crash recovery); returns the removed node.
+
+        The node leaves capacity accounting immediately.  Its topology
+        and fabric entries are retained — nothing routes to a dead node,
+        and keeping them means in-flight teardown never dereferences a
+        missing NIC.
+        """
+        for i, node in enumerate(self.workers):
+            if node.name == name:
+                return self.workers.pop(i)
+        raise KeyError(f"no worker named {name!r}")
 
     @property
     def total_gpu_memory_bytes(self) -> int:

@@ -9,11 +9,17 @@ from repro.core.arrays import (
     CONTROLLER,
     ArrayState,
     Directory,
+    DirectoryRepair,
     ManagedArray,
     partition_rows,
 )
 from repro.core.ce import CeKind, ComputationalElement, depends_on
-from repro.core.controller import Controller, ControllerStats
+from repro.core.controller import (
+    Controller,
+    ControllerStats,
+    RecoveryReport,
+    RunningAggregate,
+)
 from repro.core.dag import DependencyDag
 from repro.core.grcuda import GrCudaRuntime
 from repro.core.intranode import IntraNodeScheduler
@@ -41,6 +47,7 @@ __all__ = [
     "ControllerStats",
     "DependencyDag",
     "Directory",
+    "DirectoryRepair",
     "ExplorationLevel",
     "GrCudaRuntime",
     "GroutRuntime",
@@ -52,7 +59,9 @@ __all__ = [
     "MinTransferSizePolicy",
     "MinTransferTimePolicy",
     "Policy",
+    "RecoveryReport",
     "RoundRobinPolicy",
+    "RunningAggregate",
     "SchedulingContext",
     "VectorStepPolicy",
     "available_policies",

@@ -15,6 +15,7 @@ consults ("param.upToDateOn(node)", "upToDateOnlyOnController").
 from __future__ import annotations
 
 import itertools
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
@@ -128,7 +129,7 @@ class ArrayState:
     """Directory entry of one managed array."""
 
     __slots__ = ("up_to_date", "last_writer", "readers_since_write",
-                 "inflight", "nbytes")
+                 "inflight", "inflight_src", "inflight_producer", "nbytes")
 
     def __init__(self, home: str, nbytes: int = 0):
         self.up_to_date: set[str] = {home}
@@ -136,8 +137,29 @@ class ArrayState:
         self.readers_since_write: list["ComputationalElement"] = []
         #: node -> completion event of a replication transfer headed there
         self.inflight: dict[str, Event] = {}
+        #: node -> source the in-flight replication ships from (recovery
+        #: needs to know which transfers a dead node was feeding)
+        self.inflight_src: dict[str, str] = {}
+        #: node -> ce_id of the producer the in-flight replication waits
+        #: on (recovery must not let a re-executed CE wait on a move that
+        #: in turn waits on that very CE)
+        self.inflight_producer: dict[str, int] = {}
         #: modeled footprint, recorded for demand accounting (autoscaler)
         self.nbytes = nbytes
+
+
+@dataclass(slots=True)
+class DirectoryRepair:
+    """What :meth:`Directory.drop_node` found and fixed after a crash."""
+
+    #: Arrays whose *only* valid copy died (rolled back to the home node).
+    rolled_back: int = 0
+    #: In-flight replication events headed *to* the dead node — the
+    #: recovery layer cancels these (nobody alive consumes them).
+    cancelled: list[Event] = field(default_factory=list)
+    #: In-flight replication events sourced *from* the dead node — the
+    #: recovery layer interrupts these so they re-source and complete.
+    rerouted: list[Event] = field(default_factory=list)
 
 
 class Directory:
@@ -199,18 +221,30 @@ class Directory:
     # -- transitions -----------------------------------------------------------
 
     def record_replication(self, array: ManagedArray, node: str,
-                           done: Event) -> None:
-        """A copy is being shipped to ``node``; logically valid already."""
+                           done: Event, src: str | None = None,
+                           producer_id: int | None = None) -> None:
+        """A copy is being shipped to ``node``; logically valid already.
+
+        ``producer_id`` is the ce_id of the writer the transfer waits on
+        (if any) — crash recovery consults it to avoid wait cycles.
+        """
         state = self.state(array)
         state.up_to_date.add(node)
         state.inflight[node] = done
+        if src is not None:
+            state.inflight_src[node] = src
+        if producer_id is not None:
+            state.inflight_producer[node] = producer_id
 
     def replication_event(self, array: ManagedArray,
                           node: str) -> Event | None:
         """The pending transfer a consumer on ``node`` must also wait for."""
-        ev = self.state(array).inflight.get(node)
+        state = self.state(array)
+        ev = state.inflight.get(node)
         if ev is not None and ev.processed:
-            del self.state(array).inflight[node]
+            del state.inflight[node]
+            state.inflight_src.pop(node, None)
+            state.inflight_producer.pop(node, None)
             return None
         return ev
 
@@ -226,11 +260,73 @@ class Directory:
         state.up_to_date = {node}
         state.inflight = {n: ev for n, ev in state.inflight.items()
                           if n == node}
+        state.inflight_src = {n: s for n, s in state.inflight_src.items()
+                              if n == node}
+        state.inflight_producer = {
+            n: p for n, p in state.inflight_producer.items() if n == node}
         state.last_writer = ce
         state.readers_since_write = []
         return invalidated
 
     def record_read(self, array: ManagedArray,
                     ce: "ComputationalElement") -> None:
-        """Track a reader for later WAR dependencies."""
-        self.state(array).readers_since_write.append(ce)
+        """Track a reader for later WAR dependencies.
+
+        Deduplicated by ``ce_id``: a CE reading the same array through
+        several parameters (or re-scheduled after a crash) is tracked
+        once, so read-heavy workloads do not grow the list per access.
+        """
+        state = self.state(array)
+        if all(r.ce_id != ce.ce_id for r in state.readers_since_write):
+            state.readers_since_write.append(ce)
+
+    def prune_readers(self) -> int:
+        """Drop tracked readers whose CE has completed.
+
+        ``readers_since_write`` is only cleared by a write; on read-heavy
+        workloads it would otherwise grow for the lifetime of the run.
+        Called from the controller's periodic prune; returns the number
+        of entries dropped.
+        """
+        dropped = 0
+        for state in self._states.values():
+            before = len(state.readers_since_write)
+            state.readers_since_write = [
+                ce for ce in state.readers_since_write
+                if ce.done is None or not ce.done.processed]
+            dropped += before - len(state.readers_since_write)
+        return dropped
+
+    # -- crash recovery ---------------------------------------------------------
+
+    def drop_node(self, name: str) -> DirectoryRepair:
+        """Erase a dead node from the coherence state (crash recovery).
+
+        The node leaves every ``up_to_date`` set; an array whose *only*
+        valid copy died rolls back to the home node (the controller keeps
+        the logical master — the lost write itself is re-executed by the
+        scheduler layer).  Replications headed *to* the node are reported
+        for cancellation, replications sourced *from* it for re-routing.
+        """
+        repair = DirectoryRepair()
+        for state in self._states.values():
+            ev = state.inflight.pop(name, None)
+            state.inflight_src.pop(name, None)
+            state.inflight_producer.pop(name, None)
+            if ev is not None and not ev.processed:
+                repair.cancelled.append(ev)
+            for dst, src in list(state.inflight_src.items()):
+                if src != name:
+                    continue
+                rerouted = state.inflight.get(dst)
+                if rerouted is not None and not rerouted.processed:
+                    repair.rerouted.append(rerouted)
+                # The surviving source is re-chosen by the mover itself;
+                # the home node is the guaranteed fallback.
+                state.inflight_src[dst] = self.home
+            if name in state.up_to_date:
+                state.up_to_date.discard(name)
+                if not state.up_to_date:
+                    state.up_to_date.add(self.home)
+                    repair.rolled_back += 1
+        return repair

@@ -15,11 +15,13 @@ overall execution time since they can be interleaved").
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass, field
 
 from repro.cluster.cluster import Cluster
-from repro.sim import Event
+from repro.net.fabric import TransferError
+from repro.sim import Event, Interrupt, Process, SimError
 from repro.core.arrays import Directory, ManagedArray
 from repro.core.ce import CeKind, ComputationalElement
 from repro.core.dag import DependencyDag
@@ -28,6 +30,80 @@ from repro.core.policies import Policy, SchedulingContext
 
 #: Host memory streaming bandwidth charged for host-side CE bodies.
 HOST_MEM_BANDWIDTH = 20e9
+
+#: Interrupt-cause tag carried by crash-triggered interruptions.
+NODE_CRASH = "node-crash"
+
+
+class RunningAggregate:
+    """Bounded running statistic: count/sum/min/max plus a fixed-size
+    reservoir for percentiles.
+
+    Week-long simulated runs schedule millions of CEs; a raw per-sample
+    list grows memory linearly.  This keeps the mean *exact* (count and
+    sum are complete) and approximates percentiles from a deterministic
+    reservoir sample (Vitter's Algorithm R with a fixed seed).
+    """
+
+    __slots__ = ("count", "total", "minimum", "maximum",
+                 "_reservoir", "_capacity", "_rng")
+
+    def __init__(self, capacity: int = 512, seed: int = 0):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+        self._reservoir: list[float] = []
+        self._capacity = capacity
+        self._rng = random.Random(seed)
+
+    def add(self, sample: float) -> None:
+        """Fold one sample into the aggregate (O(1), bounded memory)."""
+        self.count += 1
+        self.total += sample
+        if sample < self.minimum:
+            self.minimum = sample
+        if sample > self.maximum:
+            self.maximum = sample
+        if len(self._reservoir) < self._capacity:
+            self._reservoir.append(sample)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self._capacity:
+                self._reservoir[slot] = sample
+
+    #: Alias so aggregate call sites read like the list they replaced.
+    append = add
+
+    @property
+    def mean(self) -> float:
+        """Exact arithmetic mean of every sample ever added."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate ``q``-th percentile (0-100) from the reservoir."""
+        if not 0 <= q <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        if not self._reservoir:
+            return 0.0
+        ordered = sorted(self._reservoir)
+        rank = q / 100 * (len(ordered) - 1)
+        lo, hi = int(rank), min(int(rank) + 1, len(ordered) - 1)
+        frac = rank - lo
+        return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __bool__(self) -> bool:
+        return self.count > 0
+
+    def __repr__(self) -> str:
+        return (f"<RunningAggregate n={self.count} mean={self.mean:.3g} "
+                f"min={self.minimum if self.count else 0:.3g} "
+                f"max={self.maximum if self.count else 0:.3g}>")
 
 
 @dataclass(slots=True)
@@ -38,14 +114,31 @@ class ControllerStats:
     transfers_issued: int = 0
     p2p_transfers: int = 0
     bytes_requested: int = 0
-    decision_seconds: list[float] = field(default_factory=list)
+    #: Bounded aggregate of per-CE decision wall-clock costs (Fig. 9).
+    decision_seconds: RunningAggregate = field(
+        default_factory=RunningAggregate)
+    worker_crashes: int = 0
+    ces_reexecuted: int = 0
+    transfers_rerouted: int = 0
+    arrays_rolled_back: int = 0
 
     @property
     def mean_decision_seconds(self) -> float:
-        """Average wall-clock cost of one scheduling decision."""
-        if not self.decision_seconds:
-            return 0.0
-        return sum(self.decision_seconds) / len(self.decision_seconds)
+        """Average wall-clock cost of one scheduling decision (exact)."""
+        return self.decision_seconds.mean
+
+
+@dataclass(frozen=True, slots=True)
+class RecoveryReport:
+    """What one worker-crash recovery did."""
+
+    node: str
+    ces_reexecuted: int
+    ops_aborted: int
+    moves_cancelled: int
+    moves_rerouted: int
+    arrays_rolled_back: int
+    replacement: str | None = None
 
 
 class Controller:
@@ -146,13 +239,21 @@ class Controller:
             self.dag.prune_completed(
                 lambda c: c.done is not None and c.done.processed)
             self._pending = [e for e in self._pending if not e.processed]
+            self.directory.prune_readers()
         return done
 
     # -- Algorithm 1, data-movement phase -----------------------------------------
 
-    def _ensure_on_node(self, array: ManagedArray,
-                        node_name: str) -> Event | None:
-        """Return the event a consumer on ``node_name`` must wait for."""
+    def _ensure_on_node(self, array: ManagedArray, node_name: str,
+                        reexec_of: ComputationalElement | None = None
+                        ) -> Event | None:
+        """Return the event a consumer on ``node_name`` must wait for.
+
+        ``reexec_of`` marks a crash re-execution: the directory's
+        ``last_writer`` may then be the re-executed CE itself (or a
+        program-order-later casualty), and waiting on it would deadlock —
+        the DAG parent waits already order the re-execution correctly.
+        """
         directory = self.directory
         if directory.up_to_date_on(array, node_name):
             # Possibly still in flight from an earlier replication.
@@ -174,28 +275,193 @@ class Controller:
             if src != self.cluster.controller.name:
                 self.stats.p2p_transfers += 1
 
-        producer = state.last_writer.done if state.last_writer else None
+        last = state.last_writer
+        producer = None
+        if last is not None and (reexec_of is None
+                                 or last.ce_id < reexec_of.ce_id):
+            producer = last.done
         done = self.engine.process(
             self._move(array, src, node_name, producer),
             name=f"move:{array.name}->{node_name}")
-        directory.record_replication(array, node_name, done)
+        directory.record_replication(
+            array, node_name, done, src=src,
+            producer_id=last.ce_id if producer is not None else None)
         self.stats.transfers_issued += 1
         self.stats.bytes_requested += array.nbytes
         return done
 
     def _move(self, array: ManagedArray, src: str, dst: str,
               producer: Event | None):
-        """Process: wait for the producer, flush source GPUs, cross the wire."""
-        if producer is not None and not producer.processed:
-            yield producer
-        source_worker = self.workers.get(src)
-        if source_worker is not None:
-            wb = source_worker.writeback_seconds(array)
-            if wb > 0:
-                yield self.engine.timeout(wb)
-        yield from self.cluster.fabric.transfer_process(
-            src, dst, array.nbytes, label=array.name)
-        return array.nbytes
+        """Process: wait for the producer, flush source GPUs, cross the wire.
+
+        Failure-aware: an interrupt carrying a node-crash cause makes the
+        move re-source from a surviving holder and start over, and a
+        transfer that exhausted its fabric retries falls back to another
+        source (ultimately the controller) before giving up.
+        """
+        rescues = 0
+        while True:
+            try:
+                if producer is not None and not producer.processed:
+                    yield producer
+                source_worker = self.workers.get(src)
+                if source_worker is not None:
+                    wb = source_worker.writeback_seconds(array)
+                    if wb > 0:
+                        yield self.engine.timeout(wb)
+                yield from self.cluster.fabric.transfer_process(
+                    src, dst, array.nbytes, label=array.name)
+                return array.nbytes
+            except Interrupt as intr:
+                cause = intr.cause
+                if not (isinstance(cause, tuple) and cause
+                        and cause[0] == NODE_CRASH):
+                    raise
+                src = self._surviving_source(array, dst, exclude=cause[1])
+                self.stats.transfers_rerouted += 1
+            except TransferError:
+                rescues += 1
+                if rescues > 3 or src == self.cluster.controller.name:
+                    raise
+                src = self._surviving_source(array, dst, exclude=src)
+                self.stats.transfers_rerouted += 1
+
+    def _surviving_source(self, array: ManagedArray, dst: str,
+                          exclude: str | None = None) -> str:
+        """Best live holder to re-ship from; the controller is the
+        guaranteed last resort (it regains validity if nobody else holds
+        the array)."""
+        home = self.cluster.controller.name
+        state = self.directory.state(array)
+        candidates = [
+            h for h in state.up_to_date
+            if h not in (dst, exclude) and (h == home or h in self.workers)
+        ]
+        if not candidates:
+            state.up_to_date.add(home)
+            return home
+        return min(candidates, key=lambda h: (
+            h == home,
+            self.cluster.topology.transfer_seconds(h, dst, array.nbytes)))
+
+    # -- failure recovery --------------------------------------------------------
+
+    def handle_worker_crash(self, name: str, *,
+                            request_replacement: bool = False
+                            ) -> RecoveryReport:
+        """Recover from a worker dying mid-run.
+
+        Algorithm: (1) abort the node's in-flight stream ops so they can
+        never complete; (2) repair the Directory — the dead node leaves
+        every ``up_to_date`` set, sole-copy arrays roll back to the
+        controller, replications into the node are cancelled and
+        replications out of it re-sourced; (3) shrink the scheduling
+        context so every policy stops considering the node; (4) re-run
+        Algorithm 1 for the node's unfinished CEs on survivors, forwarding
+        each re-execution's completion to the original ``done`` event so
+        downstream waiters (and the user program) never notice.
+        """
+        scheduler = self.workers.pop(name, None)
+        if scheduler is None:
+            raise KeyError(f"no live worker named {name!r}")
+        started = self.engine.now
+
+        ops_aborted = scheduler.abort_inflight((NODE_CRASH, name))
+        unfinished = sorted(
+            (ce for ce in self.dag.nodes()
+             if ce.assigned_node == name
+             and ce.done is not None and not ce.done.triggered),
+            key=lambda ce: ce.ce_id)
+
+        repair = self.directory.drop_node(name)
+        for ev in repair.cancelled:
+            if isinstance(ev, Process):
+                # Not a NODE_CRASH cause: the resilient mover re-sources on
+                # those, but a move *into* the dead node must die outright.
+                ev.cancel(("move-cancelled", name))
+        for ev in repair.rerouted:
+            if isinstance(ev, Process) and ev.is_alive:
+                ev.interrupt((NODE_CRASH, name))
+
+        self.context.workers = [w for w in self.context.workers
+                                if w != name]
+        self.cluster.remove_worker(name)
+        replacement = self.add_worker() if request_replacement else None
+        if not self.context.workers:
+            raise SimError(
+                f"worker {name!r} crashed and no workers survive; "
+                "recovery needs at least one node (or a replacement)")
+
+        for ce in unfinished:
+            self._reexecute(ce)
+
+        self.stats.worker_crashes += 1
+        self.stats.ces_reexecuted += len(unfinished)
+        self.stats.arrays_rolled_back += repair.rolled_back
+        tracer = self.cluster.tracer
+        if tracer is not None:
+            tracer.record(name, "fault", f"recover:{name}",
+                          started, self.engine.now,
+                          ces_reexecuted=len(unfinished),
+                          rolled_back=repair.rolled_back)
+        return RecoveryReport(
+            node=name,
+            ces_reexecuted=len(unfinished),
+            ops_aborted=ops_aborted,
+            moves_cancelled=len(repair.cancelled),
+            moves_rerouted=len(repair.rerouted),
+            arrays_rolled_back=repair.rolled_back,
+            replacement=replacement,
+        )
+
+    def _reexecute(self, ce: ComputationalElement) -> None:
+        """Re-run Algorithm 1 for one orphaned CE on a surviving node.
+
+        The CE keeps its identity (DAG membership, ``done`` event): the
+        re-execution's completion is forwarded to the original event, so
+        ancestors-of-others wiring stays intact.  The executor cannot
+        have run for an unfinished CE — kernels execute atomically at
+        completion time — so re-execution is numerically safe.
+        """
+        old_done = ce.done
+        node_name = self.policy.assign(ce, self.context)
+        ce.assigned_node = node_name
+
+        waits: list[Event] = [
+            p.done for p in self.dag.parents(ce)
+            if p.done is not None and not p.done.processed
+        ]
+        for array in ce.arrays:
+            ev = self._ensure_on_node(array, node_name, reexec_of=ce)
+            if ev is not None:
+                # A pre-crash move into this node may itself be waiting
+                # on *this* CE (its producer); waiting on it back would
+                # cycle.  The DAG parent waits already order the data.
+                state = self.directory.state(array)
+                pid = state.inflight_producer.get(node_name)
+                if pid is None or pid < ce.ce_id:
+                    waits.append(ev)
+        for array in ce.reads:
+            self.directory.record_read(array, ce)
+        for array in ce.writes:
+            invalidated = self.directory.record_write(array, node_name, ce)
+            for victim in invalidated:
+                worker = self.workers.get(victim)
+                if worker is not None:
+                    worker.drop_replica(array)
+
+        latency = self.cluster.topology.latency(
+            self.cluster.controller.name, node_name)
+        if latency > 0:
+            waits.append(self.engine.timeout(
+                latency, name=f"ctl->{node_name}"))
+        new_done = self.workers[node_name].submit(ce, waits,
+                                                  fresh_stream=True)
+        if old_done is not None and not old_done.triggered:
+            def forward(ev: Event, old: Event = old_done) -> None:
+                if not old.triggered:
+                    old.succeed(ev.value)
+            new_done.callbacks.append(forward)
 
     # -- host-side CEs ---------------------------------------------------------------
 

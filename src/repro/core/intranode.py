@@ -26,14 +26,19 @@ from repro.uvm.perfmodel import KernelCost
 class IntraNodeScheduler:
     """One worker's GPU-stream scheduler (the second hierarchy layer)."""
 
-    def __init__(self, node: Node, *, max_streams_per_gpu: int = 4):
+    def __init__(self, node: Node, *, max_streams_per_gpu: int = 4,
+                 prune_every: int = 64):
         if not node.has_gpus:
             raise ValueError(f"{node!r} has no GPUs to schedule on")
         if max_streams_per_gpu < 1:
             raise ValueError("max_streams_per_gpu must be >= 1")
+        if prune_every < 1:
+            raise ValueError("prune_every must be >= 1")
         self.node = node
         self.max_streams_per_gpu = max_streams_per_gpu
         self.local_dag = DependencyDag()
+        self._prune_every = prune_every
+        self._completions = 0
         self._pending_load: dict[int, float] = {g.gpu_id: 0.0
                                                 for g in node.gpus}
         self._stream_of: dict[int, Stream] = {}    # ce_id -> stream
@@ -43,11 +48,20 @@ class IntraNodeScheduler:
     # -- Algorithm 2 -----------------------------------------------------------
 
     def submit(self, ce: ComputationalElement,
-               waits: Sequence[Event] = ()) -> Event:
+               waits: Sequence[Event] = (), *,
+               fresh_stream: bool = False) -> Event:
         """Place a kernel or prefetch CE on a stream; returns its
-        completion event."""
+        completion event.
+
+        ``fresh_stream`` bypasses the FIFO-reuse heuristics (crash
+        re-execution): a recovered CE enqueued behind a pre-crash op
+        that transitively *depends on it* would deadlock the stream, so
+        it must land on an idle — or entirely new — stream, with
+        correctness carried by ``waits`` alone.
+        """
         if ce.kind is CeKind.PREFETCH:
-            return self._submit_prefetch(ce, waits)
+            return self._submit_prefetch(ce, waits,
+                                         fresh_stream=fresh_stream)
         if ce.kind is not CeKind.KERNEL:
             raise ValueError(f"intra-node scheduler only takes kernels, "
                              f"got {ce.kind}")
@@ -58,7 +72,10 @@ class IntraNodeScheduler:
 
         # Apply the intra-node scheduling policy.
         gpu = self._select_gpu(ce, local_parents)
-        stream = self._select_stream(gpu, ce, local_parents)
+        if fresh_stream:
+            stream = self._fresh_stream(gpu)
+        else:
+            stream = self._select_stream(gpu, ce, local_parents)
         ce.assigned_lane = stream.lane
         self._stream_of[ce.ce_id] = stream
 
@@ -70,9 +87,13 @@ class IntraNodeScheduler:
         for array in ce.arrays:
             uvm.register(array)
 
-        # Exec CE & add sync events on ancestors.
+        # Exec CE & add sync events on ancestors.  Only program-order
+        # predecessors count: a crash re-execution inserts an *earlier*
+        # CE after later ones, and a WAR edge pointing backward in
+        # program order would deadlock against the global-DAG waits.
         parent_waits = [p.done for p in local_parents
-                        if p.done is not None and not p.done.processed]
+                        if p.done is not None and not p.done.processed
+                        and p.ce_id < ce.ce_id]
         launch = KernelLaunch(ce.kernel, ce.config, tuple(ce.args),
                               tuple(ce.accesses))
         load = float(launch.touched_bytes)
@@ -106,14 +127,16 @@ class IntraNodeScheduler:
         return done
 
     def _submit_prefetch(self, ce: ComputationalElement,
-                         waits: Sequence[Event]) -> Event:
+                         waits: Sequence[Event], *,
+                         fresh_stream: bool = False) -> Event:
         """``cudaMemPrefetchAsync``: stream-ordered bulk migration."""
         self.local_dag.add(ce)
         uvm = self.node.uvm
         assert uvm is not None
         gpu_index = int(ce.args[0]) if ce.args else 0
         gpu = self.node.gpus[gpu_index % len(self.node.gpus)]
-        stream = gpu.default_stream()
+        stream = (self._fresh_stream(gpu) if fresh_stream
+                  else gpu.default_stream())
         ce.assigned_lane = stream.lane
         self._stream_of[ce.ce_id] = stream
         for array in ce.arrays:
@@ -132,8 +155,27 @@ class IntraNodeScheduler:
 
     def _complete(self, gpu_id: int, load: float) -> None:
         self._pending_load[gpu_id] -= load
-        self.local_dag.prune_completed(
-            lambda ce: ce.done is not None and ce.done.processed)
+        # Pruning on *every* completion makes completion O(DAG size);
+        # throttle it like the controller's periodic prune.  Dependency
+        # structure is unaffected: completed non-frontier CEs are inert.
+        self._completions += 1
+        if self._completions % self._prune_every == 0:
+            self.local_dag.prune_completed(
+                lambda ce: ce.done is not None and ce.done.processed)
+
+    def abort_inflight(self, cause: object = None) -> int:
+        """Kill every op still queued or running on this node's streams.
+
+        Crash recovery: the node is gone, so its pending kernels and
+        prefetches must never fire their completion events — the
+        controller re-executes them elsewhere and forwards the results.
+        Returns the number of ops aborted.
+        """
+        aborted = 0
+        for gpu in self.node.gpus:
+            for stream in gpu.streams:
+                aborted += stream.abort_pending(cause)
+        return aborted
 
     # -- placement heuristics -----------------------------------------------------
 
@@ -190,6 +232,15 @@ class IntraNodeScheduler:
         if len(gpu.streams) < self.max_streams_per_gpu:
             return gpu.new_stream()
         return min(gpu.streams, key=lambda s: s.ops_enqueued)
+
+    def _fresh_stream(self, gpu: Gpu) -> Stream:
+        """A stream with no pending tail — new if necessary, even past
+        ``max_streams_per_gpu`` (recovery correctness beats the pool cap)."""
+        for stream in gpu.streams:
+            tail = stream.last_completion
+            if tail is None or tail.processed:
+                return stream
+        return gpu.new_stream()
 
     # -- replica management (used by the GrOUT coherence layer) --------------------
 

@@ -15,7 +15,8 @@ import numpy as np
 
 from repro.cluster.cluster import Cluster, paper_cluster
 from repro.gpu.kernel import ArrayAccess, Direction, KernelSpec, LaunchConfig
-from repro.sim import Engine, Tracer
+from repro.sim import Engine, FaultInjector, FaultPlan, Tracer
+from repro.sim.faults import LINK_DEGRADE, TRANSFER_FLAKE, WORKER_CRASH
 from repro.core.arrays import ManagedArray
 from repro.core.ce import CeKind, ComputationalElement
 from repro.core.controller import Controller
@@ -62,6 +63,42 @@ class GroutRuntime:
     def elapsed(self) -> float:
         """Simulated seconds since the runtime's engine started."""
         return self.engine.now
+
+    # -- fault injection ---------------------------------------------------------
+
+    def install_faults(self, plan: FaultPlan, *,
+                       request_replacement: bool = False) -> FaultInjector:
+        """Arm a fault plan against this runtime's cluster.
+
+        Wires the standard handlers: ``worker-crash`` triggers the
+        controller's recovery (:meth:`Controller.handle_worker_crash`,
+        optionally provisioning a replacement node), ``link-degrade``
+        multiplies a topology edge's bandwidth, and ``transfer-flake``
+        makes the next matching fabric transfer(s) fail mid-wire (the
+        fabric's retry policy then kicks in).  Returns the armed
+        injector so callers can inspect :attr:`FaultInjector.stats`.
+        """
+        cluster = self.cluster
+        controller = self.controller
+
+        def crash(fault):
+            controller.handle_worker_crash(
+                fault.node, request_replacement=request_replacement)
+
+        def degrade(fault):
+            a, b = fault.link
+            cluster.topology.degrade_link(a, b, fault.factor)
+
+        def flake(fault):
+            src, dst = fault.link if fault.link else (None, None)
+            cluster.fabric.inject_flake(src=src, dst=dst,
+                                        count=fault.count)
+
+        injector = FaultInjector(self.engine, plan, tracer=self.tracer)
+        injector.on(WORKER_CRASH, crash)
+        injector.on(LINK_DEGRADE, degrade)
+        injector.on(TRANSFER_FLAKE, flake)
+        return injector.arm()
 
     # -- allocation ----------------------------------------------------------------
 

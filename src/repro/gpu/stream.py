@@ -15,6 +15,7 @@ from repro.sim import Engine, Event, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.gpu.device import Gpu
+    from repro.sim import Process
 
 #: An operation body: a generator receiving the engine, run when the stream
 #: reaches it.  Its (simulated) duration is whatever the generator consumes.
@@ -33,6 +34,7 @@ class Stream:
         self._tail: Event | None = None   # completion of last enqueued op
         self._ops_enqueued = 0
         self._busy_until = 0.0            # bookkeeping for policies
+        self._runners: list["Process"] = []   # live op processes
 
     @property
     def lane(self) -> str:
@@ -73,9 +75,25 @@ class Stream:
                 self.tracer.record(self.lane, category, name, start, end)
             done.succeed(result)
 
-        self.engine.process(runner(), name=f"{self.lane}:{name}")
+        proc = self.engine.process(runner(), name=f"{self.lane}:{name}")
+        self._runners = [p for p in self._runners if p.is_alive]
+        self._runners.append(proc)
         self._tail = done
         return done
+
+    def abort_pending(self, cause: object = None) -> int:
+        """Kill every op still in flight on this stream (node crash).
+
+        Cancelled ops never fire their completion events — the recovery
+        layer re-executes them elsewhere and forwards the results.
+        Returns the number of ops aborted.
+        """
+        aborted = 0
+        for proc in self._runners:
+            if proc.cancel(cause):
+                aborted += 1
+        self._runners.clear()
+        return aborted
 
     def synchronize(self) -> Event:
         """Event firing once everything currently enqueued has completed."""

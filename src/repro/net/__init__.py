@@ -1,6 +1,6 @@
 """Simulated cluster interconnect (NICs, links, contention)."""
 
-from repro.net.fabric import Fabric
+from repro.net.fabric import Fabric, RetryPolicy, TransferError
 from repro.net.topology import (
     GBIT,
     MBIT,
@@ -12,6 +12,8 @@ from repro.net.topology import (
 
 __all__ = [
     "Fabric",
+    "RetryPolicy",
+    "TransferError",
     "GBIT",
     "MBIT",
     "NicSpec",

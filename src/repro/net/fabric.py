@@ -5,24 +5,90 @@ resource; a transfer holds both ends for its wire time, so concurrent flows
 into the same node serialise exactly like they would on a real NIC.  The
 fabric is what GrOUT's data-movement step (Algorithm 1, third phase) and
 P2P worker transfers ride on.
+
+Transfers are failure-aware: a :class:`RetryPolicy` adds per-attempt
+timeouts and retry-with-exponential-backoff, and the fault-injection layer
+(:mod:`repro.sim.faults`) can make an attempt flake mid-wire.  With the
+default policy and no injected faults the event schedule is byte-identical
+to the fault-oblivious fabric — resilience costs nothing until it is
+needed.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Generator
 
-from repro.sim import Engine, Event, Resource, Tracer
+from repro.sim import Engine, Event, Interrupt, Resource, SimError, Tracer
 from repro.net.topology import Topology
+
+
+class TransferError(SimError):
+    """A fabric transfer failed mid-wire (flake, timeout, or dead peer)."""
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Retry/backoff/timeout knobs of the fabric.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries per transfer (1 = fail fast, no retry).
+    backoff_base:
+        Sleep before the first retry, simulated seconds.
+    backoff_factor:
+        Multiplier applied to the backoff per subsequent retry
+        (exponential backoff).
+    attempt_timeout:
+        Per-attempt cap (queueing + wire), simulated seconds; ``None``
+        disables the watchdog entirely (the default — zero overhead).
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    attempt_timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base < 0:
+            raise ValueError("backoff_base must be >= 0")
+        if self.backoff_factor < 1:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.attempt_timeout is not None and self.attempt_timeout <= 0:
+            raise ValueError("attempt_timeout must be positive")
+
+    def backoff(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        return self.backoff_base * self.backoff_factor ** (attempt - 1)
+
+
+@dataclass(slots=True)
+class _Flake:
+    """One armed mid-wire failure (fault-injection bookkeeping)."""
+
+    src: str | None
+    dst: str | None
+    remaining: int
+
+    def matches(self, src: str, dst: str) -> bool:
+        """Whether this flake applies to a transfer on ``src -> dst``."""
+        return ((self.src is None or self.src == src)
+                and (self.dst is None or self.dst == dst))
 
 
 class Fabric:
     """Executes transfers on an :class:`Engine` according to a topology."""
 
     def __init__(self, engine: Engine, topology: Topology,
-                 tracer: Tracer | None = None):
+                 tracer: Tracer | None = None,
+                 retry: RetryPolicy | None = None):
         self.engine = engine
         self.topology = topology
         self.tracer = tracer
+        self.retry = retry if retry is not None else RetryPolicy()
         self._egress = {name: Resource(engine, topology.nic(name).max_flows,
                                        name=f"{name}/tx")
                         for name in topology.nodes}
@@ -31,6 +97,10 @@ class Fabric:
                          for name in topology.nodes}
         self._bytes_moved = 0
         self._transfers = 0
+        self._retries = 0
+        self._timeouts = 0
+        self._failures = 0
+        self._flakes: list[_Flake] = []
 
     def add_node(self, name: str) -> None:
         """Wire a node added to the topology after construction
@@ -55,29 +125,72 @@ class Fabric:
         """Number of completed transfers."""
         return self._transfers
 
+    @property
+    def retry_count(self) -> int:
+        """Attempts that failed and were retried."""
+        return self._retries
+
+    @property
+    def timeout_count(self) -> int:
+        """Attempts killed by the per-attempt watchdog."""
+        return self._timeouts
+
+    @property
+    def failure_count(self) -> int:
+        """Transfers that exhausted every attempt and gave up."""
+        return self._failures
+
+    # -- fault injection ------------------------------------------------------
+
+    def inject_flake(self, src: str | None = None, dst: str | None = None,
+                     count: int = 1) -> None:
+        """Arm ``count`` mid-wire failures on matching future transfers.
+
+        ``None`` endpoints are wildcards; each matching attempt consumes
+        one failure, spends half its wire time, then raises
+        :class:`TransferError` — exercising the retry path and the
+        NIC-slot release guarantees.
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        self._flakes.append(_Flake(src, dst, count))
+
+    def _consume_flake(self, src: str, dst: str) -> bool:
+        for flake in self._flakes:
+            if flake.remaining > 0 and flake.matches(src, dst):
+                flake.remaining -= 1
+                if flake.remaining == 0:
+                    self._flakes.remove(flake)
+                return True
+        return False
+
     # -- transfers ----------------------------------------------------------
 
-    def transfer_process(self, src: str, dst: str, nbytes: int,
-                         label: str = "transfer") -> Generator:
-        """Process body moving ``nbytes`` from ``src`` to ``dst``.
+    def _attempt(self, src: str, dst: str, nbytes: int,
+                 label: str) -> Generator:
+        """One try: acquire both NIC ends, cross the wire, release.
 
-        Yields inside; returns the wire seconds actually spent (excluding
-        queueing).  Zero-byte or same-node transfers complete immediately.
+        Both acquisitions live inside the guarded region so an
+        interrupted or flaked attempt always releases both ends —
+        releasing a still-queued request cancels it.
         """
-        if nbytes < 0:
-            raise ValueError("nbytes must be >= 0")
-        if src == dst or nbytes == 0:
-            return 0.0
-        # Ingress first: queuing on a busy destination must not pin one of
-        # the source's egress slots (head-of-line blocking would serialise
-        # a fat NIC's flows to different destinations).
-        rx = self._ingress[dst].request()
-        yield rx
-        tx = self._egress[src].request()
+        rx = tx = None
         try:
+            # Ingress first: queuing on a busy destination must not pin one
+            # of the source's egress slots (head-of-line blocking would
+            # serialise a fat NIC's flows to different destinations).
+            rx = self._ingress[dst].request()
+            yield rx
+            tx = self._egress[src].request()
             yield tx
             start = self.engine.now
             wire = self.topology.transfer_seconds(src, dst, nbytes)
+            if self._consume_flake(src, dst):
+                # The wire drops halfway through: time is spent, no bytes
+                # arrive, both NIC ends are released by the finally below.
+                yield self.engine.timeout(wire / 2)
+                raise TransferError(
+                    f"transfer {src}->{dst} ({label}) flaked mid-wire")
             yield self.engine.timeout(wire)
             self._bytes_moved += nbytes
             self._transfers += 1
@@ -86,8 +199,74 @@ class Fabric:
                                    start, self.engine.now, nbytes=nbytes)
             return wire
         finally:
-            self._egress[src].release(tx)
-            self._ingress[dst].release(rx)
+            if tx is not None:
+                self._egress[src].release(tx)
+            if rx is not None:
+                self._ingress[dst].release(rx)
+
+    def _attempt_with_watchdog(self, src: str, dst: str, nbytes: int,
+                               label: str) -> Generator:
+        """Run one attempt as a subprocess raced against the watchdog."""
+        assert self.retry.attempt_timeout is not None
+        proc = self.engine.process(
+            self._attempt(src, dst, nbytes, label),
+            name=f"net:{src}->{dst}:{label}:attempt")
+        watchdog = self.engine.timeout(self.retry.attempt_timeout)
+        try:
+            yield self.engine.any_of([proc, watchdog])
+        except TransferError:
+            raise          # the attempt flaked before the watchdog fired
+        except Interrupt:
+            proc.cancel("caller interrupted")
+            raise
+        if proc.triggered and proc.ok:
+            return proc.value
+        # Watchdog won the race: kill the attempt (its finally releases
+        # both NIC ends) and report the stall.
+        proc.cancel("transfer-timeout")
+        self._timeouts += 1
+        raise TransferError(
+            f"transfer {src}->{dst} ({label}) timed out after "
+            f"{self.retry.attempt_timeout:g}s")
+
+    def transfer_process(self, src: str, dst: str, nbytes: int,
+                         label: str = "transfer") -> Generator:
+        """Process body moving ``nbytes`` from ``src`` to ``dst``.
+
+        Yields inside; returns the wire seconds actually spent (excluding
+        queueing).  Zero-byte or same-node transfers complete immediately.
+        Failed attempts (flake or watchdog timeout) retry with
+        exponential backoff up to ``retry.max_attempts``; exhausting them
+        raises :class:`TransferError` to the caller.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        if src == dst or nbytes == 0:
+            return 0.0
+        policy = self.retry
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                if policy.attempt_timeout is None:
+                    return (yield from self._attempt(src, dst, nbytes,
+                                                     label))
+                return (yield from self._attempt_with_watchdog(
+                    src, dst, nbytes, label))
+            except TransferError:
+                if attempt >= policy.max_attempts:
+                    self._failures += 1
+                    raise
+                self._retries += 1
+                delay = policy.backoff(attempt)
+                start = self.engine.now
+                if delay > 0:
+                    yield self.engine.timeout(delay)
+                if self.tracer is not None:
+                    self.tracer.record(
+                        f"net:{src}->{dst}", "retry",
+                        f"{label}#retry{attempt}", start, self.engine.now,
+                        attempt=attempt, backoff=delay)
 
     def transfer(self, src: str, dst: str, nbytes: int,
                  label: str = "transfer") -> Event:

@@ -71,6 +71,26 @@ class Topology:
             if latency is not None:
                 self._lat_override[pair] = latency
 
+    def degrade_link(self, a: str, b: str, factor: float) -> float:
+        """Cut one (symmetric) pair's bandwidth to ``factor`` of its
+        current effective value — a flapping NIC, a congested switch port,
+        a throttled VNIC.  Returns the new bandwidth; repeated calls
+        compound.  ``restore_link`` undoes every cut and override.
+        """
+        if not 0 < factor <= 1:
+            raise ValueError("degrade factor must be in (0, 1]")
+        new_bw = self.bandwidth(a, b) * factor
+        self.set_link(a, b, bandwidth=new_bw)
+        return new_bw
+
+    def restore_link(self, a: str, b: str) -> None:
+        """Drop any bandwidth/latency override of one pair (both
+        directions), reverting to the NIC-derived defaults."""
+        self._require(a), self._require(b)
+        for pair in ((a, b), (b, a)):
+            self._bw_override.pop(pair, None)
+            self._lat_override.pop(pair, None)
+
     # -- queries --------------------------------------------------------------
 
     @property

@@ -8,6 +8,7 @@ processes scheduled on one :class:`Engine` clock.
 from repro.sim.engine import Engine, run_process
 from repro.sim.errors import EventStateError, Interrupt, SimError, StopSimulation
 from repro.sim.events import AllOf, AnyOf, Condition, Event, EventState, Timeout
+from repro.sim.faults import Fault, FaultInjector, FaultPlan, InjectorStats
 from repro.sim.process import Process
 from repro.sim.resources import Request, Resource, Store
 from repro.sim.trace import Span, Tracer
@@ -20,6 +21,10 @@ __all__ = [
     "Event",
     "EventState",
     "EventStateError",
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectorStats",
     "Interrupt",
     "Process",
     "Request",

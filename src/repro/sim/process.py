@@ -68,9 +68,27 @@ class Process(Event):
         carrier._defused = True
         carrier.fail(Interrupt(cause))
 
+    def cancel(self, cause: object = None) -> bool:
+        """Abandon the process: interrupt it and defuse its failure.
+
+        Unlike a bare :meth:`interrupt`, nobody is expected to wait on a
+        cancelled process — if the generator lets the :class:`Interrupt`
+        escape (the common case), the resulting failed event must not
+        abort the engine.  Returns whether the process was still alive.
+        """
+        self._defused = True
+        if not self.is_alive:
+            return False
+        self.interrupt(cause)
+        return True
+
     # -- engine plumbing -----------------------------------------------------
 
     def _resume(self, trigger: Event) -> None:
+        if self.triggered:
+            # A stale wake-up (e.g. the start event of a process cancelled
+            # before it ever ran) must not resume a finished generator.
+            return
         self._waiting_on = None
         engine = self.engine
         prev_active, engine._active = engine._active, self

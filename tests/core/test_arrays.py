@@ -163,3 +163,85 @@ class TestDirectory:
         d.forget(a)
         with pytest.raises(KeyError):
             d.state(a)
+
+    def test_record_read_dedupes_by_ce(self):
+        """Regression: one CE reading an array through several parameters
+        (or re-scheduled after a crash) must be tracked once."""
+        d = Directory()
+        a = ManagedArray(4)
+        d.register(a)
+        r = make_ce(a)
+        d.record_read(a, r)
+        d.record_read(a, r)
+        d.record_read(a, r)
+        assert d.state(a).readers_since_write == [r]
+
+    def test_prune_readers_drops_completed(self, engine):
+        """Regression: completed readers must not accumulate forever on
+        read-heavy workloads."""
+        d = Directory()
+        a = ManagedArray(4)
+        d.register(a)
+        done_r, pending_r = make_ce(a), make_ce(a)
+        done_r.done = engine.event()
+        done_r.done.succeed()
+        engine.run()
+        pending_r.done = engine.event()
+        d.record_read(a, done_r)
+        d.record_read(a, pending_r)
+        assert d.prune_readers() == 1
+        assert d.state(a).readers_since_write == [pending_r]
+
+
+class TestDirectoryDropNode:
+    def test_node_leaves_every_up_to_date_set(self, engine):
+        d = Directory()
+        a = ManagedArray(4)
+        d.register(a)
+        d.record_replication(a, "worker0", engine.event())
+        repair = d.drop_node("worker0")
+        assert d.holders(a) == {"controller"}
+        assert repair.rolled_back == 0          # controller still held it
+
+    def test_sole_copy_rolls_back_home(self, engine):
+        d = Directory()
+        a = ManagedArray(4)
+        d.register(a)
+        d.record_write(a, "worker0", make_ce(a, Direction.OUT))
+        assert d.holders(a) == {"worker0"}
+        repair = d.drop_node("worker0")
+        assert repair.rolled_back == 1
+        assert d.holders(a) == {"controller"}
+
+    def test_inflight_to_dead_node_reported_cancelled(self, engine):
+        d = Directory()
+        a = ManagedArray(4)
+        d.register(a)
+        ev = engine.event()
+        d.record_replication(a, "worker0", ev, src="controller")
+        repair = d.drop_node("worker0")
+        assert repair.cancelled == [ev]
+        assert d.state(a).inflight == {}
+
+    def test_inflight_from_dead_node_reported_rerouted(self, engine):
+        d = Directory()
+        a = ManagedArray(4)
+        d.register(a)
+        d.record_write(a, "worker0", make_ce(a, Direction.OUT))
+        ev = engine.event()
+        d.record_replication(a, "worker1", ev, src="worker0")
+        repair = d.drop_node("worker0")
+        assert repair.rerouted == [ev]
+        # The guaranteed-fallback source takes over in the books.
+        assert d.state(a).inflight_src["worker1"] == "controller"
+
+    def test_processed_inflight_not_reported(self, engine):
+        d = Directory()
+        a = ManagedArray(4)
+        d.register(a)
+        ev = engine.event()
+        ev.succeed()
+        engine.run()
+        d.record_replication(a, "worker0", ev)
+        repair = d.drop_node("worker0")
+        assert repair.cancelled == []

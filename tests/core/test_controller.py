@@ -176,3 +176,60 @@ class TestDagMaintenance:
             rt.launch(k, 4, 128, (a,))
             rt.sync()
         assert rt.controller.dag.size < 16
+
+
+class TestRunningAggregate:
+    def test_mean_is_exact(self):
+        from repro.core import RunningAggregate
+        agg = RunningAggregate(capacity=4)       # smaller than the data
+        samples = [float(i) for i in range(100)]
+        for s in samples:
+            agg.add(s)
+        assert agg.mean == pytest.approx(sum(samples) / len(samples))
+        assert agg.count == len(agg) == 100
+        assert agg.minimum == 0.0 and agg.maximum == 99.0
+
+    def test_memory_is_bounded(self):
+        from repro.core import RunningAggregate
+        agg = RunningAggregate(capacity=16)
+        for i in range(10_000):
+            agg.add(float(i))
+        assert len(agg._reservoir) == 16
+
+    def test_reservoir_is_deterministic(self):
+        from repro.core import RunningAggregate
+        def fill():
+            agg = RunningAggregate(capacity=8, seed=3)
+            for i in range(1000):
+                agg.add(float(i))
+            return agg._reservoir
+        assert fill() == fill()
+
+    def test_percentiles(self):
+        from repro.core import RunningAggregate
+        agg = RunningAggregate(capacity=256)
+        for i in range(101):
+            agg.add(float(i))
+        assert agg.percentile(0) == 0.0
+        assert agg.percentile(50) == pytest.approx(50.0)
+        assert agg.percentile(100) == 100.0
+        with pytest.raises(ValueError):
+            agg.percentile(101)
+
+    def test_empty_aggregate(self):
+        from repro.core import RunningAggregate
+        agg = RunningAggregate()
+        assert agg.mean == 0.0
+        assert agg.percentile(50) == 0.0
+        assert len(agg) == 0
+
+    def test_append_alias_keeps_call_sites_working(self):
+        from repro.core import RunningAggregate
+        agg = RunningAggregate()
+        agg.append(2.0)
+        assert agg.count == 1 and agg.mean == 2.0
+
+    def test_capacity_validated(self):
+        from repro.core import RunningAggregate
+        with pytest.raises(ValueError):
+            RunningAggregate(capacity=0)

@@ -156,3 +156,60 @@ class TestReplicas:
 
     def test_writeback_unknown_array_free(self, sched):
         assert sched.writeback_seconds(ManagedArray(4)) == 0.0
+
+
+class TestDagPruneThrottle:
+    def _chain(self, sched, engine, n):
+        a = ManagedArray(4, virtual_nbytes=MIB)
+        for i in range(n):
+            ce = kernel_ce(make_kernel(f"s{i}"),
+                           ArrayAccess(a, Direction.INOUT))
+            ce.done = sched.submit(ce)
+        engine.run()
+
+    def test_completed_ces_pruned_periodically(self, test_node, engine):
+        """Regression: the local DAG must not grow for the whole run."""
+        sched = IntraNodeScheduler(test_node, prune_every=4)
+        self._chain(sched, engine, 8)
+        # Two prunes fired (at 4 and 8); only the frontier CE survives.
+        assert len(sched.local_dag.nodes()) == 1
+
+    def test_prune_respects_throttle(self, test_node, engine):
+        sched = IntraNodeScheduler(test_node, prune_every=100)
+        self._chain(sched, engine, 8)
+        assert len(sched.local_dag.nodes()) == 8   # no prune yet
+
+    def test_prune_every_validated(self, test_node):
+        with pytest.raises(ValueError):
+            IntraNodeScheduler(test_node, prune_every=0)
+
+
+class TestRecoveryHooks:
+    def test_abort_inflight_kills_pending_ops(self, sched, engine):
+        log = []
+        a = ManagedArray(4, virtual_nbytes=MIB)
+        for i in range(3):
+            ce = kernel_ce(make_kernel(f"a{i}", log),
+                           ArrayAccess(a, Direction.INOUT))
+            ce.done = sched.submit(ce)
+        assert sched.abort_inflight(("node-crash", "test")) == 3
+        engine.run()
+        assert log == []                    # nothing executed
+
+    def test_abort_inflight_idempotent(self, sched):
+        assert sched.abort_inflight() == 0
+
+    def test_fresh_stream_submit_avoids_busy_tails(self, sched, engine):
+        """A fresh-stream submit must not queue behind pending work —
+        recovery relies on this to break stream-FIFO entanglement."""
+        a = ManagedArray(4, virtual_nbytes=MIB)
+        gate = engine.timeout(5.0)
+        blocked = kernel_ce(make_kernel("blocked"),
+                            ArrayAccess(a, Direction.IN))
+        blocked.done = sched.submit(blocked, waits=[gate])
+        b = ManagedArray(4, virtual_nbytes=MIB)
+        free = kernel_ce(make_kernel("free"),
+                         ArrayAccess(b, Direction.IN))
+        free.done = sched.submit(free, fresh_stream=True)
+        engine.run(until=free.done)
+        assert engine.now < 5.0             # did not wait for the gate

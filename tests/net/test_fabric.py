@@ -3,6 +3,7 @@
 import pytest
 
 from repro.net import Fabric, NicSpec, Topology, uniform_topology
+from repro.net.fabric import RetryPolicy, TransferError
 from repro.sim import Engine, Tracer
 
 
@@ -106,3 +107,138 @@ class TestContention:
         done = fabric.transfer("hub", "w1", 10**9)
         engine.run(until=done)
         assert engine.now == pytest.approx(1.0)
+
+
+class TestRetryPolicy:
+    def test_defaults(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 3
+        assert policy.attempt_timeout is None
+
+    def test_backoff_is_exponential(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_factor=2.0)
+        assert policy.backoff(1) == pytest.approx(0.1)
+        assert policy.backoff(2) == pytest.approx(0.2)
+        assert policy.backoff(3) == pytest.approx(0.4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(attempt_timeout=0.0)
+
+
+class TestFaults:
+    def test_flake_retries_and_completes(self, setup):
+        """Flaked attempt burns half the wire, backs off, then succeeds:
+        0.5 (half wire) + 0.05 (backoff) + 1.0 (clean wire) = 1.55 s."""
+        engine, fabric, _ = setup
+        fabric.inject_flake(src="a", dst="b")
+        done = fabric.transfer("a", "b", 10**9)
+        engine.run()
+        assert done.value == pytest.approx(1.0)   # wire time, not queueing
+        assert engine.now == pytest.approx(1.55)
+        assert fabric.retry_count == 1
+        assert fabric.transfer_count == 1
+        assert fabric.bytes_moved == 10**9
+        assert fabric.failure_count == 0
+
+    def test_retry_span_recorded(self, setup):
+        engine, fabric, tracer = setup
+        fabric.inject_flake()
+        fabric.transfer("a", "b", 10**9, label="payload")
+        engine.run()
+        (span,) = tracer.by_category("retry")
+        assert span.name == "payload#retry1"
+        assert span.meta["attempt"] == 1
+        assert span.meta["backoff"] == pytest.approx(0.05)
+
+    def test_exhausted_retries_raise(self, setup):
+        """Three flakes beat max_attempts=3; the failed transfer process
+        aborts the engine run with TransferError."""
+        engine, fabric, _ = setup
+        fabric.inject_flake(src="a", dst="b", count=3)
+        fabric.transfer("a", "b", 10**9)
+        with pytest.raises(TransferError):
+            engine.run()
+        assert fabric.failure_count == 1
+        assert fabric.retry_count == 2
+        assert fabric.transfer_count == 0
+
+    def test_flake_wildcard_matches_any_edge(self, setup):
+        engine, fabric, _ = setup
+        fabric.inject_flake()                    # no src/dst filter
+        fabric.transfer("b", "c", 10**9)
+        engine.run()
+        assert fabric.retry_count == 1
+
+    def test_flake_filter_skips_other_edges(self, setup):
+        engine, fabric, _ = setup
+        fabric.inject_flake(src="a", dst="b")
+        fabric.transfer("b", "c", 10**9)         # does not match
+        engine.run()
+        assert fabric.retry_count == 0
+        assert engine.now == pytest.approx(1.0)
+
+    def test_flake_count_validated(self, setup):
+        _, fabric, _ = setup
+        with pytest.raises(ValueError):
+            fabric.inject_flake(count=0)
+
+    def test_flake_releases_nic_slots(self, setup):
+        """Regression: a flaked attempt must release both NIC ends so a
+        queued transfer starts immediately — and so the retry itself can
+        re-acquire them."""
+        engine, fabric, _ = setup
+        fabric.inject_flake(src="a", dst="b")
+        fabric.transfer("a", "b", 10**9)         # flake at 0.5, done 1.55
+        done = fabric.transfer("c", "b", 10**9)  # queued on b's ingress
+        engine.run(until=done)
+        # The queued flow starts when the flake dies at 0.5 — not at
+        # 1.55 when the retry finishes (which would mean a leaked slot).
+        assert engine.now == pytest.approx(1.5)
+
+    def test_watchdog_times_out_stalled_attempt(self):
+        """A transfer stuck behind a hogged ingress is killed by the
+        per-attempt watchdog, retries, and eventually goes through."""
+        engine = Engine()
+        topo = uniform_topology(["a", "b", "c"], 1e9, latency=0.0)
+        fabric = Fabric(engine, topo,
+                        retry=RetryPolicy(attempt_timeout=1.2,
+                                          backoff_base=0.05))
+        fabric.transfer("a", "b", 10**9)          # holds b's ingress 1.0 s
+        done = fabric.transfer("c", "b", 10**9)   # queued: times out at 1.2
+        engine.run(until=done)
+        assert fabric.timeout_count >= 1
+        assert fabric.retry_count >= 1
+        assert fabric.transfer_count == 2
+
+    def test_watchdog_disabled_by_default(self, setup):
+        """Long transfers are fine with the default policy (no timeout)."""
+        engine, fabric, _ = setup
+        fabric.transfer("a", "b", 5 * 10**9)      # 5 s wire
+        engine.run()
+        assert fabric.timeout_count == 0
+        assert fabric.transfer_count == 1
+
+    def test_cancelled_transfer_releases_slots(self, setup):
+        """Regression for the NIC-slot leak: cancelling a transfer
+        mid-wire must free both ends for the next flow."""
+        engine, fabric, _ = setup
+        victim = fabric.transfer("a", "b", 10**9)
+        follower = fabric.transfer("c", "b", 10**9)   # queued on b ingress
+
+        def canceller():
+            yield engine.timeout(0.25)
+            victim.cancel("test cancel")
+
+        engine.process(canceller())
+        engine.run(until=follower)
+        # Victim dies at 0.25; follower then runs 0.25..1.25.  A leaked
+        # ingress slot would block the follower forever.
+        assert engine.now == pytest.approx(1.25)
+        assert fabric.transfer_count == 1
