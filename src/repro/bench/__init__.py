@@ -33,7 +33,12 @@ from repro.bench.chrometrace import (
     write_chrome_trace,
 )
 from repro.bench.report import format_series, format_table
-from repro.bench.runreport import RunReport, report_for
+from repro.bench.runreport import (
+    RunReport,
+    json_run_report,
+    report_for,
+    write_run_report,
+)
 from repro.bench.sweep import sweep, write_csv
 from repro.bench.timeline import (
     TimelineOptions,
@@ -66,8 +71,10 @@ __all__ = [
     "figure_to_dict",
     "format_series",
     "format_table",
+    "json_run_report",
     "render_timeline",
     "report_for",
+    "write_run_report",
     "sweep",
     "time_breakdown",
     "to_chrome_trace",

@@ -10,6 +10,7 @@ from __future__ import annotations
 import json
 from typing import IO
 
+from repro.obs import MetricsRegistry, metric_counter_events
 from repro.sim import Tracer
 
 #: Category -> Chrome trace colour name (cname).
@@ -25,13 +26,18 @@ _COLOURS = {
 
 
 def to_chrome_trace(tracer: Tracer, *,
-                    time_unit: float = 1e6) -> dict:
+                    time_unit: float = 1e6,
+                    metrics: MetricsRegistry | None = None) -> dict:
     """Convert a tracer's spans to a Chrome trace-event object.
 
     Simulated seconds are scaled by ``time_unit`` into the microseconds
     the format expects.  Lanes become (pid, tid) pairs: the part before
     the first ``/`` (the node, or ``net``) is the process, the full lane
     the thread, so nodes group naturally in the viewer.
+
+    With ``metrics``, every counter and gauge in the registry adds a
+    Chrome *counter track* (``"ph": "C"``) under a dedicated ``metrics``
+    process — plotted values over simulated time next to the spans.
     """
     events = []
     lanes = {lane: i for i, lane in enumerate(tracer.lanes())}
@@ -64,6 +70,14 @@ def to_chrome_trace(tracer: Tracer, *,
         if colour:
             event["cname"] = colour
         events.append(event)
+    if metrics is not None:
+        metrics_pid = len(pids)
+        events.append({
+            "name": "process_name", "ph": "M", "pid": metrics_pid,
+            "tid": 0, "args": {"name": "metrics"},
+        })
+        events.extend(metric_counter_events(
+            metrics, pid=metrics_pid, time_unit=time_unit))
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 

@@ -7,10 +7,13 @@ a trace viewer.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
+from typing import IO
 
 from repro.bench.chrometrace import time_breakdown
 from repro.bench.report import format_table
+from repro.obs import build_run_summary, registry_to_dict
 
 
 @dataclass(slots=True)
@@ -30,6 +33,26 @@ class RunReport:
     thrashing_launches: int = 0
     top_kernels: list[tuple[str, int, float]] = field(
         default_factory=list)      # (name, launches, total seconds)
+
+    def as_dict(self) -> dict:
+        """JSON-ready view (schema-stable, used by the JSON run report)."""
+        return {
+            "makespan_seconds": self.makespan_seconds,
+            "busy_by_category": dict(sorted(
+                self.busy_by_category.items())),
+            "network_bytes": self.network_bytes,
+            "network_transfers": self.network_transfers,
+            "p2p_transfers": self.p2p_transfers,
+            "ces_scheduled": self.ces_scheduled,
+            "mean_decision_micros": self.mean_decision_micros,
+            "node_oversubscription": dict(sorted(
+                self.node_oversubscription.items())),
+            "uvm_link_gib": dict(sorted(self.uvm_link_gib.items())),
+            "thrashing_launches": self.thrashing_launches,
+            "top_kernels": [
+                {"kernel": name, "launches": count, "seconds": seconds}
+                for name, count, seconds in self.top_kernels],
+        }
 
     def render(self) -> str:
         """The report as stacked text tables."""
@@ -118,3 +141,33 @@ def report_for(runtime) -> RunReport:
          for name, (count, seconds) in totals.items()),
         key=lambda row: -row[2])[:10]
     return report
+
+
+def json_run_report(runtime) -> dict:
+    """The full observability payload of one run, JSON-ready.
+
+    Merges the classic :class:`RunReport` accounting with the metrics
+    registry snapshot and the per-CE/per-link :class:`~repro.obs.RunSummary`
+    under one top-level schema tag (``grout-run-report/1``); the exact
+    key layout is documented in ``docs/OBSERVABILITY.md`` and pinned by a
+    schema test.
+    """
+    payload: dict = {
+        "schema": "grout-run-report/1",
+        "report": report_for(runtime).as_dict(),
+        "summary": build_run_summary(runtime).as_dict(),
+    }
+    metrics = getattr(runtime, "metrics", None)
+    if metrics is not None:
+        payload["metrics"] = registry_to_dict(metrics)
+    return payload
+
+
+def write_run_report(runtime, destination: "str | IO[str]") -> None:
+    """Serialise :func:`json_run_report` to a file path or stream."""
+    payload = json_run_report(runtime)
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+    else:
+        json.dump(payload, destination, indent=2)

@@ -4,8 +4,13 @@ Renders a :class:`~repro.sim.Tracer`'s spans as a Gantt-style chart, one
 row per lane (GPU stream, network link), so overlap — the thing GrOUT's
 scheduler exists to create — is visible at a glance in a terminal:
 
-    worker0/gpu0/stream0 |███░░██████████        | kernel x3
-    net:controller->worker0 |▒▒▒▒▒▒▒             | transfer x2
+    worker0/gpu0/stream0 |###  ##########        | kernel x3
+    net:controller->worker0 |=======             | transfer x2
+
+Fill glyphs follow :data:`CATEGORY_GLYPHS`: ``#`` kernel, ``=``
+transfer, ``~`` migration, ``+`` prefetch, ``.`` sched, ``!`` fault
+(injected failures and recoveries), ``?`` retry (fabric backoff waits);
+categories outside the table cycle through spare glyphs.
 """
 
 from __future__ import annotations

@@ -82,7 +82,16 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--timeline", action="store_true",
                        help="print the ASCII execution timeline")
     run_p.add_argument("--chrome-trace", metavar="FILE",
-                       help="write a chrome://tracing JSON of the run")
+                       help="write a chrome://tracing JSON of the run "
+                            "(includes metric counter tracks)")
+    run_p.add_argument("--metrics", metavar="PATH", nargs="?",
+                       const="-", default=None,
+                       help="export Prometheus-format metrics to PATH "
+                            "(or stdout without PATH) and print the "
+                            "per-CE run summary")
+    run_p.add_argument("--report", metavar="FILE",
+                       help="write the JSON run report (metrics + "
+                            "per-CE summary + accounting)")
 
     fig_p = sub.add_parser("figure", help="regenerate a paper figure")
     fig_p.add_argument("figure", choices=sorted(FIGURES))
@@ -165,18 +174,39 @@ def _cmd_run(args: argparse.Namespace) -> int:
          else ("yes" if result.verified else "NO")),
     ]
     print(format_table(["field", "value"], rows))
-    if args.timeline or args.chrome_trace:
+    wants_obs = (args.metrics is not None or args.report is not None)
+    if args.timeline or args.chrome_trace or wants_obs:
         print("\n(re-running with tracing...)")
-        tracer = _traced_run(args, footprint, level)
+        rt = _traced_run(args, footprint, level)
+        tracer = rt.tracer
+        assert tracer is not None
         if args.timeline:
             print(render_timeline(tracer))
             print()
             print(utilisation_report(tracer))
         if args.chrome_trace:
             from repro.bench.chrometrace import write_chrome_trace
-            write_chrome_trace(tracer, args.chrome_trace)
+            write_chrome_trace(tracer, args.chrome_trace,
+                               metrics=rt.metrics)
             print(f"chrome trace written to {args.chrome_trace} "
                   "(open in chrome://tracing or Perfetto)")
+        if wants_obs:
+            from repro.obs import build_run_summary, write_prometheus
+            print()
+            print(build_run_summary(rt).render())
+            if args.metrics is not None:
+                if args.metrics == "-":
+                    from repro.obs import to_prometheus_text
+                    print()
+                    print(to_prometheus_text(rt.metrics), end="")
+                else:
+                    write_prometheus(rt.metrics, args.metrics)
+                    print(f"\nmetrics written to {args.metrics} "
+                          "(Prometheus text format)")
+            if args.report is not None:
+                from repro.bench.runreport import write_run_report
+                write_run_report(rt, args.report)
+                print(f"run report written to {args.report}")
     return 0 if (result.verified or args.no_verify) else 1
 
 
@@ -191,7 +221,6 @@ def _traced_run(args: argparse.Namespace, footprint: int,
     wl = make_workload(args.workload, footprint)
     if args.mode == "grcuda":
         rt = GrCudaRuntime(page_size=page_size_for(footprint))
-        tracer = rt.tracer
     else:
         cluster = paper_cluster(args.workers,
                                 page_size=page_size_for(footprint))
@@ -202,10 +231,8 @@ def _traced_run(args: argparse.Namespace, footprint: int,
         if args.faults:
             rt.install_faults(FaultPlan.parse(args.faults),
                               request_replacement=args.replace_crashed)
-        tracer = cluster.tracer
     wl.execute(rt, timeout=9000, check=False)
-    assert tracer is not None
-    return tracer
+    return rt
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:

@@ -11,6 +11,8 @@ from repro.cluster.node import (
 from repro.gpu.specs import GpuSpec
 from repro.net.fabric import Fabric
 from repro.net.topology import Topology
+from repro.obs import CeProfiler, MetricsRegistry
+from repro.obs import install as install_metrics
 from repro.sim import Engine, Tracer
 from repro.uvm.calibration import PAPER_CALIBRATION, UvmModelParams
 from repro.uvm.prefetch import PrefetchConfig
@@ -31,6 +33,11 @@ class Cluster:
             raise ValueError("a cluster needs at least one worker")
         self.engine = engine
         self.tracer = tracer if tracer is not None else Tracer()
+        # One observability surface per cluster: every layer publishes
+        # into the same registry, the profiler threads ce_ids across them.
+        self.metrics = install_metrics(
+            MetricsRegistry(clock=lambda: engine.now))
+        self.profiler = CeProfiler(self.metrics)
         # Retained so autoscaling can stamp out identical workers later.
         self._uvm_params = uvm_params
         self._prefetch = prefetch
@@ -54,7 +61,8 @@ class Cluster:
         for node in self.nodes:
             topology.add_node(node.name, node.spec.nic)
         self.topology = topology
-        self.fabric = Fabric(engine, topology, tracer=self.tracer)
+        self.fabric = Fabric(engine, topology, tracer=self.tracer,
+                             metrics=self.metrics)
 
     # -- structure -------------------------------------------------------------
 

@@ -15,18 +15,22 @@ overall execution time since they can be interleaved").
 
 from __future__ import annotations
 
-import random
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.cluster.cluster import Cluster
 from repro.net.fabric import TransferError
+from repro.obs import CeProfiler, MetricsRegistry, RunningAggregate
+from repro.obs import install as install_metrics
 from repro.sim import Event, Interrupt, Process, SimError
 from repro.core.arrays import Directory, ManagedArray
 from repro.core.ce import CeKind, ComputationalElement
 from repro.core.dag import DependencyDag
 from repro.core.intranode import IntraNodeScheduler
 from repro.core.policies import Policy, SchedulingContext
+
+__all__ = ["Controller", "ControllerStats", "RecoveryReport",
+           "RunningAggregate", "HOST_MEM_BANDWIDTH", "NODE_CRASH"]
 
 #: Host memory streaming bandwidth charged for host-side CE bodies.
 HOST_MEM_BANDWIDTH = 20e9
@@ -35,97 +39,87 @@ HOST_MEM_BANDWIDTH = 20e9
 NODE_CRASH = "node-crash"
 
 
-class RunningAggregate:
-    """Bounded running statistic: count/sum/min/max plus a fixed-size
-    reservoir for percentiles.
+class ControllerStats:
+    """Compatibility view over the registry-backed controller metrics.
 
-    Week-long simulated runs schedule millions of CEs; a raw per-sample
-    list grows memory linearly.  This keeps the mean *exact* (count and
-    sum are complete) and approximates percentiles from a deterministic
-    reservoir sample (Vitter's Algorithm R with a fixed seed).
+    Historically a plain dataclass of counters; the tallies now live in
+    the cluster's :class:`~repro.obs.registry.MetricsRegistry` (names in
+    ``docs/OBSERVABILITY.md``) and this shim keeps the old read surface
+    — ``stats.ces_scheduled``, ``stats.decision_seconds.mean``, ... —
+    working unchanged for tests, reports and downstream users.
     """
 
-    __slots__ = ("count", "total", "minimum", "maximum",
-                 "_reservoir", "_capacity", "_rng")
-
-    def __init__(self, capacity: int = 512, seed: int = 0):
-        if capacity < 1:
-            raise ValueError("capacity must be >= 1")
-        self.count = 0
-        self.total = 0.0
-        self.minimum = float("inf")
-        self.maximum = float("-inf")
-        self._reservoir: list[float] = []
-        self._capacity = capacity
-        self._rng = random.Random(seed)
-
-    def add(self, sample: float) -> None:
-        """Fold one sample into the aggregate (O(1), bounded memory)."""
-        self.count += 1
-        self.total += sample
-        if sample < self.minimum:
-            self.minimum = sample
-        if sample > self.maximum:
-            self.maximum = sample
-        if len(self._reservoir) < self._capacity:
-            self._reservoir.append(sample)
-        else:
-            slot = self._rng.randrange(self.count)
-            if slot < self._capacity:
-                self._reservoir[slot] = sample
-
-    #: Alias so aggregate call sites read like the list they replaced.
-    append = add
+    def __init__(self, registry: MetricsRegistry | None = None):
+        if registry is None:
+            registry = install_metrics(MetricsRegistry())
+        self.registry = registry
+        self._ces = registry.family("grout_ces_scheduled_total")
+        self._transfers = registry.family(
+            "grout_transfers_issued_total").labels()
+        self._p2p = registry.family("grout_p2p_transfers_total").labels()
+        self._bytes = registry.family(
+            "grout_bytes_requested_total").labels()
+        self._crashes = registry.family(
+            "grout_worker_crashes_total").labels()
+        self._reexecuted = registry.family(
+            "grout_ces_reexecuted_total").labels()
+        self._rerouted = registry.family(
+            "grout_transfers_rerouted_total").labels()
+        self._rolled_back = registry.family(
+            "grout_arrays_rolled_back_total").labels()
+        #: Bounded histogram of per-CE decision wall-clock costs (Fig. 9)
+        #: — API-compatible with the RunningAggregate it replaced.
+        self.decision_seconds = registry.family(
+            "grout_decision_seconds").labels()
 
     @property
-    def mean(self) -> float:
-        """Exact arithmetic mean of every sample ever added."""
-        return self.total / self.count if self.count else 0.0
+    def ces_scheduled(self) -> int:
+        """CEs admitted by Algorithm 1 (every kind)."""
+        return int(self._ces.value_sum())
 
-    def percentile(self, q: float) -> float:
-        """Approximate ``q``-th percentile (0-100) from the reservoir."""
-        if not 0 <= q <= 100:
-            raise ValueError("percentile must be in [0, 100]")
-        if not self._reservoir:
-            return 0.0
-        ordered = sorted(self._reservoir)
-        rank = q / 100 * (len(ordered) - 1)
-        lo, hi = int(rank), min(int(rank) + 1, len(ordered) - 1)
-        frac = rank - lo
-        return ordered[lo] * (1 - frac) + ordered[hi] * frac
+    @property
+    def transfers_issued(self) -> int:
+        """Inter-node replications issued by the data-movement phase."""
+        return int(self._transfers.value)
 
-    def __len__(self) -> int:
-        return self.count
+    @property
+    def p2p_transfers(self) -> int:
+        """Replications sourced worker-to-worker."""
+        return int(self._p2p.value)
 
-    def __bool__(self) -> bool:
-        return self.count > 0
+    @property
+    def bytes_requested(self) -> int:
+        """Bytes the data-movement phase asked the fabric to move."""
+        return int(self._bytes.value)
 
-    def __repr__(self) -> str:
-        return (f"<RunningAggregate n={self.count} mean={self.mean:.3g} "
-                f"min={self.minimum if self.count else 0:.3g} "
-                f"max={self.maximum if self.count else 0:.3g}>")
+    @property
+    def worker_crashes(self) -> int:
+        """Worker crashes recovered from."""
+        return int(self._crashes.value)
 
+    @property
+    def ces_reexecuted(self) -> int:
+        """CEs re-run on survivors after crashes."""
+        return int(self._reexecuted.value)
 
-@dataclass(slots=True)
-class ControllerStats:
-    """Counters the evaluation section reports on."""
+    @property
+    def transfers_rerouted(self) -> int:
+        """In-flight moves re-sourced after a crash or failure."""
+        return int(self._rerouted.value)
 
-    ces_scheduled: int = 0
-    transfers_issued: int = 0
-    p2p_transfers: int = 0
-    bytes_requested: int = 0
-    #: Bounded aggregate of per-CE decision wall-clock costs (Fig. 9).
-    decision_seconds: RunningAggregate = field(
-        default_factory=RunningAggregate)
-    worker_crashes: int = 0
-    ces_reexecuted: int = 0
-    transfers_rerouted: int = 0
-    arrays_rolled_back: int = 0
+    @property
+    def arrays_rolled_back(self) -> int:
+        """Sole-copy arrays rolled back to the controller."""
+        return int(self._rolled_back.value)
 
     @property
     def mean_decision_seconds(self) -> float:
         """Average wall-clock cost of one scheduling decision (exact)."""
         return self.decision_seconds.mean
+
+    def __repr__(self) -> str:
+        return (f"<ControllerStats ces={self.ces_scheduled} "
+                f"transfers={self.transfers_issued}>")
 
 
 @dataclass(frozen=True, slots=True)
@@ -151,13 +145,31 @@ class Controller:
         self.engine = cluster.engine
         self.policy = policy
         self.directory = Directory(home=cluster.controller.name)
+        self.metrics: MetricsRegistry = install_metrics(
+            getattr(cluster, "metrics", None) or MetricsRegistry())
+        self.profiler: CeProfiler | None = getattr(
+            cluster, "profiler", None)
         self.workers: dict[str, IntraNodeScheduler] = {
             w.name: IntraNodeScheduler(
-                w, max_streams_per_gpu=max_streams_per_gpu)
+                w, max_streams_per_gpu=max_streams_per_gpu,
+                metrics=self.metrics, profiler=self.profiler)
             for w in cluster.workers
         }
         self.dag = DependencyDag()
-        self.stats = ControllerStats()
+        self.stats = ControllerStats(self.metrics)
+        m = self.metrics
+        self._m_ces = m.family("grout_ces_scheduled_total")
+        self._m_transfers = m.family(
+            "grout_transfers_issued_total").labels()
+        self._m_p2p = m.family("grout_p2p_transfers_total").labels()
+        self._m_bytes = m.family("grout_bytes_requested_total").labels()
+        self._m_crashes = m.family("grout_worker_crashes_total").labels()
+        self._m_reexecuted = m.family(
+            "grout_ces_reexecuted_total").labels()
+        self._m_rerouted = m.family(
+            "grout_transfers_rerouted_total").labels()
+        self._m_rolled_back = m.family(
+            "grout_arrays_rolled_back_total").labels()
         self.context = SchedulingContext(
             workers=[w.name for w in cluster.workers],
             directory=self.directory,
@@ -167,6 +179,7 @@ class Controller:
         self._prune_every = prune_every
         self._max_streams_per_gpu = max_streams_per_gpu
         self._pending: list[Event] = []
+        self._scheduled = 0           # prune cadence, cheap local count
 
     def add_worker(self) -> str:
         """Attach a freshly provisioned worker (autoscaling, §V-F).
@@ -176,7 +189,8 @@ class Controller:
         """
         node = self.cluster.add_worker()
         self.workers[node.name] = IntraNodeScheduler(
-            node, max_streams_per_gpu=self._max_streams_per_gpu)
+            node, max_streams_per_gpu=self._max_streams_per_gpu,
+            metrics=self.metrics, profiler=self.profiler)
         self.context.workers = [w.name for w in self.cluster.workers]
         return node.name
 
@@ -198,7 +212,10 @@ class Controller:
                 ce, self.context)
         else:
             node_name = self.cluster.controller.name
-        self.stats.decision_seconds.append(time.perf_counter() - started)
+        decision_cost = time.perf_counter() - started
+        self.stats.decision_seconds.append(decision_cost)
+        if self.profiler is not None:
+            self.profiler.record_sched(ce, decision_cost, node=node_name)
         ce.assigned_node = node_name
 
         waits: list[Event] = [
@@ -208,7 +225,7 @@ class Controller:
 
         # Issue the necessary data movements.
         for array in ce.arrays:
-            ev = self._ensure_on_node(array, node_name)
+            ev = self._ensure_on_node(array, node_name, for_ce=ce)
             if ev is not None:
                 waits.append(ev)
 
@@ -234,8 +251,9 @@ class Controller:
             done = self._run_host_ce(ce, waits)
         ce.done = done
         self._pending.append(done)
-        self.stats.ces_scheduled += 1
-        if self.stats.ces_scheduled % self._prune_every == 0:
+        self._m_ces.labels(kind=ce.kind.value).inc()
+        self._scheduled += 1
+        if self._scheduled % self._prune_every == 0:
             self.dag.prune_completed(
                 lambda c: c.done is not None and c.done.processed)
             self._pending = [e for e in self._pending if not e.processed]
@@ -245,7 +263,8 @@ class Controller:
     # -- Algorithm 1, data-movement phase -----------------------------------------
 
     def _ensure_on_node(self, array: ManagedArray, node_name: str,
-                        reexec_of: ComputationalElement | None = None
+                        reexec_of: ComputationalElement | None = None,
+                        for_ce: ComputationalElement | None = None
                         ) -> Event | None:
         """Return the event a consumer on ``node_name`` must wait for.
 
@@ -253,6 +272,8 @@ class Controller:
         ``last_writer`` may then be the re-executed CE itself (or a
         program-order-later casualty), and waiting on it would deadlock —
         the DAG parent waits already order the re-execution correctly.
+        ``for_ce`` attributes the resulting transfer time to the
+        consuming CE in the profiler.
         """
         directory = self.directory
         if directory.up_to_date_on(array, node_name):
@@ -273,7 +294,7 @@ class Controller:
                                    h, node_name, array.nbytes)))
             src = workers_first[0]
             if src != self.cluster.controller.name:
-                self.stats.p2p_transfers += 1
+                self._m_p2p.inc()
 
         last = state.last_writer
         producer = None
@@ -281,17 +302,18 @@ class Controller:
                                  or last.ce_id < reexec_of.ce_id):
             producer = last.done
         done = self.engine.process(
-            self._move(array, src, node_name, producer),
+            self._move(array, src, node_name, producer, for_ce=for_ce),
             name=f"move:{array.name}->{node_name}")
         directory.record_replication(
             array, node_name, done, src=src,
             producer_id=last.ce_id if producer is not None else None)
-        self.stats.transfers_issued += 1
-        self.stats.bytes_requested += array.nbytes
+        self._m_transfers.inc()
+        self._m_bytes.inc(array.nbytes)
         return done
 
     def _move(self, array: ManagedArray, src: str, dst: str,
-              producer: Event | None):
+              producer: Event | None,
+              for_ce: ComputationalElement | None = None):
         """Process: wait for the producer, flush source GPUs, cross the wire.
 
         Failure-aware: an interrupt carrying a node-crash cause makes the
@@ -300,10 +322,15 @@ class Controller:
         source (ultimately the controller) before giving up.
         """
         rescues = 0
+        measured_from: float | None = None
         while True:
             try:
                 if producer is not None and not producer.processed:
                     yield producer
+                if measured_from is None:
+                    # Profile from after the producer wait: the wait is
+                    # dependency stall, not data movement.
+                    measured_from = self.engine.now
                 source_worker = self.workers.get(src)
                 if source_worker is not None:
                     wb = source_worker.writeback_seconds(array)
@@ -311,6 +338,10 @@ class Controller:
                         yield self.engine.timeout(wb)
                 yield from self.cluster.fabric.transfer_process(
                     src, dst, array.nbytes, label=array.name)
+                if self.profiler is not None and for_ce is not None:
+                    self.profiler.record_transfer(
+                        for_ce, self.engine.now - measured_from,
+                        nbytes=array.nbytes, node=dst)
                 return array.nbytes
             except Interrupt as intr:
                 cause = intr.cause
@@ -318,13 +349,13 @@ class Controller:
                         and cause[0] == NODE_CRASH):
                     raise
                 src = self._surviving_source(array, dst, exclude=cause[1])
-                self.stats.transfers_rerouted += 1
+                self._m_rerouted.inc()
             except TransferError:
                 rescues += 1
                 if rescues > 3 or src == self.cluster.controller.name:
                     raise
                 src = self._surviving_source(array, dst, exclude=src)
-                self.stats.transfers_rerouted += 1
+                self._m_rerouted.inc()
 
     def _surviving_source(self, array: ManagedArray, dst: str,
                           exclude: str | None = None) -> str:
@@ -395,9 +426,9 @@ class Controller:
         for ce in unfinished:
             self._reexecute(ce)
 
-        self.stats.worker_crashes += 1
-        self.stats.ces_reexecuted += len(unfinished)
-        self.stats.arrays_rolled_back += repair.rolled_back
+        self._m_crashes.inc()
+        self._m_reexecuted.inc(len(unfinished))
+        self._m_rolled_back.inc(repair.rolled_back)
         tracer = self.cluster.tracer
         if tracer is not None:
             tracer.record(name, "fault", f"recover:{name}",
@@ -432,7 +463,8 @@ class Controller:
             if p.done is not None and not p.done.processed
         ]
         for array in ce.arrays:
-            ev = self._ensure_on_node(array, node_name, reexec_of=ce)
+            ev = self._ensure_on_node(array, node_name, reexec_of=ce,
+                                      for_ce=ce)
             if ev is not None:
                 # A pre-crash move into this node may itself be waiting
                 # on *this* CE (its producer); waiting on it back would

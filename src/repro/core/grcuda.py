@@ -15,6 +15,8 @@ import numpy as np
 from repro.cluster.node import PAPER_WORKER, Node, NodeSpec
 from repro.gpu.kernel import ArrayAccess, Direction, KernelSpec, LaunchConfig
 from repro.gpu.specs import GpuSpec
+from repro.obs import CeProfiler, MetricsRegistry
+from repro.obs import install as install_metrics
 from repro.sim import Engine, Event, Tracer
 from repro.uvm.calibration import PAPER_CALIBRATION, UvmModelParams
 from repro.uvm.prefetch import PrefetchConfig
@@ -54,8 +56,13 @@ class GrCudaRuntime:
                         uvm_params=uvm_params, prefetch=prefetch,
                         eviction_order=eviction_order, seed=seed)
         self.node = node
+        # Single-node observability surface, same shape as a cluster's.
+        self.metrics = install_metrics(
+            MetricsRegistry(clock=lambda: node.engine.now))
+        self.profiler = CeProfiler(self.metrics)
         self.scheduler = IntraNodeScheduler(
-            node, max_streams_per_gpu=max_streams_per_gpu)
+            node, max_streams_per_gpu=max_streams_per_gpu,
+            metrics=self.metrics, profiler=self.profiler)
         self.dag = DependencyDag()
         self._pending: list[Event] = []
         self._scheduled = 0

@@ -17,6 +17,8 @@ from repro.cluster.node import Node
 from repro.gpu.device import Gpu
 from repro.gpu.kernel import KernelLaunch
 from repro.gpu.stream import Stream
+from repro.obs import CeProfiler, MetricsRegistry
+from repro.obs import install as install_metrics
 from repro.sim import Event
 from repro.core.ce import CeKind, ComputationalElement
 from repro.core.dag import DependencyDag
@@ -27,7 +29,9 @@ class IntraNodeScheduler:
     """One worker's GPU-stream scheduler (the second hierarchy layer)."""
 
     def __init__(self, node: Node, *, max_streams_per_gpu: int = 4,
-                 prune_every: int = 64):
+                 prune_every: int = 64,
+                 metrics: MetricsRegistry | None = None,
+                 profiler: CeProfiler | None = None):
         if not node.has_gpus:
             raise ValueError(f"{node!r} has no GPUs to schedule on")
         if max_streams_per_gpu < 1:
@@ -37,6 +41,25 @@ class IntraNodeScheduler:
         self.node = node
         self.max_streams_per_gpu = max_streams_per_gpu
         self.local_dag = DependencyDag()
+        self.profiler = profiler
+        self.metrics = install_metrics(metrics) if metrics is not None \
+            else None
+        if self.metrics is not None:
+            self._m_launches = self.metrics.family(
+                "grout_kernel_launches_total")
+            self._m_prefetches = self.metrics.family(
+                "grout_prefetches_total")
+            self._m_kernel_seconds = self.metrics.family(
+                "grout_kernel_seconds")
+            self._m_pending = self.metrics.family(
+                "grout_gpu_pending_bytes")
+            self._m_streams = self.metrics.family("grout_streams_open")
+            self._m_osf = self.metrics.family(
+                "grout_node_oversubscription")
+        else:
+            self._m_launches = self._m_prefetches = None
+            self._m_kernel_seconds = self._m_pending = None
+            self._m_streams = self._m_osf = None
         self._prune_every = prune_every
         self._completions = 0
         self._pending_load: dict[int, float] = {g.gpu_id: 0.0
@@ -44,6 +67,28 @@ class IntraNodeScheduler:
         self._stream_of: dict[int, Stream] = {}    # ce_id -> stream
         self._planned_gpu: dict[int, int] = {}     # buffer_id -> gpu_id
         self.kernel_costs: list[tuple[ComputationalElement, KernelCost]] = []
+
+    # -- observability hooks ---------------------------------------------------
+
+    def _note_pending(self, gpu_id: int) -> None:
+        """Mirror one GPU's queued byte load into its gauge."""
+        if self._m_pending is not None:
+            self._m_pending.labels(node=self.node.name,
+                                   gpu=str(gpu_id)).set(
+                self._pending_load[gpu_id])
+
+    def _note_streams(self, gpu: Gpu) -> None:
+        """Mirror one GPU's open-stream count into its gauge."""
+        if self._m_streams is not None:
+            self._m_streams.labels(node=self.node.name,
+                                   gpu=str(gpu.gpu_id)).set(
+                len(gpu.streams))
+
+    def _note_oversubscription(self) -> None:
+        """Publish the node's current OSF (the paper's operating point)."""
+        if self._m_osf is not None and self.node.uvm is not None:
+            self._m_osf.labels(node=self.node.name).set(
+                self.node.uvm.oversubscription)
 
     # -- Algorithm 2 -----------------------------------------------------------
 
@@ -98,13 +143,24 @@ class IntraNodeScheduler:
                               tuple(ce.accesses))
         load = float(launch.touched_bytes)
         self._pending_load[gpu.gpu_id] += load
+        self._note_pending(gpu.gpu_id)
+        self._note_streams(gpu)
+        engine = self.node.engine
+        submitted = engine.now
 
         def body():
+            started = engine.now
+            if self.profiler is not None:
+                # Time between submission and stream start is stall:
+                # FIFO queueing plus ancestor/data waits.
+                self.profiler.record_stall(ce, started - submitted,
+                                           node=self.node.name)
             # Parameters register at execution time: a coherence
             # invalidation issued for a *later* CE (program order) must not
             # strip a queued kernel of its own registrations.
             for array in ce.arrays:
                 uvm.register(array)
+            self._note_oversubscription()
             cost = uvm.price_kernel(gpu, launch)
             self.kernel_costs.append((ce, cost))
             # The fault/migration phase holds the GPU's host link so that
@@ -114,14 +170,24 @@ class IntraNodeScheduler:
                 yield from gpu.host_link.acquire(link_seconds)
             remainder = max(0.0, cost.duration - link_seconds)
             if remainder > 0:
-                yield self.node.engine.timeout(remainder)
+                yield engine.timeout(remainder)
             if ce.kernel.executor is not None:
                 ce.kernel.executor(*ce.args)
+            if self._m_launches is not None:
+                self._m_launches.labels(node=self.node.name,
+                                        gpu=str(gpu.gpu_id)).inc()
+                self._m_kernel_seconds.labels(
+                    node=self.node.name).observe(engine.now - started)
+            if self.profiler is not None:
+                self.profiler.record_compute(ce, engine.now - started,
+                                             node=self.node.name,
+                                             lane=stream.lane)
             return cost
 
         done = stream.enqueue(body, name=ce.display_name,
                               category="kernel",
-                              waits=list(waits) + parent_waits)
+                              waits=list(waits) + parent_waits,
+                              meta={"ce": ce.ce_id})
         done.callbacks.append(
             lambda _ev: self._complete(gpu.gpu_id, load))
         return done
@@ -143,18 +209,34 @@ class IntraNodeScheduler:
             uvm.register(array)
             # Locality bookkeeping follows the prefetch by design.
             self._planned_gpu[array.buffer_id] = gpu.gpu_id
+        engine = self.node.engine
+        submitted = engine.now
 
         def body():
+            started = engine.now
+            if self.profiler is not None:
+                self.profiler.record_stall(ce, started - submitted,
+                                           node=self.node.name)
+            self._note_oversubscription()
             seconds = sum(uvm.prefetch(gpu, array) for array in ce.arrays)
             if seconds > 0:
                 yield from gpu.host_link.acquire(seconds)
+            if self._m_prefetches is not None:
+                self._m_prefetches.labels(node=self.node.name,
+                                          gpu=str(gpu.gpu_id)).inc()
+            if self.profiler is not None:
+                self.profiler.record_compute(ce, engine.now - started,
+                                             node=self.node.name,
+                                             lane=stream.lane)
             return seconds
 
         return stream.enqueue(body, name=ce.display_name,
-                              category="prefetch", waits=list(waits))
+                              category="prefetch", waits=list(waits),
+                              meta={"ce": ce.ce_id})
 
     def _complete(self, gpu_id: int, load: float) -> None:
         self._pending_load[gpu_id] -= load
+        self._note_pending(gpu_id)
         # Pruning on *every* completion makes completion O(DAG size);
         # throttle it like the controller's periodic prune.  Dependency
         # structure is unaffected: completed non-frontier CEs are inert.

@@ -60,6 +60,16 @@ class GroutRuntime:
         return self.cluster.tracer
 
     @property
+    def metrics(self):
+        """The cluster-wide :class:`~repro.obs.MetricsRegistry`."""
+        return self.cluster.metrics
+
+    @property
+    def profiler(self):
+        """The cluster-wide per-CE :class:`~repro.obs.CeProfiler`."""
+        return self.cluster.profiler
+
+    @property
     def elapsed(self) -> float:
         """Simulated seconds since the runtime's engine started."""
         return self.engine.now
@@ -94,7 +104,8 @@ class GroutRuntime:
             cluster.fabric.inject_flake(src=src, dst=dst,
                                         count=fault.count)
 
-        injector = FaultInjector(self.engine, plan, tracer=self.tracer)
+        injector = FaultInjector(self.engine, plan, tracer=self.tracer,
+                                 metrics=self.metrics)
         injector.on(WORKER_CRASH, crash)
         injector.on(LINK_DEGRADE, degrade)
         injector.on(TRANSFER_FLAKE, flake)

@@ -53,16 +53,21 @@ class Stream:
 
     def enqueue(self, body: OpBody, *, name: str = "op",
                 category: str = "kernel",
-                waits: Sequence[Event] = ()) -> Event:
+                waits: Sequence[Event] = (),
+                meta: dict | None = None) -> Event:
         """Queue an operation; returns its completion event.
 
         ``waits`` are additional events (CUDA wait-events) that must fire
         before the operation may start, on top of stream FIFO order.
+        ``meta`` attributes (e.g. the owning ``ce`` id) are attached to
+        the recorded span, alongside the measured ``queued_seconds``
+        between enqueue and start.
         """
         done = self.engine.event(name=f"{self.lane}:{name}:done")
         prereqs = [e for e in ([self._tail] if self._tail else []) + list(waits)
                    if e is not None]
         self._ops_enqueued += 1
+        enqueued_at = self.engine.now
 
         def runner() -> Generator:
             if prereqs:
@@ -72,7 +77,10 @@ class Stream:
             end = self.engine.now
             self._busy_until = max(self._busy_until, end)
             if self.tracer is not None:
-                self.tracer.record(self.lane, category, name, start, end)
+                extra = dict(meta) if meta else {}
+                extra["queued_seconds"] = start - enqueued_at
+                self.tracer.record(self.lane, category, name, start, end,
+                                   **extra)
             done.succeed(result)
 
         proc = self.engine.process(runner(), name=f"{self.lane}:{name}")

@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Generator
 
+from repro.obs import MetricsRegistry
+from repro.obs import install as install_metrics
 from repro.sim import Engine, Event, Interrupt, Resource, SimError, Tracer
 from repro.net.topology import Topology
 
@@ -84,7 +86,8 @@ class Fabric:
 
     def __init__(self, engine: Engine, topology: Topology,
                  tracer: Tracer | None = None,
-                 retry: RetryPolicy | None = None):
+                 retry: RetryPolicy | None = None,
+                 metrics: MetricsRegistry | None = None):
         self.engine = engine
         self.topology = topology
         self.tracer = tracer
@@ -95,11 +98,21 @@ class Fabric:
         self._ingress = {name: Resource(engine, topology.nic(name).max_flows,
                                         name=f"{name}/rx")
                          for name in topology.nodes}
-        self._bytes_moved = 0
-        self._transfers = 0
-        self._retries = 0
-        self._timeouts = 0
-        self._failures = 0
+        # Registry-backed tallies (standalone fabrics get a private
+        # registry so the stats surface works without a cluster).
+        self.metrics = install_metrics(
+            metrics if metrics is not None else MetricsRegistry())
+        self._m_bytes = self.metrics.family("grout_fabric_bytes_total")
+        self._m_transfers = self.metrics.family(
+            "grout_fabric_transfers_total")
+        self._m_wire = self.metrics.family(
+            "grout_fabric_wire_seconds_total")
+        self._m_retries = self.metrics.family(
+            "grout_fabric_retries_total").labels()
+        self._m_timeouts = self.metrics.family(
+            "grout_fabric_timeouts_total").labels()
+        self._m_failures = self.metrics.family(
+            "grout_fabric_failures_total").labels()
         self._flakes: list[_Flake] = []
 
     def add_node(self, name: str) -> None:
@@ -117,28 +130,28 @@ class Fabric:
 
     @property
     def bytes_moved(self) -> int:
-        """Total bytes successfully transferred."""
-        return self._bytes_moved
+        """Total bytes successfully transferred (all links)."""
+        return int(self._m_bytes.value_sum())
 
     @property
     def transfer_count(self) -> int:
-        """Number of completed transfers."""
-        return self._transfers
+        """Number of completed transfers (all links)."""
+        return int(self._m_transfers.value_sum())
 
     @property
     def retry_count(self) -> int:
         """Attempts that failed and were retried."""
-        return self._retries
+        return int(self._m_retries.value)
 
     @property
     def timeout_count(self) -> int:
         """Attempts killed by the per-attempt watchdog."""
-        return self._timeouts
+        return int(self._m_timeouts.value)
 
     @property
     def failure_count(self) -> int:
         """Transfers that exhausted every attempt and gave up."""
-        return self._failures
+        return int(self._m_failures.value)
 
     # -- fault injection ------------------------------------------------------
 
@@ -192,8 +205,9 @@ class Fabric:
                 raise TransferError(
                     f"transfer {src}->{dst} ({label}) flaked mid-wire")
             yield self.engine.timeout(wire)
-            self._bytes_moved += nbytes
-            self._transfers += 1
+            self._m_bytes.labels(src=src, dst=dst).inc(nbytes)
+            self._m_transfers.labels(src=src, dst=dst).inc()
+            self._m_wire.labels(src=src, dst=dst).inc(wire)
             if self.tracer is not None:
                 self.tracer.record(f"net:{src}->{dst}", "transfer", label,
                                    start, self.engine.now, nbytes=nbytes)
@@ -224,7 +238,7 @@ class Fabric:
         # Watchdog won the race: kill the attempt (its finally releases
         # both NIC ends) and report the stall.
         proc.cancel("transfer-timeout")
-        self._timeouts += 1
+        self._m_timeouts.inc()
         raise TransferError(
             f"transfer {src}->{dst} ({label}) timed out after "
             f"{self.retry.attempt_timeout:g}s")
@@ -255,9 +269,9 @@ class Fabric:
                     src, dst, nbytes, label))
             except TransferError:
                 if attempt >= policy.max_attempts:
-                    self._failures += 1
+                    self._m_failures.inc()
                     raise
-                self._retries += 1
+                self._m_retries.inc()
                 delay = policy.backoff(attempt)
                 start = self.engine.now
                 if delay > 0:

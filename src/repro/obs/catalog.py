@@ -1,0 +1,115 @@
+"""The canonical metric catalogue — every name the registry can emit.
+
+One :class:`~repro.obs.registry.MetricSpec` per metric, grouped by the
+layer that publishes it.  ``install(registry)`` declares the whole
+catalogue up front so exporters list every metric (with HELP/TYPE
+metadata) even before the first sample lands, and so a test can diff
+``docs/OBSERVABILITY.md`` against this module — the docs and the code
+cannot drift apart silently.
+
+Adding a metric means adding a spec here *and* a row to the table in
+``docs/OBSERVABILITY.md``; ``tests/test_docs_check.py`` enforces the
+pairing.
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import MetricsRegistry, MetricSpec
+
+#: Controller (Algorithm 1) — admission, placement, coherence traffic.
+CONTROLLER_METRICS: tuple[MetricSpec, ...] = (
+    MetricSpec("grout_ces_scheduled_total", "counter",
+               "CEs admitted by the controller, by CE kind.",
+               labels=("kind",)),
+    MetricSpec("grout_transfers_issued_total", "counter",
+               "Inter-node replications issued by the data-movement "
+               "phase."),
+    MetricSpec("grout_p2p_transfers_total", "counter",
+               "Replications sourced worker-to-worker instead of from "
+               "the controller."),
+    MetricSpec("grout_bytes_requested_total", "counter",
+               "Bytes the data-movement phase asked the fabric to move.",
+               unit="bytes"),
+    MetricSpec("grout_decision_seconds", "histogram",
+               "Wall-clock cost of one scheduling decision (Fig. 9).",
+               unit="seconds"),
+    MetricSpec("grout_worker_crashes_total", "counter",
+               "Worker crashes the controller recovered from."),
+    MetricSpec("grout_ces_reexecuted_total", "counter",
+               "CEs re-run on survivors after a worker crash."),
+    MetricSpec("grout_transfers_rerouted_total", "counter",
+               "In-flight moves re-sourced after a crash or transfer "
+               "failure."),
+    MetricSpec("grout_arrays_rolled_back_total", "counter",
+               "Sole-copy arrays rolled back to the controller during "
+               "crash recovery."),
+)
+
+#: Fabric — the contended interconnect.
+FABRIC_METRICS: tuple[MetricSpec, ...] = (
+    MetricSpec("grout_fabric_bytes_total", "counter",
+               "Bytes successfully moved per directed link.",
+               unit="bytes", labels=("src", "dst")),
+    MetricSpec("grout_fabric_transfers_total", "counter",
+               "Completed transfers per directed link.",
+               labels=("src", "dst")),
+    MetricSpec("grout_fabric_wire_seconds_total", "counter",
+               "Wire-occupancy seconds per directed link (excludes NIC "
+               "queueing).", unit="seconds", labels=("src", "dst")),
+    MetricSpec("grout_fabric_retries_total", "counter",
+               "Transfer attempts that failed and were retried."),
+    MetricSpec("grout_fabric_timeouts_total", "counter",
+               "Transfer attempts killed by the per-attempt watchdog."),
+    MetricSpec("grout_fabric_failures_total", "counter",
+               "Transfers that exhausted every retry and gave up."),
+)
+
+#: Intra-node scheduler (Algorithm 2) and the GPU streams under it.
+INTRANODE_METRICS: tuple[MetricSpec, ...] = (
+    MetricSpec("grout_kernel_launches_total", "counter",
+               "Kernel CEs placed on a stream, per node and GPU.",
+               labels=("node", "gpu")),
+    MetricSpec("grout_prefetches_total", "counter",
+               "Prefetch CEs placed on a stream, per node and GPU.",
+               labels=("node", "gpu")),
+    MetricSpec("grout_kernel_seconds", "histogram",
+               "Simulated duration of executed kernel bodies, per node.",
+               unit="seconds", labels=("node",)),
+    MetricSpec("grout_gpu_pending_bytes", "gauge",
+               "Touched bytes of kernels submitted but not yet complete "
+               "(the load-balancing signal), per GPU.",
+               unit="bytes", labels=("node", "gpu")),
+    MetricSpec("grout_streams_open", "gauge",
+               "Streams created on a GPU so far.",
+               labels=("node", "gpu")),
+    MetricSpec("grout_node_oversubscription", "gauge",
+               "Node-level OSF (managed bytes / GPU memory) observed at "
+               "the latest kernel submission.", labels=("node",)),
+)
+
+#: Per-CE profiling (repro.obs.ceprofile) — cross-layer attribution.
+PROFILER_METRICS: tuple[MetricSpec, ...] = (
+    MetricSpec("grout_ce_phase_seconds_total", "counter",
+               "Per-CE time attributed to one pipeline phase (sched is "
+               "wall-clock; transfer/stall/compute are simulated).",
+               unit="seconds", labels=("phase", "node")),
+)
+
+#: Fault injection.
+FAULT_METRICS: tuple[MetricSpec, ...] = (
+    MetricSpec("grout_faults_injected_total", "counter",
+               "Faults the injector delivered to a handler, by kind.",
+               labels=("kind",)),
+)
+
+#: Every metric any instrumented layer can emit, sorted by name.
+CATALOG: tuple[MetricSpec, ...] = tuple(sorted(
+    CONTROLLER_METRICS + FABRIC_METRICS + INTRANODE_METRICS
+    + PROFILER_METRICS + FAULT_METRICS,
+    key=lambda spec: spec.name))
+
+
+def install(registry: MetricsRegistry) -> MetricsRegistry:
+    """Declare the full catalogue on ``registry`` (idempotent)."""
+    registry.register_many(CATALOG)
+    return registry

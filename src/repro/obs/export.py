@@ -1,0 +1,180 @@
+"""Exporters for the metrics registry.
+
+Three surfaces, one source of truth:
+
+* :func:`to_prometheus_text` — the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` headers, label-quoted samples).  Histograms
+  export as ``summary`` families (quantile children plus ``_sum`` /
+  ``_count``) because the reservoir keeps quantiles, not fixed buckets.
+* :func:`registry_to_dict` / :func:`write_metrics_json` — a stable JSON
+  schema (``grout-metrics/1``) for programmatic post-processing.
+* :func:`metric_counter_events` — Chrome trace-event counter samples
+  (``"ph": "C"``) so ``chrome://tracing`` / Perfetto draw each counter
+  and gauge as a little area chart above the span timeline.
+
+:func:`parse_prometheus_text` is the deliberate inverse of the first:
+a minimal parser used by the round-trip tests and the docs walkthrough.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import IO
+
+from repro.obs.registry import Histogram, MetricsRegistry
+
+#: Quantiles exported for histogram (summary) families.
+SUMMARY_QUANTILES = (0.5, 0.95, 0.99)
+
+
+def _escape(value: str) -> str:
+    return (value.replace("\\", r"\\").replace('"', r'\"')
+            .replace("\n", r"\n"))
+
+
+def _labelset(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{_escape(v)}"' for k, v in labels.items())
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus_text(registry: MetricsRegistry) -> str:
+    """Serialise every family to Prometheus text exposition format."""
+    lines: list[str] = []
+    for family in registry.families():
+        spec = family.spec
+        help_text = spec.help
+        if spec.unit:
+            help_text = (f"{help_text} [{spec.unit}]" if help_text
+                         else f"[{spec.unit}]")
+        prom_type = ("summary" if spec.kind == "histogram"
+                     else spec.kind)
+        lines.append(f"# HELP {spec.name} {_escape(help_text)}")
+        lines.append(f"# TYPE {spec.name} {prom_type}")
+        for labels, child in family.children():
+            if spec.kind == "histogram":
+                assert isinstance(child, Histogram)
+                for q in SUMMARY_QUANTILES:
+                    qlabels = dict(labels, quantile=f"{q:g}")
+                    lines.append(
+                        f"{spec.name}{_labelset(qlabels)} "
+                        f"{_format_value(child.percentile(q * 100))}")
+                lines.append(f"{spec.name}_sum{_labelset(labels)} "
+                             f"{_format_value(child.total)}")
+                lines.append(f"{spec.name}_count{_labelset(labels)} "
+                             f"{_format_value(child.count)}")
+            else:
+                lines.append(f"{spec.name}{_labelset(labels)} "
+                             f"{_format_value(child.value)}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(registry: MetricsRegistry,
+                     destination: "str | IO[str]") -> None:
+    """Write the Prometheus text exposition to a path or stream."""
+    text = to_prometheus_text(registry)
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="utf-8") as fh:
+            fh.write(text)
+    else:
+        destination.write(text)
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$")
+_LABEL_PAIR_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_prometheus_text(text: str) -> dict:
+    """Minimal Prometheus text parser (the exporter's inverse).
+
+    Returns ``{"types": {name: type}, "samples": {(name, ((label,
+    value), ...)): float}}`` with label tuples sorted.  Raises
+    :class:`ValueError` on malformed sample lines — which is exactly
+    what the round-trip tests rely on.
+    """
+    types: dict[str, str] = {}
+    samples: dict[tuple, float] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, prom_type = rest.partition(" ")
+            types[name] = prom_type.strip()
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"malformed sample line: {raw!r}")
+        labels = []
+        if match.group("labels"):
+            labels = [
+                (key, value.replace(r'\"', '"').replace(r"\n", "\n")
+                 .replace(r"\\", "\\"))
+                for key, value in
+                _LABEL_PAIR_RE.findall(match.group("labels"))]
+        samples[(match.group("name"), tuple(sorted(labels)))] = \
+            float(match.group("value"))
+    return {"types": types, "samples": samples}
+
+
+def registry_to_dict(registry: MetricsRegistry) -> dict:
+    """The registry's JSON-ready snapshot (schema ``grout-metrics/1``)."""
+    return registry.snapshot()
+
+
+def write_metrics_json(registry: MetricsRegistry,
+                       destination: "str | IO[str]") -> None:
+    """Write the JSON snapshot to a path or stream."""
+    payload = registry_to_dict(registry)
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+    else:
+        json.dump(payload, destination, indent=2)
+
+
+def metric_counter_events(registry: MetricsRegistry, *,
+                          pid: int = 0,
+                          time_unit: float = 1e6) -> list[dict]:
+    """Chrome trace-event counter samples for every counter/gauge.
+
+    One ``"ph": "C"`` event per recorded ``(time, value)`` sample;
+    instruments without a recorded series (no registry clock) emit
+    nothing.  ``pid`` is the process the counter tracks hang under —
+    the Chrome-trace exporter gives metrics their own process group.
+    """
+    events: list[dict] = []
+    for family in registry.families():
+        if family.kind == "histogram":
+            continue
+        for labels, child in family.children():
+            series = child.series
+            if not series:
+                continue
+            suffix = _labelset(labels)
+            name = f"{family.name}{suffix}"
+            for when, value in series:
+                events.append({
+                    "name": name,
+                    "ph": "C",
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": when * time_unit,
+                    "args": {"value": value},
+                })
+    return events

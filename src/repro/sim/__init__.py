@@ -11,10 +11,11 @@ from repro.sim.events import AllOf, AnyOf, Condition, Event, EventState, Timeout
 from repro.sim.faults import Fault, FaultInjector, FaultPlan, InjectorStats
 from repro.sim.process import Process
 from repro.sim.resources import Request, Resource, Store
-from repro.sim.trace import Span, Tracer
+from repro.sim.trace import CATEGORIES, Span, Tracer
 
 __all__ = [
     "AllOf",
+    "CATEGORIES",
     "AnyOf",
     "Condition",
     "Engine",

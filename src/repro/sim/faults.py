@@ -213,11 +213,20 @@ class FaultInjector:
     """
 
     def __init__(self, engine: "Engine", plan: FaultPlan, *,
-                 tracer: "Tracer | None" = None):
+                 tracer: "Tracer | None" = None,
+                 metrics: object | None = None):
         self.engine = engine
         self.plan = plan
         self.tracer = tracer
         self.stats = InjectorStats()
+        self._fault_counter = None
+        if metrics is not None:
+            # Imported lazily: the sim layer has no hard dependency on
+            # the observability package unless a registry is handed in.
+            from repro.obs.catalog import FAULT_METRICS
+            metrics.register_many(FAULT_METRICS)
+            self._fault_counter = metrics.family(
+                "grout_faults_injected_total")
         self._handlers: dict[str, Callable[[Fault], None]] = {}
         self._armed = False
 
@@ -250,6 +259,8 @@ class FaultInjector:
             self.stats.injected += 1
             self.stats.by_kind[fault.kind] = \
                 self.stats.by_kind.get(fault.kind, 0) + 1
+            if self._fault_counter is not None:
+                self._fault_counter.labels(kind=fault.kind).inc()
         if self.tracer is not None:
             lane = fault.node or (f"net:{fault.link[0]}->{fault.link[1]}"
                                   if fault.link else "faults")

@@ -12,6 +12,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
+#: Every span category the runtime emits, in alphabetical order.  Kept in
+#: sync with ``docs/OBSERVABILITY.md`` (a docs test diffs the two):
+#: ``fault`` (injected failures and recoveries), ``kernel`` (stream
+#: kernel executions), ``prefetch`` (bulk migrations), ``retry``
+#: (fabric backoff waits), ``transfer`` (fabric wire time).
+CATEGORIES = ("fault", "kernel", "prefetch", "retry", "transfer")
+
 
 @dataclass(frozen=True, slots=True)
 class Span:
@@ -71,6 +78,10 @@ class Tracer:
     def by_lane(self, lane: str) -> list[Span]:
         """Spans recorded on one lane."""
         return [s for s in self._spans if s.lane == lane]
+
+    def spans_for_ce(self, ce_id: int) -> list[Span]:
+        """Spans carrying a matching ``ce`` meta id (CE-centric slicing)."""
+        return [s for s in self._spans if s.meta.get("ce") == ce_id]
 
     def lanes(self) -> list[str]:
         """Sorted distinct lane names."""

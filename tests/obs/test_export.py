@@ -1,0 +1,124 @@
+"""Exporter round-trips: Prometheus text, JSON schema, counter events."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    metric_counter_events,
+    parse_prometheus_text,
+    registry_to_dict,
+    to_prometheus_text,
+    write_metrics_json,
+    write_prometheus,
+)
+
+
+def _populated_registry(clock=None):
+    reg = MetricsRegistry(clock=clock)
+    fam = reg.counter("req_total", "requests", labels=("node",))
+    fam.labels(node="w0").inc(3)
+    fam.labels(node="w1").inc(5)
+    reg.gauge("depth", "queue depth", unit="items").labels().set(7)
+    hist = reg.histogram("lat_seconds", "latency", unit="seconds").labels()
+    for v in (0.1, 0.2, 0.3, 0.4):
+        hist.observe(v)
+    return reg
+
+
+class TestPrometheusText:
+    """The text exposition and its deliberate inverse."""
+
+    def test_round_trip_types_and_values(self):
+        reg = _populated_registry()
+        parsed = parse_prometheus_text(to_prometheus_text(reg))
+        assert parsed["types"] == {"req_total": "counter",
+                                   "depth": "gauge",
+                                   "lat_seconds": "summary"}
+        samples = parsed["samples"]
+        assert samples[("req_total", (("node", "w0"),))] == 3
+        assert samples[("req_total", (("node", "w1"),))] == 5
+        assert samples[("depth", ())] == 7
+
+    def test_histograms_export_as_summaries(self):
+        reg = _populated_registry()
+        samples = parse_prometheus_text(to_prometheus_text(reg))["samples"]
+        assert samples[("lat_seconds_count", ())] == 4
+        assert samples[("lat_seconds_sum", ())] == pytest.approx(1.0)
+        # Quantile children exist for each exported quantile.
+        for q in ("0.5", "0.95", "0.99"):
+            key = ("lat_seconds", (("quantile", q),))
+            assert 0.1 <= samples[key] <= 0.4
+
+    def test_help_lines_carry_units(self):
+        text = to_prometheus_text(_populated_registry())
+        assert "# HELP lat_seconds latency [seconds]" in text
+
+    def test_label_values_escape_round_trip(self):
+        reg = MetricsRegistry()
+        tricky = 'has "quotes" and \\slashes\\ and\nnewline'
+        reg.counter("c_total", "h", labels=("k",)) \
+            .labels(k=tricky).inc()
+        samples = parse_prometheus_text(to_prometheus_text(reg))["samples"]
+        assert samples[("c_total", (("k", tricky),))] == 1
+
+    def test_parse_rejects_malformed_lines(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("this is not a sample line\n")
+
+    def test_write_prometheus_path_and_stream(self, tmp_path):
+        reg = _populated_registry()
+        path = tmp_path / "out.prom"
+        write_prometheus(reg, str(path))
+        buf = io.StringIO()
+        write_prometheus(reg, buf)
+        assert path.read_text() == buf.getvalue() == to_prometheus_text(reg)
+
+
+class TestJsonSchema:
+    """grout-metrics/1 stays stable for programmatic consumers."""
+
+    def test_schema_shape(self):
+        snap = registry_to_dict(_populated_registry())
+        assert snap["schema"] == "grout-metrics/1"
+        for metric in snap["metrics"]:
+            assert {"name", "kind", "help", "unit", "labels",
+                    "samples"} <= set(metric)
+        by_name = {m["name"]: m for m in snap["metrics"]}
+        counter_sample = by_name["req_total"]["samples"][0]
+        assert set(counter_sample) == {"labels", "value"}
+        hist_sample = by_name["lat_seconds"]["samples"][0]
+        assert {"labels", "count", "sum", "min", "max", "mean",
+                "p50", "p95", "p99"} == set(hist_sample)
+
+    def test_write_metrics_json_round_trips(self, tmp_path):
+        reg = _populated_registry()
+        path = tmp_path / "metrics.json"
+        write_metrics_json(reg, str(path))
+        assert json.loads(path.read_text()) == registry_to_dict(reg)
+
+
+class TestCounterEvents:
+    """Chrome trace counter tracks from the recorded series."""
+
+    def test_events_shape_and_ts_scaling(self):
+        now = [0.0]
+        reg = _populated_registry(clock=lambda: now[0])
+        now[0] = 2.5
+        reg.family("req_total").labels(node="w0").inc()
+        events = metric_counter_events(reg, pid=9, time_unit=1e6)
+        assert events, "counter tracks require a registry clock"
+        assert all(e["ph"] == "C" and e["pid"] == 9 for e in events)
+        # Labeled children get the labelset folded into the track name.
+        names = {e["name"] for e in events}
+        assert 'req_total{node="w0"}' in names
+        # Histograms have no counter-track representation.
+        assert not any(e["name"].startswith("lat_seconds") for e in events)
+        last = [e for e in events if e["name"] == 'req_total{node="w0"}'][-1]
+        assert last["ts"] == pytest.approx(2.5e6)
+        assert last["args"]["value"] == 4
+
+    def test_no_clock_means_no_events(self):
+        assert metric_counter_events(_populated_registry()) == []

@@ -1,0 +1,118 @@
+"""Per-CE profiling: unit semantics plus end-to-end runs."""
+
+import pytest
+
+from repro import GroutRuntime
+from repro.core.grcuda import GrCudaRuntime
+from repro.gpu.specs import GIB
+from repro.obs import CeProfiler, MetricsRegistry, PHASES
+from repro.workloads import make_workload
+
+
+class _Ce:
+    """Minimal stand-in carrying what the profiler reads off a CE."""
+
+    class _Kind:
+        value = "kernel"
+
+    kind = _Kind()
+
+    def __init__(self, ce_id, name="k"):
+        self.ce_id = ce_id
+        self.display_name = name
+
+
+class TestProfilerUnit:
+    """Recording, aggregation and bounded memory."""
+
+    def test_phases_accumulate_per_ce_and_total(self):
+        prof = CeProfiler()
+        ce = _Ce(1)
+        prof.record_sched(ce, 0.5, node="w0")
+        prof.record_transfer(ce, 2.0, nbytes=100, node="w0")
+        prof.record_stall(ce, 0.25, node="w0")
+        prof.record_compute(ce, 1.0, node="w0", lane="gpu0/s0")
+        p = prof.get(1)
+        assert p.sched_seconds == 0.5
+        assert p.transfer_seconds == 2.0 and p.transfer_bytes == 100
+        assert p.stall_seconds == 0.25
+        assert p.compute_seconds == 1.0 and p.lane == "gpu0/s0"
+        assert p.total_seconds == pytest.approx(3.75)
+        assert prof.totals.ces_profiled == 1
+        assert prof.totals.transfer_seconds == 2.0
+
+    def test_slowest_orders_by_total(self):
+        prof = CeProfiler()
+        for i, secs in enumerate((1.0, 5.0, 3.0)):
+            prof.record_compute(_Ce(i, name=f"k{i}"), secs)
+        assert [p.name for p in prof.slowest(2)] == ["k1", "k2"]
+
+    def test_by_node_partitions_totals(self):
+        prof = CeProfiler()
+        prof.record_compute(_Ce(1), 1.0, node="w0")
+        prof.record_compute(_Ce(2), 2.0, node="w1")
+        by_node = prof.by_node()
+        assert by_node["w0"].compute_seconds == 1.0
+        assert by_node["w1"].compute_seconds == 2.0
+
+    def test_compaction_keeps_slowest_and_exact_totals(self):
+        prof = CeProfiler(capacity=8)
+        for i in range(20):
+            prof.record_compute(_Ce(i), float(i))
+        assert len(prof) <= 8
+        # The slowest CE survives; totals never lose anything.
+        assert prof.get(19) is not None
+        assert prof.totals.ces_profiled == 20
+        assert prof.totals.compute_seconds == sum(range(20))
+
+    def test_registry_publication(self):
+        reg = MetricsRegistry()
+        prof = CeProfiler(reg)
+        prof.record_compute(_Ce(1), 2.0, node="w0")
+        fam = reg.family("grout_ce_phase_seconds_total")
+        assert fam.labels(phase="compute", node="w0").value == 2.0
+
+
+class TestProfilerEndToEnd:
+    """A real run threads ce_id through every layer."""
+
+    @pytest.fixture(scope="class")
+    def grout(self):
+        runtime = GroutRuntime(n_workers=2)
+        make_workload("bs", GIB // 2).execute(runtime)
+        return runtime
+
+    def test_every_phase_attributed(self, grout):
+        totals = grout.profiler.totals
+        assert totals.ces_profiled > 0
+        for phase in PHASES:
+            assert getattr(totals, f"{phase}_seconds") > 0, phase
+
+    def test_profiles_carry_node_and_lane(self, grout):
+        kernels = [p for p in grout.profiler.profiles()
+                   if p.kind == "kernel"]
+        assert kernels
+        assert all(p.node for p in kernels)
+        assert any(p.lane for p in kernels)
+
+    def test_phase_metric_matches_profiler_totals(self, grout):
+        fam = grout.metrics.family("grout_ce_phase_seconds_total")
+        metric_compute = sum(
+            child.value for labels, child in fam.children()
+            if labels["phase"] == "compute")
+        assert metric_compute == pytest.approx(
+            grout.profiler.totals.compute_seconds)
+
+    def test_spans_carry_ce_metadata(self, grout):
+        slow = grout.profiler.slowest(1)[0]
+        spans = grout.tracer.spans_for_ce(slow.ce_id)
+        assert spans
+        assert all("queued_seconds" in s.meta for s in spans)
+
+    def test_grcuda_runtime_profiles_too(self):
+        runtime = GrCudaRuntime()
+        make_workload("bs", GIB // 2).execute(runtime)
+        assert runtime.profiler.totals.ces_profiled > 0
+        assert runtime.profiler.totals.compute_seconds > 0
+        # Single node: no inter-node replication phase.
+        assert "grout_kernel_launches_total" in runtime.metrics

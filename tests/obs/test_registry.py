@@ -1,0 +1,201 @@
+"""Registry semantics: instruments, labels, specs, thread-safety."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    CATALOG,
+    MetricError,
+    MetricSpec,
+    MetricsRegistry,
+    RunningAggregate,
+    install,
+)
+
+
+class TestInstruments:
+    """Counter / gauge / histogram behaviour."""
+
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("c_total", "help")
+        fam.labels().inc()
+        fam.labels().inc(2.5)
+        assert fam.labels().value == 3.5
+
+    def test_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        child = reg.counter("c_total", "help").labels()
+        with pytest.raises(MetricError):
+            child.inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("g", "help").labels()
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value == 12
+
+    def test_histogram_is_running_aggregate(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", "help").labels()
+        assert isinstance(h, RunningAggregate)
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        assert len(h) == 3
+        assert h.mean == pytest.approx(2.0)
+        assert h.minimum == 1.0 and h.maximum == 3.0
+
+    def test_histogram_append_alias(self):
+        # Back-compat: controller code historically used .append().
+        reg = MetricsRegistry()
+        h = reg.histogram("h", "help").labels()
+        h.append(4.0)
+        assert len(h) == 1 and h.total == 4.0
+
+
+class TestLabels:
+    """Label validation and child identity."""
+
+    def test_children_are_cached_per_labelset(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("c_total", "help", labels=("node",))
+        a = fam.labels(node="w0")
+        b = fam.labels(node="w0")
+        c = fam.labels(node="w1")
+        assert a is b and a is not c
+        a.inc()
+        assert fam.value_sum() == 1
+
+    def test_wrong_label_names_rejected(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("c_total", "help", labels=("node",))
+        with pytest.raises(MetricError):
+            fam.labels(gpu="0")
+        with pytest.raises(MetricError):
+            fam.labels()           # missing the declared label
+
+    def test_children_iterates_label_dicts(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("c_total", "help", labels=("src", "dst"))
+        fam.labels(src="a", dst="b").inc(7)
+        [(labels, child)] = list(fam.children())
+        assert labels == {"src": "a", "dst": "b"}
+        assert child.value == 7
+
+
+class TestSpecs:
+    """Registration rules."""
+
+    def test_register_is_idempotent(self):
+        reg = MetricsRegistry()
+        spec = MetricSpec("x_total", "counter", "help")
+        reg.register(spec)
+        reg.register(spec)
+        assert "x_total" in reg
+
+    def test_conflicting_respec_rejected(self):
+        reg = MetricsRegistry()
+        reg.register(MetricSpec("x_total", "counter", "help"))
+        with pytest.raises(MetricError):
+            reg.register(MetricSpec("x_total", "gauge", "help"))
+
+    def test_kind_mismatch_on_access_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", "help")
+        with pytest.raises(MetricError):
+            reg.gauge("x_total", "help")
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(MetricError):
+            MetricSpec("9bad", "counter", "help")
+        with pytest.raises(MetricError):
+            MetricSpec("ok", "nonsense", "help")
+
+    def test_install_declares_whole_catalog_idempotently(self):
+        reg = install(MetricsRegistry())
+        install(reg)
+        assert reg.names() == [spec.name for spec in CATALOG]
+
+    def test_snapshot_schema(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", "help", labels=("node",)) \
+            .labels(node="w0").inc(3)
+        reg.histogram("h", "help").labels().observe(1.0)
+        snap = reg.snapshot()
+        assert snap["schema"] == "grout-metrics/1"
+        by_name = {m["name"]: m for m in snap["metrics"]}
+        assert by_name["c_total"]["samples"][0]["value"] == 3
+        hist = by_name["h"]["samples"][0]
+        assert hist["count"] == 1 and hist["sum"] == 1.0
+        assert {"min", "max", "mean", "p50", "p95", "p99"} <= set(hist)
+
+
+class TestConcurrency:
+    """The registry lock makes concurrent publication safe."""
+
+    def test_concurrent_increments_are_not_lost(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("c_total", "help", labels=("node",))
+        hist = reg.histogram("h", "help").labels()
+        n_threads, n_incs = 8, 500
+
+        def worker(i):
+            child = fam.labels(node=f"w{i % 2}")
+            for _ in range(n_incs):
+                child.inc()
+                hist.observe(1.0)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert fam.value_sum() == n_threads * n_incs
+        assert len(hist) == n_threads * n_incs
+
+    def test_concurrent_registration_single_family(self):
+        reg = MetricsRegistry()
+        errors = []
+
+        def declare():
+            try:
+                reg.counter("c_total", "help").labels().inc()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=declare) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert reg.family("c_total").value_sum() == 8
+
+
+class TestSeries:
+    """Clock-stamped series for counter tracks stay bounded."""
+
+    def test_series_records_with_clock(self):
+        now = [0.0]
+        reg = MetricsRegistry(clock=lambda: now[0])
+        child = reg.counter("c_total", "help").labels()
+        child.inc()
+        now[0] = 1.0
+        child.inc()
+        times = [t for t, _ in child.series]
+        assert times == [0.0, 1.0]
+        assert [v for _, v in child.series] == [1.0, 2.0]
+
+    def test_series_decimates_beyond_capacity(self):
+        reg = MetricsRegistry(clock=lambda: 0.0, series_capacity=16)
+        child = reg.counter("c_total", "help").labels()
+        for _ in range(1000):
+            child.inc()
+        assert len(child.series) <= 16
+        # First and latest samples always survive decimation.
+        assert child.series[0][1] == 1.0
+        assert child.series[-1][1] == 1000.0

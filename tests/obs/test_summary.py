@@ -1,0 +1,73 @@
+"""Run summaries: tables and schema-stable dict from a finished run."""
+
+import pytest
+
+from repro import GroutRuntime
+from repro.gpu.specs import GIB
+from repro.obs import LinkUsage, build_run_summary
+from repro.workloads import make_workload
+
+
+class TestLinkUsage:
+    """Derived link statistics."""
+
+    def test_name_utilisation_and_bandwidth(self):
+        link = LinkUsage(src="ctrl", dst="w0", nbytes=GIB,
+                         wire_seconds=2.0, transfers=3)
+        assert link.name == "ctrl->w0"
+        assert link.utilisation(4.0) == 0.5
+        assert link.utilisation(0.0) == 0.0
+        assert link.achieved_gib_per_s == pytest.approx(0.5)
+
+
+class TestRunSummary:
+    """build_run_summary over a real two-node run."""
+
+    @pytest.fixture(scope="class")
+    def summary(self):
+        runtime = GroutRuntime(n_workers=2)
+        make_workload("bs", GIB // 2).execute(runtime)
+        return build_run_summary(runtime, top=5)
+
+    def test_populated_from_run(self, summary):
+        assert summary.makespan_seconds > 0
+        assert summary.ces_scheduled > 0
+        assert 0 < len(summary.top_ces) <= 5
+        assert summary.links, "fabric metrics should yield link rows"
+        assert summary.node_oversubscription
+        assert summary.gpu_oversubscription
+
+    def test_links_derive_from_fabric_metrics(self, summary):
+        sends = [l for l in summary.links if l.src == "controller"]
+        assert sends and all(l.nbytes > 0 for l in sends)
+        assert all(l.wire_seconds > 0 for l in sends)
+
+    def test_render_contains_each_table(self, summary):
+        text = summary.render()
+        assert "Run summary" in text
+        assert "slowest CEs" in text
+        assert "Fabric link utilisation" in text
+        assert "Oversubscription" in text
+
+    def test_as_dict_schema(self, summary):
+        data = summary.as_dict()
+        assert set(data) == {"makespan_seconds", "ces_scheduled",
+                             "phase_totals", "top_ces", "links",
+                             "gpu_oversubscription",
+                             "node_oversubscription"}
+        assert set(data["links"][0]) == {"src", "dst", "bytes",
+                                         "wire_seconds", "transfers",
+                                         "utilisation"}
+        ce = data["top_ces"][0]
+        assert {"ce_id", "name", "kind", "node", "total_seconds",
+                "sched_seconds", "transfer_seconds", "stall_seconds",
+                "compute_seconds", "transfer_bytes"} <= set(ce)
+
+    def test_empty_runtime_yields_empty_summary(self):
+        class Bare:
+            """Runtime with no tracer/profiler/metrics/cluster."""
+
+        summary = build_run_summary(Bare())
+        assert summary.ces_scheduled == 0
+        assert summary.links == []
+        assert "Run summary" in summary.render()
