@@ -22,6 +22,8 @@ _COLOURS = {
     "sched": "grey",
     "fault": "terrible",
     "retry": "bad",
+    "chunk": "thread_state_runnable",
+    "relay": "rail_response",
 }
 
 

@@ -106,6 +106,8 @@ def run_grout(workload: str, footprint_bytes: int, *,
               repeats: int = 1,
               faults: FaultPlan | None = None,
               request_replacement: bool = False,
+              chunk_bytes: int | None = None,
+              collectives: bool = False,
               **workload_kwargs) -> ExperimentResult:
     """One GrOUT run on ``n_workers`` paper nodes with a given policy.
 
@@ -113,7 +115,9 @@ def run_grout(workload: str, footprint_bytes: int, *,
     ``faults`` arms a deterministic :class:`FaultPlan` on every
     repetition before the workload executes (crash/degrade/flake
     injection; ``request_replacement`` provisions a fresh worker after
-    each crash).
+    each crash).  ``chunk_bytes`` pipelines fabric transfers at that
+    granule and ``collectives`` turns broadcast-shaped replication into
+    relay chains — both default off (the paper's serial sends).
     """
     wl = make_workload(workload, footprint_bytes, seed=seed,
                        **workload_kwargs)
@@ -134,7 +138,9 @@ def run_grout(workload: str, footprint_bytes: int, *,
             n_workers,
             page_size=page_size or page_size_for(footprint_bytes),
             seed=s)
-        rt = GroutRuntime(cluster, policy=policy_obj)
+        rt = GroutRuntime(cluster, policy=policy_obj,
+                          chunk_bytes=chunk_bytes,
+                          collectives=collectives)
         if faults is not None:
             rt.install_faults(faults,
                               request_replacement=request_replacement)

@@ -9,7 +9,8 @@ scheduler exists to create — is visible at a glance in a terminal:
 
 Fill glyphs follow :data:`CATEGORY_GLYPHS`: ``#`` kernel, ``=``
 transfer, ``~`` migration, ``+`` prefetch, ``.`` sched, ``!`` fault
-(injected failures and recoveries), ``?`` retry (fabric backoff waits);
+(injected failures and recoveries), ``?`` retry (fabric backoff waits),
+``-`` chunk (pipelined sub-transfers), ``>`` relay (collective legs);
 categories outside the table cycle through spare glyphs.
 """
 
@@ -28,6 +29,8 @@ CATEGORY_GLYPHS = {
     "sched": ".",
     "fault": "!",
     "retry": "?",
+    "chunk": "-",
+    "relay": ">",
 }
 _EXTRA_GLYPHS = "*%@o"
 

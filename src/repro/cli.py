@@ -77,6 +77,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--replace-crashed", action="store_true",
                        help="provision a replacement worker after "
                             "each injected crash")
+    run_p.add_argument("--chunk-bytes", type=int, default=None,
+                       metavar="N",
+                       help="pipeline fabric transfers as N-byte chunks "
+                            "(grout only; default: whole-array sends)")
+    run_p.add_argument("--collectives", action="store_true",
+                       help="coalesce broadcast-shaped replication into "
+                            "relay chains (grout only)")
     run_p.add_argument("--no-verify", action="store_true",
                        help="skip the numerical check")
     run_p.add_argument("--timeline", action="store_true",
@@ -151,6 +158,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if faults is not None:
             print("--faults requires --mode grout", file=sys.stderr)
             return 2
+        if args.chunk_bytes is not None or args.collectives:
+            print("--chunk-bytes/--collectives require --mode grout",
+                  file=sys.stderr)
+            return 2
         result = run_single_node(args.workload, footprint,
                                  check=not args.no_verify,
                                  repeats=args.repeats)
@@ -159,7 +170,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
                            n_workers=args.workers, policy=args.policy,
                            level=level, check=not args.no_verify,
                            repeats=args.repeats, faults=faults,
-                           request_replacement=args.replace_crashed)
+                           request_replacement=args.replace_crashed,
+                           chunk_bytes=args.chunk_bytes,
+                           collectives=args.collectives)
     rows = [
         ("workload", result.workload),
         ("mode", result.mode),
@@ -227,7 +240,9 @@ def _traced_run(args: argparse.Namespace, footprint: int,
         policy = (VectorStepPolicy(wl.tuned_vector(args.workers))
                   if args.policy == "vector-step"
                   else make_policy(args.policy, level=level))
-        rt = GroutRuntime(cluster, policy=policy)
+        rt = GroutRuntime(cluster, policy=policy,
+                          chunk_bytes=args.chunk_bytes,
+                          collectives=args.collectives)
         if args.faults:
             rt.install_faults(FaultPlan.parse(args.faults),
                               request_replacement=args.replace_crashed)

@@ -23,6 +23,7 @@ from repro.core.controller import (
 from repro.core.dag import DependencyDag
 from repro.core.grcuda import GrCudaRuntime
 from repro.core.intranode import IntraNodeScheduler
+from repro.core.planner import RelayPlan, TransferPlanner
 from repro.core.policies import (
     ExplorationLevel,
     LeastLoadedPolicy,
@@ -60,9 +61,11 @@ __all__ = [
     "MinTransferTimePolicy",
     "Policy",
     "RecoveryReport",
+    "RelayPlan",
     "RoundRobinPolicy",
     "RunningAggregate",
     "SchedulingContext",
+    "TransferPlanner",
     "VectorStepPolicy",
     "available_policies",
     "depends_on",

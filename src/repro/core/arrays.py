@@ -129,7 +129,8 @@ class ArrayState:
     """Directory entry of one managed array."""
 
     __slots__ = ("up_to_date", "last_writer", "readers_since_write",
-                 "inflight", "inflight_src", "inflight_producer", "nbytes")
+                 "inflight", "inflight_src", "inflight_producer",
+                 "inflight_relay", "nbytes")
 
     def __init__(self, home: str, nbytes: int = 0):
         self.up_to_date: set[str] = {home}
@@ -144,6 +145,9 @@ class ArrayState:
         #: on (recovery must not let a re-executed CE wait on a move that
         #: in turn waits on that very CE)
         self.inflight_producer: dict[str, int] = {}
+        #: node -> the full relay chain its replication rides on (multi-
+        #: destination collective state; empty for point-to-point moves)
+        self.inflight_relay: dict[str, tuple[str, ...]] = {}
         #: modeled footprint, recorded for demand accounting (autoscaler)
         self.nbytes = nbytes
 
@@ -222,11 +226,16 @@ class Directory:
 
     def record_replication(self, array: ManagedArray, node: str,
                            done: Event, src: str | None = None,
-                           producer_id: int | None = None) -> None:
+                           producer_id: int | None = None,
+                           relay: "tuple[str, ...] | None" = None) -> None:
         """A copy is being shipped to ``node``; logically valid already.
 
         ``producer_id`` is the ce_id of the writer the transfer waits on
         (if any) — crash recovery consults it to avoid wait cycles.
+        ``relay`` records the full collective chain this replication
+        rides on (``src`` is then the node's predecessor in the chain) —
+        multi-destination in-flight state the crash repair uses to
+        re-source the surviving remainder of a broken chain.
         """
         state = self.state(array)
         state.up_to_date.add(node)
@@ -235,6 +244,8 @@ class Directory:
             state.inflight_src[node] = src
         if producer_id is not None:
             state.inflight_producer[node] = producer_id
+        if relay is not None:
+            state.inflight_relay[node] = tuple(relay)
 
     def replication_event(self, array: ManagedArray,
                           node: str) -> Event | None:
@@ -245,6 +256,7 @@ class Directory:
             del state.inflight[node]
             state.inflight_src.pop(node, None)
             state.inflight_producer.pop(node, None)
+            state.inflight_relay.pop(node, None)
             return None
         return ev
 
@@ -264,6 +276,8 @@ class Directory:
                               if n == node}
         state.inflight_producer = {
             n: p for n, p in state.inflight_producer.items() if n == node}
+        state.inflight_relay = {
+            n: c for n, c in state.inflight_relay.items() if n == node}
         state.last_writer = ce
         state.readers_since_write = []
         return invalidated
@@ -313,6 +327,7 @@ class Directory:
             ev = state.inflight.pop(name, None)
             state.inflight_src.pop(name, None)
             state.inflight_producer.pop(name, None)
+            state.inflight_relay.pop(name, None)
             if ev is not None and not ev.processed:
                 repair.cancelled.append(ev)
             for dst, src in list(state.inflight_src.items()):
@@ -322,8 +337,10 @@ class Directory:
                 if rerouted is not None and not rerouted.processed:
                     repair.rerouted.append(rerouted)
                 # The surviving source is re-chosen by the mover itself;
-                # the home node is the guaranteed fallback.
+                # the home node is the guaranteed fallback.  A relay leg
+                # fed by the dead node leaves its (now stale) chain.
                 state.inflight_src[dst] = self.home
+                state.inflight_relay.pop(dst, None)
             if name in state.up_to_date:
                 state.up_to_date.discard(name)
                 if not state.up_to_date:

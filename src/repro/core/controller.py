@@ -27,6 +27,7 @@ from repro.core.arrays import Directory, ManagedArray
 from repro.core.ce import CeKind, ComputationalElement
 from repro.core.dag import DependencyDag
 from repro.core.intranode import IntraNodeScheduler
+from repro.core.planner import TransferPlanner
 from repro.core.policies import Policy, SchedulingContext
 
 __all__ = ["Controller", "ControllerStats", "RecoveryReport",
@@ -140,7 +141,9 @@ class Controller:
 
     def __init__(self, cluster: Cluster, policy: Policy, *,
                  max_streams_per_gpu: int = 4,
-                 prune_every: int = 256):
+                 prune_every: int = 256,
+                 collectives: bool = False,
+                 chunk_bytes: int | None = None):
         self.cluster = cluster
         self.engine = cluster.engine
         self.policy = policy
@@ -170,6 +173,10 @@ class Controller:
             "grout_transfers_rerouted_total").labels()
         self._m_rolled_back = m.family(
             "grout_arrays_rolled_back_total").labels()
+        #: Collective data movement (broadcast relays); a no-op unless
+        #: ``collectives`` is on, so the default schedule is untouched.
+        self.planner = TransferPlanner(self, enabled=collectives,
+                                       chunk_bytes=chunk_bytes)
         self.context = SchedulingContext(
             workers=[w.name for w in cluster.workers],
             directory=self.directory,
@@ -250,6 +257,7 @@ class Controller:
         else:
             done = self._run_host_ce(ce, waits)
         ce.done = done
+        self.policy.notify_scheduled(ce)
         self._pending.append(done)
         self._m_ces.labels(kind=ce.kind.value).inc()
         self._scheduled += 1
@@ -281,29 +289,36 @@ class Controller:
             return directory.replication_event(array, node_name)
 
         state = directory.state(array)
-        if directory.only_on_controller(array):
-            src = self.cluster.controller.name
-        else:
-            # A candidate P2P node: the up-to-date holder with the best
-            # link to the destination (prefer workers over the controller).
-            candidates = [h for h in state.up_to_date if h != node_name]
-            workers_first = sorted(
-                candidates,
-                key=lambda h: (h == self.cluster.controller.name,
-                               self.cluster.topology.transfer_seconds(
-                                   h, node_name, array.nbytes)))
-            src = workers_first[0]
-            if src != self.cluster.controller.name:
-                self._m_p2p.inc()
-
         last = state.last_writer
         producer = None
         if last is not None and (reexec_of is None
                                  or last.ce_id < reexec_of.ce_id):
             producer = last.done
-        done = self.engine.process(
-            self._move(array, src, node_name, producer, for_ce=for_ce),
-            name=f"move:{array.name}->{node_name}")
+
+        if reexec_of is None and self.planner.wants(array, producer):
+            # Broadcast shape: coalesce same-window replications into one
+            # pipelined relay chain (the driver re-records each
+            # destination's real predecessor once the chain is fixed).
+            src = self.cluster.controller.name
+            done = self.planner.request(array, node_name, producer,
+                                        for_ce=for_ce)
+        else:
+            if directory.only_on_controller(array):
+                src = self.cluster.controller.name
+            else:
+                # The P2P source: the up-to-date holder with the best
+                # link to the destination (prefer workers over the
+                # controller).
+                src = min(
+                    (h for h in state.up_to_date if h != node_name),
+                    key=lambda h: (h == self.cluster.controller.name,
+                                   self.cluster.topology.transfer_seconds(
+                                       h, node_name, array.nbytes)))
+                if src != self.cluster.controller.name:
+                    self._m_p2p.inc()
+            done = self.engine.process(
+                self._move(array, src, node_name, producer, for_ce=for_ce),
+                name=f"move:{array.name}->{node_name}")
         directory.record_replication(
             array, node_name, done, src=src,
             producer_id=last.ce_id if producer is not None else None)
@@ -494,6 +509,9 @@ class Controller:
                 if not old.triggered:
                     old.succeed(ev.value)
             new_done.callbacks.append(forward)
+        # The re-assignment charged the survivor; credit it on the same
+        # (forwarded) done event the original schedule used.
+        self.policy.notify_scheduled(ce)
 
     # -- host-side CEs ---------------------------------------------------------------
 

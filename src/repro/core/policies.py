@@ -70,6 +70,14 @@ class Policy(ABC):
                ctx: SchedulingContext) -> str:
         """Pick the worker that will execute ``ce``."""
 
+    def notify_scheduled(self, ce: ComputationalElement) -> None:
+        """Hook: the controller finished scheduling ``ce``.
+
+        Called after ``ce.done`` is attached — the point where a
+        stateful policy can register completion hooks, which ``assign``
+        cannot (it runs before the CE's done event exists).
+        """
+
     def reset(self) -> None:
         """Forget internal state (start of a new run)."""
 
@@ -226,6 +234,7 @@ class LeastLoadedPolicy(Policy):
 
     def __init__(self) -> None:
         self._outstanding: dict[str, float] = {}
+        self._pending: dict[int, tuple[str, float]] = {}
 
     def assign(self, ce: ComputationalElement,
                ctx: SchedulingContext) -> str:
@@ -235,13 +244,30 @@ class LeastLoadedPolicy(Policy):
                                   ctx.workers.index(w)))
         load = float(ce.param_bytes)
         self._outstanding[best] = self._outstanding.get(best, 0.0) + load
-        if ce.done is not None and not ce.done.processed:
-            ce.done.callbacks.append(
-                lambda _ev, w=best, b=load: self._credit(w, b))
+        if ce.done is not None:
+            # Standalone use with a pre-attached done event.
+            self._attach(ce.done, best, load)
         else:
-            # Completion hook attaches post-schedule; fall back to decay.
-            self._outstanding[best] *= 0.5
+            # Under the controller ``ce.done`` does not exist yet
+            # (Algorithm 1 attaches it after placement), so the credit
+            # hook waits for ``notify_scheduled``.
+            self._pending[ce.ce_id] = (best, load)
         return best
+
+    def notify_scheduled(self, ce: ComputationalElement) -> None:
+        """Attach the completion credit now that ``ce.done`` exists."""
+        entry = self._pending.pop(ce.ce_id, None)
+        if entry is None:
+            return
+        worker, load = entry
+        self._attach(ce.done, worker, load)
+
+    def _attach(self, done, worker: str, load: float) -> None:
+        if done is not None and not done.processed:
+            done.callbacks.append(
+                lambda _ev, w=worker, b=load: self._credit(w, b))
+        else:
+            self._credit(worker, load)
 
     def _credit(self, worker: str, nbytes: float) -> None:
         self._outstanding[worker] = max(
@@ -250,6 +276,7 @@ class LeastLoadedPolicy(Policy):
     def reset(self) -> None:
         """Forget all outstanding-load accounting."""
         self._outstanding.clear()
+        self._pending.clear()
 
 
 #: User-extensible policy registry (name -> zero/one-arg factory).

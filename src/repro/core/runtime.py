@@ -36,6 +36,8 @@ class GroutRuntime:
                  policy: Policy | None = None,
                  n_workers: int = 2,
                  max_streams_per_gpu: int = 4,
+                 chunk_bytes: int | None = None,
+                 collectives: bool = False,
                  **cluster_kwargs: object):
         if cluster is None:
             cluster = paper_cluster(n_workers, **cluster_kwargs)  # type: ignore[arg-type]
@@ -43,9 +45,14 @@ class GroutRuntime:
             raise ValueError(
                 "pass either a prebuilt cluster or cluster kwargs, not both")
         self.cluster = cluster
+        if chunk_bytes is not None:
+            if chunk_bytes < 1:
+                raise ValueError("chunk_bytes must be >= 1")
+            cluster.fabric.chunk_bytes = chunk_bytes
         self.policy = policy if policy is not None else RoundRobinPolicy()
         self.controller = Controller(
-            cluster, self.policy, max_streams_per_gpu=max_streams_per_gpu)
+            cluster, self.policy, max_streams_per_gpu=max_streams_per_gpu,
+            collectives=collectives, chunk_bytes=chunk_bytes)
 
     # -- environment ------------------------------------------------------------
 

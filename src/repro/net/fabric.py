@@ -87,11 +87,17 @@ class Fabric:
     def __init__(self, engine: Engine, topology: Topology,
                  tracer: Tracer | None = None,
                  retry: RetryPolicy | None = None,
-                 metrics: MetricsRegistry | None = None):
+                 metrics: MetricsRegistry | None = None,
+                 chunk_bytes: int | None = None):
+        if chunk_bytes is not None and chunk_bytes < 1:
+            raise ValueError("chunk_bytes must be >= 1 (or None)")
         self.engine = engine
         self.topology = topology
         self.tracer = tracer
         self.retry = retry if retry is not None else RetryPolicy()
+        #: Default pipelining granule; ``None`` keeps the classic
+        #: monolithic transfers (byte-identical schedules).
+        self.chunk_bytes = chunk_bytes
         self._egress = {name: Resource(engine, topology.nic(name).max_flows,
                                        name=f"{name}/tx")
                         for name in topology.nodes}
@@ -113,6 +119,9 @@ class Fabric:
             "grout_fabric_timeouts_total").labels()
         self._m_failures = self.metrics.family(
             "grout_fabric_failures_total").labels()
+        self._m_chunks = self.metrics.family("grout_chunks_total")
+        self._m_chunk_retries = self.metrics.family(
+            "grout_chunks_retried_total").labels()
         self._flakes: list[_Flake] = []
 
     def add_node(self, name: str) -> None:
@@ -153,6 +162,16 @@ class Fabric:
         """Transfers that exhausted every attempt and gave up."""
         return int(self._m_failures.value)
 
+    @property
+    def chunk_count(self) -> int:
+        """Pipelined chunks successfully moved (all links)."""
+        return int(self._m_chunks.value_sum())
+
+    @property
+    def chunk_retry_count(self) -> int:
+        """Chunk attempts that failed and were re-sent individually."""
+        return int(self._m_chunk_retries.value)
+
     # -- fault injection ------------------------------------------------------
 
     def inject_flake(self, src: str | None = None, dst: str | None = None,
@@ -180,12 +199,14 @@ class Fabric:
     # -- transfers ----------------------------------------------------------
 
     def _attempt(self, src: str, dst: str, nbytes: int,
-                 label: str) -> Generator:
+                 label: str, chunk: int | None = None) -> Generator:
         """One try: acquire both NIC ends, cross the wire, release.
 
         Both acquisitions live inside the guarded region so an
         interrupted or flaked attempt always releases both ends —
-        releasing a still-queued request cancels it.
+        releasing a still-queued request cancels it.  ``chunk`` marks a
+        pipelined sub-transfer: the span and per-link tally then land in
+        the chunk category instead of counting a whole transfer.
         """
         rx = tx = None
         try:
@@ -206,11 +227,18 @@ class Fabric:
                     f"transfer {src}->{dst} ({label}) flaked mid-wire")
             yield self.engine.timeout(wire)
             self._m_bytes.labels(src=src, dst=dst).inc(nbytes)
-            self._m_transfers.labels(src=src, dst=dst).inc()
             self._m_wire.labels(src=src, dst=dst).inc(wire)
+            if chunk is None:
+                self._m_transfers.labels(src=src, dst=dst).inc()
+            else:
+                self._m_chunks.labels(src=src, dst=dst).inc()
             if self.tracer is not None:
-                self.tracer.record(f"net:{src}->{dst}", "transfer", label,
-                                   start, self.engine.now, nbytes=nbytes)
+                category = "transfer" if chunk is None else "chunk"
+                meta = {"nbytes": nbytes}
+                if chunk is not None:
+                    meta["chunk"] = chunk
+                self.tracer.record(f"net:{src}->{dst}", category, label,
+                                   start, self.engine.now, **meta)
             return wire
         finally:
             if tx is not None:
@@ -219,11 +247,12 @@ class Fabric:
                 self._ingress[dst].release(rx)
 
     def _attempt_with_watchdog(self, src: str, dst: str, nbytes: int,
-                               label: str) -> Generator:
+                               label: str,
+                               chunk: int | None = None) -> Generator:
         """Run one attempt as a subprocess raced against the watchdog."""
         assert self.retry.attempt_timeout is not None
         proc = self.engine.process(
-            self._attempt(src, dst, nbytes, label),
+            self._attempt(src, dst, nbytes, label, chunk),
             name=f"net:{src}->{dst}:{label}:attempt")
         watchdog = self.engine.timeout(self.retry.attempt_timeout)
         try:
@@ -243,20 +272,9 @@ class Fabric:
             f"transfer {src}->{dst} ({label}) timed out after "
             f"{self.retry.attempt_timeout:g}s")
 
-    def transfer_process(self, src: str, dst: str, nbytes: int,
-                         label: str = "transfer") -> Generator:
-        """Process body moving ``nbytes`` from ``src`` to ``dst``.
-
-        Yields inside; returns the wire seconds actually spent (excluding
-        queueing).  Zero-byte or same-node transfers complete immediately.
-        Failed attempts (flake or watchdog timeout) retry with
-        exponential backoff up to ``retry.max_attempts``; exhausting them
-        raises :class:`TransferError` to the caller.
-        """
-        if nbytes < 0:
-            raise ValueError("nbytes must be >= 0")
-        if src == dst or nbytes == 0:
-            return 0.0
+    def _reliable(self, src: str, dst: str, nbytes: int, label: str,
+                  chunk: int | None = None) -> Generator:
+        """Retry loop around one attempt (whole transfer or one chunk)."""
         policy = self.retry
         attempt = 0
         while True:
@@ -264,14 +282,16 @@ class Fabric:
             try:
                 if policy.attempt_timeout is None:
                     return (yield from self._attempt(src, dst, nbytes,
-                                                     label))
+                                                     label, chunk))
                 return (yield from self._attempt_with_watchdog(
-                    src, dst, nbytes, label))
+                    src, dst, nbytes, label, chunk))
             except TransferError:
                 if attempt >= policy.max_attempts:
                     self._m_failures.inc()
                     raise
                 self._m_retries.inc()
+                if chunk is not None:
+                    self._m_chunk_retries.inc()
                 delay = policy.backoff(attempt)
                 start = self.engine.now
                 if delay > 0:
@@ -281,6 +301,69 @@ class Fabric:
                         f"net:{src}->{dst}", "retry",
                         f"{label}#retry{attempt}", start, self.engine.now,
                         attempt=attempt, backoff=delay)
+
+    # -- chunking ------------------------------------------------------------
+
+    def chunk_sizes(self, nbytes: int,
+                    chunk_bytes: int | None = None) -> list[int]:
+        """Split ``nbytes`` into pipeline granules.
+
+        Uses the fabric default when ``chunk_bytes`` is ``None``; with
+        chunking disabled the whole payload is one granule (so relay
+        chains degrade to store-and-forward instead of breaking).
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        chunk = chunk_bytes if chunk_bytes is not None else self.chunk_bytes
+        if nbytes == 0:
+            return []
+        if chunk is None or nbytes <= chunk:
+            return [nbytes]
+        full, rest = divmod(nbytes, chunk)
+        return [chunk] * full + ([rest] if rest else [])
+
+    def chunk_process(self, src: str, dst: str, nbytes: int,
+                      label: str, index: int) -> Generator:
+        """Process body moving one pipeline chunk (retries re-send only
+        this chunk); returns its wire seconds."""
+        if src == dst or nbytes == 0:
+            return 0.0
+        return (yield from self._reliable(src, dst, nbytes,
+                                          f"{label}#c{index}", index))
+
+    def transfer_process(self, src: str, dst: str, nbytes: int,
+                         label: str = "transfer",
+                         chunk_bytes: int | None = None) -> Generator:
+        """Process body moving ``nbytes`` from ``src`` to ``dst``.
+
+        Yields inside; returns the wire seconds actually spent (excluding
+        queueing).  Zero-byte or same-node transfers complete immediately.
+        Failed attempts (flake or watchdog timeout) retry with
+        exponential backoff up to ``retry.max_attempts``; exhausting them
+        raises :class:`TransferError` to the caller.
+
+        ``chunk_bytes`` (per-call, else the fabric default) splits the
+        move into pipelined chunks: a failed chunk re-sends only itself,
+        the watchdog bounds each chunk's stall, and the NIC ends are
+        re-arbitrated between chunks so concurrent flows interleave.
+        With both ``None`` the classic single-shot path runs and the
+        event schedule is byte-identical to an unchunked fabric.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        if src == dst or nbytes == 0:
+            return 0.0
+        chunk = chunk_bytes if chunk_bytes is not None else self.chunk_bytes
+        if chunk is None:
+            return (yield from self._reliable(src, dst, nbytes, label))
+        if chunk < 1:
+            raise ValueError("chunk_bytes must be >= 1 (or None)")
+        total_wire = 0.0
+        for i, size in enumerate(self.chunk_sizes(nbytes, chunk)):
+            total_wire += yield from self._reliable(
+                src, dst, size, f"{label}#c{i}", i)
+        self._m_transfers.labels(src=src, dst=dst).inc()
+        return total_wire
 
     def transfer(self, src: str, dst: str, nbytes: int,
                  label: str = "transfer") -> Event:

@@ -50,6 +50,13 @@ class Topology:
         self._nics: dict[str, NicSpec] = {}
         self._bw_override: dict[tuple[str, str], float] = {}
         self._lat_override: dict[tuple[str, str], float] = {}
+        # Pair-lookup memo: (src, dst) -> (bandwidth, latency).  The online
+        # policies hit bandwidth/latency O(workers x params x holders)
+        # times per decision on identical pairs; mutators invalidate.
+        self._pair_cache: dict[tuple[str, str], tuple[float, float]] = {}
+
+    def _invalidate(self) -> None:
+        self._pair_cache.clear()
 
     # -- construction -----------------------------------------------------
 
@@ -58,6 +65,7 @@ class Topology:
         if name in self._nics:
             raise ValueError(f"node {name!r} already in topology")
         self._nics[name] = nic
+        self._invalidate()
 
     def set_link(self, a: str, b: str, *, bandwidth: float | None = None,
                  latency: float | None = None) -> None:
@@ -70,6 +78,7 @@ class Topology:
                 self._bw_override[pair] = bandwidth
             if latency is not None:
                 self._lat_override[pair] = latency
+        self._invalidate()
 
     def degrade_link(self, a: str, b: str, factor: float) -> float:
         """Cut one (symmetric) pair's bandwidth to ``factor`` of its
@@ -90,6 +99,7 @@ class Topology:
         for pair in ((a, b), (b, a)):
             self._bw_override.pop(pair, None)
             self._lat_override.pop(pair, None)
+        self._invalidate()
 
     # -- queries --------------------------------------------------------------
 
@@ -108,24 +118,32 @@ class Topology:
         except KeyError:
             raise KeyError(f"unknown node {name!r}") from None
 
+    def _pair(self, src: str, dst: str) -> tuple[float, float]:
+        """Memoized (bandwidth, latency) of one directed pair."""
+        cached = self._pair_cache.get((src, dst))
+        if cached is not None:
+            return cached
+        bw = self._bw_override.get((src, dst))
+        if bw is None:
+            bw = min(self._require(src).bandwidth,
+                     self._require(dst).bandwidth)
+        lat = self._lat_override.get((src, dst))
+        if lat is None:
+            lat = self._require(src).latency + self._require(dst).latency
+        self._pair_cache[(src, dst)] = (bw, lat)
+        return bw, lat
+
     def bandwidth(self, src: str, dst: str) -> float:
         """Effective bytes/s between two distinct nodes."""
         if src == dst:
             raise ValueError("bandwidth of a node to itself is undefined")
-        override = self._bw_override.get((src, dst))
-        if override is not None:
-            return override
-        return min(self._require(src).bandwidth,
-                   self._require(dst).bandwidth)
+        return self._pair(src, dst)[0]
 
     def latency(self, src: str, dst: str) -> float:
         """One-way latency between two nodes, seconds."""
         if src == dst:
             return 0.0
-        override = self._lat_override.get((src, dst))
-        if override is not None:
-            return override
-        return self._require(src).latency + self._require(dst).latency
+        return self._pair(src, dst)[1]
 
     def transfer_seconds(self, src: str, dst: str, nbytes: int) -> float:
         """Uncontended wire time of one transfer."""
@@ -133,7 +151,8 @@ class Topology:
             raise ValueError("nbytes must be >= 0")
         if src == dst or nbytes == 0:
             return 0.0
-        return self.latency(src, dst) + nbytes / self.bandwidth(src, dst)
+        bw, lat = self._pair(src, dst)
+        return lat + nbytes / bw
 
     def bandwidth_matrix(self) -> dict[tuple[str, str], float]:
         """The paper's interconnection matrix (both directions, no self)."""

@@ -45,6 +45,19 @@ CONTROLLER_METRICS: tuple[MetricSpec, ...] = (
                "crash recovery."),
 )
 
+#: Collective data movement (repro.core.planner) — broadcast relays.
+COLLECTIVE_METRICS: tuple[MetricSpec, ...] = (
+    MetricSpec("grout_collective_broadcasts_total", "counter",
+               "Relay plans launched by the transfer planner (one per "
+               "coalesced multi-destination replication window)."),
+    MetricSpec("grout_collective_destinations_total", "counter",
+               "Destinations served through relay chains instead of "
+               "serial controller sends."),
+    MetricSpec("grout_collective_resourced_total", "counter",
+               "Relay legs that switched to a surviving source after a "
+               "crash or exhausted chunk retries."),
+)
+
 #: Fabric — the contended interconnect.
 FABRIC_METRICS: tuple[MetricSpec, ...] = (
     MetricSpec("grout_fabric_bytes_total", "counter",
@@ -62,6 +75,12 @@ FABRIC_METRICS: tuple[MetricSpec, ...] = (
                "Transfer attempts killed by the per-attempt watchdog."),
     MetricSpec("grout_fabric_failures_total", "counter",
                "Transfers that exhausted every retry and gave up."),
+    MetricSpec("grout_chunks_total", "counter",
+               "Pipelined chunks successfully moved per directed link.",
+               labels=("src", "dst")),
+    MetricSpec("grout_chunks_retried_total", "counter",
+               "Chunk attempts that failed and were re-sent "
+               "individually (the whole-array re-send they avoided)."),
 )
 
 #: Intra-node scheduler (Algorithm 2) and the GPU streams under it.
@@ -104,8 +123,8 @@ FAULT_METRICS: tuple[MetricSpec, ...] = (
 
 #: Every metric any instrumented layer can emit, sorted by name.
 CATALOG: tuple[MetricSpec, ...] = tuple(sorted(
-    CONTROLLER_METRICS + FABRIC_METRICS + INTRANODE_METRICS
-    + PROFILER_METRICS + FAULT_METRICS,
+    CONTROLLER_METRICS + COLLECTIVE_METRICS + FABRIC_METRICS
+    + INTRANODE_METRICS + PROFILER_METRICS + FAULT_METRICS,
     key=lambda spec: spec.name))
 
 

@@ -14,10 +14,13 @@ from typing import Iterable, Iterator
 
 #: Every span category the runtime emits, in alphabetical order.  Kept in
 #: sync with ``docs/OBSERVABILITY.md`` (a docs test diffs the two):
-#: ``fault`` (injected failures and recoveries), ``kernel`` (stream
-#: kernel executions), ``prefetch`` (bulk migrations), ``retry``
-#: (fabric backoff waits), ``transfer`` (fabric wire time).
-CATEGORIES = ("fault", "kernel", "prefetch", "retry", "transfer")
+#: ``chunk`` (pipelined sub-transfer wire time), ``fault`` (injected
+#: failures and recoveries), ``kernel`` (stream kernel executions),
+#: ``prefetch`` (bulk migrations), ``relay`` (one collective relay leg,
+#: source to destination), ``retry`` (fabric backoff waits),
+#: ``transfer`` (fabric wire time).
+CATEGORIES = ("chunk", "fault", "kernel", "prefetch", "relay", "retry",
+              "transfer")
 
 
 @dataclass(frozen=True, slots=True)

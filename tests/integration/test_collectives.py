@@ -1,0 +1,136 @@
+"""Integration tests: collective broadcasts under faults and full workloads.
+
+Satellite coverage for the relay-chain planner: a crash mid-relay must
+re-source the downstream chain from a surviving holder, a flaked chunk
+must retry only itself, and the fabric's NIC slots must always drain —
+all while the run still completes and verifies.
+"""
+
+import pytest
+
+from repro.cluster import paper_cluster
+from repro.core import GroutRuntime, RoundRobinPolicy
+from repro.gpu import ArrayAccess, Direction, KernelSpec, TEST_GPU_1GB
+from repro.gpu.specs import MIB
+from repro.sim import FaultPlan
+from repro.workloads import make_workload
+
+FOOTPRINT = 256 * MIB
+
+
+def make_runtime(n_workers=4, *, chunk_bytes=16 * MIB, collectives=True):
+    cluster = paper_cluster(n_workers, gpu_spec=TEST_GPU_1GB)
+    return GroutRuntime(cluster, policy=RoundRobinPolicy(),
+                        collectives=collectives, chunk_bytes=chunk_bytes)
+
+
+def read_kernel():
+    def access_fn(args):
+        return [ArrayAccess(args[0], Direction.IN)]
+    return KernelSpec("reader", access_fn=access_fn)
+
+
+def broadcast_run(rt, nbytes=FOOTPRINT, launches=4):
+    shared = rt.device_array(4, virtual_nbytes=nbytes)
+    k = read_kernel()
+    for _ in range(launches):
+        rt.launch(k, 4, 128, (shared,))
+    assert rt.sync()
+    return shared
+
+
+def counter(rt, name):
+    return rt.metrics.family(name).labels().value
+
+
+def assert_nics_drained(rt):
+    fabric = rt.cluster.fabric
+    for res in list(fabric._egress.values()) + list(fabric._ingress.values()):
+        assert res.count == 0 and res.queue_length == 0
+
+
+@pytest.fixture(scope="module")
+def fault_free_elapsed():
+    rt = make_runtime()
+    broadcast_run(rt)
+    return rt.engine.now
+
+
+class TestCrashMidRelay:
+    def test_crash_resources_chain_and_completes(self, fault_free_elapsed):
+        # worker0 is the first relay hop (uniform links, ties by name);
+        # killing it mid-distribution forces every downstream leg that was
+        # pulling chunks from it onto a surviving source.
+        rt = make_runtime()
+        rt.install_faults(
+            FaultPlan.single_crash("worker0", fault_free_elapsed / 3))
+        shared = broadcast_run(rt)
+        assert rt.controller.stats.worker_crashes == 1
+        assert counter(rt, "grout_collective_resourced_total") >= 1
+        assert counter(rt, "grout_collective_broadcasts_total") == 1
+        holders = rt.controller.directory.holders(shared)
+        assert "worker0" not in holders
+        assert {"worker1", "worker2", "worker3"} <= holders
+        assert_nics_drained(rt)
+
+    def test_crash_recovery_is_deterministic(self, fault_free_elapsed):
+        plan = FaultPlan.single_crash("worker0", fault_free_elapsed / 3)
+
+        def run():
+            rt = make_runtime()
+            rt.install_faults(plan)
+            broadcast_run(rt)
+            return rt.engine.now
+
+        assert run() == run()
+
+
+class TestFlakedChunks:
+    def test_flake_retries_single_chunk_and_completes(self,
+                                                      fault_free_elapsed):
+        rt = make_runtime()
+        rt.install_faults(
+            FaultPlan.parse(f"flake@{fault_free_elapsed / 4}*2"))
+        broadcast_run(rt)
+        fabric = rt.cluster.fabric
+        assert fabric.chunk_retry_count >= 1
+        # Chunked mode never re-sends the whole payload: every retry the
+        # fabric recorded was a chunk retry.
+        assert fabric.retry_count == fabric.chunk_retry_count
+        assert counter(rt, "grout_collective_broadcasts_total") == 1
+        assert_nics_drained(rt)
+
+    def test_flake_does_not_change_holders(self, fault_free_elapsed):
+        rt = make_runtime()
+        rt.install_faults(
+            FaultPlan.parse(f"flake@{fault_free_elapsed / 4}*1"))
+        shared = broadcast_run(rt)
+        holders = rt.controller.directory.holders(shared)
+        assert {"worker0", "worker1", "worker2", "worker3"} <= holders
+
+
+class TestNicHygiene:
+    @pytest.mark.parametrize("chunk_bytes", [None, 16 * MIB])
+    def test_slots_drain_after_clean_run(self, chunk_bytes):
+        rt = make_runtime(chunk_bytes=chunk_bytes)
+        broadcast_run(rt)
+        assert_nics_drained(rt)
+
+    def test_slots_drain_after_crash(self, fault_free_elapsed):
+        rt = make_runtime()
+        rt.install_faults(
+            FaultPlan.single_crash("worker2", fault_free_elapsed / 3))
+        broadcast_run(rt)
+        assert_nics_drained(rt)
+
+
+class TestWorkloadsUnderCollectives:
+    @pytest.mark.parametrize("name", ["mv", "bs"])
+    def test_workload_verifies_with_collectives_on(self, name):
+        cluster = paper_cluster(4, gpu_spec=TEST_GPU_1GB)
+        rt = GroutRuntime(cluster, policy=RoundRobinPolicy(),
+                          collectives=True, chunk_bytes=16 * MIB)
+        wl = make_workload(name, 128 * MIB)
+        result = wl.execute(rt)
+        assert result.verified
+        assert_nics_drained(rt)

@@ -1,0 +1,64 @@
+"""Regression tests of the topology's pair-lookup memoization.
+
+``bandwidth``/``latency``/``transfer_seconds`` are on the hot path of
+every scheduling decision and every relay-chain ordering; the pair cache
+must return exactly what the uncached formula returns and must drop its
+entries on every mutation (``set_link``/``degrade_link``/
+``restore_link``/``add_node``).
+"""
+
+import pytest
+
+from repro.net.topology import NicSpec, Topology, uniform_topology
+
+
+@pytest.fixture
+def topo():
+    return uniform_topology(["a", "b", "c"], 1e9, latency=1e-3)
+
+
+class TestMemoization:
+    def test_cache_populates_and_hits(self, topo):
+        assert not topo._pair_cache
+        first = topo.transfer_seconds("a", "b", 10**9)
+        assert ("a", "b") in topo._pair_cache
+        topo._pair_cache[("a", "b")] = (2e9, 0.0)   # poison the cache
+        # A hit must come from the cache, proving it is actually used.
+        assert topo.transfer_seconds("a", "b", 10**9) == \
+            pytest.approx(0.5)
+        assert first == pytest.approx(1.0 + 2e-3)
+
+    def test_cached_values_match_formula(self, topo):
+        for src, dst in [("a", "b"), ("b", "c"), ("c", "a")]:
+            cold = topo.transfer_seconds(src, dst, 12345)
+            warm = topo.transfer_seconds(src, dst, 12345)
+            assert warm == cold
+            assert topo.bandwidth(src, dst) == pytest.approx(1e9)
+            assert topo.latency(src, dst) == pytest.approx(2e-3)
+
+    def test_set_link_invalidates(self, topo):
+        assert topo.bandwidth("a", "b") == pytest.approx(1e9)
+        topo.set_link("a", "b", bandwidth=5e8)
+        assert topo.bandwidth("a", "b") == pytest.approx(5e8)
+        assert topo.transfer_seconds("a", "b", 10**9) == \
+            pytest.approx(2.0 + 2e-3)
+
+    def test_degrade_and_restore_invalidate(self, topo):
+        base = topo.transfer_seconds("a", "b", 10**9)
+        topo.degrade_link("a", "b", 0.25)
+        degraded = topo.transfer_seconds("a", "b", 10**9)
+        assert degraded > base
+        assert topo.bandwidth("a", "b") == pytest.approx(0.25e9)
+        topo.restore_link("a", "b")
+        assert topo.transfer_seconds("a", "b", 10**9) == base
+
+    def test_add_node_invalidates(self, topo):
+        topo.bandwidth("a", "b")        # warm the cache
+        topo.add_node("d", NicSpec(bandwidth=1e9, latency=1e-3))
+        assert topo.bandwidth("a", "d") == pytest.approx(1e9)
+        assert topo.transfer_seconds("d", "a", 10**9) == \
+            pytest.approx(1.0 + 2e-3)
+
+    def test_loopback_still_free(self, topo):
+        assert topo.transfer_seconds("a", "a", 10**9) == 0.0
+        assert topo.latency("a", "a") == 0.0
