@@ -9,8 +9,6 @@ users can see what each mechanism buys:
 * hierarchical vs controller-level stream bookkeeping (Fig. 9 argument).
 """
 
-import numpy as np
-import pytest
 
 from conftest import emit
 
@@ -27,7 +25,6 @@ from repro.gpu import (
 )
 from repro.gpu.specs import GIB, MIB
 from repro.uvm import PrefetchConfig
-from repro.workloads import make_workload
 
 
 def test_ablation_prefetcher(benchmark):

@@ -9,7 +9,6 @@ controller's NIC — by at least 20 % of simulated distribution time.
 
 import os
 
-import pytest
 
 from conftest import emit
 

@@ -1,0 +1,170 @@
+"""Multi-program sessions: N concurrent programs vs N sequential runs.
+
+The acceptance benchmark of the session layer: running N copies of a
+workload *concurrently* through multi-program sessions on one shared
+cluster must finish in less simulated time than running the same N
+copies back to back — the programs' distribution and compute phases
+interleave instead of serialising.  Fairness is read off the
+session-labelled metrics and per-session trace spans: with identical
+programs the fair-share gate must hand every session the same number
+of scheduled CEs and near-identical finish times.
+"""
+
+import os
+
+from conftest import emit
+
+from repro.bench import format_table
+from repro.cluster import paper_cluster
+from repro.core import GroutRuntime, RoundRobinPolicy
+from repro.gpu import TEST_GPU_1GB
+from repro.gpu.specs import GIB, MIB
+from repro.workloads import make_workload
+
+QUICK = bool(int(os.environ.get("REPRO_BENCH_QUICK", "0")))
+
+WORKLOAD = "mv"
+FOOTPRINT = (256 * MIB) if QUICK else GIB
+N_SESSIONS = 3 if QUICK else 4
+N_WORKERS = 2
+TIMEOUT = 9000
+
+
+def _runtime(fair_share_window: int = 32) -> GroutRuntime:
+    cluster = paper_cluster(N_WORKERS, gpu_spec=TEST_GPU_1GB)
+    return GroutRuntime(cluster, policy=RoundRobinPolicy(),
+                        fair_share_window=fair_share_window)
+
+
+def _programs():
+    return [make_workload(WORKLOAD, FOOTPRINT, n_chunks=4, seed=11 + i)
+            for i in range(N_SESSIONS)]
+
+
+def sequential_seconds() -> float:
+    """N copies back to back on one cluster: sync before the next starts."""
+    rt = _runtime()
+    for i, wl in enumerate(_programs()):
+        session = rt.session(f"seq{i}")
+        wl.build(session)
+        wl.run(session)
+        assert session.sync(timeout=TIMEOUT)
+        assert wl.verify()
+    return rt.engine.now
+
+
+def concurrent_run(fair_share_window: int = 32):
+    """N copies submitted through sessions before any sync."""
+    rt = _runtime(fair_share_window)
+    programs = [(rt.session(f"con{i}"), wl)
+                for i, wl in enumerate(_programs())]
+    for session, wl in programs:
+        wl.build(session)
+        wl.run(session)
+    for session, wl in programs:
+        assert session.sync(timeout=TIMEOUT)
+        assert wl.verify()
+    return rt, [session for session, _ in programs]
+
+
+def _jain(values) -> float:
+    """Jain's fairness index: 1.0 = perfectly even, 1/n = one hog."""
+    values = list(values)
+    return (sum(values) ** 2) / (len(values) * sum(v * v for v in values))
+
+
+def test_concurrent_sessions_beat_sequential(benchmark):
+    def both():
+        sequential = sequential_seconds()
+        rt, sessions = concurrent_run()
+        return sequential, rt.engine.now, rt, sessions
+
+    sequential, makespan, rt, sessions = benchmark.pedantic(
+        both, rounds=1, iterations=1)
+    emit(format_table(
+        ["schedule", "simulated time (s)"],
+        [(f"{N_SESSIONS} sequential runs", sequential),
+         (f"{N_SESSIONS} concurrent sessions", makespan),
+         ("saving", f"{1.0 - makespan / sequential:.0%}")],
+        title=f"{WORKLOAD} x{N_SESSIONS} — {FOOTPRINT // MIB} MiB each, "
+              f"{N_WORKERS} workers"))
+    assert makespan < sequential, (
+        f"concurrent makespan {makespan:.3f}s not below the sequential "
+        f"sum {sequential:.3f}s")
+
+
+def test_identical_programs_split_evenly():
+    rt, sessions = concurrent_run()
+    scheduled = rt.metrics.family("grout_session_ces_scheduled_total")
+    counts = [scheduled.labels(session=s.name).value for s in sessions]
+    finish = [max(sp.end for sp in rt.tracer.spans_for_session(s.name))
+              for s in sessions]
+    rows = [(s.name, int(n), f"{t:.4g}")
+            for s, n, t in zip(sessions, counts, finish)]
+    rows.append(("Jain index (CE counts)", "", f"{_jain(counts):.3f}"))
+    emit(format_table(["session", "CEs scheduled", "finish (s)"], rows,
+                      title="Fairness — identical concurrent programs"))
+    # Identical programs get identical shares of the cluster.
+    assert len(set(counts)) == 1
+    assert _jain(counts) == 1.0
+
+
+def _hog_meek_finishes(fair_share_window: int):
+    """Interleaved hog (24 independent CEs) vs meek (4): finish times.
+
+    Submission interleaves — six hog CE-groups per meek group — the
+    steady state two live programs actually produce, and the regime the
+    admission gate exists for (a hog fully submitted before the second
+    session opens is admitted unthrottled: one active session).
+    """
+    import numpy as np
+
+    from repro.gpu import ArrayAccess, Direction, KernelSpec
+
+    def reader():
+        def access_fn(args):
+            return [ArrayAccess(args[0], Direction.IN)]
+
+        return KernelSpec("r", flops_per_byte=8.0, access_fn=access_fn)
+
+    def submit_one(session, i, mib=32):
+        a = session.device_array(16, np.float32,
+                                 virtual_nbytes=mib * MIB,
+                                 name=f"{session.name}.a{i}")
+        session.host_write(a, lambda arr=a: arr.data.fill(1.0))
+        session.launch(reader(), 16, 128, (a,))
+
+    rt = _runtime(fair_share_window)
+    hog, meek = rt.session("hog"), rt.session("meek")
+    mi = 0
+    for i in range(24):
+        submit_one(hog, i)
+        if i % 6 == 0:
+            submit_one(meek, mi)
+            mi += 1
+    assert hog.sync(timeout=TIMEOUT) and meek.sync(timeout=TIMEOUT)
+    throttled = rt.metrics.family("grout_session_throttled_total")
+    return ({name: max(sp.end for sp in rt.tracer.spans_for_session(name))
+             for name in ("hog", "meek")},
+            {name: int(throttled.labels(session=name).value)
+             for name in ("hog", "meek")})
+
+
+def test_fair_share_protects_a_meek_program():
+    gated_finish, gated_thr = _hog_meek_finishes(fair_share_window=4)
+    open_finish, open_thr = _hog_meek_finishes(fair_share_window=10_000)
+    emit(format_table(
+        ["gate", "meek finish (s)", "hog finish (s)", "throttles h/m"],
+        [("window=4", f"{gated_finish['meek']:.4g}",
+          f"{gated_finish['hog']:.4g}",
+          f"{gated_thr['hog']}/{gated_thr['meek']}"),
+         ("inert (10000)", f"{open_finish['meek']:.4g}",
+          f"{open_finish['hog']:.4g}",
+          f"{open_thr['hog']}/{open_thr['meek']}")],
+        title="Fair-share gate — hog (24 CEs) vs meek (4 CEs)"))
+    assert open_thr == {"hog": 0, "meek": 0}
+    assert gated_thr["hog"] > 0
+    # The meek program finishes far sooner under the gate, and the hog
+    # pays almost nothing for it.
+    assert gated_finish["meek"] < 0.7 * open_finish["meek"]
+    assert gated_finish["hog"] < 1.1 * open_finish["hog"]

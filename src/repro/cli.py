@@ -84,6 +84,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--collectives", action="store_true",
                        help="coalesce broadcast-shaped replication into "
                             "relay chains (grout only)")
+    run_p.add_argument("--sessions", type=int, default=1, metavar="N",
+                       help="run N concurrent copies of the workload as "
+                            "multi-program sessions sharing one cluster "
+                            "(grout only; default 1 = classic run)")
     run_p.add_argument("--no-verify", action="store_true",
                        help="skip the numerical check")
     run_p.add_argument("--timeline", action="store_true",
@@ -154,6 +158,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"--faults: {exc}", file=sys.stderr)
         return 2
+    if args.sessions < 1:
+        print("--sessions must be >= 1", file=sys.stderr)
+        return 2
+    if args.sessions > 1:
+        if args.mode != "grout":
+            print("--sessions requires --mode grout", file=sys.stderr)
+            return 2
+        return _cmd_run_sessions(args, footprint, level, faults)
     if args.mode == "grcuda":
         if faults is not None:
             print("--faults requires --mode grout", file=sys.stderr)
@@ -187,40 +199,109 @@ def _cmd_run(args: argparse.Namespace) -> int:
          else ("yes" if result.verified else "NO")),
     ]
     print(format_table(["field", "value"], rows))
-    wants_obs = (args.metrics is not None or args.report is not None)
-    if args.timeline or args.chrome_trace or wants_obs:
+    if _wants_observability(args):
         print("\n(re-running with tracing...)")
         rt = _traced_run(args, footprint, level)
-        tracer = rt.tracer
-        assert tracer is not None
-        if args.timeline:
-            print(render_timeline(tracer))
-            print()
-            print(utilisation_report(tracer))
-        if args.chrome_trace:
-            from repro.bench.chrometrace import write_chrome_trace
-            write_chrome_trace(tracer, args.chrome_trace,
-                               metrics=rt.metrics)
-            print(f"chrome trace written to {args.chrome_trace} "
-                  "(open in chrome://tracing or Perfetto)")
-        if wants_obs:
-            from repro.obs import build_run_summary, write_prometheus
-            print()
-            print(build_run_summary(rt).render())
-            if args.metrics is not None:
-                if args.metrics == "-":
-                    from repro.obs import to_prometheus_text
-                    print()
-                    print(to_prometheus_text(rt.metrics), end="")
-                else:
-                    write_prometheus(rt.metrics, args.metrics)
-                    print(f"\nmetrics written to {args.metrics} "
-                          "(Prometheus text format)")
-            if args.report is not None:
-                from repro.bench.runreport import write_run_report
-                write_run_report(rt, args.report)
-                print(f"run report written to {args.report}")
+        _emit_observability(args, rt)
     return 0 if (result.verified or args.no_verify) else 1
+
+
+def _wants_observability(args: argparse.Namespace) -> bool:
+    """Whether any tracing/metrics/report output flag was given."""
+    return bool(args.timeline or args.chrome_trace
+                or args.metrics is not None or args.report is not None)
+
+
+def _emit_observability(args: argparse.Namespace, rt) -> None:
+    """Print/write the timeline, chrome trace, metrics and report."""
+    tracer = rt.tracer
+    assert tracer is not None
+    if args.timeline:
+        print(render_timeline(tracer))
+        print()
+        print(utilisation_report(tracer))
+    if args.chrome_trace:
+        from repro.bench.chrometrace import write_chrome_trace
+        write_chrome_trace(tracer, args.chrome_trace, metrics=rt.metrics)
+        print(f"chrome trace written to {args.chrome_trace} "
+              "(open in chrome://tracing or Perfetto)")
+    if args.metrics is not None or args.report is not None:
+        from repro.obs import build_run_summary, write_prometheus
+        print()
+        print(build_run_summary(rt).render())
+        if args.metrics is not None:
+            if args.metrics == "-":
+                from repro.obs import to_prometheus_text
+                print()
+                print(to_prometheus_text(rt.metrics), end="")
+            else:
+                write_prometheus(rt.metrics, args.metrics)
+                print(f"\nmetrics written to {args.metrics} "
+                      "(Prometheus text format)")
+        if args.report is not None:
+            from repro.bench.runreport import write_run_report
+            write_run_report(rt, args.report)
+            print(f"run report written to {args.report}")
+
+
+def _cmd_run_sessions(args: argparse.Namespace, footprint: int,
+                      level: ExplorationLevel,
+                      faults: FaultPlan | None) -> int:
+    """Run N concurrent copies of the workload as multi-program sessions.
+
+    One cluster, one runtime; every copy builds and submits through its
+    own session before any sync, so the fair-share gate interleaves them.
+    """
+    from repro.bench.harness import page_size_for
+    from repro.cluster import paper_cluster
+    from repro.core import VectorStepPolicy
+    from repro.core.policies import make_policy
+    from repro.workloads import make_workload
+
+    programs = [make_workload(args.workload, footprint, seed=11 + i)
+                for i in range(args.sessions)]
+    cluster = paper_cluster(args.workers,
+                            page_size=page_size_for(footprint))
+    policy = (VectorStepPolicy(programs[0].tuned_vector(args.workers))
+              if args.policy == "vector-step"
+              else make_policy(args.policy, level=level))
+    rt = GroutRuntime(cluster, policy=policy,
+                      chunk_bytes=args.chunk_bytes,
+                      collectives=args.collectives)
+    if faults is not None:
+        rt.install_faults(faults,
+                          request_replacement=args.replace_crashed)
+    sessions = [rt.session(f"p{i}") for i in range(args.sessions)]
+    for session, wl in zip(sessions, programs):
+        wl.build(session)
+        wl.run(session)
+    synced = [session.sync(timeout=9000) for session in sessions]
+    verified = [True if args.no_verify else wl.verify()
+                for wl in programs]
+
+    scheduled = rt.metrics.family("grout_session_ces_scheduled_total")
+    throttled = rt.metrics.family("grout_session_throttled_total")
+    print(format_table(
+        ["field", "value"],
+        [("workload", f"{args.workload} x{args.sessions} sessions"),
+         ("mode", "grout"),
+         ("footprint", f"{args.gb:g} GiB per session "
+                       f"({args.gb * args.sessions:g} GiB total)"),
+         ("policy", args.policy),
+         ("simulated makespan", f"{rt.engine.now:.4g} s")]))
+    print()
+    print(format_table(
+        ["session", "ces", "throttled", "completed", "verified"],
+        [(s.name,
+          int(scheduled.labels(session=s.name).value),
+          int(throttled.labels(session=s.name).value),
+          "yes" if ok else "no",
+          "skipped" if args.no_verify else ("yes" if good else "NO"))
+         for s, ok, good in zip(sessions, synced, verified)]))
+    if _wants_observability(args):
+        print()
+        _emit_observability(args, rt)
+    return 0 if (all(synced) and all(verified)) else 1
 
 
 def _traced_run(args: argparse.Namespace, footprint: int,

@@ -23,6 +23,17 @@ from repro.core.controller import (
 from repro.core.dag import DependencyDag
 from repro.core.grcuda import GrCudaRuntime
 from repro.core.intranode import IntraNodeScheduler
+from repro.core.pipeline import (
+    AdmissionStage,
+    CoherenceStage,
+    DataMovementStage,
+    DispatchStage,
+    FairShareGate,
+    PlacementStage,
+    SchedulingPipeline,
+    SchedulingState,
+    Stage,
+)
 from repro.core.planner import RelayPlan, TransferPlanner
 from repro.core.policies import (
     ExplorationLevel,
@@ -38,15 +49,26 @@ from repro.core.policies import (
     register_policy,
 )
 from repro.core.runtime import GroutRuntime
+from repro.core.session import Session
 
 __all__ = [
+    "AdmissionStage",
     "CONTROLLER",
     "ArrayState",
     "CeKind",
+    "CoherenceStage",
     "ComputationalElement",
     "Controller",
     "ControllerStats",
+    "DataMovementStage",
     "DependencyDag",
+    "DispatchStage",
+    "FairShareGate",
+    "PlacementStage",
+    "SchedulingPipeline",
+    "SchedulingState",
+    "Session",
+    "Stage",
     "Directory",
     "DirectoryRepair",
     "ExplorationLevel",

@@ -52,6 +52,12 @@ class ComputationalElement:
     assigned_node: str | None = None
     #: GPU/stream placement chosen by the intra-node scheduler.
     assigned_lane: str | None = None
+    #: Multi-program session this CE was admitted under (None on the
+    #: legacy single-program path).
+    session: str | None = None
+    #: Position in the owning session's program order — the namespaced
+    #: CE id (``ce_id`` stays globally unique across sessions).
+    session_seq: int | None = None
 
     def __post_init__(self) -> None:
         if self.kind is CeKind.KERNEL:
@@ -110,13 +116,17 @@ class ComputationalElement:
 
     @property
     def display_name(self) -> str:
-        """Label for traces and reports."""
+        """Label for traces and reports (session-prefixed when owned)."""
         if self.label:
-            return self.label
-        if self.kind is CeKind.KERNEL:
+            base = self.label
+        elif self.kind is CeKind.KERNEL:
             assert self.kernel is not None
-            return f"{self.kernel.name}#{self.ce_id}"
-        return f"{self.kind.value}#{self.ce_id}"
+            base = f"{self.kernel.name}#{self.session_seq or self.ce_id}"
+        else:
+            base = f"{self.kind.value}#{self.session_seq or self.ce_id}"
+        if self.session is not None:
+            return f"{self.session}/{base}"
+        return base
 
     def __repr__(self) -> str:
         return f"<CE {self.display_name} {self.kind.value}>"

@@ -1,11 +1,18 @@
-"""The GrOUT Controller — Algorithm 1.
+"""The GrOUT Controller — Algorithm 1 as a staged scheduling pipeline.
 
-For every incoming CE the controller (1) inserts it into the **Global DAG**,
-(2) applies the selected inter-node policy, and (3) issues the data
-movements that make every parameter up-to-date on the chosen node:
-controller→worker sends when the data only lives here, worker↔worker P2P
-otherwise.  The CE is then forwarded to the worker, whose intra-node
-scheduler (Algorithm 2) picks the GPU stream.
+For every incoming CE the controller threads one
+:class:`~repro.core.pipeline.SchedulingState` through five explicit
+stages (:mod:`repro.core.pipeline`):
+
+1. **admission** — Global-DAG insert, frontier waits, and (with
+   multi-program sessions) the fair-share gate;
+2. **placement** — the selected inter-node policy picks a node;
+3. **data movement** — the replications that make every parameter
+   up-to-date there: controller→worker sends when the data only lives
+   here, worker↔worker P2P otherwise;
+4. **coherence** — directory read/write transitions, replica drops;
+5. **dispatch** — the CE is forwarded to the worker, whose intra-node
+   scheduler (Algorithm 2) picks the GPU stream.
 
 Scheduling decisions are timed with ``perf_counter`` — the per-CE overhead
 Fig. 9 reports — and the decision itself costs nothing in simulated time
@@ -15,39 +22,44 @@ overall execution time since they can be interleaved").
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.cluster.cluster import Cluster
-from repro.net.fabric import TransferError
 from repro.obs import CeProfiler, MetricsRegistry, RunningAggregate
 from repro.obs import install as install_metrics
-from repro.sim import Event, Interrupt, Process, SimError
+from repro.sim import Event, Process, SimError
 from repro.core.arrays import Directory, ManagedArray
-from repro.core.ce import CeKind, ComputationalElement
+from repro.core.ce import ComputationalElement
 from repro.core.dag import DependencyDag
 from repro.core.intranode import IntraNodeScheduler
+from repro.core.pipeline import (AdmissionStage, CoherenceStage,
+                                 DataMovementStage, DispatchStage,
+                                 FairShareGate, HOST_MEM_BANDWIDTH,
+                                 NODE_CRASH, PlacementStage,
+                                 SchedulingPipeline)
 from repro.core.planner import TransferPlanner
 from repro.core.policies import Policy, SchedulingContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.session import Session
 
 __all__ = ["Controller", "ControllerStats", "RecoveryReport",
            "RunningAggregate", "HOST_MEM_BANDWIDTH", "NODE_CRASH"]
 
-#: Host memory streaming bandwidth charged for host-side CE bodies.
-HOST_MEM_BANDWIDTH = 20e9
-
-#: Interrupt-cause tag carried by crash-triggered interruptions.
-NODE_CRASH = "node-crash"
-
 
 class ControllerStats:
-    """Compatibility view over the registry-backed controller metrics.
+    """The single owner of the controller's metric handles.
 
-    Historically a plain dataclass of counters; the tallies now live in
-    the cluster's :class:`~repro.obs.registry.MetricsRegistry` (names in
-    ``docs/OBSERVABILITY.md``) and this shim keeps the old read surface
-    — ``stats.ces_scheduled``, ``stats.decision_seconds.mean``, ... —
-    working unchanged for tests, reports and downstream users.
+    Historically a plain dataclass of counters (and, for a while, a shim
+    that duplicated every registry handle the controller also built for
+    itself).  The tallies live in the cluster's
+    :class:`~repro.obs.registry.MetricsRegistry` (names in
+    ``docs/OBSERVABILITY.md``); this object is now the one place they
+    are resolved — the pipeline stages increment through the ``count_*``
+    / ``observe_decision`` methods, and the old read surface —
+    ``stats.ces_scheduled``, ``stats.decision_seconds.mean``, ... —
+    keeps working unchanged for tests, reports and downstream users.
     """
 
     def __init__(self, registry: MetricsRegistry | None = None):
@@ -72,6 +84,43 @@ class ControllerStats:
         #: — API-compatible with the RunningAggregate it replaced.
         self.decision_seconds = registry.family(
             "grout_decision_seconds").labels()
+
+    # -- write surface (the pipeline stages increment through these) -----------
+
+    def observe_decision(self, seconds: float) -> None:
+        """Record one scheduling decision's wall-clock cost."""
+        self.decision_seconds.append(seconds)
+
+    def count_ce(self, kind: str) -> None:
+        """Count one admitted CE, by kind."""
+        self._ces.labels(kind=kind).inc()
+
+    def count_transfer(self, nbytes: int) -> None:
+        """Count one issued replication and the bytes it requested."""
+        self._transfers.inc()
+        self._bytes.inc(nbytes)
+
+    def count_p2p(self) -> None:
+        """Count one replication sourced worker-to-worker."""
+        self._p2p.inc()
+
+    def count_crash(self) -> None:
+        """Count one recovered worker crash."""
+        self._crashes.inc()
+
+    def count_reexecuted(self, n: int = 1) -> None:
+        """Count CEs re-run on survivors after a crash."""
+        self._reexecuted.inc(n)
+
+    def count_rerouted(self) -> None:
+        """Count one in-flight move re-sourced after a failure."""
+        self._rerouted.inc()
+
+    def count_rolled_back(self, n: int = 1) -> None:
+        """Count sole-copy arrays rolled back to the controller."""
+        self._rolled_back.inc(n)
+
+    # -- read surface -----------------------------------------------------------
 
     @property
     def ces_scheduled(self) -> int:
@@ -143,7 +192,8 @@ class Controller:
                  max_streams_per_gpu: int = 4,
                  prune_every: int = 256,
                  collectives: bool = False,
-                 chunk_bytes: int | None = None):
+                 chunk_bytes: int | None = None,
+                 fair_share_window: int = 32):
         self.cluster = cluster
         self.engine = cluster.engine
         self.policy = policy
@@ -160,19 +210,6 @@ class Controller:
         }
         self.dag = DependencyDag()
         self.stats = ControllerStats(self.metrics)
-        m = self.metrics
-        self._m_ces = m.family("grout_ces_scheduled_total")
-        self._m_transfers = m.family(
-            "grout_transfers_issued_total").labels()
-        self._m_p2p = m.family("grout_p2p_transfers_total").labels()
-        self._m_bytes = m.family("grout_bytes_requested_total").labels()
-        self._m_crashes = m.family("grout_worker_crashes_total").labels()
-        self._m_reexecuted = m.family(
-            "grout_ces_reexecuted_total").labels()
-        self._m_rerouted = m.family(
-            "grout_transfers_rerouted_total").labels()
-        self._m_rolled_back = m.family(
-            "grout_arrays_rolled_back_total").labels()
         #: Collective data movement (broadcast relays); a no-op unless
         #: ``collectives`` is on, so the default schedule is untouched.
         self.planner = TransferPlanner(self, enabled=collectives,
@@ -183,6 +220,18 @@ class Controller:
             topology=cluster.topology,
             controller=cluster.controller.name,
         )
+        #: Cross-program fairness for multi-session runs; inert with a
+        #: single (or no) session.
+        self.fair_share_gate = FairShareGate(window=fair_share_window,
+                                             metrics=self.metrics)
+        #: Algorithm 1 as explicit, individually swappable stages.
+        self.pipeline = SchedulingPipeline([
+            AdmissionStage(self, self.fair_share_gate),
+            PlacementStage(self),
+            DataMovementStage(self),
+            CoherenceStage(self),
+            DispatchStage(self, self.fair_share_gate),
+        ])
         self._prune_every = prune_every
         self._max_streams_per_gpu = max_streams_per_gpu
         self._pending: list[Event] = []
@@ -192,203 +241,38 @@ class Controller:
         """Attach a freshly provisioned worker (autoscaling, §V-F).
 
         Already-scheduled CEs keep their placement; the policies see the
-        new node from the next decision on.
+        new node from the next decision on (and are notified through
+        :meth:`~repro.core.policies.Policy.notify_topology_changed`).
         """
         node = self.cluster.add_worker()
         self.workers[node.name] = IntraNodeScheduler(
             node, max_streams_per_gpu=self._max_streams_per_gpu,
             metrics=self.metrics, profiler=self.profiler)
         self.context.workers = [w.name for w in self.cluster.workers]
+        self.policy.notify_topology_changed(self.context,
+                                            added=[node.name])
         return node.name
 
     # -- public entry point ------------------------------------------------------
 
-    def schedule(self, ce: ComputationalElement) -> Event:
-        """Run Algorithm 1 on one CE; returns (and attaches) its done event."""
-        # Add CE to the Global DAG's frontier.
-        started = time.perf_counter()
-        ancestors = self.dag.add(ce)
+    def schedule(self, ce: ComputationalElement, *,
+                 session: "Session | None" = None) -> Event:
+        """Run Algorithm 1 on one CE; returns (and attaches) its done event.
 
-        # Apply the node-level scheduling policy.
-        if ce.kind is CeKind.KERNEL:
-            node_name = self.policy.assign(ce, self.context)
-        elif ce.kind is CeKind.PREFETCH:
-            # User-directed placement (the hand-tuning primitive); falls
-            # back to the policy when no node was named.
-            node_name = ce.assigned_node or self.policy.assign(
-                ce, self.context)
-        else:
-            node_name = self.cluster.controller.name
-        decision_cost = time.perf_counter() - started
-        self.stats.decision_seconds.append(decision_cost)
-        if self.profiler is not None:
-            self.profiler.record_sched(ce, decision_cost, node=node_name)
-        ce.assigned_node = node_name
-
-        waits: list[Event] = [
-            a.done for a in ancestors
-            if a.done is not None and not a.done.processed
-        ]
-
-        # Issue the necessary data movements.
-        for array in ce.arrays:
-            ev = self._ensure_on_node(array, node_name, for_ce=ce)
-            if ev is not None:
-                waits.append(ev)
-
-        # Coherence transitions happen in program order, here and now.
-        for array in ce.reads:
-            self.directory.record_read(array, ce)
-        for array in ce.writes:
-            invalidated = self.directory.record_write(array, node_name, ce)
-            for victim in invalidated:
-                worker = self.workers.get(victim)
-                if worker is not None:
-                    worker.drop_replica(array)
-
-        # Forward the CE.
-        if ce.kind in (CeKind.KERNEL, CeKind.PREFETCH):
-            latency = self.cluster.topology.latency(
-                self.cluster.controller.name, node_name)
-            if latency > 0:
-                waits.append(self.engine.timeout(
-                    latency, name=f"ctl->{node_name}"))
-            done = self.workers[node_name].submit(ce, waits)
-        else:
-            done = self._run_host_ce(ce, waits)
-        ce.done = done
-        self.policy.notify_scheduled(ce)
-        self._pending.append(done)
-        self._m_ces.labels(kind=ce.kind.value).inc()
+        ``session`` tags the CE with the submitting program's
+        multi-program :class:`~repro.core.session.Session`; ``None``
+        keeps the legacy single-program path (schedule-identical to the
+        pre-session build).
+        """
+        state = self.pipeline.run(ce, session=session)
         self._scheduled += 1
         if self._scheduled % self._prune_every == 0:
             self.dag.prune_completed(
                 lambda c: c.done is not None and c.done.processed)
             self._pending = [e for e in self._pending if not e.processed]
             self.directory.prune_readers()
-        return done
-
-    # -- Algorithm 1, data-movement phase -----------------------------------------
-
-    def _ensure_on_node(self, array: ManagedArray, node_name: str,
-                        reexec_of: ComputationalElement | None = None,
-                        for_ce: ComputationalElement | None = None
-                        ) -> Event | None:
-        """Return the event a consumer on ``node_name`` must wait for.
-
-        ``reexec_of`` marks a crash re-execution: the directory's
-        ``last_writer`` may then be the re-executed CE itself (or a
-        program-order-later casualty), and waiting on it would deadlock —
-        the DAG parent waits already order the re-execution correctly.
-        ``for_ce`` attributes the resulting transfer time to the
-        consuming CE in the profiler.
-        """
-        directory = self.directory
-        if directory.up_to_date_on(array, node_name):
-            # Possibly still in flight from an earlier replication.
-            return directory.replication_event(array, node_name)
-
-        state = directory.state(array)
-        last = state.last_writer
-        producer = None
-        if last is not None and (reexec_of is None
-                                 or last.ce_id < reexec_of.ce_id):
-            producer = last.done
-
-        if reexec_of is None and self.planner.wants(array, producer):
-            # Broadcast shape: coalesce same-window replications into one
-            # pipelined relay chain (the driver re-records each
-            # destination's real predecessor once the chain is fixed).
-            src = self.cluster.controller.name
-            done = self.planner.request(array, node_name, producer,
-                                        for_ce=for_ce)
-        else:
-            if directory.only_on_controller(array):
-                src = self.cluster.controller.name
-            else:
-                # The P2P source: the up-to-date holder with the best
-                # link to the destination (prefer workers over the
-                # controller).
-                src = min(
-                    (h for h in state.up_to_date if h != node_name),
-                    key=lambda h: (h == self.cluster.controller.name,
-                                   self.cluster.topology.transfer_seconds(
-                                       h, node_name, array.nbytes)))
-                if src != self.cluster.controller.name:
-                    self._m_p2p.inc()
-            done = self.engine.process(
-                self._move(array, src, node_name, producer, for_ce=for_ce),
-                name=f"move:{array.name}->{node_name}")
-        directory.record_replication(
-            array, node_name, done, src=src,
-            producer_id=last.ce_id if producer is not None else None)
-        self._m_transfers.inc()
-        self._m_bytes.inc(array.nbytes)
-        return done
-
-    def _move(self, array: ManagedArray, src: str, dst: str,
-              producer: Event | None,
-              for_ce: ComputationalElement | None = None):
-        """Process: wait for the producer, flush source GPUs, cross the wire.
-
-        Failure-aware: an interrupt carrying a node-crash cause makes the
-        move re-source from a surviving holder and start over, and a
-        transfer that exhausted its fabric retries falls back to another
-        source (ultimately the controller) before giving up.
-        """
-        rescues = 0
-        measured_from: float | None = None
-        while True:
-            try:
-                if producer is not None and not producer.processed:
-                    yield producer
-                if measured_from is None:
-                    # Profile from after the producer wait: the wait is
-                    # dependency stall, not data movement.
-                    measured_from = self.engine.now
-                source_worker = self.workers.get(src)
-                if source_worker is not None:
-                    wb = source_worker.writeback_seconds(array)
-                    if wb > 0:
-                        yield self.engine.timeout(wb)
-                yield from self.cluster.fabric.transfer_process(
-                    src, dst, array.nbytes, label=array.name)
-                if self.profiler is not None and for_ce is not None:
-                    self.profiler.record_transfer(
-                        for_ce, self.engine.now - measured_from,
-                        nbytes=array.nbytes, node=dst)
-                return array.nbytes
-            except Interrupt as intr:
-                cause = intr.cause
-                if not (isinstance(cause, tuple) and cause
-                        and cause[0] == NODE_CRASH):
-                    raise
-                src = self._surviving_source(array, dst, exclude=cause[1])
-                self._m_rerouted.inc()
-            except TransferError:
-                rescues += 1
-                if rescues > 3 or src == self.cluster.controller.name:
-                    raise
-                src = self._surviving_source(array, dst, exclude=src)
-                self._m_rerouted.inc()
-
-    def _surviving_source(self, array: ManagedArray, dst: str,
-                          exclude: str | None = None) -> str:
-        """Best live holder to re-ship from; the controller is the
-        guaranteed last resort (it regains validity if nobody else holds
-        the array)."""
-        home = self.cluster.controller.name
-        state = self.directory.state(array)
-        candidates = [
-            h for h in state.up_to_date
-            if h not in (dst, exclude) and (h == home or h in self.workers)
-        ]
-        if not candidates:
-            state.up_to_date.add(home)
-            return home
-        return min(candidates, key=lambda h: (
-            h == home,
-            self.cluster.topology.transfer_seconds(h, dst, array.nbytes)))
+        assert state.done is not None
+        return state.done
 
     # -- failure recovery --------------------------------------------------------
 
@@ -432,6 +316,7 @@ class Controller:
         self.context.workers = [w for w in self.context.workers
                                 if w != name]
         self.cluster.remove_worker(name)
+        self.policy.notify_topology_changed(self.context, removed=[name])
         replacement = self.add_worker() if request_replacement else None
         if not self.context.workers:
             raise SimError(
@@ -441,9 +326,9 @@ class Controller:
         for ce in unfinished:
             self._reexecute(ce)
 
-        self._m_crashes.inc()
-        self._m_reexecuted.inc(len(unfinished))
-        self._m_rolled_back.inc(repair.rolled_back)
+        self.stats.count_crash()
+        self.stats.count_reexecuted(len(unfinished))
+        self.stats.count_rolled_back(repair.rolled_back)
         tracer = self.cluster.tracer
         if tracer is not None:
             tracer.record(name, "fault", f"recover:{name}",
@@ -467,18 +352,21 @@ class Controller:
         re-execution's completion is forwarded to the original event, so
         ancestors-of-others wiring stays intact.  The executor cannot
         have run for an unfinished CE — kernels execute atomically at
-        completion time — so re-execution is numerically safe.
+        completion time — so re-execution is numerically safe.  Data
+        movement goes through the same staged mover as first executions
+        (:meth:`DataMovementStage.ensure_on_node` with ``reexec_of``).
         """
         old_done = ce.done
         node_name = self.policy.assign(ce, self.context)
         ce.assigned_node = node_name
+        mover: DataMovementStage = self.pipeline.stage("data-movement")
 
         waits: list[Event] = [
             p.done for p in self.dag.parents(ce)
             if p.done is not None and not p.done.processed
         ]
         for array in ce.arrays:
-            ev = self._ensure_on_node(array, node_name, reexec_of=ce,
+            ev = mover.ensure_on_node(array, node_name, reexec_of=ce,
                                       for_ce=ce)
             if ev is not None:
                 # A pre-crash move into this node may itself be waiting
@@ -513,22 +401,17 @@ class Controller:
         # (forwarded) done event the original schedule used.
         self.policy.notify_scheduled(ce)
 
-    # -- host-side CEs ---------------------------------------------------------------
+    # -- compatibility delegates (the stages own the implementations) -------------
 
-    def _run_host_ce(self, ce: ComputationalElement,
-                     waits: list[Event]) -> Event:
-        engine = self.engine
-
-        def body():
-            if waits:
-                yield engine.all_of(waits)
-            nbytes = ce.param_bytes
-            if nbytes:
-                yield engine.timeout(nbytes / HOST_MEM_BANDWIDTH)
-            result = ce.host_body() if ce.host_body is not None else None
-            return result
-
-        return engine.process(body(), name=ce.display_name)
+    def _ensure_on_node(self, array: ManagedArray, node_name: str,
+                        reexec_of: ComputationalElement | None = None,
+                        for_ce: ComputationalElement | None = None
+                        ) -> Event | None:
+        """Delegate to the data-movement stage (kept for the planner and
+        older callers; new code should reach the stage directly)."""
+        mover: DataMovementStage = self.pipeline.stage("data-movement")
+        return mover.ensure_on_node(array, node_name,
+                                    reexec_of=reexec_of, for_ce=for_ce)
 
     # -- draining ------------------------------------------------------------------
 

@@ -184,10 +184,13 @@ class IntraNodeScheduler:
                                              lane=stream.lane)
             return cost
 
+        meta = {"ce": ce.ce_id}
+        if ce.session is not None:
+            meta["session"] = ce.session
         done = stream.enqueue(body, name=ce.display_name,
                               category="kernel",
                               waits=list(waits) + parent_waits,
-                              meta={"ce": ce.ce_id})
+                              meta=meta)
         done.callbacks.append(
             lambda _ev: self._complete(gpu.gpu_id, load))
         return done
@@ -230,9 +233,12 @@ class IntraNodeScheduler:
                                              lane=stream.lane)
             return seconds
 
+        meta = {"ce": ce.ce_id}
+        if ce.session is not None:
+            meta["session"] = ce.session
         return stream.enqueue(body, name=ce.display_name,
                               category="prefetch", waits=list(waits),
-                              meta={"ce": ce.ce_id})
+                              meta=meta)
 
     def _complete(self, gpu_id: int, load: float) -> None:
         self._pending_load[gpu_id] -= load

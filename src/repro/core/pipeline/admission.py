@@ -1,0 +1,118 @@
+"""Admission — Global-DAG insert, frontier waits, fair-share gating.
+
+The first phase of Algorithm 1: the CE joins the Global DAG (per-buffer
+frontier scan, redundancy filtering) and inherits a wait on every
+still-running direct ancestor.  With multi-program sessions, admission is
+also where cross-program fairness is enforced: the :class:`FairShareGate`
+bounds how far any one session's program may run ahead of the others on
+the shared cluster by inserting a wait on the session's own oldest
+outstanding CE once it exceeds its share of the admission window.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.core.pipeline.base import SchedulingState, Stage
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim import Event
+    from repro.core.ce import ComputationalElement
+    from repro.core.controller import Controller
+
+__all__ = ["AdmissionStage", "FairShareGate"]
+
+
+class FairShareGate:
+    """Interleaves CEs from N concurrent sessions onto one cluster.
+
+    Each session may keep at most ``window // n_active`` CEs outstanding
+    (scheduled but unfinished) while other sessions are active; past that
+    share the gate defers the new CE behind the session's own oldest
+    outstanding completion.  A deferred CE is *admitted* immediately —
+    only its execution waits — so the gate never blocks the submitting
+    program.  With a single session (or none) the gate is inert and the
+    event schedule is untouched.
+    """
+
+    def __init__(self, window: int = 32, metrics=None):
+        if window < 2:
+            raise ValueError("fair-share window must be >= 2")
+        self.window = window
+        self._outstanding: dict[str, deque["Event"]] = {}
+        self._throttled = metrics.family(
+            "grout_session_throttled_total") if metrics is not None \
+            else None
+
+    def _prune(self) -> None:
+        for queue in self._outstanding.values():
+            while queue and queue[0].processed:
+                queue.popleft()
+
+    def active_sessions(self) -> list[str]:
+        """Sessions with at least one outstanding CE, insertion order."""
+        self._prune()
+        return [name for name, queue in self._outstanding.items()
+                if queue]
+
+    def outstanding(self, session_name: str) -> int:
+        """Scheduled-but-unfinished CEs of one session."""
+        self._prune()
+        queue = self._outstanding.get(session_name)
+        return len(queue) if queue is not None else 0
+
+    def share(self, n_active: int) -> int:
+        """Per-session outstanding budget with ``n_active`` sessions."""
+        return max(1, self.window // max(1, n_active))
+
+    def admit(self, ce: "ComputationalElement",
+              state: SchedulingState) -> None:
+        """Gate one CE; appends a throttle wait when over-share."""
+        session = state.session
+        if session is None:
+            return
+        self._prune()
+        active = {name for name, queue in self._outstanding.items()
+                  if queue}
+        active.add(session.name)
+        if len(active) < 2:
+            return
+        queue = self._outstanding.get(session.name)
+        if queue is None:
+            return
+        share = self.share(len(active))
+        if len(queue) >= share:
+            # Wait for the oldest outstanding CE whose completion brings
+            # the session back under its share.
+            state.waits.append(queue[len(queue) - share])
+            if self._throttled is not None:
+                self._throttled.labels(session=session.name).inc()
+
+    def note_scheduled(self, session_name: str, done: "Event") -> None:
+        """Record a freshly dispatched CE's completion event."""
+        self._outstanding.setdefault(session_name, deque()).append(done)
+
+
+class AdmissionStage(Stage):
+    """DAG insert + frontier waits (+ the multi-session fair-share gate)."""
+
+    name = "admission"
+
+    def __init__(self, controller: "Controller",
+                 gate: FairShareGate | None = None):
+        super().__init__(controller)
+        self.gate = gate if gate is not None else FairShareGate()
+
+    def process(self, ce, state: SchedulingState) -> SchedulingState:
+        """Run this phase for one CE (see the class docstring)."""
+        state.started = time.perf_counter()
+        if state.session is not None:
+            state.session.tag(ce)
+        state.ancestors = self.controller.dag.add(ce)
+        state.waits.extend(
+            a.done for a in state.ancestors
+            if a.done is not None and not a.done.processed)
+        self.gate.admit(ce, state)
+        return state

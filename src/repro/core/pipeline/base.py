@@ -1,0 +1,125 @@
+"""The staged scheduling pipeline — Algorithm 1 as composable stages.
+
+Historically the whole of Algorithm 1 lived inline in one monolithic
+``Controller.schedule`` method.  The pipeline decomposes it into five
+explicit stages, each behind the same small interface::
+
+    Stage.process(ce, state: SchedulingState) -> SchedulingState
+
+``AdmissionStage``     Global-DAG insert, frontier waits, fair-share gate
+``PlacementStage``     inter-node policy dispatch + decision profiling
+``DataMovementStage``  replications that make every parameter up-to-date
+``CoherenceStage``     directory read/write transitions + replica drops
+``DispatchStage``      worker submit (kernels/prefetches) or host CE
+
+Stages are independently testable and swappable: replacing an entry in
+:attr:`SchedulingPipeline.stages` (or subclassing one stage) changes one
+phase without touching the others.  The composition is behaviour-
+preserving — with one session and default knobs the staged pipeline
+produces an event schedule byte-identical to the pre-pipeline build
+(``tests/core/pipeline/test_schedule_regression.py`` pins this against a
+golden trace).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim import Event
+    from repro.core.ce import ComputationalElement
+    from repro.core.controller import Controller
+    from repro.core.session import Session
+
+__all__ = ["SchedulingState", "Stage", "SchedulingPipeline"]
+
+
+@dataclass(slots=True)
+class SchedulingState:
+    """Everything one CE accumulates on its way through the pipeline."""
+
+    ce: "ComputationalElement"
+    #: The multi-program session this CE belongs to (None: legacy
+    #: single-program path, guaranteed schedule-identical).
+    session: "Session | None" = None
+    #: ``perf_counter`` stamp taken at admission; placement closes the
+    #: decision-cost measurement against it (the Fig. 9 overhead).
+    started: float = 0.0
+    #: Redundancy-filtered direct ancestors from the Global-DAG insert.
+    ancestors: list["ComputationalElement"] = field(default_factory=list)
+    #: Events the CE must wait for before executing: ancestor
+    #: completions, fair-share throttles, replications, link latency.
+    waits: list["Event"] = field(default_factory=list)
+    #: Node chosen by the placement stage.
+    node: str | None = None
+    #: Wall-clock cost of the scheduling decision.
+    decision_seconds: float = 0.0
+    #: Completion event attached by the dispatch stage.
+    done: "Event | None" = None
+
+
+class Stage(ABC):
+    """One phase of Algorithm 1.
+
+    A stage reads and mutates the :class:`SchedulingState` it is handed
+    and returns it (returning a different state object is allowed — the
+    pipeline threads whatever comes back into the next stage).
+    """
+
+    #: Short identifier used in reprs and stage lookups.
+    name: str = "stage"
+
+    def __init__(self, controller: "Controller"):
+        self.controller = controller
+
+    @abstractmethod
+    def process(self, ce: "ComputationalElement",
+                state: SchedulingState) -> SchedulingState:
+        """Run this phase for one CE."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class SchedulingPipeline:
+    """The ordered stage composition the controller runs every CE through."""
+
+    def __init__(self, stages: list[Stage]):
+        if not stages:
+            raise ValueError("a pipeline needs at least one stage")
+        self.stages = list(stages)
+
+    def stage(self, name: str) -> Stage:
+        """Look up a stage by its ``name`` (first match wins)."""
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise KeyError(f"no stage named {name!r}; have "
+                       f"{[s.name for s in self.stages]}")
+
+    def replace(self, name: str, stage: Stage) -> Stage:
+        """Swap the stage called ``name`` for another; returns the old one.
+
+        The hook that makes phases independently replaceable — e.g. a
+        test can substitute a recording placement stage without touching
+        admission or dispatch.
+        """
+        for i, existing in enumerate(self.stages):
+            if existing.name == name:
+                self.stages[i] = stage
+                return existing
+        raise KeyError(f"no stage named {name!r}")
+
+    def run(self, ce: "ComputationalElement",
+            session: "Session | None" = None) -> SchedulingState:
+        """Thread one CE through every stage, in order."""
+        state = SchedulingState(ce=ce, session=session)
+        for stage in self.stages:
+            state = stage.process(ce, state)
+        return state
+
+    def __repr__(self) -> str:
+        return ("<SchedulingPipeline "
+                + " -> ".join(s.name for s in self.stages) + ">")

@@ -1,0 +1,37 @@
+"""Coherence — directory transitions, applied in program order.
+
+Reads join the array's ``up_to_date`` set via the directory; writes make
+the chosen node the sole valid holder and invalidate every other replica,
+which this stage also physically drops from the losing workers' GPU pools
+so stale bytes can't linger in device memory.  The transitions happen at
+schedule time (here and now), not completion time: the directory tracks
+*program-order* validity, and the in-flight machinery layered on top
+handles the temporal gap.
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline.base import SchedulingState, Stage
+
+__all__ = ["CoherenceStage"]
+
+
+class CoherenceStage(Stage):
+    """Record read/write transitions and drop invalidated replicas."""
+
+    name = "coherence"
+
+    def process(self, ce, state: SchedulingState) -> SchedulingState:
+        """Run this phase for one CE (see the class docstring)."""
+        assert state.node is not None, "placement must run before coherence"
+        controller = self.controller
+        for array in ce.reads:
+            controller.directory.record_read(array, ce)
+        for array in ce.writes:
+            invalidated = controller.directory.record_write(
+                array, state.node, ce)
+            for victim in invalidated:
+                worker = controller.workers.get(victim)
+                if worker is not None:
+                    worker.drop_replica(array)
+        return state

@@ -1,0 +1,82 @@
+"""Dispatch — hand the CE to its executor and close the bookkeeping.
+
+The last phase of Algorithm 1: kernels and prefetches are forwarded to
+the chosen worker's intra-node scheduler (Algorithm 2) after charging
+the controller→worker link latency; host-side CEs run on the controller
+at host-memory streaming bandwidth.  The stage attaches the completion
+event, credits the policy, and lands the per-kind / per-session
+scheduling counters.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.ce import CeKind
+from repro.core.pipeline.base import SchedulingState, Stage
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim import Event
+    from repro.core.ce import ComputationalElement
+    from repro.core.controller import Controller
+    from repro.core.pipeline.admission import FairShareGate
+
+__all__ = ["DispatchStage", "HOST_MEM_BANDWIDTH"]
+
+#: Host memory streaming bandwidth charged for host-side CE bodies.
+HOST_MEM_BANDWIDTH = 20e9
+
+
+class DispatchStage(Stage):
+    """Forward the CE to a worker (or run it host-side) and bookkeep."""
+
+    name = "dispatch"
+
+    def __init__(self, controller: "Controller",
+                 gate: "FairShareGate | None" = None):
+        super().__init__(controller)
+        self.gate = gate
+        self._session_ces = controller.metrics.family(
+            "grout_session_ces_scheduled_total")
+
+    def process(self, ce, state: SchedulingState) -> SchedulingState:
+        """Run this phase for one CE (see the class docstring)."""
+        controller = self.controller
+        if ce.kind in (CeKind.KERNEL, CeKind.PREFETCH):
+            latency = controller.cluster.topology.latency(
+                controller.cluster.controller.name, state.node)
+            if latency > 0:
+                state.waits.append(controller.engine.timeout(
+                    latency, name=f"ctl->{state.node}"))
+            done = controller.workers[state.node].submit(ce, state.waits)
+        else:
+            done = self.run_host_ce(ce, state.waits)
+        ce.done = done
+        state.done = done
+        controller.policy.notify_scheduled(ce)
+        controller._pending.append(done)
+        controller.stats.count_ce(ce.kind.value)
+        if state.session is not None:
+            self._session_ces.labels(session=state.session.name).inc()
+            state.session.note_scheduled(done)
+            if self.gate is not None:
+                self.gate.note_scheduled(state.session.name, done)
+        return state
+
+    # -- host-side CEs ---------------------------------------------------------
+
+    def run_host_ce(self, ce: "ComputationalElement",
+                    waits: list["Event"]) -> "Event":
+        """Run a host-side CE on the controller at host-memory bandwidth."""
+        engine = self.controller.engine
+
+        def body():
+            if waits:
+                yield engine.all_of(waits)
+            nbytes = ce.param_bytes
+            if nbytes:
+                yield engine.timeout(nbytes / HOST_MEM_BANDWIDTH)
+            result = ce.host_body() if ce.host_body is not None else None
+            return result
+
+        return engine.process(body(), name=ce.display_name)

@@ -1,0 +1,178 @@
+"""Data movement — the replications that feed a placed CE.
+
+The third phase of Algorithm 1: for every parameter of the CE, issue
+whatever inter-node transfer makes it up-to-date on the chosen node —
+controller→worker when the data only lives on the controller, worker↔
+worker P2P otherwise — or coalesce broadcast-shaped replication into the
+:class:`~repro.core.planner.TransferPlanner`'s relay chains when
+collectives are enabled.  The stage owns the failure-aware mover: crash
+interrupts re-source a move from a surviving holder, exhausted fabric
+retries fall back toward the controller.
+
+Crash recovery re-enters this stage directly (``ensure_on_node`` with
+``reexec_of``), so re-executions flow through the exact same staged path
+as first executions.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.net.fabric import TransferError
+from repro.sim import Interrupt
+
+from repro.core.pipeline.base import SchedulingState, Stage
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim import Event
+    from repro.core.arrays import ManagedArray
+    from repro.core.ce import ComputationalElement
+
+__all__ = ["DataMovementStage"]
+
+#: Interrupt-cause tag carried by crash-triggered interruptions.
+NODE_CRASH = "node-crash"
+
+
+class DataMovementStage(Stage):
+    """Issue the transfers that make every parameter up-to-date."""
+
+    name = "data-movement"
+
+    def process(self, ce, state: SchedulingState) -> SchedulingState:
+        """Run this phase for one CE (see the class docstring)."""
+        assert state.node is not None, "placement must run before movement"
+        for array in ce.arrays:
+            ev = self.ensure_on_node(array, state.node, for_ce=ce)
+            if ev is not None:
+                state.waits.append(ev)
+        return state
+
+    # -- Algorithm 1, data-movement phase --------------------------------------
+
+    def ensure_on_node(self, array: "ManagedArray", node_name: str,
+                       reexec_of: "ComputationalElement | None" = None,
+                       for_ce: "ComputationalElement | None" = None
+                       ) -> "Event | None":
+        """Return the event a consumer on ``node_name`` must wait for.
+
+        ``reexec_of`` marks a crash re-execution: the directory's
+        ``last_writer`` may then be the re-executed CE itself (or a
+        program-order-later casualty), and waiting on it would deadlock —
+        the DAG parent waits already order the re-execution correctly.
+        ``for_ce`` attributes the resulting transfer time to the
+        consuming CE in the profiler.
+        """
+        controller = self.controller
+        directory = controller.directory
+        if directory.up_to_date_on(array, node_name):
+            # Possibly still in flight from an earlier replication.
+            return directory.replication_event(array, node_name)
+
+        state = directory.state(array)
+        last = state.last_writer
+        producer = None
+        if last is not None and (reexec_of is None
+                                 or last.ce_id < reexec_of.ce_id):
+            producer = last.done
+
+        if reexec_of is None and controller.planner.wants(array, producer):
+            # Broadcast shape: coalesce same-window replications into one
+            # pipelined relay chain (the driver re-records each
+            # destination's real predecessor once the chain is fixed).
+            src = controller.cluster.controller.name
+            done = controller.planner.request(array, node_name, producer,
+                                              for_ce=for_ce)
+        else:
+            if directory.only_on_controller(array):
+                src = controller.cluster.controller.name
+            else:
+                # The P2P source: the up-to-date holder with the best
+                # link to the destination (prefer workers over the
+                # controller; names break cost ties so the choice never
+                # depends on set-iteration order).
+                src = min(
+                    (h for h in state.up_to_date if h != node_name),
+                    key=lambda h: (
+                        h == controller.cluster.controller.name,
+                        controller.cluster.topology.transfer_seconds(
+                            h, node_name, array.nbytes), h))
+                if src != controller.cluster.controller.name:
+                    controller.stats.count_p2p()
+            done = controller.engine.process(
+                self._move(array, src, node_name, producer, for_ce=for_ce),
+                name=f"move:{array.name}->{node_name}")
+        directory.record_replication(
+            array, node_name, done, src=src,
+            producer_id=last.ce_id if producer is not None else None)
+        controller.stats.count_transfer(array.nbytes)
+        return done
+
+    def _move(self, array: "ManagedArray", src: str, dst: str,
+              producer: "Event | None",
+              for_ce: "ComputationalElement | None" = None):
+        """Process: wait for the producer, flush source GPUs, cross the wire.
+
+        Failure-aware: an interrupt carrying a node-crash cause makes the
+        move re-source from a surviving holder and start over, and a
+        transfer that exhausted its fabric retries falls back to another
+        source (ultimately the controller) before giving up.
+        """
+        controller = self.controller
+        rescues = 0
+        measured_from: float | None = None
+        while True:
+            try:
+                if producer is not None and not producer.processed:
+                    yield producer
+                if measured_from is None:
+                    # Profile from after the producer wait: the wait is
+                    # dependency stall, not data movement.
+                    measured_from = controller.engine.now
+                source_worker = controller.workers.get(src)
+                if source_worker is not None:
+                    wb = source_worker.writeback_seconds(array)
+                    if wb > 0:
+                        yield controller.engine.timeout(wb)
+                yield from controller.cluster.fabric.transfer_process(
+                    src, dst, array.nbytes, label=array.name)
+                if controller.profiler is not None and for_ce is not None:
+                    controller.profiler.record_transfer(
+                        for_ce, controller.engine.now - measured_from,
+                        nbytes=array.nbytes, node=dst)
+                return array.nbytes
+            except Interrupt as intr:
+                cause = intr.cause
+                if not (isinstance(cause, tuple) and cause
+                        and cause[0] == NODE_CRASH):
+                    raise
+                src = self.surviving_source(array, dst, exclude=cause[1])
+                controller.stats.count_rerouted()
+            except TransferError:
+                rescues += 1
+                if rescues > 3 or src == controller.cluster.controller.name:
+                    raise
+                src = self.surviving_source(array, dst, exclude=src)
+                controller.stats.count_rerouted()
+
+    def surviving_source(self, array: "ManagedArray", dst: str,
+                         exclude: str | None = None) -> str:
+        """Best live holder to re-ship from; the controller is the
+        guaranteed last resort (it regains validity if nobody else holds
+        the array)."""
+        controller = self.controller
+        home = controller.cluster.controller.name
+        state = controller.directory.state(array)
+        candidates = [
+            h for h in state.up_to_date
+            if h not in (dst, exclude)
+            and (h == home or h in controller.workers)
+        ]
+        if not candidates:
+            state.up_to_date.add(home)
+            return home
+        return min(candidates, key=lambda h: (
+            h == home,
+            controller.cluster.topology.transfer_seconds(
+                h, dst, array.nbytes),
+            h))

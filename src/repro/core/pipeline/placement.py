@@ -1,0 +1,45 @@
+"""Placement — the inter-node policy decision, timed like Fig. 9.
+
+Kernels go to whichever worker the active :class:`~repro.core.policies.
+Policy` picks; prefetches honour user-directed placement first (the
+hand-tuning primitive) and fall back to the policy; host-side CEs always
+run on the controller.  The wall-clock cost of the decision — DAG insert
+included, measured from the admission stamp — lands in the
+``grout_decision_seconds`` histogram and the per-CE profiler.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.ce import CeKind
+from repro.core.pipeline.base import SchedulingState, Stage
+
+__all__ = ["PlacementStage"]
+
+
+class PlacementStage(Stage):
+    """Apply the node-level scheduling policy and profile the decision."""
+
+    name = "placement"
+
+    def process(self, ce, state: SchedulingState) -> SchedulingState:
+        """Run this phase for one CE (see the class docstring)."""
+        controller = self.controller
+        if ce.kind is CeKind.KERNEL:
+            node_name = controller.policy.assign(ce, controller.context)
+        elif ce.kind is CeKind.PREFETCH:
+            # User-directed placement; falls back to the policy when no
+            # node was named.
+            node_name = ce.assigned_node or controller.policy.assign(
+                ce, controller.context)
+        else:
+            node_name = controller.cluster.controller.name
+        state.decision_seconds = time.perf_counter() - state.started
+        controller.stats.observe_decision(state.decision_seconds)
+        if controller.profiler is not None:
+            controller.profiler.record_sched(
+                ce, state.decision_seconds, node=node_name)
+        ce.assigned_node = node_name
+        state.node = node_name
+        return state

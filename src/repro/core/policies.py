@@ -78,6 +78,18 @@ class Policy(ABC):
         cannot (it runs before the CE's done event exists).
         """
 
+    def notify_topology_changed(self, ctx: SchedulingContext, *,
+                                added: Sequence[str] = (),
+                                removed: Sequence[str] = ()) -> None:
+        """Hook: the cluster's worker set changed mid-run.
+
+        Called by the controller after ``ctx.workers`` was rewritten —
+        autoscaling attached a node (``added``) or crash recovery
+        removed one (``removed``) — so stateful policies can repair
+        index- or accounting-based state instead of silently skewing.
+        The default is a no-op: stateless policies need nothing.
+        """
+
     def reset(self) -> None:
         """Forget internal state (start of a new run)."""
 
@@ -129,6 +141,25 @@ class VectorStepPolicy(Policy):
             self._slot += 1
             self._node += 1
         return worker
+
+    def notify_topology_changed(self, ctx: SchedulingContext, *,
+                                added: Sequence[str] = (),
+                                removed: Sequence[str] = ()) -> None:
+        """Close the half-consumed slot against the old worker list.
+
+        The node cursor is modular over ``ctx.workers``, so a mid-run
+        resize silently remaps the *current* slot onto a different node.
+        Finishing the slot and folding the cursor into the new list
+        keeps the vector pattern well-defined from the next decision on
+        (a freshly added worker simply joins the rotation).
+        """
+        if not (added or removed):
+            return
+        if self._used:
+            self._used = 0
+            self._slot += 1
+            self._node += 1
+        self._node %= max(1, len(ctx.workers))
 
     def reset(self) -> None:
         """Restart at the first slot and node."""
@@ -268,6 +299,27 @@ class LeastLoadedPolicy(Policy):
                 lambda _ev, w=worker, b=load: self._credit(w, b))
         else:
             self._credit(worker, load)
+
+    def notify_topology_changed(self, ctx: SchedulingContext, *,
+                                added: Sequence[str] = (),
+                                removed: Sequence[str] = ()) -> None:
+        """Drop accounting for removed workers.
+
+        A crashed node's outstanding bytes must not linger (its CEs are
+        re-executed and re-credited elsewhere), and a later re-attach
+        under the same name must start from a clean slate.  Added
+        workers need nothing: an unknown name reads as zero load, which
+        makes the new node immediately attractive — the intended
+        autoscaling behaviour.
+        """
+        gone = set(removed)
+        if not gone:
+            return
+        for name in gone:
+            self._outstanding.pop(name, None)
+        self._pending = {cid: (w, load)
+                         for cid, (w, load) in self._pending.items()
+                         if w not in gone}
 
     def _credit(self, worker: str, nbytes: float) -> None:
         self._outstanding[worker] = max(

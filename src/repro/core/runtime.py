@@ -11,6 +11,8 @@ user involvement — the paper's headline usability claim.
 
 from __future__ import annotations
 
+import itertools
+
 import numpy as np
 
 from repro.cluster.cluster import Cluster, paper_cluster
@@ -21,6 +23,7 @@ from repro.core.arrays import ManagedArray
 from repro.core.ce import CeKind, ComputationalElement
 from repro.core.controller import Controller
 from repro.core.policies import Policy, RoundRobinPolicy
+from repro.core.session import Session
 
 
 def _as_dims(dims: int | tuple[int, ...]) -> tuple[int, ...]:
@@ -38,6 +41,7 @@ class GroutRuntime:
                  max_streams_per_gpu: int = 4,
                  chunk_bytes: int | None = None,
                  collectives: bool = False,
+                 fair_share_window: int = 32,
                  **cluster_kwargs: object):
         if cluster is None:
             cluster = paper_cluster(n_workers, **cluster_kwargs)  # type: ignore[arg-type]
@@ -52,7 +56,13 @@ class GroutRuntime:
         self.policy = policy if policy is not None else RoundRobinPolicy()
         self.controller = Controller(
             cluster, self.policy, max_streams_per_gpu=max_streams_per_gpu,
-            collectives=collectives, chunk_bytes=chunk_bytes)
+            collectives=collectives, chunk_bytes=chunk_bytes,
+            fair_share_window=fair_share_window)
+        #: Session whose submissions are being tagged right now (set by
+        #: ``Session._activate``); None on the single-program path.
+        self._active_session: Session | None = None
+        self._session_names = itertools.count()
+        self._sessions: dict[str, Session] = {}
 
     # -- environment ------------------------------------------------------------
 
@@ -80,6 +90,32 @@ class GroutRuntime:
     def elapsed(self) -> float:
         """Simulated seconds since the runtime's engine started."""
         return self.engine.now
+
+    # -- multi-program sessions ---------------------------------------------------
+
+    def session(self, name: str | None = None) -> Session:
+        """Open a multi-program :class:`~repro.core.session.Session`.
+
+        The session duck-types this runtime's submission surface, so a
+        program (or a :class:`~repro.polyglot.api.Polyglot` bound to it)
+        runs unchanged while its CEs are namespaced, session-labelled in
+        metrics and trace spans, and interleaved fairly with the other
+        sessions sharing the cluster.  Names default to ``s0``, ``s1``,
+        ... and must be unique per runtime.
+        """
+        if name is None:
+            name = f"s{next(self._session_names)}"
+            while name in self._sessions:
+                name = f"s{next(self._session_names)}"
+        if name in self._sessions:
+            raise ValueError(f"session {name!r} already exists")
+        session = Session(self, name)
+        self._sessions[name] = session
+        return session
+
+    def sessions(self) -> list[Session]:
+        """Every session opened on this runtime, creation order."""
+        return list(self._sessions.values())
 
     # -- fault injection ---------------------------------------------------------
 
@@ -160,7 +196,7 @@ class GroutRuntime:
             args=tuple(args),
             label=label,
         )
-        self.controller.schedule(ce)
+        self.controller.schedule(ce, session=self._active_session)
         return ce
 
     def prefetch(self, array: ManagedArray, worker: str | None = None,
@@ -182,7 +218,7 @@ class GroutRuntime:
             if worker not in self.controller.workers:
                 raise KeyError(f"unknown worker {worker!r}")
             ce.assigned_node = worker
-        self.controller.schedule(ce)
+        self.controller.schedule(ce, session=self._active_session)
         return ce
 
     def advise(self, array: ManagedArray, advise,
@@ -209,7 +245,7 @@ class GroutRuntime:
             host_body=body,
             label=label or f"write:{arrays[0].name}",
         )
-        self.controller.schedule(ce)
+        self.controller.schedule(ce, session=self._active_session)
         return ce
 
     def host_barrier(self, array: ManagedArray) -> None:
@@ -233,7 +269,8 @@ class GroutRuntime:
             accesses=(ArrayAccess(array, Direction.IN),),
             label=label or f"read:{array.name}",
         )
-        done = self.controller.schedule(ce)
+        done = self.controller.schedule(ce,
+                                         session=self._active_session)
         self.engine.run(until=done)
         return array.data
 

@@ -8,7 +8,7 @@ OCI worker nodes) plus a few common alternatives used in tests/ablations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 KIB = 1024
 MIB = 1024 * KIB

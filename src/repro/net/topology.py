@@ -9,7 +9,7 @@ rates or explicit per-pair overrides.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 MBIT = 1e6 / 8      # 1 Mbit/s in bytes/s
 GBIT = 1e9 / 8

@@ -121,10 +121,25 @@ FAULT_METRICS: tuple[MetricSpec, ...] = (
                labels=("kind",)),
 )
 
+#: Multi-program sessions (repro.core.session) — per-program accounting.
+SESSION_METRICS: tuple[MetricSpec, ...] = (
+    MetricSpec("grout_session_ces_scheduled_total", "counter",
+               "CEs admitted on behalf of one session.",
+               labels=("session",)),
+    MetricSpec("grout_session_sync_seconds_total", "counter",
+               "Simulated seconds one session spent inside sync().",
+               unit="seconds", labels=("session",)),
+    MetricSpec("grout_session_throttled_total", "counter",
+               "CEs the fair-share admission gate deferred behind the "
+               "session's own oldest outstanding completion.",
+               labels=("session",)),
+)
+
 #: Every metric any instrumented layer can emit, sorted by name.
 CATALOG: tuple[MetricSpec, ...] = tuple(sorted(
     CONTROLLER_METRICS + COLLECTIVE_METRICS + FABRIC_METRICS
-    + INTRANODE_METRICS + PROFILER_METRICS + FAULT_METRICS,
+    + INTRANODE_METRICS + PROFILER_METRICS + FAULT_METRICS
+    + SESSION_METRICS,
     key=lambda spec: spec.name))
 
 

@@ -20,7 +20,6 @@ dispatch to runtimes with identical surfaces.
 from __future__ import annotations
 
 import dataclasses
-from typing import Sequence
 
 import numpy as np
 
@@ -256,7 +255,15 @@ class Polyglot:
         self._runtimes: dict[str, object] = {}
 
     def bind(self, language: str, runtime) -> None:
-        """Associate a language id (GrOUT/GrCUDA) with a runtime instance."""
+        """Associate a language id (GrOUT/GrCUDA) with a runtime instance.
+
+        Anything exposing the runtime surface works — a
+        :class:`~repro.core.runtime.GroutRuntime`, a
+        :class:`~repro.core.grcuda.GrCudaRuntime`, or a multi-program
+        :class:`~repro.core.session.Session` (so N polyglot programs can
+        share one cluster, each bound through its own ``Polyglot``
+        instance).
+        """
         self._runtimes[language] = runtime
 
     def runtime(self, language: str):

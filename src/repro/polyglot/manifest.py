@@ -33,7 +33,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.polyglot.api import DeviceArrayView, PolyglotError, _BuildKernel
+from repro.polyglot.api import DeviceArrayView, _BuildKernel
 from repro.polyglot.types import parse_array_type
 
 #: Supported host-side initialisers for "write" steps.

@@ -86,6 +86,10 @@ class Tracer:
         """Spans carrying a matching ``ce`` meta id (CE-centric slicing)."""
         return [s for s in self._spans if s.meta.get("ce") == ce_id]
 
+    def spans_for_session(self, name: str) -> list[Span]:
+        """Spans submitted on behalf of one multi-program session."""
+        return [s for s in self._spans if s.meta.get("session") == name]
+
     def lanes(self) -> list[str]:
         """Sorted distinct lane names."""
         return sorted({s.lane for s in self._spans})

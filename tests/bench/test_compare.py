@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.bench import Comparison, Drift, compare_figures, figure_to_dict
+from repro.bench import Drift, compare_figures, figure_to_dict
 
 
 BASE = {

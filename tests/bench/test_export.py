@@ -59,7 +59,6 @@ class TestWriteFigureJson:
 class TestSweepRepeats:
     def test_repeats_forwarded(self):
         from repro.bench import sweep
-        from repro.gpu.specs import GIB
         results = list(sweep(["mv"], [2], modes=("grcuda",), repeats=2))
         assert len(results) == 1
         assert results[0].completed

@@ -2,7 +2,6 @@
 
 import io
 
-import pytest
 
 from repro.bench import report_for, sweep, write_csv
 from repro.bench.sweep import CSV_FIELDS

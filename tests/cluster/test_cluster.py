@@ -12,7 +12,6 @@ from repro.cluster import (
 )
 from repro.gpu import GIB, TEST_GPU_1GB, V100_16GB
 from repro.gpu.specs import MIB
-from repro.sim import Engine
 
 
 class TestNodeSpec:

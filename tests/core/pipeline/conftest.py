@@ -1,0 +1,36 @@
+"""Shared fixtures for the per-stage pipeline tests."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import paper_cluster
+from repro.core import GroutRuntime, RoundRobinPolicy
+from repro.gpu import ArrayAccess, KernelSpec, TEST_GPU_1GB
+from repro.gpu.specs import MIB
+
+
+@pytest.fixture
+def rt():
+    """A three-worker runtime on the small test GPU."""
+    cluster = paper_cluster(3, gpu_spec=TEST_GPU_1GB)
+    return GroutRuntime(cluster, policy=RoundRobinPolicy())
+
+
+@pytest.fixture
+def make_array(rt):
+    """Allocate a named managed array of ``mib`` MiB on the runtime."""
+    def _make(name, mib=4):
+        return rt.device_array(8, np.float32, virtual_nbytes=mib * MIB,
+                               name=name)
+    return _make
+
+
+@pytest.fixture
+def kernel():
+    """A kernel whose parameter directions are fixed per position."""
+    def _kernel(name, directions):
+        def access_fn(args):
+            return [ArrayAccess(a, d) for a, d in zip(args, directions)
+                    if hasattr(a, "buffer_id")]
+        return KernelSpec(name, flops_per_byte=2.0, access_fn=access_fn)
+    return _kernel

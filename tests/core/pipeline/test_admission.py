@@ -1,0 +1,110 @@
+"""AdmissionStage and FairShareGate unit tests."""
+
+import pytest
+
+from repro.core import FairShareGate
+from repro.core.pipeline.base import SchedulingState
+from repro.gpu import Direction
+
+
+def _admission(rt):
+    return rt.controller.pipeline.stage("admission")
+
+
+def test_admission_inserts_into_dag_and_collects_ancestor_waits(
+        rt, make_array, kernel):
+    a = make_array("adm.a")
+    k = kernel("k", (Direction.INOUT,))
+    first = rt.launch(k, 8, 128, (a,), label="adm.first")
+    assert first.done is not None and not first.done.processed
+
+    # Drive a second CE through the admission stage by hand: it must
+    # land in the Global DAG with the first CE as ancestor and inherit a
+    # wait on its (still-pending) done event.
+    from repro.core.ce import CeKind, ComputationalElement
+    from repro.gpu import ArrayAccess
+    ce = ComputationalElement(
+        kind=CeKind.KERNEL, accesses=(ArrayAccess(a, Direction.INOUT),),
+        kernel=k, config=first.config, args=(a,), label="adm.second")
+    state = _admission(rt).process(ce, SchedulingState(ce=ce))
+    assert state.ancestors == [first]
+    assert state.waits == [first.done]
+    assert ce in rt.controller.dag.nodes()
+
+
+def test_admission_skips_waits_on_completed_ancestors(
+        rt, make_array, kernel):
+    a = make_array("adm.b")
+    k = kernel("k", (Direction.INOUT,))
+    first = rt.launch(k, 8, 128, (a,), label="adm.done")
+    rt.sync()
+    assert first.done.processed
+
+    second = rt.launch(k, 8, 128, (a,), label="adm.after")
+    # The DAG still records the dependency, but no wait was needed: the
+    # second kernel starts as soon as its stream picks it up.
+    assert first in rt.controller.dag.parents(second)
+    rt.sync()
+
+
+def test_gate_rejects_degenerate_window():
+    with pytest.raises(ValueError):
+        FairShareGate(window=1)
+
+
+def test_gate_share_splits_window_across_sessions():
+    gate = FairShareGate(window=32)
+    assert gate.share(1) == 32
+    assert gate.share(2) == 16
+    assert gate.share(4) == 8
+    assert gate.share(100) == 1   # never zero
+
+
+def test_gate_inert_without_a_session(rt, make_array, kernel):
+    gate = FairShareGate(window=2)
+    a = make_array("adm.c")
+    k = kernel("k", (Direction.INOUT,))
+    ce = rt.launch(k, 8, 128, (a,), label="adm.nosession")
+    state = SchedulingState(ce=ce)
+    gate.admit(ce, state)
+    assert state.waits == []
+
+
+def test_gate_inert_with_a_single_session(rt, make_array, kernel):
+    gate = FairShareGate(window=2)
+    session = rt.session("solo")
+    a = make_array("adm.d")
+    k = kernel("k", (Direction.IN,))
+    for i in range(5):
+        ce = rt.launch(k, 8, 128, (a,), label=f"adm.solo{i}")
+        state = SchedulingState(ce=ce, session=session)
+        gate.admit(ce, state)
+        assert state.waits == []           # only one active session
+        gate.note_scheduled("solo", ce.done)
+    rt.sync()
+
+
+def test_gate_throttles_over_share_session(rt, make_array, kernel):
+    gate = FairShareGate(window=4)        # share of 2 with 2 sessions
+    s1, s2 = rt.session("one"), rt.session("two")
+    a = make_array("adm.e")
+    k = kernel("k", (Direction.IN,))
+
+    dones = []
+    for i in range(2):
+        ce = rt.launch(k, 8, 128, (a,), label=f"adm.one{i}")
+        gate.note_scheduled("one", ce.done)
+        dones.append(ce.done)
+    other = rt.launch(k, 8, 128, (a,), label="adm.two0")
+    gate.note_scheduled("two", other.done)
+
+    # Session one is at its share (2 outstanding with 2 active): the
+    # next CE must wait on session one's own oldest outstanding event.
+    ce = rt.launch(k, 8, 128, (a,), label="adm.one2")
+    state = SchedulingState(ce=ce, session=s1)
+    gate.admit(ce, state)
+    assert state.waits == [dones[0]]
+    assert gate.outstanding("one") == 2
+    assert sorted(gate.active_sessions()) == ["one", "two"]
+    rt.sync()
+    assert gate.outstanding("one") == 0   # pruned once processed

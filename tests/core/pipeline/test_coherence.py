@@ -1,0 +1,45 @@
+"""CoherenceStage unit tests."""
+
+from repro.gpu import Direction
+
+
+def test_reads_join_the_up_to_date_set(rt, make_array, kernel):
+    a = make_array("co.a")
+    k = kernel("k", (Direction.IN,))
+    rt.launch(k, 8, 128, (a,), label="co.reader")
+    rt.sync()
+    state = rt.controller.directory.state(a)
+    # Reading never invalidates: controller and the reader both hold it.
+    assert rt.cluster.controller.name in state.up_to_date
+    assert "worker0" in state.up_to_date
+
+
+def test_writes_invalidate_every_other_holder(rt, make_array, kernel):
+    a = make_array("co.b")
+    reader = kernel("r", (Direction.IN,))
+    for i in range(3):
+        rt.launch(reader, 8, 128, (a,), label=f"co.r{i}")
+    rt.sync()
+    assert len(rt.controller.directory.state(a).up_to_date) == 4
+
+    writer = kernel("w", (Direction.INOUT,))
+    ce = rt.launch(writer, 8, 128, (a,), label="co.w")
+    # Program-order coherence: the transition happens at schedule time.
+    assert rt.controller.directory.state(a).up_to_date == {
+        ce.assigned_node}
+    rt.sync()
+
+
+def test_invalidated_replicas_are_dropped_from_worker_pools(
+        rt, make_array, kernel):
+    a = make_array("co.c", mib=8)
+    reader = kernel("r", (Direction.IN,))
+    rt.launch(reader, 8, 128, (a,), label="co.warm")   # worker0 holds a
+    rt.sync()
+    victim = rt.controller.workers["worker0"].node.uvm
+    assert victim.is_registered(a.buffer_id)
+
+    writer = kernel("w", (Direction.OUT,))
+    rt.launch(writer, 8, 128, (a,), label="co.clobber")  # lands worker1
+    assert not victim.is_registered(a.buffer_id)
+    rt.sync()

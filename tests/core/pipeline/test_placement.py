@@ -1,0 +1,78 @@
+"""PlacementStage unit tests (and the stage-swap hook)."""
+
+from repro.core import RoundRobinPolicy
+from repro.core.pipeline.base import SchedulingState, Stage
+from repro.gpu import Direction
+
+
+def test_kernels_follow_the_policy(rt, make_array, kernel):
+    a = make_array("pl.a")
+    k = kernel("k", (Direction.IN,))
+    nodes = [rt.launch(k, 8, 128, (a,), label=f"pl.k{i}").assigned_node
+             for i in range(3)]
+    assert nodes == ["worker0", "worker1", "worker2"]  # round-robin
+    rt.sync()
+
+
+def test_prefetch_honours_user_directed_placement(rt, make_array):
+    a = make_array("pl.b")
+    ce = rt.prefetch(a, worker="worker2", label="pl.prefetch")
+    assert ce.assigned_node == "worker2"
+    rt.sync()
+
+
+def test_prefetch_falls_back_to_the_policy(rt, make_array):
+    a = make_array("pl.c")
+    ce = rt.prefetch(a, label="pl.prefetch2")
+    assert ce.assigned_node == "worker0"   # first round-robin pick
+    rt.sync()
+
+
+def test_host_ces_stay_on_the_controller(rt, make_array):
+    a = make_array("pl.d")
+    ce = rt.host_write(a, label="pl.init")
+    assert ce.assigned_node == rt.cluster.controller.name
+    rt.sync()
+
+
+def test_decision_cost_lands_in_the_stats_histogram(rt, make_array, kernel):
+    a = make_array("pl.e")
+    k = kernel("k", (Direction.IN,))
+    before = rt.controller.stats.decision_seconds.count
+    rt.launch(k, 8, 128, (a,), label="pl.timed")
+    assert rt.controller.stats.decision_seconds.count == before + 1
+    rt.sync()
+
+
+class _PinningStage(Stage):
+    """A toy placement stage pinning everything on one worker."""
+
+    name = "placement"
+
+    def __init__(self, controller, node):
+        super().__init__(controller)
+        self.node = node
+
+    def process(self, ce, state: SchedulingState) -> SchedulingState:
+        """Pin the CE to the configured node."""
+        controller = self.controller
+        node = self.node if ce.kind.value in ("kernel", "prefetch") \
+            else controller.cluster.controller.name
+        controller.stats.observe_decision(0.0)
+        ce.assigned_node = node
+        state.node = node
+        return state
+
+
+def test_placement_stage_is_swappable(rt, make_array, kernel):
+    original = rt.controller.pipeline.replace(
+        "placement", _PinningStage(rt.controller, "worker1"))
+    assert original.name == "placement"
+    a = make_array("pl.f")
+    k = kernel("k", (Direction.IN,))
+    ces = [rt.launch(k, 8, 128, (a,), label=f"pl.pin{i}") for i in range(3)]
+    assert {ce.assigned_node for ce in ces} == {"worker1"}
+    rt.sync()
+    # The rest of the pipeline still worked: the kernels all completed.
+    assert all(ce.done.processed for ce in ces)
+    assert isinstance(rt.controller.policy, RoundRobinPolicy)  # untouched

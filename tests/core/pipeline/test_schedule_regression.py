@@ -1,0 +1,115 @@
+"""Byte-identical schedule regression for the staged pipeline refactor.
+
+``tests/data/golden_schedule.json`` was captured from the pre-pipeline
+monolithic ``Controller.schedule`` (PR 3 build).  The staged pipeline must
+reproduce every recorded span — lane, category, name, start and end — and
+the final simulated clock *exactly*, for every scenario: the refactor is a
+restructuring, not a behaviour change, and the default single-session path
+carries the same guarantee PR 3 made for its knobs.
+
+Regenerating the fixture (only after an *intentional* schedule change)::
+
+    PYTHONPATH=src python tests/core/pipeline/test_schedule_regression.py
+"""
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.cluster import paper_cluster
+from repro.core import GroutRuntime, MinTransferSizePolicy, RoundRobinPolicy
+from repro.gpu import ArrayAccess, Direction, KernelSpec, TEST_GPU_1GB
+from repro.gpu.specs import MIB
+
+GOLDEN = pathlib.Path(__file__).resolve().parents[2] \
+    / "data" / "golden_schedule.json"
+
+
+def _kernel(name, directions):
+    """A kernel whose parameter directions are fixed per position."""
+    def access_fn(args):
+        return [ArrayAccess(a, d) for a, d in zip(args, directions)
+                if hasattr(a, "buffer_id")]
+    return KernelSpec(name, flops_per_byte=2.0, access_fn=access_fn)
+
+
+def drive(rt: GroutRuntime) -> None:
+    """A deterministic program exercising every scheduling phase.
+
+    Host writes (controller CEs), a shared read-only input consumed by a
+    fan of kernels (broadcast-shaped replication), a RAW/WAW chain on one
+    buffer (coherence invalidations + P2P), a user-directed prefetch and
+    closing host reads — all with explicit labels so the recorded spans
+    never depend on global CE-id numbering.
+    """
+    shared = rt.device_array(8, np.float32, virtual_nbytes=48 * MIB,
+                             name="g.shared")
+    accum = rt.device_array(8, np.float32, virtual_nbytes=32 * MIB,
+                            name="g.accum")
+    outs = [rt.device_array(8, np.float32, virtual_nbytes=16 * MIB,
+                            name=f"g.out{i}") for i in range(3)]
+    rt.host_write(shared, lambda: shared.data.fill(1.0),
+                  label="g.init_shared")
+    rt.host_write(accum, lambda: accum.data.fill(0.0),
+                  label="g.init_accum")
+
+    fan = _kernel("fan", (Direction.IN, Direction.OUT))
+    for i, out in enumerate(outs):
+        rt.launch(fan, 8, 128, (shared, out), label=f"g.fan{i}")
+
+    chain = _kernel("chain", (Direction.INOUT, Direction.IN))
+    for i, out in enumerate(outs):
+        rt.launch(chain, 8, 128, (accum, out), label=f"g.chain{i}")
+
+    rt.prefetch(shared, worker="worker1", label="g.prefetch")
+    tail = _kernel("tail", (Direction.IN, Direction.INOUT))
+    rt.launch(tail, 8, 128, (shared, accum), label="g.tail")
+
+    rt.host_read(accum, label="g.read_accum")
+    rt.host_read(outs[0], label="g.read_out0")
+    rt.sync()
+
+
+def run_scenario(policy_factory, **runtime_kwargs):
+    """Run the driver program and return its serialized event schedule."""
+    cluster = paper_cluster(3, gpu_spec=TEST_GPU_1GB)
+    rt = GroutRuntime(cluster, policy=policy_factory(), **runtime_kwargs)
+    drive(rt)
+    spans = [[s.lane, s.category, s.name, s.start, s.end]
+             for s in rt.tracer.spans]
+    return {"spans": spans, "elapsed": rt.engine.now}
+
+
+SCENARIOS = {
+    "round-robin": lambda: run_scenario(RoundRobinPolicy),
+    "min-transfer-size": lambda: run_scenario(MinTransferSizePolicy),
+    "round-robin+collectives": lambda: run_scenario(
+        RoundRobinPolicy, collectives=True, chunk_bytes=8 * MIB),
+}
+
+
+def capture() -> dict:
+    return {name: build() for name, build in SCENARIOS.items()}
+
+
+def test_schedule_is_byte_identical_to_golden():
+    golden = json.loads(GOLDEN.read_text())
+    current = capture()
+    assert set(current) == set(golden)
+    for name in golden:
+        got, want = current[name], golden[name]
+        assert got["elapsed"] == want["elapsed"], (
+            f"{name}: simulated end time drifted "
+            f"({got['elapsed']} != {want['elapsed']})")
+        assert len(got["spans"]) == len(want["spans"]), (
+            f"{name}: span count changed "
+            f"({len(got['spans'])} != {len(want['spans'])})")
+        for i, (g, w) in enumerate(zip(got["spans"], want["spans"])):
+            assert g == w, f"{name}: span {i} drifted: {g} != {w}"
+
+
+if __name__ == "__main__":
+    GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN.write_text(json.dumps(capture(), indent=1) + "\n")
+    print(f"golden schedule written to {GOLDEN}")

@@ -176,3 +176,91 @@ class TestPrune:
         dag, nodes = self._chain(3)
         dag.prune_completed(lambda c: True)
         assert nodes[-1] in dag
+
+
+class TestPruneFrontierInteraction:
+    """Pruned last-writers/readers must never resurface as dependencies.
+
+    The frontier is per buffer: a CE leaves it only when a later writer
+    of that buffer supersedes it.  Once superseded *everywhere* it may
+    be pruned — and from then on no insertion, ancestor set, or
+    host-write accessor list may mention it again.
+    """
+
+    def test_pruned_readers_never_resurface_as_war_parents(self):
+        dag = DependencyDag()
+        a = ManagedArray(4)
+        w1 = ce(write(a), label="w1")
+        r1, r2 = ce(read(a), label="r1"), ce(read(a), label="r2")
+        w2 = ce(write(a), label="w2")
+        for node in (w1, r1, r2, w2):
+            dag.add(node)
+        # w2 superseded the whole old frontier; prune the finished CEs.
+        removed = dag.prune_completed(lambda c: c in {w1, r1, r2})
+        assert removed == 3
+        # A later writer sees only the live last writer — the pruned
+        # readers must not come back as WAR parents.
+        w3 = ce(write(a), label="w3")
+        assert dag.add(w3) == [w2]
+
+    def test_pruned_last_writer_never_resurfaces_per_buffer(self):
+        dag = DependencyDag()
+        x, y = ManagedArray(4), ManagedArray(4)
+        a = ce(write(x), write(y), label="A")
+        b = ce(write(y), label="B")       # supersedes A on y
+        dag.add(a)
+        dag.add(b)
+        # A is still y-pruned-proof: it remains x's last writer.
+        assert dag.prune_completed(lambda c: True) == 0
+        assert a in dag
+        c = ce(write(x), label="C")       # supersedes A on x too
+        dag.add(c)
+        assert dag.prune_completed(lambda c: c is a) == 1
+        # Readers of either buffer now bind to the live writers only.
+        assert dag.add(ce(read(y), label="ry")) == [b]
+        assert dag.add(ce(read(x), label="rx")) == [c]
+
+    def test_ancestor_sets_trimmed_of_pruned_ids(self):
+        dag = DependencyDag()
+        a = ManagedArray(4)
+        nodes = [ce(update(a), label=f"n{i}") for i in range(4)]
+        for node in nodes:
+            dag.add(node)
+        dead = set(nodes[:3])
+        dag.prune_completed(lambda c: c in dead)
+        dead_ids = {n.ce_id for n in dead}
+        for survivor in dag.nodes():
+            assert not dag.ancestors(survivor) & dead_ids
+            assert all(p.ce_id not in dead_ids
+                       for p in dag.parents(survivor))
+
+    def test_pending_accessors_after_prune_are_live(self):
+        dag = DependencyDag()
+        a = ManagedArray(4)
+        w1 = ce(write(a), label="w1")
+        r = ce(read(a), label="r")
+        w2 = ce(write(a), label="w2")
+        for node in (w1, r, w2):
+            dag.add(node)
+        dag.prune_completed(lambda c: c in {w1, r})
+        # A host write of the buffer waits only for the live writer.
+        assert dag.pending_accessors(a.buffer_id) == [w2]
+
+    def test_long_chain_stays_bounded_under_periodic_prune(self):
+        """The CG-iterations scenario: interleave insert and prune."""
+        dag = DependencyDag()
+        a = ManagedArray(4)
+        done: set[int] = set()
+        last = None
+        for i in range(100):
+            node = ce(update(a), label=f"it{i}")
+            parents = dag.add(node)
+            if last is not None:
+                assert parents == [last]          # chain never re-wires
+            if last is not None:
+                done.add(last.ce_id)
+            last = node
+            if i % 10 == 9:
+                dag.prune_completed(lambda c: c.ce_id in done)
+        assert dag.size <= 11
+        assert len(dag.ancestors(last)) <= 10

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import GrCudaRuntime
-from repro.gpu import ArrayAccess, Direction, KernelSpec, TEST_GPU_1GB
+from repro.gpu import ArrayAccess, Direction, KernelSpec
 from repro.gpu.specs import GIB, MIB
 
 

@@ -1,6 +1,5 @@
 """Unit tests of the collective TransferPlanner (broadcast relay chains)."""
 
-import pytest
 
 from repro.cluster import paper_cluster
 from repro.core import (

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.core import GrCudaRuntime, GroutRuntime
-from repro.gpu import ArrayAccess, Direction, KernelSpec, TEST_GPU_1GB
-from repro.gpu.specs import GIB, MIB
+from repro.gpu import ArrayAccess, Direction, KernelSpec
+from repro.gpu.specs import MIB
 from repro.uvm import Advise
 
 

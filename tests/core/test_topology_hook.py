@@ -1,0 +1,175 @@
+"""Regression tests: ``Policy.notify_topology_changed`` mid-run.
+
+Every shipped policy must keep scheduling correctly when the worker set
+changes under it — autoscaling attaches a node (``added``) or crash
+recovery removes one (``removed``).  The hook exists precisely because
+two of the policies carry state keyed by worker identity or index.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import paper_cluster
+from repro.core import (
+    GroutRuntime,
+    LeastLoadedPolicy,
+    RoundRobinPolicy,
+    VectorStepPolicy,
+)
+from repro.core.policies import (
+    MinTransferSizePolicy,
+    MinTransferTimePolicy,
+    Policy,
+    SchedulingContext,
+    make_policy,
+)
+from repro.gpu import ArrayAccess, Direction, KernelSpec, TEST_GPU_1GB
+from repro.gpu.specs import MIB
+
+POLICIES = ["round-robin", "vector-step", "min-transfer-size",
+            "min-transfer-time", "least-loaded"]
+
+
+def _kernel():
+    def executor(a):
+        a.data[:] = a.data + 1.0
+
+    def access_fn(args):
+        return [ArrayAccess(args[0], Direction.INOUT)]
+
+    return KernelSpec("inc", flops_per_byte=0.5, executor=executor,
+                      access_fn=access_fn)
+
+
+def _fresh_array(rt, name):
+    a = rt.device_array(16, np.float32, virtual_nbytes=8 * MIB, name=name)
+    rt.host_write(a, lambda arr=a: arr.data.fill(0.0),
+                  label=f"init.{name}")
+    return a
+
+
+class TestWorkerAddedMidRun:
+    """End-to-end: every policy survives a mid-run ``add_worker``."""
+
+    @pytest.mark.parametrize("policy_name", POLICIES)
+    def test_new_worker_joins_and_results_stay_correct(self, policy_name):
+        policy = make_policy(policy_name, vector=[2])
+        rt = GroutRuntime(paper_cluster(1, gpu_spec=TEST_GPU_1GB),
+                          policy=policy)
+        kernel = _kernel()
+        arrays = [_fresh_array(rt, f"t{i}") for i in range(6)]
+        ces = [rt.launch(kernel, 8, 128, (a,), label=f"pre{i}")
+               for i, a in enumerate(arrays[:3])]
+        # Mid-run: events are still in flight when the worker attaches.
+        assert rt.controller.add_worker() == "worker1"
+        ces += [rt.launch(kernel, 8, 128, (a,), label=f"post{i}")
+                for i, a in enumerate(arrays[3:])]
+        rt.sync()
+        assigned = {ce.assigned_node for ce in ces}
+        assert "worker1" in assigned, policy_name
+        for a in arrays:
+            assert np.allclose(a.data, 1.0), policy_name
+
+    def test_round_robin_cycles_over_the_grown_list(self):
+        rt = GroutRuntime(paper_cluster(1, gpu_spec=TEST_GPU_1GB),
+                          policy=RoundRobinPolicy())
+        kernel = _kernel()
+        pre = [rt.launch(kernel, 8, 128, (_fresh_array(rt, f"r{i}"),))
+               for i in range(2)]
+        rt.controller.add_worker()
+        post = [rt.launch(kernel, 8, 128, (_fresh_array(rt, f"s{i}"),))
+                for i in range(4)]
+        rt.sync()
+        assert {ce.assigned_node for ce in pre} == {"worker0"}
+        # The cycle now alternates over both workers.
+        assert [ce.assigned_node for ce in post] == [
+            "worker0", "worker1", "worker0", "worker1"]
+
+
+class TestVectorStepHook:
+    def _ctx(self, workers):
+        rt = GroutRuntime(paper_cluster(len(workers),
+                                        gpu_spec=TEST_GPU_1GB))
+        return rt.controller.context
+
+    def test_half_consumed_slot_is_closed(self):
+        policy = VectorStepPolicy([3, 1])
+        ctx = self._ctx(["worker0", "worker1"])
+        policy.assign(None, ctx)                # 1 of 3 in slot 0
+        assert policy._used == 1
+        ctx.workers = ["worker0", "worker1", "worker2"]
+        policy.notify_topology_changed(ctx, added=["worker2"])
+        # The partial slot was closed: the cursor moved to the next slot
+        # and folded into the new worker list.
+        assert policy._used == 0
+        assert policy._slot == 1
+        assert policy._node < len(ctx.workers)
+
+    def test_noop_when_nothing_changed(self):
+        policy = VectorStepPolicy([3])
+        ctx = self._ctx(["worker0", "worker1"])
+        policy.assign(None, ctx)
+        state = (policy._slot, policy._used, policy._node)
+        policy.notify_topology_changed(ctx)     # no added, no removed
+        assert (policy._slot, policy._used, policy._node) == state
+
+    def test_fresh_slot_keeps_position(self):
+        policy = VectorStepPolicy([1])
+        ctx = self._ctx(["worker0", "worker1"])
+        policy.assign(None, ctx)                # slot fully consumed
+        assert policy._used == 0
+        slot = policy._slot
+        ctx.workers = ["worker0", "worker1", "worker2"]
+        policy.notify_topology_changed(ctx, added=["worker2"])
+        assert policy._slot == slot             # nothing to close
+
+
+class TestLeastLoadedHook:
+    def test_removed_worker_accounting_is_dropped(self):
+        policy = LeastLoadedPolicy()
+        policy._outstanding = {"worker0": 100.0, "worker1": 50.0}
+        policy._pending = {1: ("worker0", 10.0), 2: ("worker1", 20.0)}
+        ctx = SchedulingContext(workers=["worker1"], directory=None,
+                                topology=None)
+        policy.notify_topology_changed(ctx, removed=["worker0"])
+        assert "worker0" not in policy._outstanding
+        assert policy._pending == {2: ("worker1", 20.0)}
+
+    def test_added_worker_reads_as_zero_load(self):
+        policy = LeastLoadedPolicy()
+        rt = GroutRuntime(paper_cluster(1, gpu_spec=TEST_GPU_1GB),
+                          policy=policy)
+        kernel = _kernel()
+        a = _fresh_array(rt, "ll")
+        rt.launch(kernel, 8, 128, (a,))
+        rt.controller.add_worker()
+        b = _fresh_array(rt, "ll2")
+        ce = rt.launch(kernel, 8, 128, (b,))
+        # worker1 has zero outstanding bytes, so it wins immediately.
+        assert ce.assigned_node == "worker1"
+        rt.sync()
+
+
+class TestDefaultHook:
+    def test_base_hook_is_a_noop(self):
+        class Fixed(Policy):
+            name = "fixed"
+
+            def assign(self, ce, ctx):
+                return ctx.workers[0]
+
+        ctx = SchedulingContext(workers=["worker0"], directory=None,
+                                topology=None)
+        Fixed().notify_topology_changed(ctx, added=["worker1"],
+                                        removed=["worker0"])
+
+    def test_informed_policies_have_no_worker_keyed_state(self):
+        # The online policies consult the directory per decision, so the
+        # hook's default no-op is correct for them; this guards against
+        # someone adding worker-keyed caches without a hook override.
+        for cls in (MinTransferSizePolicy, MinTransferTimePolicy):
+            policy = cls()
+            state = {k: v for k, v in vars(policy).items()
+                     if k != "_fallback"}
+            for value in state.values():
+                assert not isinstance(value, dict), cls.name

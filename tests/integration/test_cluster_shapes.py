@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster import Cluster, NodeSpec, paper_cluster
+from repro.cluster import Cluster, NodeSpec
 from repro.core import GroutRuntime, GrCudaRuntime
 from repro.gpu import A100_40GB, GIB, MI100_32GB, MIB, TEST_GPU_1GB
 from repro.net.topology import NicSpec

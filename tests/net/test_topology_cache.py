@@ -9,7 +9,7 @@ entries on every mutation (``set_link``/``degrade_link``/
 
 import pytest
 
-from repro.net.topology import NicSpec, Topology, uniform_topology
+from repro.net.topology import NicSpec, uniform_topology
 
 
 @pytest.fixture

@@ -38,9 +38,9 @@ class TestRunSummary:
         assert summary.gpu_oversubscription
 
     def test_links_derive_from_fabric_metrics(self, summary):
-        sends = [l for l in summary.links if l.src == "controller"]
-        assert sends and all(l.nbytes > 0 for l in sends)
-        assert all(l.wire_seconds > 0 for l in sends)
+        sends = [ln for ln in summary.links if ln.src == "controller"]
+        assert sends and all(ln.nbytes > 0 for ln in sends)
+        assert all(ln.wire_seconds > 0 for ln in sends)
 
     def test_render_contains_each_table(self, summary):
         text = summary.render()

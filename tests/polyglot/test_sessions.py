@@ -1,0 +1,55 @@
+"""Polyglot programs bound to multi-program sessions.
+
+The Listing 1 program must run unchanged when ``polyglot.bind`` receives
+a :class:`~repro.core.session.Session` instead of the runtime itself —
+the session duck-types the runtime surface — and two polyglot programs
+on two sessions must share one cluster with distinguishable accounting.
+"""
+
+from repro.core import GroutRuntime
+from repro.gpu import TEST_GPU_1GB
+from repro.polyglot import GrOUT, Polyglot
+
+SQUARE = """
+__global__ void square(float* x, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) x[i] = x[i] * x[i];
+}
+"""
+SQUARE_SIG = "square(x: inout pointer float, n: sint32)"
+
+
+def _square_program(poly, n=64):
+    """Listing 1, verbatim, against whatever runtime is bound."""
+    build = poly.eval(GrOUT, "buildkernel")
+    square = build(SQUARE, SQUARE_SIG)
+    x = poly.eval(GrOUT, f"float[{n}]")
+    for i in range(n):
+        x[i] = float(i)
+    square(n // 32, 32)(x, n)
+    return x
+
+
+def test_listing1_runs_against_a_session():
+    rt = GroutRuntime(n_workers=2, gpu_spec=TEST_GPU_1GB)
+    poly = Polyglot()
+    poly.bind(GrOUT, rt.session("listing1"))
+    x = _square_program(poly)
+    assert x[3] == 9.0 and x[7] == 49.0
+
+
+def test_two_polyglot_programs_share_one_cluster():
+    rt = GroutRuntime(n_workers=2, gpu_spec=TEST_GPU_1GB)
+    programs = {}
+    for name in ("p1", "p2"):
+        poly = Polyglot()
+        poly.bind(GrOUT, rt.session(name))
+        programs[name] = _square_program(poly)
+    for name, x in programs.items():
+        assert x[5] == 25.0, name
+
+    family = rt.metrics.family("grout_session_ces_scheduled_total")
+    assert family.labels(session="p1").value > 0
+    assert family.labels(session="p2").value > 0
+    assert rt.tracer.spans_for_session("p1")
+    assert rt.tracer.spans_for_session("p2")

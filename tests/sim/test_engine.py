@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Engine, Event, SimError
+from repro.sim import Engine, SimError
 
 
 class TestClock:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import AllOf, AnyOf, Event, EventState, EventStateError, Timeout
+from repro.sim import AnyOf, Event, EventState, EventStateError, Timeout
 
 
 class TestEventLifecycle:

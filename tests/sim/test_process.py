@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Engine, Interrupt, Process, SimError
+from repro.sim import Engine, Interrupt, SimError
 
 
 class TestBasics:

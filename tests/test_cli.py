@@ -54,6 +54,24 @@ class TestRunCommand:
         out = capsys.readouterr().out
         assert "legend:" in out and "utilisation" in out
 
+    def test_sessions_run(self, capsys):
+        assert main(["run", "mv", "--gb", "0.5", "--mode", "grout",
+                     "--policy", "round-robin", "--sessions", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "mv x3 sessions" in out
+        for name in ("p0", "p1", "p2"):
+            assert name in out
+
+    def test_sessions_require_grout(self, capsys):
+        assert main(["run", "mv", "--gb", "0.5", "--sessions", "2"]) == 2
+        assert "--sessions requires --mode grout" in \
+            capsys.readouterr().err
+
+    def test_sessions_must_be_positive(self, capsys):
+        assert main(["run", "mv", "--mode", "grout",
+                     "--sessions", "0"]) == 2
+        assert "--sessions must be >= 1" in capsys.readouterr().err
+
 
 class TestFigureCommand:
     def test_quick_fig6a(self, capsys):

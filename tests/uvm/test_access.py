@@ -1,7 +1,6 @@
 """Unit tests of page-set generation from access descriptors."""
 
 import numpy as np
-import pytest
 
 from repro.gpu import AccessPattern, ArrayAccess, Direction
 from repro.uvm import merge_page_sets, page_set, pages_for_bytes

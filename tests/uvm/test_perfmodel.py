@@ -1,6 +1,5 @@
 """Unit tests of kernel-launch pricing (the oversubscription model)."""
 
-import numpy as np
 import pytest
 
 from repro.gpu import (

@@ -1,6 +1,5 @@
 """Structural tests of the workloads' CE DAGs — the paper's Fig. 5."""
 
-import pytest
 
 from repro.core import GroutRuntime
 from repro.core.ce import CeKind
