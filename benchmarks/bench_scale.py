@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Scheduling-scale harness CLI — million-CE synthetic DAGs.
+
+Measures how fast the whole stack (controller pipeline, dependency DAG,
+intra-node schedulers, event engine) chews through synthetic workloads,
+and records the repository's perf trajectory in ``BENCH_scale.json``.
+
+Usage (see docs/PERFORMANCE.md for the full story)::
+
+    PYTHONPATH=src python benchmarks/bench_scale.py               # full sweep
+    PYTHONPATH=src python benchmarks/bench_scale.py --quick       # 10k only
+    PYTHONPATH=src python benchmarks/bench_scale.py --quick \\
+        --check BENCH_scale.json                                  # CI gate
+    PYTHONPATH=src python benchmarks/bench_scale.py --out BENCH_scale.json
+
+``--check`` exits non-zero when any overlapping (workload, size) pair
+regressed by more than 2x wall-clock against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+# Standalone convenience: make `repro` importable without PYTHONPATH.
+_SRC = pathlib.Path(__file__).resolve().parents[1] / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+FULL_SIZES = (10_000, 100_000, 1_000_000)
+QUICK_SIZES = (10_000,)
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.bench.export import figure_to_dict
+    from repro.bench.report import format_table
+    from repro.bench.scale import WORKLOADS, check_regression, run_scale
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke sizes only (10k CEs)")
+    parser.add_argument("--sizes", type=str, default=None,
+                        help="comma-separated CE counts "
+                             "(default 10000,100000,1000000)")
+    parser.add_argument("--workloads", type=str, default=None,
+                        help=f"comma-separated subset of "
+                             f"{','.join(sorted(WORKLOADS))}")
+    parser.add_argument("--out", type=str, default=None,
+                        help="write the grout-bench-scale/1 JSON here")
+    parser.add_argument("--check", type=str, default=None,
+                        help="baseline JSON to gate against "
+                             "(>2x wall-clock regression fails)")
+    parser.add_argument("--check-factor", type=float, default=2.0,
+                        help="allowed wall-clock regression (default 2.0)")
+    parser.add_argument("--reference", type=str, default=None,
+                        help="earlier capture whose results are embedded "
+                             "as the report's `reference` section")
+    parser.add_argument("--no-isolate", action="store_true",
+                        help="run in-process instead of forking per run")
+    args = parser.parse_args(argv)
+
+    if args.sizes:
+        sizes = tuple(int(s.replace("_", "")) for s in
+                      args.sizes.split(","))
+    else:
+        sizes = QUICK_SIZES if args.quick else FULL_SIZES
+    workloads = (tuple(args.workloads.split(","))
+                 if args.workloads else None)
+
+    report = run_scale(sizes, workloads, quick=args.quick,
+                       isolate=not args.no_isolate, log=print)
+    if args.reference:
+        with open(args.reference, "r", encoding="utf-8") as fh:
+            report.reference = json.load(fh).get("results")
+
+    payload = figure_to_dict(report)
+    rows = [(r.workload, f"{r.ces:,}", f"{r.wall_seconds:.2f}",
+             f"{r.ces_per_sec:,.0f}", f"{r.events_per_sec:,.0f}",
+             f"{r.peak_rss_mib:.1f}") for r in report.results]
+    print()
+    print(format_table(
+        ["workload", "CEs", "wall (s)", "CEs/s", "events/s",
+         "peak RSS (MiB)"], rows, title="Scheduling scale"))
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1)
+            fh.write("\n")
+        print(f"\nwrote {args.out}")
+
+    if args.check:
+        with open(args.check, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        failures = check_regression(baseline, payload,
+                                    factor=args.check_factor)
+        if failures:
+            print("\nPERF REGRESSION vs " + args.check)
+            for failure in failures:
+                print("  " + failure)
+            return 1
+        print(f"\nperf gate OK vs {args.check} "
+              f"(<= {args.check_factor:g}x wall-clock)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

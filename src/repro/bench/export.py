@@ -22,6 +22,9 @@ def figure_to_dict(result) -> dict:
         raise TypeError(f"{type(result).__name__} is not a figure result")
 
     def clean(value):
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            return {f.name: clean(getattr(value, f.name))
+                    for f in dataclasses.fields(value)}
         if isinstance(value, dict):
             return {str(k): clean(v) for k, v in value.items()}
         if isinstance(value, (list, tuple)):

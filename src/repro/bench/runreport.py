@@ -131,11 +131,9 @@ def report_for(runtime) -> RunReport:
 
     totals: dict[str, tuple[int, float]] = {}
     for scheduler in schedulers:
-        for ce, cost in scheduler.kernel_costs:
-            assert ce.kernel is not None
-            count, seconds = totals.get(ce.kernel.name, (0, 0.0))
-            totals[ce.kernel.name] = (count + 1,
-                                      seconds + cost.duration)
+        for name, (count, seconds) in scheduler.kernel_totals.items():
+            have_count, have_seconds = totals.get(name, (0, 0.0))
+            totals[name] = (have_count + count, have_seconds + seconds)
     report.top_kernels = sorted(
         ((name, count, seconds)
          for name, (count, seconds) in totals.items()),

@@ -1,0 +1,296 @@
+"""Scheduling-scale benchmark: synthetic DAGs at 10k–1M CEs.
+
+GrOUT's pitch (and GrCUDA's before it) is that scheduling overhead stays
+negligible as workloads scale out — Fig. 9 reports microseconds per
+decision.  This module measures the *whole* reproduction stack at scale:
+how fast the controller pipeline, the dependency DAG, the intra-node
+schedulers and the event engine chew through synthetic workloads of
+10k–1M computational elements, in host wall-clock.
+
+Three DAG shapes cover the regimes long-horizon runtimes meet:
+
+``wide``
+    Epochs of fan-out: one host write of a shared input followed by a
+    wide wave of reader kernels — stresses per-buffer reader sets and
+    the WAR frontier scan.
+``deep``
+    A single read-modify-write chain — stresses ancestor-set
+    maintenance, prune cadence and the P2P data-movement path.
+``iterative``
+    A CG-shaped loop over a fixed buffer set with periodic host reads —
+    the long-horizon session profile (bounded live DAG, millions of
+    events).
+
+Results are serialised through the standard figure-export machinery
+(:func:`repro.bench.export.figure_to_dict`) into ``BENCH_scale.json`` —
+the repository's recorded perf trajectory.  ``check_regression`` diffs a
+fresh run against that committed baseline so CI can fail on a
+wall-clock regression (see ``benchmarks/bench_scale.py --check``).
+
+Tracing is disabled for these runs (a million spans is a memory
+benchmark, not a scheduling one); metrics and the per-CE profiler stay
+on — they are part of the hot path being measured.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import sys
+import time
+from dataclasses import dataclass, field
+
+from repro.cluster.cluster import paper_cluster
+from repro.gpu.kernel import ArrayAccess, Direction, KernelSpec
+from repro.gpu.specs import KIB, MIB, TEST_GPU_1GB
+
+__all__ = ["ScaleRunResult", "ScaleReport", "WORKLOADS",
+           "run_scale_once", "run_scale", "check_regression"]
+
+#: Benchmark cluster: the paper's three-worker setup with small GPUs so
+#: the footprint stays comfortably resident (scheduling, not eviction,
+#: is what this benchmark measures).
+N_WORKERS = 3
+
+
+@dataclass(frozen=True, slots=True)
+class ScaleRunResult:
+    """One (workload, size) measurement."""
+
+    workload: str
+    ces: int                 # CEs actually scheduled
+    wall_seconds: float      # host wall-clock, build + drain
+    sim_seconds: float       # simulated makespan
+    events: int              # engine events processed
+    events_per_sec: float
+    ces_per_sec: float
+    peak_rss_mib: float      # process peak RSS after the run
+
+
+@dataclass(slots=True)
+class ScaleReport:
+    """The perf-trajectory record written to ``BENCH_scale.json``."""
+
+    schema: str = "grout-bench-scale/1"
+    python: str = ""
+    quick: bool = False
+    results: list[ScaleRunResult] = field(default_factory=list)
+    #: Optional earlier capture kept alongside for the history books
+    #: (e.g. the pre-optimization numbers this PR's speedup is measured
+    #: against).  Same shape as ``results``, plain dicts.
+    reference: list[dict] | None = None
+
+
+# -- synthetic workloads -------------------------------------------------------
+
+def _kernel(name: str, directions: tuple[Direction, ...],
+            flops_per_byte: float = 0.5) -> KernelSpec:
+    """A kernel whose parameter directions are fixed per position."""
+    def access_fn(args):
+        return [ArrayAccess(a, d) for a, d in zip(args, directions)]
+    return KernelSpec(name, flops_per_byte=flops_per_byte,
+                      access_fn=access_fn)
+
+
+def build_wide(rt, n: int, width: int = 256) -> int:
+    """Epochs of one shared write fanning out to ``width`` readers.
+
+    Every epoch's host write WARs against the previous epoch's full
+    reader wave — the widest frontier scan the DAG ever faces.
+    """
+    shared = rt.device_array(8, virtual_nbytes=4 * MIB, name="w.shared")
+    outs = [rt.device_array(8, virtual_nbytes=256 * KIB, name=f"w.out{i}")
+            for i in range(width)]
+    fan = _kernel("fan", (Direction.IN, Direction.OUT))
+    scheduled = 0
+    while scheduled < n:
+        rt.host_write(shared, label="w.init")
+        scheduled += 1
+        wave = min(width, n - scheduled)
+        for i in range(wave):
+            rt.launch(fan, 8, 128, (shared, outs[i]))
+        scheduled += wave
+    return scheduled
+
+
+def build_deep(rt, n: int) -> int:
+    """One read-modify-write chain of ``n`` kernels on a single buffer.
+
+    Round-robin placement ping-pongs the accumulator between workers, so
+    every link exercises the P2P mover and the coherence directory.
+    """
+    accum = rt.device_array(8, virtual_nbytes=1 * MIB, name="d.accum")
+    step = _kernel("step", (Direction.INOUT,))
+    rt.host_write(accum, label="d.init")
+    for _ in range(n - 1):
+        rt.launch(step, 8, 128, (accum,))
+    return n
+
+
+def build_iterative(rt, n: int, sync_every: int = 256) -> int:
+    """A CG-shaped loop: four kernels per iteration over a fixed buffer
+    set, with a periodic host read as the convergence check."""
+    mat = rt.device_array(8, virtual_nbytes=8 * MIB, name="i.A")
+    vecs = {name: rt.device_array(8, virtual_nbytes=1 * MIB,
+                                  name=f"i.{name}")
+            for name in ("p", "q", "r", "x")}
+    spmv = _kernel("spmv", (Direction.IN, Direction.IN, Direction.OUT))
+    axpy = _kernel("axpy", (Direction.IN, Direction.INOUT))
+    resid = _kernel("resid", (Direction.IN, Direction.INOUT))
+    update = _kernel("update", (Direction.IN, Direction.INOUT))
+    rt.host_write(list(vecs.values()) + [mat], label="i.init")
+    scheduled, iteration = 1, 0
+    while scheduled + 4 <= n:
+        rt.launch(spmv, 8, 128, (mat, vecs["p"], vecs["q"]))
+        rt.launch(axpy, 8, 128, (vecs["q"], vecs["x"]))
+        rt.launch(resid, 8, 128, (vecs["q"], vecs["r"]))
+        rt.launch(update, 8, 128, (vecs["r"], vecs["p"]))
+        scheduled += 4
+        iteration += 1
+        if iteration % sync_every == 0 and scheduled < n:
+            rt.host_read(vecs["r"], label="i.check")
+            scheduled += 1
+    return scheduled
+
+
+WORKLOADS = {
+    "wide": build_wide,
+    "deep": build_deep,
+    "iterative": build_iterative,
+}
+
+
+# -- measurement ---------------------------------------------------------------
+
+def _peak_rss_mib() -> float:
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0.0
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB, macOS bytes.
+    if sys.platform == "darwin":  # pragma: no cover
+        return rss / (1024 * 1024)
+    return rss / 1024
+
+
+def run_scale_once(workload: str, ces: int, *,
+                   n_workers: int = N_WORKERS) -> ScaleRunResult:
+    """Run one synthetic workload end to end and measure throughput.
+
+    The clock covers scheduling *and* draining: ``launch`` runs
+    Algorithm 1 eagerly, ``sync`` runs the event engine until every CE
+    completed — wall-clock per CE is the full-stack cost.
+    """
+    from repro.core.policies import RoundRobinPolicy
+    from repro.core.runtime import GroutRuntime
+
+    build = WORKLOADS[workload]
+    cluster = paper_cluster(n_workers, gpu_spec=TEST_GPU_1GB)
+    cluster.tracer.enabled = False
+    rt = GroutRuntime(cluster, policy=RoundRobinPolicy())
+    start = time.perf_counter()
+    scheduled = build(rt, ces)
+    rt.sync()
+    wall = time.perf_counter() - start
+    events = rt.engine.events_processed
+    return ScaleRunResult(
+        workload=workload,
+        ces=scheduled,
+        wall_seconds=wall,
+        sim_seconds=rt.engine.now,
+        events=events,
+        events_per_sec=events / wall if wall > 0 else 0.0,
+        ces_per_sec=scheduled / wall if wall > 0 else 0.0,
+        peak_rss_mib=_peak_rss_mib(),
+    )
+
+
+def _run_in_subprocess(workload: str, ces: int,
+                       n_workers: int) -> ScaleRunResult:
+    """Fork one measurement so peak RSS is per-run, not cumulative."""
+    import multiprocessing as mp
+    ctx = mp.get_context("fork")
+    parent, child = ctx.Pipe(duplex=False)
+
+    def body(conn):
+        result = run_scale_once(workload, ces, n_workers=n_workers)
+        conn.send(dataclasses.asdict(result))
+        conn.close()
+
+    proc = ctx.Process(target=body, args=(child,))
+    proc.start()
+    child.close()
+    payload = parent.recv()
+    proc.join()
+    if proc.exitcode != 0:  # pragma: no cover - child crashed
+        raise RuntimeError(f"bench child for {workload}@{ces} exited "
+                           f"with {proc.exitcode}")
+    return ScaleRunResult(**payload)
+
+
+def run_scale(sizes: tuple[int, ...],
+              workloads: tuple[str, ...] | None = None, *,
+              quick: bool = False,
+              isolate: bool = True,
+              n_workers: int = N_WORKERS,
+              log=None) -> ScaleReport:
+    """Sweep every (workload, size) pair into a :class:`ScaleReport`.
+
+    ``isolate`` forks each run (POSIX) so per-run peak RSS is accurate;
+    in-process fallback keeps the harness usable everywhere.
+    """
+    names = tuple(workloads) if workloads else tuple(WORKLOADS)
+    for name in names:
+        if name not in WORKLOADS:
+            raise KeyError(f"unknown workload {name!r}; "
+                           f"have {sorted(WORKLOADS)}")
+    can_fork = isolate and sys.platform != "win32"
+    report = ScaleReport(
+        python=".".join(map(str, sys.version_info[:3])), quick=quick)
+    for ces in sizes:
+        for name in names:
+            if log is not None:
+                log(f"running {name} @ {ces:,} CEs ...")
+            if can_fork:
+                result = _run_in_subprocess(name, ces, n_workers)
+            else:  # pragma: no cover - exercised on win32 only
+                result = run_scale_once(name, ces, n_workers=n_workers)
+            report.results.append(result)
+            if log is not None:
+                log(f"  {result.wall_seconds:8.2f}s wall   "
+                    f"{result.ces_per_sec:10,.0f} CEs/s   "
+                    f"{result.events_per_sec:12,.0f} events/s   "
+                    f"{result.peak_rss_mib:7.1f} MiB peak")
+    return report
+
+
+# -- regression gate -----------------------------------------------------------
+
+def check_regression(baseline: dict, current: dict, *,
+                     factor: float = 2.0) -> list[str]:
+    """Compare two ``grout-bench-scale/1`` payloads; returns failures.
+
+    A (workload, ces) pair present in both must not have regressed by
+    more than ``factor`` in wall-clock (equivalently, events/sec must
+    not have dropped below ``1/factor`` of the baseline's).  Pairs only
+    one side has are ignored — quick runs check a subset of the
+    committed sweep.
+    """
+    def index(payload: dict) -> dict:
+        return {(r["workload"], r["ces"]): r
+                for r in payload.get("results", [])}
+
+    base, cur = index(baseline), index(current)
+    failures = []
+    for key in sorted(set(base) & set(cur)):
+        b, c = base[key], cur[key]
+        if c["wall_seconds"] > factor * b["wall_seconds"]:
+            failures.append(
+                f"{key[0]}@{key[1]}: wall {c['wall_seconds']:.2f}s vs "
+                f"baseline {b['wall_seconds']:.2f}s "
+                f"(> {factor:g}x regression; events/sec "
+                f"{c['events_per_sec']:,.0f} vs {b['events_per_sec']:,.0f})")
+    if not set(base) & set(cur):
+        failures.append("no overlapping (workload, ces) pairs between "
+                        "baseline and current run")
+    return failures

@@ -58,6 +58,15 @@ class ComputationalElement:
     #: Position in the owning session's program order — the namespaced
     #: CE id (``ce_id`` stays globally unique across sessions).
     session_seq: int | None = None
+    #: Lazy caches of the access-set views below.  ``accesses`` is
+    #: immutable after construction, so the derived lists are computed at
+    #: most once per CE instead of on every scheduler/pricing lookup.
+    _arrays: "list[ManagedArray] | None" = field(
+        default=None, repr=False, compare=False)
+    _reads: "list[ManagedArray] | None" = field(
+        default=None, repr=False, compare=False)
+    _writes: "list[ManagedArray] | None" = field(
+        default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.kind is CeKind.KERNEL:
@@ -76,28 +85,34 @@ class ComputationalElement:
     @property
     def arrays(self) -> list[ManagedArray]:
         """All managed parameters, deduplicated, declaration order."""
-        seen: dict[int, ManagedArray] = {}
-        for access in self.accesses:
-            seen.setdefault(access.buffer.buffer_id, access.buffer)  # type: ignore[arg-type]
-        return list(seen.values())
+        if self._arrays is None:
+            seen: dict[int, ManagedArray] = {}
+            for access in self.accesses:
+                seen.setdefault(access.buffer.buffer_id, access.buffer)  # type: ignore[arg-type]
+            self._arrays = list(seen.values())
+        return self._arrays
 
     @property
     def reads(self) -> list[ManagedArray]:
         """Parameters read, deduplicated, declaration order."""
-        seen: dict[int, ManagedArray] = {}
-        for access in self.accesses:
-            if access.direction.reads:
-                seen.setdefault(access.buffer.buffer_id, access.buffer)  # type: ignore[arg-type]
-        return list(seen.values())
+        if self._reads is None:
+            seen: dict[int, ManagedArray] = {}
+            for access in self.accesses:
+                if access.direction.reads:
+                    seen.setdefault(access.buffer.buffer_id, access.buffer)  # type: ignore[arg-type]
+            self._reads = list(seen.values())
+        return self._reads
 
     @property
     def writes(self) -> list[ManagedArray]:
         """Parameters written, deduplicated, declaration order."""
-        seen: dict[int, ManagedArray] = {}
-        for access in self.accesses:
-            if access.direction.writes:
-                seen.setdefault(access.buffer.buffer_id, access.buffer)  # type: ignore[arg-type]
-        return list(seen.values())
+        if self._writes is None:
+            seen: dict[int, ManagedArray] = {}
+            for access in self.accesses:
+                if access.direction.writes:
+                    seen.setdefault(access.buffer.buffer_id, access.buffer)  # type: ignore[arg-type]
+            self._writes = list(seen.values())
+        return self._writes
 
     def writes_buffer(self, buffer_id: int) -> bool:
         """Whether any access writes the given buffer."""

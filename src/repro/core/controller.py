@@ -32,7 +32,7 @@ from repro.sim import Event, Process, SimError
 from repro.core.arrays import Directory, ManagedArray
 from repro.core.ce import ComputationalElement
 from repro.core.dag import DependencyDag
-from repro.core.intranode import IntraNodeScheduler
+from repro.core.intranode import IntraNodeScheduler, _ce_completed
 from repro.core.pipeline import (AdmissionStage, CoherenceStage,
                                  DataMovementStage, DispatchStage,
                                  FairShareGate, HOST_MEM_BANDWIDTH,
@@ -84,6 +84,9 @@ class ControllerStats:
         #: — API-compatible with the RunningAggregate it replaced.
         self.decision_seconds = registry.family(
             "grout_decision_seconds").labels()
+        # Per-kind bound counters, cached on first use (``labels()`` per
+        # admitted CE is measurable at million-CE scale).
+        self._ces_by_kind: dict[str, object] = {}
 
     # -- write surface (the pipeline stages increment through these) -----------
 
@@ -93,7 +96,10 @@ class ControllerStats:
 
     def count_ce(self, kind: str) -> None:
         """Count one admitted CE, by kind."""
-        self._ces.labels(kind=kind).inc()
+        handle = self._ces_by_kind.get(kind)
+        if handle is None:
+            handle = self._ces_by_kind[kind] = self._ces.labels(kind=kind)
+        handle.inc()
 
     def count_transfer(self, nbytes: int) -> None:
         """Count one issued replication and the bytes it requested."""
@@ -236,6 +242,7 @@ class Controller:
         self._max_streams_per_gpu = max_streams_per_gpu
         self._pending: list[Event] = []
         self._scheduled = 0           # prune cadence, cheap local count
+        self._prune_seen_events = -1  # engine progress at the last prune
 
     def add_worker(self) -> str:
         """Attach a freshly provisioned worker (autoscaling, §V-F).
@@ -267,10 +274,20 @@ class Controller:
         state = self.pipeline.run(ce, session=session)
         self._scheduled += 1
         if self._scheduled % self._prune_every == 0:
-            self.dag.prune_completed(
-                lambda c: c.done is not None and c.done.processed)
-            self._pending = [e for e in self._pending if not e.processed]
-            self.directory.prune_readers()
+            # A CE only becomes prunable when its done event is delivered,
+            # which happens exclusively inside the engine's step loop — if
+            # no event was processed since the last prune (the eager
+            # build-up phase, where the engine never runs), every sweep
+            # below is a guaranteed no-op over an ever-growing DAG.
+            # Deferring GC is schedule-neutral: prune never alters edges
+            # among live nodes.
+            processed = self.engine.events_processed
+            if processed != self._prune_seen_events:
+                self._prune_seen_events = processed
+                self.dag.prune_completed(_ce_completed)
+                self._pending = [e for e in self._pending
+                                 if not e.processed]
+                self.directory.prune_readers()
         assert state.done is not None
         return state.done
 

@@ -14,8 +14,30 @@ would scan a frontier containing just B and miss its dependency on A.  The
 per-buffer frontier is what GrCUDA's scheduler [27] actually keeps, and the
 union over buffers is exactly "the frontier" Algorithm 1 iterates.
 
-Transitive reachability is kept incrementally as per-node ancestor id-sets,
-so ``filterRedundant`` is a set intersection rather than a graph search.
+Transitive reachability for ``filterRedundant`` is kept incrementally as
+per-node *frontier-relevant* ancestor id-sets, so the filter is a set
+intersection rather than a graph search.  The sets are deliberately
+bounded: a stored set holds ``trans(x) ∩ frontier-at-add-time(x)``, which
+is exactly what the filter ever needs.  The argument: frontier membership
+is an interval — a CE enters the frontier at its own ``add`` and once it
+leaves (superseded by a later writer, or evicted by ``prune_completed``
+as a finished reader) never re-enters (readers are appended only during
+their own insertion; a last writer is installed only at its own
+insertion; eviction only removes).  A
+redundancy query intersects ``stored(B)`` with *current* frontier ids; any
+ancestor A still in the frontier now was already in the frontier when B
+was inserted (B is newer and intervals nest), so ``trans(B) ∩ F_now ⊆
+trans(B) ∩ F_{t(B)} = stored(B)`` — no dependency is ever missed, and
+``stored(B) ⊆ trans(B)`` means none is invented.  Propagation preserves
+the bound by intersecting parent sets with the current frontier, and a
+set is cleared outright the moment its owner's last frontier membership
+ends (it can never be read again).  The net effect is that set sizes track
+frontier width, not DAG size — the property that keeps million-CE
+ingestion linear.
+
+The *public* :meth:`DependencyDag.ancestors` still reports the full
+transitive closure (callers and tests rely on it); it walks the parents
+graph on demand instead of reading the bounded internal sets.
 """
 
 from __future__ import annotations
@@ -27,7 +49,9 @@ from repro.core.ce import ComputationalElement
 
 @dataclass(slots=True)
 class _NodeInfo:
-    ancestors: set[int] = field(default_factory=set)   # transitive, by ce_id
+    #: Frontier-relevant transitive ancestors (see module docstring) —
+    #: internal to filterRedundant; NOT the full closure.
+    ancestors: set[int] = field(default_factory=set)
     parents: list[ComputationalElement] = field(default_factory=list)
     children: list[ComputationalElement] = field(default_factory=list)
 
@@ -36,6 +60,8 @@ class _NodeInfo:
 class _BufferFrontier:
     last_writer: ComputationalElement | None = None
     readers: list[ComputationalElement] = field(default_factory=list)
+    #: Mirror of ``readers`` for O(1) dedup of multi-access CEs.
+    reader_ids: set[int] = field(default_factory=set)
 
 
 class DependencyDag:
@@ -45,19 +71,33 @@ class DependencyDag:
         self._info: dict[int, _NodeInfo] = {}
         self._nodes: dict[int, ComputationalElement] = {}
         self._buffers: dict[int, _BufferFrontier] = {}
+        #: ce_id -> number of (buffer, role) frontier memberships.  The
+        #: key set *is* the frontier; prune consults it without ever
+        #: materialising the CE list.
+        self._frontier_count: dict[int, int] = {}
+        self._frontier_cache: list[ComputationalElement] = []
+        self._frontier_dirty = False
 
     # -- inspection ----------------------------------------------------------
 
     @property
     def frontier(self) -> list[ComputationalElement]:
-        """CEs a future insertion could directly depend on."""
-        seen: dict[int, ComputationalElement] = {}
-        for bf in self._buffers.values():
-            if bf.last_writer is not None:
-                seen.setdefault(bf.last_writer.ce_id, bf.last_writer)
-            for r in bf.readers:
-                seen.setdefault(r.ce_id, r)
-        return list(seen.values())
+        """CEs a future insertion could directly depend on.
+
+        Buffer-ordered union (last writer first, then readers in arrival
+        order per buffer), deduplicated — rebuilt lazily after mutations.
+        """
+        if self._frontier_dirty:
+            seen: dict[int, ComputationalElement] = {}
+            for bf in self._buffers.values():
+                lw = bf.last_writer
+                if lw is not None:
+                    seen.setdefault(lw.ce_id, lw)
+                for r in bf.readers:
+                    seen.setdefault(r.ce_id, r)
+            self._frontier_cache = list(seen.values())
+            self._frontier_dirty = False
+        return list(self._frontier_cache)
 
     @property
     def size(self) -> int:
@@ -76,8 +116,17 @@ class DependencyDag:
         return list(self._info[ce.ce_id].children)
 
     def ancestors(self, ce: ComputationalElement) -> set[int]:
-        """Transitive ancestor ce_ids."""
-        return set(self._info[ce.ce_id].ancestors)
+        """Transitive ancestor ce_ids (full closure over live nodes)."""
+        out: set[int] = set()
+        stack = list(self._info[ce.ce_id].parents)
+        info = self._info
+        while stack:
+            parent = stack.pop()
+            pid = parent.ce_id
+            if pid not in out:
+                out.add(pid)
+                stack.extend(info[pid].parents)
+        return out
 
     def edge_count(self) -> int:
         """Total number of dependency edges."""
@@ -125,26 +174,63 @@ class DependencyDag:
 
         filtered = self._filter_redundant(list(candidates.values()))
 
+        fcount = self._frontier_count
         info = _NodeInfo()
+        anc = info.ancestors
         for parent in filtered:
             pinfo = self._info[parent.ce_id]
             pinfo.children.append(ce)
             info.parents.append(parent)
-            info.ancestors.add(parent.ce_id)
-            info.ancestors |= pinfo.ancestors
+            anc.add(parent.ce_id)
+            if pinfo.ancestors:
+                # Propagate only ids still in the frontier — the bounded
+                # representation the module docstring justifies.
+                anc |= pinfo.ancestors & fcount.keys()
         self._info[ce.ce_id] = info
         self._nodes[ce.ce_id] = ce
 
-        # updateFrontier.
+        # updateFrontier.  Departures are settled after the loop so a CE
+        # reading *and* writing the same buffer (transient leave + re-enter
+        # within its own insertion) never loses its ancestor set.
+        departed: list[int] = []
         for access in ce.accesses:
-            bf = self._buffers.setdefault(access.buffer.buffer_id,
-                                          _BufferFrontier())
+            bid = access.buffer.buffer_id
+            bf = self._buffers.get(bid)
+            if bf is None:
+                bf = self._buffers[bid] = _BufferFrontier()
             if access.direction.writes:
+                old = bf.last_writer
+                if old is not None and old.ce_id != ce.ce_id:
+                    self._leave(old.ce_id, departed)
+                if old is None or old.ce_id != ce.ce_id:
+                    fcount[ce.ce_id] = fcount.get(ce.ce_id, 0) + 1
                 bf.last_writer = ce
-                bf.readers = []
-            elif all(r.ce_id != ce.ce_id for r in bf.readers):
+                if bf.readers:
+                    for r in bf.readers:
+                        self._leave(r.ce_id, departed)
+                    bf.readers = []
+                    bf.reader_ids = set()
+            elif ce.ce_id not in bf.reader_ids:
                 bf.readers.append(ce)
+                bf.reader_ids.add(ce.ce_id)
+                fcount[ce.ce_id] = fcount.get(ce.ce_id, 0) + 1
+        for cid in departed:
+            if cid not in fcount:
+                dead_info = self._info.get(cid)
+                if dead_info is not None:
+                    # Out of the frontier for good: the bounded set can
+                    # never be consulted again.
+                    dead_info.ancestors = set()
+        self._frontier_dirty = True
         return filtered
+
+    def _leave(self, cid: int, departed: list[int]) -> None:
+        count = self._frontier_count[cid] - 1
+        if count:
+            self._frontier_count[cid] = count
+        else:
+            del self._frontier_count[cid]
+            departed.append(cid)
 
     def _filter_redundant(
         self, candidates: list[ComputationalElement]
@@ -155,7 +241,9 @@ class DependencyDag:
         ids = {c.ce_id for c in candidates}
         redundant: set[int] = set()
         for c in candidates:
-            redundant |= (self._info[c.ce_id].ancestors & ids)
+            anc = self._info[c.ce_id].ancestors
+            if anc:
+                redundant |= anc & ids
         return [c for c in candidates if c.ce_id not in redundant]
 
     # -- maintenance ------------------------------------------------------------
@@ -168,23 +256,54 @@ class DependencyDag:
         frontier member (future edges attach there); redundancy filtering
         consults ancestor sets *of frontier candidates* and only ever
         intersects them with candidate ids, so dead ids in those sets are
-        inert and get trimmed below.
+        inert — no trimming pass is needed.
+
+        Completed *readers* are evicted from their buffer frontiers
+        first: a WAR edge against a finished reader is vacuous, and a
+        buffer that is never written again (a CG iteration's matrix)
+        would otherwise anchor every reader it ever had — and, through
+        the frontier intersection, every ancestor set built while they
+        linger — forever.  Last writers are never evicted: the per-buffer
+        RAW chain is pinned semantics (a future reader still binds to its
+        buffer's live writer, finished or not).  Eviction only shrinks
+        the frontier, so membership stays an interval and the bounded
+        ancestor-set argument above is untouched.
         """
-        keep_ids = {ce.ce_id for ce in self.frontier}
+        fcount = self._frontier_count
+        departed: list[int] = []
+        for bf in self._buffers.values():
+            readers = bf.readers
+            if not readers:
+                continue
+            keep = []
+            for r in readers:
+                if is_done(r):
+                    self._leave(r.ce_id, departed)
+                else:
+                    keep.append(r)
+            if len(keep) != len(readers):
+                bf.readers = keep
+                bf.reader_ids = {r.ce_id for r in keep}
+                self._frontier_dirty = True
+        for cid in departed:
+            if cid not in fcount:   # may still be a last writer elsewhere
+                dead_info = self._info.get(cid)
+                if dead_info is not None:
+                    dead_info.ancestors = set()
+        if len(self._nodes) <= len(fcount):
+            return 0
         doomed = [cid for cid, ce in self._nodes.items()
-                  if cid not in keep_ids and is_done(ce)]
+                  if cid not in fcount and is_done(ce)]
+        if not doomed:
+            return 0
+        info_map = self._info
+        nodes = self._nodes
         for cid in doomed:
-            info = self._info.pop(cid)
+            info = info_map.pop(cid)
             for child in info.children:
-                cinfo = self._info.get(child.ce_id)
+                cinfo = info_map.get(child.ce_id)
                 if cinfo is not None:
                     cinfo.parents = [p for p in cinfo.parents
                                      if p.ce_id != cid]
-            del self._nodes[cid]
-        if doomed:
-            # Dead ids can never reappear as redundancy-filter candidates;
-            # trimming keeps ancestor sets bounded on long CE chains.
-            live = set(self._nodes)
-            for info in self._info.values():
-                info.ancestors &= live
+            del nodes[cid]
         return len(doomed)

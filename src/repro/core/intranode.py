@@ -11,6 +11,7 @@ GPU, maximising transfer/compute and compute/compute overlap.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Sequence
 
 from repro.cluster.node import Node
@@ -23,6 +24,12 @@ from repro.sim import Event
 from repro.core.ce import CeKind, ComputationalElement
 from repro.core.dag import DependencyDag
 from repro.uvm.perfmodel import KernelCost
+
+
+def _ce_completed(ce: ComputationalElement) -> bool:
+    """Prune predicate: the CE's completion event was delivered."""
+    done = ce.done
+    return done is not None and done.processed
 
 
 class IntraNodeScheduler:
@@ -60,35 +67,58 @@ class IntraNodeScheduler:
             self._m_launches = self._m_prefetches = None
             self._m_kernel_seconds = self._m_pending = None
             self._m_streams = self._m_osf = None
+        # Bound label handles, cached on first use: ``family.labels()``
+        # validates names and takes the registry lock on every call — too
+        # much for per-event paths.  Lazy (not eager) so children only
+        # exist once an event actually touched them.
+        self._h_pending: dict[int, object] = {}
+        self._h_streams: dict[int, object] = {}
+        self._h_launches: dict[int, object] = {}
+        self._h_prefetches: dict[int, object] = {}
+        self._h_kernel_seconds = None
+        self._h_osf = None
         self._prune_every = prune_every
         self._completions = 0
         self._pending_load: dict[int, float] = {g.gpu_id: 0.0
                                                 for g in node.gpus}
         self._stream_of: dict[int, Stream] = {}    # ce_id -> stream
         self._planned_gpu: dict[int, int] = {}     # buffer_id -> gpu_id
-        self.kernel_costs: list[tuple[ComputationalElement, KernelCost]] = []
+        #: Recent (CE, cost) window for inspection and tests.  Bounded:
+        #: retaining every pair would pin all CEs in memory on
+        #: million-launch runs.  Exact per-kernel aggregates live in
+        #: :attr:`kernel_totals`.
+        self.kernel_costs: deque[tuple[ComputationalElement, KernelCost]] = \
+            deque(maxlen=1024)
+        #: kernel name -> [launch count, total priced seconds]; exact over
+        #: the node's lifetime (what the run report aggregates).
+        self.kernel_totals: dict[str, list] = {}
 
     # -- observability hooks ---------------------------------------------------
 
     def _note_pending(self, gpu_id: int) -> None:
         """Mirror one GPU's queued byte load into its gauge."""
         if self._m_pending is not None:
-            self._m_pending.labels(node=self.node.name,
-                                   gpu=str(gpu_id)).set(
-                self._pending_load[gpu_id])
+            handle = self._h_pending.get(gpu_id)
+            if handle is None:
+                handle = self._h_pending[gpu_id] = self._m_pending.labels(
+                    node=self.node.name, gpu=str(gpu_id))
+            handle.set(self._pending_load[gpu_id])
 
     def _note_streams(self, gpu: Gpu) -> None:
         """Mirror one GPU's open-stream count into its gauge."""
         if self._m_streams is not None:
-            self._m_streams.labels(node=self.node.name,
-                                   gpu=str(gpu.gpu_id)).set(
-                len(gpu.streams))
+            handle = self._h_streams.get(gpu.gpu_id)
+            if handle is None:
+                handle = self._h_streams[gpu.gpu_id] = self._m_streams.labels(
+                    node=self.node.name, gpu=str(gpu.gpu_id))
+            handle.set(len(gpu.streams))
 
     def _note_oversubscription(self) -> None:
         """Publish the node's current OSF (the paper's operating point)."""
         if self._m_osf is not None and self.node.uvm is not None:
-            self._m_osf.labels(node=self.node.name).set(
-                self.node.uvm.oversubscription)
+            if self._h_osf is None:
+                self._h_osf = self._m_osf.labels(node=self.node.name)
+            self._h_osf.set(self.node.uvm.oversubscription)
 
     # -- Algorithm 2 -----------------------------------------------------------
 
@@ -163,6 +193,12 @@ class IntraNodeScheduler:
             self._note_oversubscription()
             cost = uvm.price_kernel(gpu, launch)
             self.kernel_costs.append((ce, cost))
+            totals = self.kernel_totals.get(ce.kernel.name)
+            if totals is None:
+                self.kernel_totals[ce.kernel.name] = [1, cost.duration]
+            else:
+                totals[0] += 1
+                totals[1] += cost.duration
             # The fault/migration phase holds the GPU's host link so that
             # concurrent streams do not each enjoy full PCIe bandwidth.
             link_seconds = cost.migration_seconds + cost.thrash_seconds
@@ -174,10 +210,16 @@ class IntraNodeScheduler:
             if ce.kernel.executor is not None:
                 ce.kernel.executor(*ce.args)
             if self._m_launches is not None:
-                self._m_launches.labels(node=self.node.name,
-                                        gpu=str(gpu.gpu_id)).inc()
-                self._m_kernel_seconds.labels(
-                    node=self.node.name).observe(engine.now - started)
+                handle = self._h_launches.get(gpu.gpu_id)
+                if handle is None:
+                    handle = self._h_launches[gpu.gpu_id] = \
+                        self._m_launches.labels(node=self.node.name,
+                                                gpu=str(gpu.gpu_id))
+                handle.inc()
+                if self._h_kernel_seconds is None:
+                    self._h_kernel_seconds = self._m_kernel_seconds.labels(
+                        node=self.node.name)
+                self._h_kernel_seconds.observe(engine.now - started)
             if self.profiler is not None:
                 self.profiler.record_compute(ce, engine.now - started,
                                              node=self.node.name,
@@ -225,8 +267,12 @@ class IntraNodeScheduler:
             if seconds > 0:
                 yield from gpu.host_link.acquire(seconds)
             if self._m_prefetches is not None:
-                self._m_prefetches.labels(node=self.node.name,
-                                          gpu=str(gpu.gpu_id)).inc()
+                handle = self._h_prefetches.get(gpu.gpu_id)
+                if handle is None:
+                    handle = self._h_prefetches[gpu.gpu_id] = \
+                        self._m_prefetches.labels(node=self.node.name,
+                                                  gpu=str(gpu.gpu_id))
+                handle.inc()
             if self.profiler is not None:
                 self.profiler.record_compute(ce, engine.now - started,
                                              node=self.node.name,
@@ -248,8 +294,7 @@ class IntraNodeScheduler:
         # structure is unaffected: completed non-frontier CEs are inert.
         self._completions += 1
         if self._completions % self._prune_every == 0:
-            self.local_dag.prune_completed(
-                lambda ce: ce.done is not None and ce.done.processed)
+            self.local_dag.prune_completed(_ce_completed)
 
     def abort_inflight(self, cause: object = None) -> int:
         """Kill every op still queued or running on this node's streams.

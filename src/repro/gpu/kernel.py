@@ -18,21 +18,28 @@ from typing import Callable, Protocol, Sequence, runtime_checkable
 
 
 class Direction(enum.Flag):
-    """Data-flow direction of one kernel parameter."""
+    """Data-flow direction of one kernel parameter.
+
+    ``reads``/``writes`` are plain per-member attributes (stamped below,
+    not properties): they sit on the DAG frontier scan and the UVM pricing
+    path, where ``enum.Flag.__and__`` machinery per call is measurable at
+    million-CE scale.
+    """
 
     IN = enum.auto()
     OUT = enum.auto()
     INOUT = IN | OUT
 
-    @property
-    def reads(self) -> bool:
-        """Whether the parameter is read."""
-        return bool(self & Direction.IN)
+    reads: bool
+    writes: bool
 
-    @property
-    def writes(self) -> bool:
-        """Whether the parameter is written."""
-        return bool(self & Direction.OUT)
+
+# __members__ (unlike plain iteration on a Flag) also covers the INOUT
+# alias, so every member gets its cached flags.
+for _member in Direction.__members__.values():
+    _member.reads = bool(_member & Direction.IN)
+    _member.writes = bool(_member & Direction.OUT)
+del _member
 
 
 class AccessPattern(enum.Enum):

@@ -34,7 +34,10 @@ class Stream:
         self._tail: Event | None = None   # completion of last enqueued op
         self._ops_enqueued = 0
         self._busy_until = 0.0            # bookkeeping for policies
-        self._runners: list["Process"] = []   # live op processes
+        #: Live op processes, keyed by op index.  Each runner removes its
+        #: own entry on exit, so membership is O(1) per op instead of a
+        #: liveness rescan of the whole history on every enqueue.
+        self._runners: dict[int, "Process"] = {}
 
     @property
     def lane(self) -> str:
@@ -84,8 +87,10 @@ class Stream:
             done.succeed(result)
 
         proc = self.engine.process(runner(), name=f"{self.lane}:{name}")
-        self._runners = [p for p in self._runners if p.is_alive]
-        self._runners.append(proc)
+        key = self._ops_enqueued
+        self._runners[key] = proc
+        proc.callbacks.append(
+            lambda _ev, _pop=self._runners.pop, _key=key: _pop(_key, None))
         self._tail = done
         return done
 
@@ -97,7 +102,7 @@ class Stream:
         Returns the number of ops aborted.
         """
         aborted = 0
-        for proc in self._runners:
+        for proc in list(self._runners.values()):
             if proc.cancel(cause):
                 aborted += 1
         self._runners.clear()

@@ -122,7 +122,21 @@ class Fabric:
         self._m_chunks = self.metrics.family("grout_chunks_total")
         self._m_chunk_retries = self.metrics.family(
             "grout_chunks_retried_total").labels()
+        # Per-link bound handles, cached on first use: ``labels()`` is a
+        # validate-and-lock round trip, far too heavy per chunk at
+        # million-transfer scale.
+        self._h_bytes: dict[tuple[str, str], object] = {}
+        self._h_wire: dict[tuple[str, str], object] = {}
+        self._h_transfers: dict[tuple[str, str], object] = {}
+        self._h_chunks: dict[tuple[str, str], object] = {}
         self._flakes: list[_Flake] = []
+
+    def _link_handle(self, cache: dict, family, src: str, dst: str):
+        key = (src, dst)
+        handle = cache.get(key)
+        if handle is None:
+            handle = cache[key] = family.labels(src=src, dst=dst)
+        return handle
 
     def add_node(self, name: str) -> None:
         """Wire a node added to the topology after construction
@@ -226,12 +240,16 @@ class Fabric:
                 raise TransferError(
                     f"transfer {src}->{dst} ({label}) flaked mid-wire")
             yield self.engine.timeout(wire)
-            self._m_bytes.labels(src=src, dst=dst).inc(nbytes)
-            self._m_wire.labels(src=src, dst=dst).inc(wire)
+            self._link_handle(self._h_bytes, self._m_bytes,
+                              src, dst).inc(nbytes)
+            self._link_handle(self._h_wire, self._m_wire,
+                              src, dst).inc(wire)
             if chunk is None:
-                self._m_transfers.labels(src=src, dst=dst).inc()
+                self._link_handle(self._h_transfers, self._m_transfers,
+                                  src, dst).inc()
             else:
-                self._m_chunks.labels(src=src, dst=dst).inc()
+                self._link_handle(self._h_chunks, self._m_chunks,
+                                  src, dst).inc()
             if self.tracer is not None:
                 category = "transfer" if chunk is None else "chunk"
                 meta = {"nbytes": nbytes}
@@ -362,7 +380,8 @@ class Fabric:
         for i, size in enumerate(self.chunk_sizes(nbytes, chunk)):
             total_wire += yield from self._reliable(
                 src, dst, size, f"{label}#c{i}", i)
-        self._m_transfers.labels(src=src, dst=dst).inc()
+        self._link_handle(self._h_transfers, self._m_transfers,
+                          src, dst).inc()
         return total_wire
 
     def transfer(self, src: str, dst: str, nbytes: int,

@@ -151,7 +151,11 @@ class Topology:
             raise ValueError("nbytes must be >= 0")
         if src == dst or nbytes == 0:
             return 0.0
-        bw, lat = self._pair(src, dst)
+        # Inline cache probe: this is the innermost loop of every policy
+        # decision and data-movement plan (O(workers x params x holders)
+        # calls per CE).
+        cached = self._pair_cache.get((src, dst))
+        bw, lat = cached if cached is not None else self._pair(src, dst)
         return lat + nbytes / bw
 
     def bandwidth_matrix(self) -> dict[tuple[str, str], float]:

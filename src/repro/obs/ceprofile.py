@@ -109,6 +109,9 @@ class CeProfiler:
         self._capacity = capacity
         self.totals = PhaseTotals()
         self._phase_metric = None
+        # (phase, node) -> bound counter; ``labels()`` per recorded phase
+        # is too heavy for a hook that fires four times per CE.
+        self._phase_handles: dict[tuple[str, str], object] = {}
         if registry is not None:
             from repro.obs.catalog import PROFILER_METRICS
             registry.register_many(PROFILER_METRICS)
@@ -131,15 +134,32 @@ class CeProfiler:
     def _record(self, ce, phase: str, seconds: float,
                 node: str | None) -> CeProfile:
         profile = self._profile(ce)
-        setattr(profile, f"{phase}_seconds",
-                getattr(profile, f"{phase}_seconds") + seconds)
-        setattr(self.totals, f"{phase}_seconds",
-                getattr(self.totals, f"{phase}_seconds") + seconds)
+        totals = self.totals
+        # Direct attribute bumps (not getattr/setattr on a derived name):
+        # this is the hottest observability call in the stack.
+        if phase == "sched":
+            profile.sched_seconds += seconds
+            totals.sched_seconds += seconds
+        elif phase == "transfer":
+            profile.transfer_seconds += seconds
+            totals.transfer_seconds += seconds
+        elif phase == "stall":
+            profile.stall_seconds += seconds
+            totals.stall_seconds += seconds
+        else:
+            profile.compute_seconds += seconds
+            totals.compute_seconds += seconds
         if node is not None:
             profile.node = node
-        if self._phase_metric is not None:
-            self._phase_metric.labels(
-                phase=phase, node=node or profile.node or "?").inc(seconds)
+        metric = self._phase_metric
+        if metric is not None:
+            label_node = node or profile.node or "?"
+            key = (phase, label_node)
+            handle = self._phase_handles.get(key)
+            if handle is None:
+                handle = self._phase_handles[key] = metric.labels(
+                    phase=phase, node=label_node)
+            handle.inc(seconds)
         return profile
 
     def record_sched(self, ce, seconds: float,

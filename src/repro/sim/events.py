@@ -146,14 +146,21 @@ class Condition(Event):
     condition fails with that exception.
     """
 
-    __slots__ = ("events", "_evaluate", "_fired")
+    __slots__ = ("events", "_evaluate", "_fired", "_need")
 
     def __init__(self, engine: "Engine", events: Iterable[Event],
-                 evaluate: Callable[[list[Event], int], bool],
-                 name: str | None = None):
+                 evaluate: Callable[[list[Event], int], bool] | None = None,
+                 name: str | None = None, *, need: int | None = None):
+        """``need`` is the fast path: trigger once that many children fired
+        (what :class:`AllOf`/:class:`AnyOf` use — a counter comparison on
+        the hottest callback in the engine).  ``evaluate`` is the general
+        predicate ``(events, n_fired) -> bool`` for custom conditions."""
         super().__init__(engine, name=name)
         self.events: list[Event] = list(events)
+        if need is None and evaluate is None:
+            raise TypeError("Condition requires `evaluate` or `need`")
         self._evaluate = evaluate
+        self._need = need
         self._fired: list[Event] = []
         for ev in self.events:
             if ev.engine is not engine:
@@ -169,14 +176,17 @@ class Condition(Event):
                 ev.callbacks.append(self._on_child)
 
     def _on_child(self, child: Event) -> None:
-        if self.triggered:
+        if self._state is not EventState.PENDING:
             return
-        if not child.ok:
+        if not child._ok:
             self.fail(child.value)  # type: ignore[arg-type]
             return
-        self._fired.append(child)
-        if self._evaluate(self.events, len(self._fired)):
-            self.succeed({ev: ev.value for ev in self._fired})
+        fired = self._fired
+        fired.append(child)
+        need = self._need
+        if (len(fired) >= need if need is not None
+                else self._evaluate(self.events, len(fired))):
+            self.succeed({ev: ev._value for ev in fired})
 
 
 class AllOf(Condition):
@@ -186,8 +196,8 @@ class AllOf(Condition):
 
     def __init__(self, engine: "Engine", events: Iterable[Event],
                  name: str | None = None):
-        super().__init__(engine, events,
-                         lambda evs, n: n == len(evs), name=name)
+        events = list(events)
+        super().__init__(engine, events, name=name, need=len(events))
 
 
 class AnyOf(Condition):
@@ -197,4 +207,4 @@ class AnyOf(Condition):
 
     def __init__(self, engine: "Engine", events: Iterable[Event],
                  name: str | None = None):
-        super().__init__(engine, events, lambda evs, n: n >= 1, name=name)
+        super().__init__(engine, events, name=name, need=1)

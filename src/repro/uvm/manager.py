@@ -73,14 +73,24 @@ class _DeviceUvm:
             eviction_order=eviction_order, rng=rng)
         self.pricer = KernelPricer(self.engine, spec, params)
         self.touched_buffers: dict[int, int] = {}   # buffer_id -> nbytes
+        self.touched_total = 0                      # running sum of values
+        self._memory_bytes = spec.memory_bytes
 
     @property
     def pressure(self) -> float:
-        managed = sum(self.touched_buffers.values())
-        return managed / self.gpu.spec.memory_bytes
+        return self.touched_total / self._memory_bytes
+
+    def touch(self, buffer_id: int, nbytes: int) -> None:
+        """Record a buffer's footprint on this device (idempotent — a
+        buffer's size is fixed while registered)."""
+        if buffer_id not in self.touched_buffers:
+            self.touched_buffers[buffer_id] = nbytes
+            self.touched_total += nbytes
 
     def forget(self, buffer_id: int) -> None:
-        self.touched_buffers.pop(buffer_id, None)
+        nbytes = self.touched_buffers.pop(buffer_id, None)
+        if nbytes is not None:
+            self.touched_total -= nbytes
         if self.table.is_registered(buffer_id):
             self.table.unregister(buffer_id)
 
@@ -105,21 +115,37 @@ class UvmSpace:
             gpu, params, self.prefetch_config, eviction_order, rng)
             for gpu in gpus}
         self._buffers: dict[int, int] = {}   # buffer_id -> nbytes
+        # Incremental totals: register/unregister/advise adjust these so
+        # the OSF — consulted on every kernel launch — is O(1) instead of
+        # a sweep over every live buffer.  Advise mutations all flow
+        # through :meth:`advise`, which keeps the pinned total honest.
+        self._capacity = sum(g.spec.memory_bytes for g in gpus)
+        self._managed_total = 0
+        self._pinned_total = 0
 
     # -- buffer registry -----------------------------------------------------
 
     def register(self, buffer: SizedBuffer) -> None:
         """Add a buffer to the managed space (idempotent)."""
         existing = self._buffers.get(buffer.buffer_id)
-        if existing is not None and existing != buffer.nbytes:
-            raise UvmError(
-                f"buffer {buffer.buffer_id} re-registered with a different "
-                "size")
+        if existing is not None:
+            if existing != buffer.nbytes:
+                raise UvmError(
+                    f"buffer {buffer.buffer_id} re-registered with a "
+                    "different size")
+            return
         self._buffers[buffer.buffer_id] = buffer.nbytes
+        self._managed_total += buffer.nbytes
+        if self.advises.for_buffer(buffer.buffer_id).preferred_host:
+            self._pinned_total += buffer.nbytes
 
     def unregister(self, buffer_id: int) -> None:
         """Remove a buffer from the space and every device."""
-        self._buffers.pop(buffer_id, None)
+        nbytes = self._buffers.pop(buffer_id, None)
+        if nbytes is not None:
+            self._managed_total -= nbytes
+            if self.advises.for_buffer(buffer_id).preferred_host:
+                self._pinned_total -= nbytes
         for dev in self._devices.values():
             dev.forget(buffer_id)
         self.advises.forget(buffer_id)
@@ -131,12 +157,12 @@ class UvmSpace:
     @property
     def managed_bytes(self) -> int:
         """Total modeled bytes of every registered buffer."""
-        return sum(self._buffers.values())
+        return self._managed_total
 
     @property
     def capacity_bytes(self) -> int:
         """Sum of the node's GPU memory capacities."""
-        return sum(d.gpu.spec.memory_bytes for d in self._devices.values())
+        return self._capacity
 
     @property
     def oversubscription(self) -> float:
@@ -145,10 +171,7 @@ class UvmSpace:
         Host-pinned buffers never compete for device memory, so they do
         not contribute pressure.
         """
-        managed = sum(
-            nbytes for buffer_id, nbytes in self._buffers.items()
-            if not self.advises.for_buffer(buffer_id).preferred_host)
-        return managed / self.capacity_bytes
+        return (self._managed_total - self._pinned_total) / self._capacity
 
     def advise(self, buffer_id: int, advise: Advise,
                device: int | None = None) -> None:
@@ -157,7 +180,16 @@ class UvmSpace:
         Advising before first use is the normal CUDA pattern, so this does
         not require the buffer to be registered yet.
         """
-        self.advises.advise(buffer_id, advise, device)
+        nbytes = self._buffers.get(buffer_id)
+        if nbytes is None:
+            self.advises.advise(buffer_id, advise, device)
+            return
+        advise_set = self.advises.for_buffer(buffer_id)
+        was_pinned = advise_set.preferred_host
+        advise_set.apply(advise, device)
+        if advise_set.preferred_host != was_pinned:
+            self._pinned_total += (nbytes if advise_set.preferred_host
+                                   else -nbytes)
 
     def _require(self, buffer_id: int) -> int:
         try:
@@ -215,7 +247,7 @@ class UvmSpace:
                 dev.table.register(
                     buffer.buffer_id, pages_for_bytes(nbytes, page_size),
                     read_mostly=advise_set.read_mostly)
-            dev.touched_buffers[buffer.buffer_id] = nbytes
+            dev.touch(buffer.buffer_id, nbytes)
             seconds, moved = self._peer_migrate(dev, buffer.buffer_id)
             peer_seconds += seconds
             peer_bytes += moved
@@ -308,7 +340,7 @@ class UvmSpace:
                 buffer.buffer_id,
                 pages_for_bytes(nbytes, table.page_size),
                 read_mostly=read_mostly)
-        dev.touched_buffers[buffer.buffer_id] = nbytes
+        dev.touch(buffer.buffer_id, nbytes)
 
         state = table.buffer(buffer.buffer_id)
         pages = np.flatnonzero(~state.resident)

@@ -264,3 +264,26 @@ class TestPruneFrontierInteraction:
                 dag.prune_completed(lambda c: c.ce_id in done)
         assert dag.size <= 11
         assert len(dag.ancestors(last)) <= 10
+
+    def test_completed_readers_of_readonly_buffer_evicted(self):
+        """The CG-matrix scenario: a buffer read by every iteration but
+        never rewritten must not anchor its finished readers in the
+        frontier — prune evicts them (their WAR edges are vacuous) so
+        the live DAG stays bounded.  The buffer's last writer is pinned
+        semantics and survives forever."""
+        dag = DependencyDag()
+        mat, out = ManagedArray(4), ManagedArray(4)
+        w = ce(write(mat), label="w")
+        dag.add(w)
+        done = {w.ce_id}
+        prev = w
+        for i in range(50):
+            r = ce(read(mat), write(out), label=f"r{i}")
+            # RAW on the matrix; from r1 on the previous reader already
+            # covers w transitively and the filter drops the direct edge.
+            assert dag.add(r) == [prev]
+            prev = r
+            done.add(r.ce_id)
+            dag.prune_completed(lambda c: c.ce_id in done)
+            assert dag.size <= 3
+        assert w in dag

@@ -1,0 +1,238 @@
+"""Differential test: the optimized DAG vs a naive reference model.
+
+``repro.core.dag.DependencyDag`` keeps several incrementally-maintained
+structures for speed — reader-id sets, a refcounted frontier, *bounded*
+frontier-relevant ancestor sets for redundancy filtering, and a prune
+that never rescans ancestor sets.  This test pins its observable
+behaviour against :class:`NaiveDag`, a direct transcription of the
+documented semantics with none of the shortcuts:
+
+* candidates come from the per-buffer frontier (readers + last writer);
+* ``filterRedundant`` drops a candidate reachable from another candidate
+  through the *insertion-time* transitive closure (a dependency does not
+  dissolve because intermediate nodes were garbage-collected, so the
+  reference records each node's full ancestor closure when it is added
+  and never trims it);
+* public ``ancestors()`` is the closure over the *live* parents graph;
+* the frontier is the buffer-ordered union; and
+* prune removes completed non-frontier nodes and fixes up children.
+
+Random workload streams (mixed read/write/update CEs over a small buffer
+pool) are interleaved with prunes under several completion patterns, and
+every public observable — returned parents, frontier, ancestors,
+children, pending accessors, sizes — must match exactly, across multiple
+independent sessions.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import DependencyDag, ManagedArray
+from repro.core.ce import CeKind, ComputationalElement
+from repro.gpu import ArrayAccess, Direction, KernelSpec, LaunchConfig
+
+DIRECTIONS = (Direction.IN, Direction.OUT, Direction.INOUT)
+
+
+class NaiveDag:
+    """Reference dependency DAG: obviously-correct, unoptimized."""
+
+    def __init__(self):
+        self.nodes_by_id: dict[int, ComputationalElement] = {}
+        self.parents_of: dict[int, list[ComputationalElement]] = {}
+        self.children_of: dict[int, list[ComputationalElement]] = {}
+        # ce_id -> full transitive ancestor closure at insertion time;
+        # kept forever (this is a test model, not production code).
+        self.full_anc: dict[int, set[int]] = {}
+        # buffer_id -> (last_writer | None, [readers])
+        self.fronts: dict[int, list] = {}
+
+    # -- observables ---------------------------------------------------------
+
+    @property
+    def frontier(self):
+        seen = {}
+        for writer, readers in self.fronts.values():
+            if writer is not None:
+                seen.setdefault(writer.ce_id, writer)
+            for r in readers:
+                seen.setdefault(r.ce_id, r)
+        return list(seen.values())
+
+    @property
+    def size(self):
+        return len(self.nodes_by_id)
+
+    def ancestors(self, ce):
+        out, stack = set(), list(self.parents_of[ce.ce_id])
+        while stack:
+            p = stack.pop()
+            if p.ce_id not in out:
+                out.add(p.ce_id)
+                stack.extend(self.parents_of[p.ce_id])
+        return out
+
+    def edge_count(self):
+        return sum(len(c) for c in self.children_of.values())
+
+    def pending_accessors(self, buffer_id):
+        front = self.fronts.get(buffer_id)
+        if front is None:
+            return []
+        writer, readers = front
+        return list(readers) + ([writer] if writer is not None else [])
+
+    # -- mutation ------------------------------------------------------------
+
+    def add(self, ce):
+        candidates = {}
+        for access in ce.accesses:
+            front = self.fronts.get(access.buffer.buffer_id)
+            if front is None:
+                continue
+            writer, readers = front
+            if access.direction.writes:
+                for r in readers:
+                    candidates.setdefault(r.ce_id, r)
+                if writer is not None:
+                    candidates.setdefault(writer.ce_id, writer)
+            elif writer is not None:
+                candidates.setdefault(writer.ce_id, writer)
+        candidates.pop(ce.ce_id, None)
+
+        ordered = list(candidates.values())
+        ids = set(candidates)
+        redundant = set()
+        for c in ordered:
+            redundant |= self.full_anc[c.ce_id] & ids
+        filtered = [c for c in ordered if c.ce_id not in redundant]
+
+        self.parents_of[ce.ce_id] = list(filtered)
+        self.children_of[ce.ce_id] = []
+        closure = set()
+        for parent in filtered:
+            self.children_of[parent.ce_id].append(ce)
+            closure.add(parent.ce_id)
+            closure |= self.full_anc[parent.ce_id]
+        self.full_anc[ce.ce_id] = closure
+        self.nodes_by_id[ce.ce_id] = ce
+
+        for access in ce.accesses:
+            front = self.fronts.setdefault(access.buffer.buffer_id,
+                                           [None, []])
+            if access.direction.writes:
+                front[0] = ce
+                front[1] = []
+            elif all(r.ce_id != ce.ce_id for r in front[1]):
+                front[1].append(ce)
+        return filtered
+
+    def prune_completed(self, is_done):
+        # Completed readers leave their buffer frontiers (their WAR edges
+        # are vacuous); last writers never do.
+        for front in self.fronts.values():
+            front[1] = [r for r in front[1] if not is_done(r)]
+        keep = {ce.ce_id for ce in self.frontier}
+        doomed = [cid for cid, ce in self.nodes_by_id.items()
+                  if cid not in keep and is_done(ce)]
+        for cid in doomed:
+            for child in self.children_of.pop(cid):
+                if child.ce_id in self.parents_of:
+                    self.parents_of[child.ce_id] = [
+                        p for p in self.parents_of[child.ce_id]
+                        if p.ce_id != cid]
+            del self.parents_of[cid]
+            del self.nodes_by_id[cid]
+        return len(doomed)
+
+
+def make_ce(rng, arrays):
+    n = rng.randint(1, min(3, len(arrays)))
+    chosen = rng.sample(range(len(arrays)), n)
+    accesses = tuple(ArrayAccess(arrays[i], rng.choice(DIRECTIONS))
+                     for i in chosen)
+    return ComputationalElement(
+        kind=CeKind.KERNEL, accesses=accesses,
+        kernel=KernelSpec("k"), config=LaunchConfig((1,), (32,)))
+
+
+def assert_equivalent(dag: DependencyDag, ref: NaiveDag, live):
+    assert dag.size == ref.size
+    assert dag.edge_count() == ref.edge_count()
+    assert [c.ce_id for c in dag.frontier] == \
+        [c.ce_id for c in ref.frontier]
+    for ce in live:
+        assert (ce in dag) == (ce.ce_id in ref.nodes_by_id)
+        if ce.ce_id not in ref.nodes_by_id:
+            continue
+        assert [p.ce_id for p in dag.parents(ce)] == \
+            [p.ce_id for p in ref.parents_of[ce.ce_id]]
+        assert [c.ce_id for c in dag.children(ce)] == \
+            [c.ce_id for c in ref.children_of[ce.ce_id]]
+        assert dag.ancestors(ce) == ref.ancestors(ce)
+    for array in {a for ce in live for a in ce.arrays}:
+        assert [c.ce_id for c in dag.pending_accessors(array.buffer_id)] \
+            == [c.ce_id for c in ref.pending_accessors(array.buffer_id)]
+
+
+class TestDifferential:
+    def _run_session(self, seed, n_ces=120, n_buffers=5,
+                     prune_every=17, done_fraction=0.7):
+        rng = random.Random(seed)
+        arrays = [ManagedArray(4) for _ in range(n_buffers)]
+        dag, ref = DependencyDag(), NaiveDag()
+        live = []
+        done_ids = set()
+        for step in range(n_ces):
+            ce = make_ce(rng, arrays)
+            got = dag.add(ce)
+            expected = ref.add(ce)
+            assert [c.ce_id for c in got] == [c.ce_id for c in expected]
+            live.append(ce)
+            # Random subset of existing CEs "completes".
+            for other in live:
+                if rng.random() < done_fraction * 0.1:
+                    done_ids.add(other.ce_id)
+            if step % prune_every == prune_every - 1:
+                removed = dag.prune_completed(
+                    lambda c: c.ce_id in done_ids)
+                removed_ref = ref.prune_completed(
+                    lambda c: c.ce_id in done_ids)
+                assert removed == removed_ref
+                live = [ce for ce in live if ce.ce_id in ref.nodes_by_id]
+            assert_equivalent(dag, ref, live)
+
+    def test_random_streams_match_reference(self):
+        for seed in range(12):
+            self._run_session(seed)
+
+    def test_separate_sessions_stay_independent(self):
+        """Fresh DAG instances (one per program session) never share
+        frontier or ancestor state."""
+        for seed in (100, 101):
+            self._run_session(seed, n_ces=60, n_buffers=3, prune_every=7)
+
+    def test_write_heavy_chains(self):
+        """INOUT-only chains: the regime where bounded ancestor sets pay
+        off (and where an off-by-one would rewire the chain)."""
+        rng = random.Random(7)
+        a = ManagedArray(4)
+        dag, ref = DependencyDag(), NaiveDag()
+        live, done_ids = [], set()
+        for i in range(200):
+            ce = ComputationalElement(
+                kind=CeKind.KERNEL,
+                accesses=(ArrayAccess(a, Direction.INOUT),),
+                kernel=KernelSpec("k"), config=LaunchConfig((1,), (32,)))
+            assert [c.ce_id for c in dag.add(ce)] == \
+                [c.ce_id for c in ref.add(ce)]
+            live.append(ce)
+            if len(live) > 1:
+                done_ids.add(live[-2].ce_id)
+            if i % 10 == 9:
+                assert dag.prune_completed(lambda c: c.ce_id in done_ids) \
+                    == ref.prune_completed(lambda c: c.ce_id in done_ids)
+                live = [ce for ce in live if ce.ce_id in ref.nodes_by_id]
+            assert_equivalent(dag, ref, live)
+        assert dag.size <= 12
