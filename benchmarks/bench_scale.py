@@ -13,8 +13,11 @@ Usage (see docs/PERFORMANCE.md for the full story)::
         --check BENCH_scale.json                                  # CI gate
     PYTHONPATH=src python benchmarks/bench_scale.py --out BENCH_scale.json
 
-``--check`` exits non-zero when any overlapping (workload, size) pair
-regressed by more than 2x wall-clock against the committed baseline.
+``--check`` exits non-zero when any overlapping (workload, size, shards)
+tuple dropped below 1/2 of the committed baseline's events/sec;
+``--repeats 3`` gates on the median run.  ``--shards N`` measures the
+conservative-window sharded mode (its rows only ever compare against
+sharded baseline rows).
 """
 
 from __future__ import annotations
@@ -50,10 +53,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out", type=str, default=None,
                         help="write the grout-bench-scale/1 JSON here")
     parser.add_argument("--check", type=str, default=None,
-                        help="baseline JSON to gate against "
-                             "(>2x wall-clock regression fails)")
+                        help="baseline JSON to gate against (events/sec "
+                             "below 1/factor of baseline fails)")
     parser.add_argument("--check-factor", type=float, default=2.0,
-                        help="allowed wall-clock regression (default 2.0)")
+                        help="allowed events/sec regression (default 2.0)")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="run the workers in N shard processes "
+                             "(conservative-window parallel simulation)")
+    parser.add_argument("--shard-window", type=float, default=None,
+                        help="exchange-window width in simulated seconds")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="measure each pair N times, record the "
+                             "median-events/sec run (default 1)")
     parser.add_argument("--reference", type=str, default=None,
                         help="earlier capture whose results are embedded "
                              "as the report's `reference` section")
@@ -70,18 +81,21 @@ def main(argv: list[str] | None = None) -> int:
                  if args.workloads else None)
 
     report = run_scale(sizes, workloads, quick=args.quick,
-                       isolate=not args.no_isolate, log=print)
+                       isolate=not args.no_isolate, shards=args.shards,
+                       shard_window=args.shard_window,
+                       repeats=args.repeats, log=print)
     if args.reference:
         with open(args.reference, "r", encoding="utf-8") as fh:
             report.reference = json.load(fh).get("results")
 
     payload = figure_to_dict(report)
-    rows = [(r.workload, f"{r.ces:,}", f"{r.wall_seconds:.2f}",
+    rows = [(r.workload, f"{r.ces:,}", str(r.shards or "-"),
+             f"{r.wall_seconds:.2f}",
              f"{r.ces_per_sec:,.0f}", f"{r.events_per_sec:,.0f}",
              f"{r.peak_rss_mib:.1f}") for r in report.results]
     print()
     print(format_table(
-        ["workload", "CEs", "wall (s)", "CEs/s", "events/s",
+        ["workload", "CEs", "shards", "wall (s)", "CEs/s", "events/s",
          "peak RSS (MiB)"], rows, title="Scheduling scale"))
 
     if args.out:
@@ -101,7 +115,7 @@ def main(argv: list[str] | None = None) -> int:
                 print("  " + failure)
             return 1
         print(f"\nperf gate OK vs {args.check} "
-              f"(<= {args.check_factor:g}x wall-clock)")
+              f"(events/sec >= 1/{args.check_factor:g} of baseline)")
     return 0
 
 

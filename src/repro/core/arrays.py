@@ -129,13 +129,17 @@ class ArrayState:
     """Directory entry of one managed array."""
 
     __slots__ = ("up_to_date", "last_writer", "readers_since_write",
-                 "inflight", "inflight_src", "inflight_producer",
-                 "inflight_relay", "nbytes")
+                 "reader_ids", "inflight", "inflight_src",
+                 "inflight_producer", "inflight_relay", "nbytes")
 
     def __init__(self, home: str, nbytes: int = 0):
         self.up_to_date: set[str] = {home}
         self.last_writer: "ComputationalElement | None" = None
         self.readers_since_write: list["ComputationalElement"] = []
+        #: ce_ids of ``readers_since_write`` — O(1) dedup on the
+        #: record_read hot path (a linear scan is O(width²) per epoch on
+        #: wide fan-out workloads).
+        self.reader_ids: set[int] = set()
         #: node -> completion event of a replication transfer headed there
         self.inflight: dict[str, Event] = {}
         #: node -> source the in-flight replication ships from (recovery
@@ -280,6 +284,7 @@ class Directory:
             n: c for n, c in state.inflight_relay.items() if n == node}
         state.last_writer = ce
         state.readers_since_write = []
+        state.reader_ids = set()
         return invalidated
 
     def record_read(self, array: ManagedArray,
@@ -291,7 +296,8 @@ class Directory:
         once, so read-heavy workloads do not grow the list per access.
         """
         state = self.state(array)
-        if all(r.ce_id != ce.ce_id for r in state.readers_since_write):
+        if ce.ce_id not in state.reader_ids:
+            state.reader_ids.add(ce.ce_id)
             state.readers_since_write.append(ce)
 
     def prune_readers(self) -> int:
@@ -308,6 +314,9 @@ class Directory:
             state.readers_since_write = [
                 ce for ce in state.readers_since_write
                 if ce.done is None or not ce.done.processed]
+            if len(state.readers_since_write) != before:
+                state.reader_ids = {
+                    ce.ce_id for ce in state.readers_since_write}
             dropped += before - len(state.readers_since_write)
         return dropped
 

@@ -199,7 +199,10 @@ class Controller:
                  prune_every: int = 256,
                  collectives: bool = False,
                  chunk_bytes: int | None = None,
-                 fair_share_window: int = 32):
+                 fair_share_window: int = 32,
+                 shards: int | None = None,
+                 shard_window: float | None = None,
+                 shard_max_outstanding: int | None = None):
         self.cluster = cluster
         self.engine = cluster.engine
         self.policy = policy
@@ -208,12 +211,32 @@ class Controller:
             getattr(cluster, "metrics", None) or MetricsRegistry())
         self.profiler: CeProfiler | None = getattr(
             cluster, "profiler", None)
-        self.workers: dict[str, IntraNodeScheduler] = {
-            w.name: IntraNodeScheduler(
-                w, max_streams_per_gpu=max_streams_per_gpu,
-                metrics=self.metrics, profiler=self.profiler)
-            for w in cluster.workers
-        }
+        self._max_streams_per_gpu = max_streams_per_gpu
+        #: Shard coordinator (conservative-window parallel simulation);
+        #: ``None`` in the default single-process mode, which keeps the
+        #: event schedule byte-identical to the golden trace.
+        self.coordinator = None
+        if shards is not None:
+            if collectives:
+                raise SimError(
+                    "collectives are not supported in shard mode (relay "
+                    "legs would need cross-process stream state)")
+            from repro.core import shard as shard_mod
+            kwargs = {}
+            if shard_window is not None:
+                kwargs["window"] = shard_window
+            if shard_max_outstanding is not None:
+                kwargs["max_outstanding"] = shard_max_outstanding
+            self.coordinator = shard_mod.ShardCoordinator(
+                self, shards, **kwargs)
+            self.workers = self.coordinator.proxies()
+        else:
+            self.workers: dict[str, IntraNodeScheduler] = {
+                w.name: IntraNodeScheduler(
+                    w, max_streams_per_gpu=max_streams_per_gpu,
+                    metrics=self.metrics, profiler=self.profiler)
+                for w in cluster.workers
+            }
         self.dag = DependencyDag()
         self.stats = ControllerStats(self.metrics)
         #: Collective data movement (broadcast relays); a no-op unless
@@ -239,7 +262,6 @@ class Controller:
             DispatchStage(self, self.fair_share_gate),
         ])
         self._prune_every = prune_every
-        self._max_streams_per_gpu = max_streams_per_gpu
         self._pending: list[Event] = []
         self._scheduled = 0           # prune cadence, cheap local count
         self._prune_seen_events = -1  # engine progress at the last prune
@@ -251,6 +273,9 @@ class Controller:
         new node from the next decision on (and are notified through
         :meth:`~repro.core.policies.Policy.notify_topology_changed`).
         """
+        if self.coordinator is not None:
+            raise SimError("autoscaling is not supported in shard mode "
+                           "(the worker partition is fixed at start)")
         node = self.cluster.add_worker()
         self.workers[node.name] = IntraNodeScheduler(
             node, max_streams_per_gpu=self._max_streams_per_gpu,
@@ -289,6 +314,13 @@ class Controller:
                                  if not e.processed]
                 self.directory.prune_readers()
         assert state.done is not None
+        if self.coordinator is not None:
+            # Backpressure: an eager build loop never runs the engine on
+            # its own, so past the in-flight cap the coordinator pumps
+            # exchange windows here — draining completions, letting the
+            # periodic prune above actually collect, and bounding the
+            # live CE graph at million-CE scale.
+            self.coordinator.maybe_pump()
         return state.done
 
     # -- failure recovery --------------------------------------------------------
@@ -308,6 +340,9 @@ class Controller:
         each re-execution's completion to the original ``done`` event so
         downstream waiters (and the user program) never notice.
         """
+        if self.coordinator is not None:
+            raise SimError("crash recovery is not supported in shard "
+                           "mode (fault injection is guarded off)")
         scheduler = self.workers.pop(name, None)
         if scheduler is None:
             raise KeyError(f"no live worker named {name!r}")
@@ -436,3 +471,29 @@ class Controller:
         """Completion events of CEs still in flight."""
         self._pending = [e for e in self._pending if not e.processed]
         return list(self._pending)
+
+    def run_until(self, event: Event) -> None:
+        """Advance simulation until ``event`` fires.
+
+        The one entry point the runtime and sessions block through: in
+        the default mode it is exactly ``engine.run(until=event)``; in
+        shard mode it drives conservative exchange windows until the
+        event resolves, so cross-process completions keep flowing while
+        the controller waits.
+        """
+        if self.coordinator is not None:
+            self.coordinator.run_until(event)
+        else:
+            self.engine.run(until=event)
+
+    def run_for(self, horizon: float) -> None:
+        """Advance simulation until simulated time reaches ``horizon``."""
+        if self.coordinator is not None:
+            self.coordinator.run_for(horizon)
+        else:
+            self.engine.run(until=horizon)
+
+    def shutdown(self) -> None:
+        """Release external resources (shard processes); idempotent."""
+        if self.coordinator is not None:
+            self.coordinator.shutdown()

@@ -20,10 +20,10 @@ intersection rather than a graph search.  The sets are deliberately
 bounded: a stored set holds ``trans(x) ∩ frontier-at-add-time(x)``, which
 is exactly what the filter ever needs.  The argument: frontier membership
 is an interval — a CE enters the frontier at its own ``add`` and once it
-leaves (superseded by a later writer, or evicted by ``prune_completed``
-as a finished reader) never re-enters (readers are appended only during
-their own insertion; a last writer is installed only at its own
-insertion; eviction only removes).  A
+leaves (superseded by a later writer, sealed into a reader cohort, or
+evicted by ``prune_completed`` as a finished reader) never re-enters
+(readers are appended only during their own insertion; a last writer is
+installed only at its own insertion; eviction only removes).  A
 redundancy query intersects ``stored(B)`` with *current* frontier ids; any
 ancestor A still in the frontier now was already in the frontier when B
 was inserted (B is newer and intervals nest), so ``trans(B) ∩ F_now ⊆
@@ -35,6 +35,53 @@ ends (it can never be read again).  The net effect is that set sizes track
 frontier width, not DAG size — the property that keeps million-CE
 ingestion linear.
 
+Reader cohorts (the partitioned frontier)
+-----------------------------------------
+A buffer that is read by N CEs and only then written used to keep all N
+readers in its frontier: the eventual writer scanned N candidates, every
+prune rescanned N readers, and the writer's wait fan-in was an N-child
+condition — the O(N) walls behind wide fan-outs.  Instead, once a
+buffer's reader list reaches :attr:`DependencyDag.cohort_size` (K), the
+readers are *sealed* into a cohort represented by one synthetic
+:class:`_CohortJoin` node:
+
+* the K members leave the frontier; the join enters it in their place,
+  so a writer after N readers scans O(N/K) cohort representatives plus
+  at most K-1 unsealed tail readers;
+* the join's bounded ancestor set is the member ids plus the union of
+  their (frontier-intersected) sets, so redundancy filtering through a
+  join is exactly as strong as against its members;
+* the join's ``done`` event is built lazily as an ``AllOf`` over the
+  members' completion events and cached, so every dependent of the
+  cohort shares one K-child condition — together with the grouped
+  ``AllOf`` in :mod:`repro.sim.events` this turns the million-child
+  fan-in into a two-level tree of ≤K-wide conditions;
+* sealed members that also hold no other frontier role are *retired*
+  (below) and become prunable while their cohort is still live — the
+  join keeps the member references it needs for its ``done`` event.
+
+Joins carry negative ``ce_id``\\ s from a per-DAG counter (they are not
+CEs, never enter :meth:`nodes`, and must not perturb global CE
+numbering).  They quack just enough like a CE for the scheduler: a
+``ce_id``, a ``done`` event and membership in parent lists.  Public
+:meth:`ancestors` expands joins to their members transparently.
+
+Sealing only triggers at K readers per buffer per write epoch, so
+programs that never accumulate that many readers — every golden-trace
+scenario — build byte-identical DAGs and schedules.
+
+Retired set (incremental prune)
+-------------------------------
+``prune_completed`` used to scan *every* node for prunable ones, which
+made each prune O(DAG) — quadratic over a run.  The DAG now tracks the
+*retired* set — nodes still present but holding no frontier role (the
+only nodes prune may drop) — maintained at the exact points frontier
+membership ends.  A prune scans retired nodes only.  Callers on hot
+paths can do better still: :meth:`mark_done` records a CE's completion
+as it happens, moving already-retired nodes onto an exact ready queue,
+and ``prune_completed()`` *without* a predicate drains that queue in
+O(newly prunable) instead of rescanning retired-but-running nodes.
+
 The *public* :meth:`DependencyDag.ancestors` still reports the full
 transitive closure (callers and tests rely on it); it walks the parents
 graph on demand instead of reading the bounded internal sets.
@@ -42,9 +89,12 @@ graph on demand instead of reading the bounded internal sets.
 
 from __future__ import annotations
 
+import itertools
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.core.ce import ComputationalElement
+from repro.sim.events import AllOf
 
 
 @dataclass(slots=True)
@@ -52,8 +102,53 @@ class _NodeInfo:
     #: Frontier-relevant transitive ancestors (see module docstring) —
     #: internal to filterRedundant; NOT the full closure.
     ancestors: set[int] = field(default_factory=set)
-    parents: list[ComputationalElement] = field(default_factory=list)
+    parents: list = field(default_factory=list)
     children: list[ComputationalElement] = field(default_factory=list)
+
+
+class _CohortJoin:
+    """Synthetic frontier node standing for a sealed cohort of readers.
+
+    Negative ``ce_id`` (per-DAG counter), so joins can never collide with
+    — or renumber — real CEs.  ``done_upto`` is the done-prefix pointer
+    prune uses: members are scanned for completion at most once each
+    across the cohort's whole lifetime.
+    """
+
+    __slots__ = ("ce_id", "buffer_id", "members", "done_upto", "_done")
+
+    def __init__(self, ce_id: int, buffer_id: int,
+                 members: list[ComputationalElement]):
+        self.ce_id = ce_id
+        self.buffer_id = buffer_id
+        self.members = members
+        self.done_upto = 0
+        self._done = None
+
+    @property
+    def done(self):
+        """Completion event of the whole cohort (lazy, cached).
+
+        Built only when a dependent actually waits on the cohort; every
+        dependent then shares the same ``AllOf``.  ``None`` once every
+        member's completion has already been delivered — same contract
+        as a processed CE, and callers already skip those.
+        """
+        ev = self._done
+        if ev is not None:
+            return ev
+        pending = [m.done for m in self.members
+                   if m.done is not None and not m.done.processed]
+        if not pending:
+            return None
+        ev = AllOf(pending[0].engine, pending,
+                   name=f"cohort{-self.ce_id}")
+        self._done = ev
+        return ev
+
+    def __repr__(self) -> str:
+        return (f"<CohortJoin {self.ce_id} buf={self.buffer_id} "
+                f"members={len(self.members)}>")
 
 
 @dataclass(slots=True)
@@ -62,12 +157,22 @@ class _BufferFrontier:
     readers: list[ComputationalElement] = field(default_factory=list)
     #: Mirror of ``readers`` for O(1) dedup of multi-access CEs.
     reader_ids: set[int] = field(default_factory=set)
+    #: Sealed reader cohorts (oldest first), standing in for their
+    #: members in every frontier role.
+    cohorts: deque = field(default_factory=deque)
 
 
 class DependencyDag:
     """Append-only CE dependency graph with a per-buffer frontier."""
 
-    def __init__(self) -> None:
+    #: Readers per buffer before they are sealed into a cohort.  Matches
+    #: ``AllOf.FANOUT`` so a cohort's completion condition stays flat.
+    COHORT_SIZE = 64
+
+    def __init__(self, cohort_size: int | None = None) -> None:
+        self.cohort_size = cohort_size or self.COHORT_SIZE
+        if self.cohort_size < 2:
+            raise ValueError("cohort_size must be >= 2")
         self._info: dict[int, _NodeInfo] = {}
         self._nodes: dict[int, ComputationalElement] = {}
         self._buffers: dict[int, _BufferFrontier] = {}
@@ -75,24 +180,37 @@ class DependencyDag:
         #: key set *is* the frontier; prune consults it without ever
         #: materialising the CE list.
         self._frontier_count: dict[int, int] = {}
-        self._frontier_cache: list[ComputationalElement] = []
+        self._frontier_cache: list = []
         self._frontier_dirty = False
+        self._join_ids = itertools.count(-1, -1)
+        self._joins: dict[int, _CohortJoin] = {}
+        #: Nodes present but holding no frontier role — the only prune
+        #: candidates.  ``_retired_ready`` is the exact subset already
+        #: known complete via :meth:`mark_done`.
+        self._retired: set[int] = set()
+        self._retired_ready: list[int] = []
+        self._retired_joins: list[_CohortJoin] = []
+        self._done_marks: set[int] = set()
 
     # -- inspection ----------------------------------------------------------
 
     @property
-    def frontier(self) -> list[ComputationalElement]:
-        """CEs a future insertion could directly depend on.
+    def frontier(self) -> list:
+        """Nodes a future insertion could directly depend on.
 
-        Buffer-ordered union (last writer first, then readers in arrival
-        order per buffer), deduplicated — rebuilt lazily after mutations.
+        Buffer-ordered union (last writer first, then cohort joins, then
+        unsealed readers in arrival order per buffer), deduplicated —
+        rebuilt lazily after mutations.  Contains :class:`_CohortJoin`
+        entries once cohorts have sealed.
         """
         if self._frontier_dirty:
-            seen: dict[int, ComputationalElement] = {}
+            seen: dict[int, object] = {}
             for bf in self._buffers.values():
                 lw = bf.last_writer
                 if lw is not None:
                     seen.setdefault(lw.ce_id, lw)
+                for join in bf.cohorts:
+                    seen.setdefault(join.ce_id, join)
                 for r in bf.readers:
                     seen.setdefault(r.ce_id, r)
             self._frontier_cache = list(seen.values())
@@ -101,14 +219,14 @@ class DependencyDag:
 
     @property
     def size(self) -> int:
-        """Number of CEs currently in the DAG."""
+        """Number of CEs currently in the DAG (joins excluded)."""
         return len(self._nodes)
 
     def __contains__(self, ce: ComputationalElement) -> bool:
         return ce.ce_id in self._nodes
 
-    def parents(self, ce: ComputationalElement) -> list[ComputationalElement]:
-        """Direct (filtered) ancestors of a CE."""
+    def parents(self, ce: ComputationalElement) -> list:
+        """Direct (filtered) ancestors of a CE; may contain cohort joins."""
         return list(self._info[ce.ce_id].parents)
 
     def children(self, ce: ComputationalElement) -> list[ComputationalElement]:
@@ -116,13 +234,24 @@ class DependencyDag:
         return list(self._info[ce.ce_id].children)
 
     def ancestors(self, ce: ComputationalElement) -> set[int]:
-        """Transitive ancestor ce_ids (full closure over live nodes)."""
+        """Transitive ancestor ce_ids (full closure over live nodes).
+
+        Cohort joins are traversed transparently: their members appear in
+        the closure, the synthetic join ids never do.
+        """
         out: set[int] = set()
+        seen_joins: set[int] = set()
         stack = list(self._info[ce.ce_id].parents)
         info = self._info
         while stack:
             parent = stack.pop()
             pid = parent.ce_id
+            if pid < 0:
+                if pid not in seen_joins:
+                    seen_joins.add(pid)
+                    stack.extend(m for m in parent.members
+                                 if m.ce_id in info)
+                continue
             if pid not in out:
                 out.add(pid)
                 stack.extend(info[pid].parents)
@@ -132,13 +261,15 @@ class DependencyDag:
         """Total number of dependency edges."""
         return sum(len(i.children) for i in self._info.values())
 
-    def pending_accessors(self, buffer_id: int) -> list[ComputationalElement]:
-        """The CEs a host-side *write* of this buffer must wait for:
-        the last writer (RAW) and every reader since (WAR)."""
+    def pending_accessors(self, buffer_id: int) -> list:
+        """The nodes a host-side *write* of this buffer must wait for:
+        the last writer (RAW) and every reader since (WAR) — sealed
+        cohorts as their join nodes."""
         bf = self._buffers.get(buffer_id)
         if bf is None:
             return []
-        out = list(bf.readers)
+        out = list(bf.cohorts)
+        out.extend(bf.readers)
         if bf.last_writer is not None:
             out.append(bf.last_writer)
         return out
@@ -149,19 +280,27 @@ class DependencyDag:
 
     # -- Algorithm 1, DAG phase -------------------------------------------------
 
-    def add(self, ce: ComputationalElement) -> list[ComputationalElement]:
-        """Insert a CE; returns its (redundancy-filtered) direct ancestors."""
+    def add(self, ce: ComputationalElement) -> list:
+        """Insert a CE; returns its (redundancy-filtered) direct ancestors.
+
+        The returned list may contain :class:`_CohortJoin` entries; they
+        expose ``done`` (an ``AllOf`` over their members) exactly like a
+        CE, so wait collection is uniform.
+        """
         if ce.ce_id in self._nodes:
             raise ValueError(f"{ce!r} already in the DAG")
 
         # Scan the (per-buffer) frontier for conflicting CEs.
-        candidates: dict[int, ComputationalElement] = {}
+        candidates: dict[int, object] = {}
         for access in ce.accesses:
             bf = self._buffers.get(access.buffer.buffer_id)
             if bf is None:
                 continue
             if access.direction.writes:
-                # WAR against every reader, WAW against the writer.
+                # WAR against every reader — sealed cohorts count once
+                # through their join — WAW against the writer.
+                for join in bf.cohorts:
+                    candidates.setdefault(join.ce_id, join)
                 for r in bf.readers:
                     candidates.setdefault(r.ce_id, r)
                 if bf.last_writer is not None:
@@ -193,6 +332,7 @@ class DependencyDag:
         # reading *and* writing the same buffer (transient leave + re-enter
         # within its own insertion) never loses its ancestor set.
         departed: list[int] = []
+        sealable: list[int] = []
         for access in ce.accesses:
             bid = access.buffer.buffer_id
             bf = self._buffers.get(bid)
@@ -205,6 +345,10 @@ class DependencyDag:
                 if old is None or old.ce_id != ce.ce_id:
                     fcount[ce.ce_id] = fcount.get(ce.ce_id, 0) + 1
                 bf.last_writer = ce
+                if bf.cohorts:
+                    for join in bf.cohorts:
+                        self._leave(join.ce_id, departed)
+                    bf.cohorts = deque()
                 if bf.readers:
                     for r in bf.readers:
                         self._leave(r.ce_id, departed)
@@ -214,15 +358,44 @@ class DependencyDag:
                 bf.readers.append(ce)
                 bf.reader_ids.add(ce.ce_id)
                 fcount[ce.ce_id] = fcount.get(ce.ce_id, 0) + 1
-        for cid in departed:
-            if cid not in fcount:
-                dead_info = self._info.get(cid)
-                if dead_info is not None:
-                    # Out of the frontier for good: the bounded set can
-                    # never be consulted again.
-                    dead_info.ancestors = set()
+                if len(bf.readers) >= self.cohort_size:
+                    sealable.append(bid)
+        # Seal full reader lists only after every access is frontier-
+        # registered, so intra-CE dedup (reader_ids) stays intact.
+        for bid in sealable:
+            bf = self._buffers[bid]
+            if len(bf.readers) >= self.cohort_size:
+                self._seal(bid, bf, departed)
+        self._settle_departed(departed)
+        if ce.ce_id not in fcount:
+            # Zero-access CE (a pure barrier): never held a frontier
+            # role, prunable as soon as it completes.
+            self._retire(ce.ce_id)
         self._frontier_dirty = True
         return filtered
+
+    def _seal(self, bid: int, bf: _BufferFrontier,
+              departed: list[int]) -> None:
+        """Collapse the buffer's unsealed readers into one cohort join."""
+        members = bf.readers
+        join = _CohortJoin(next(self._join_ids), bid, members)
+        anc: set[int] = set()
+        fkeys = self._frontier_count.keys()
+        for m in members:
+            anc.add(m.ce_id)
+            minfo = self._info[m.ce_id]
+            if minfo.ancestors:
+                anc |= minfo.ancestors & fkeys
+        info = _NodeInfo()
+        info.ancestors = anc
+        self._info[join.ce_id] = info
+        self._joins[join.ce_id] = join
+        for m in members:
+            self._leave(m.ce_id, departed)
+        self._frontier_count[join.ce_id] = 1
+        bf.cohorts.append(join)
+        bf.readers = []
+        bf.reader_ids = set()
 
     def _leave(self, cid: int, departed: list[int]) -> None:
         count = self._frontier_count[cid] - 1
@@ -232,9 +405,29 @@ class DependencyDag:
             del self._frontier_count[cid]
             departed.append(cid)
 
-    def _filter_redundant(
-        self, candidates: list[ComputationalElement]
-    ) -> list[ComputationalElement]:
+    def _settle_departed(self, departed: list[int]) -> None:
+        """Handle nodes whose last frontier membership just ended."""
+        fcount = self._frontier_count
+        for cid in departed:
+            if cid in fcount:   # re-entered within the same operation
+                continue
+            info = self._info.get(cid)
+            if info is not None:
+                # Out of the frontier for good: the bounded set can
+                # never be consulted again.
+                info.ancestors = set()
+            if cid < 0:
+                self._retired_joins.append(self._joins[cid])
+            elif cid in self._nodes:
+                self._retire(cid)
+
+    def _retire(self, cid: int) -> None:
+        if cid in self._done_marks:
+            self._retired_ready.append(cid)
+        else:
+            self._retired.add(cid)
+
+    def _filter_redundant(self, candidates: list) -> list:
         """Drop candidate A when another candidate transitively depends on A."""
         if len(candidates) < 2:
             return candidates
@@ -248,7 +441,37 @@ class DependencyDag:
 
     # -- maintenance ------------------------------------------------------------
 
-    def prune_completed(self, is_done) -> int:
+    def mark_done(self, ce: ComputationalElement) -> None:
+        """Record a CE's completion the moment it happens.
+
+        Hot-path alternative to the ``is_done`` predicate: callers that
+        observe completions anyway (the intra-node scheduler's completion
+        hook) mark them here, and ``prune_completed()`` without a
+        predicate then runs in O(newly prunable) — no retired-set rescan.
+        """
+        cid = ce.ce_id
+        if cid not in self._nodes:
+            return
+        self._done_marks.add(cid)
+        if cid in self._retired:
+            self._retired.discard(cid)
+            self._retired_ready.append(cid)
+
+    def _node_done(self, node, pred) -> bool:
+        """Doneness of a (possibly already pruned) cohort member."""
+        return node.ce_id not in self._nodes or pred(node)
+
+    def _cohort_done(self, join: _CohortJoin, pred) -> bool:
+        """Advance the cohort's done-prefix pointer; True when complete."""
+        members = join.members
+        i = join.done_upto
+        n = len(members)
+        while i < n and self._node_done(members[i], pred):
+            i += 1
+        join.done_upto = i
+        return i == n
+
+    def prune_completed(self, is_done=None) -> int:
         """Drop finished CEs no longer reachable from the frontier.
 
         Long-running workloads (CG iterations) would otherwise grow the DAG
@@ -263,21 +486,40 @@ class DependencyDag:
         buffer that is never written again (a CG iteration's matrix)
         would otherwise anchor every reader it ever had — and, through
         the frontier intersection, every ancestor set built while they
-        linger — forever.  Last writers are never evicted: the per-buffer
-        RAW chain is pinned semantics (a future reader still binds to its
-        buffer's live writer, finished or not).  Eviction only shrinks
-        the frontier, so membership stays an interval and the bounded
-        ancestor-set argument above is untouched.
+        linger — forever.  Sealed cohorts are evicted wholesale, oldest
+        first, once every member completed; eviction stops at the first
+        incomplete cohort (completion is near-FIFO in practice, and a
+        lingering complete cohort behind an incomplete one costs only a
+        vacuous join candidate, never a missed dependency).  Last writers
+        are never evicted: the per-buffer RAW chain is pinned semantics
+        (a future reader still binds to its buffer's live writer,
+        finished or not).  Eviction only shrinks the frontier, so
+        membership stays an interval and the bounded ancestor-set
+        argument above is untouched.
+
+        With ``is_done=None`` the DAG uses completions recorded through
+        :meth:`mark_done` (the exact, O(newly prunable) path).  Returns
+        the number of *CEs* removed; evicted cohort joins are unwinding
+        machinery and are not counted.
         """
+        if is_done is None:
+            marks = self._done_marks
+            pred = lambda node: node.ce_id in marks  # noqa: E731
+        else:
+            pred = is_done
         fcount = self._frontier_count
         departed: list[int] = []
         for bf in self._buffers.values():
+            while bf.cohorts and self._cohort_done(bf.cohorts[0], pred):
+                join = bf.cohorts.popleft()
+                self._leave(join.ce_id, departed)
+                self._frontier_dirty = True
             readers = bf.readers
             if not readers:
                 continue
             keep = []
             for r in readers:
-                if is_done(r):
+                if pred(r):
                     self._leave(r.ce_id, departed)
                 else:
                     keep.append(r)
@@ -285,25 +527,38 @@ class DependencyDag:
                 bf.readers = keep
                 bf.reader_ids = {r.ce_id for r in keep}
                 self._frontier_dirty = True
-        for cid in departed:
-            if cid not in fcount:   # may still be a last writer elsewhere
-                dead_info = self._info.get(cid)
-                if dead_info is not None:
-                    dead_info.ancestors = set()
-        if len(self._nodes) <= len(fcount):
-            return 0
-        doomed = [cid for cid, ce in self._nodes.items()
-                  if cid not in fcount and is_done(ce)]
-        if not doomed:
-            return 0
-        info_map = self._info
-        nodes = self._nodes
+        self._settle_departed(departed)
+
+        # Retired joins (superseded by a writer, or just evicted above)
+        # unwind once their members completed.
+        if self._retired_joins:
+            still: list[_CohortJoin] = []
+            for join in self._retired_joins:
+                if self._cohort_done(join, pred):
+                    self._remove_node(join.ce_id)
+                else:
+                    still.append(join)
+            self._retired_joins = still
+
+        if is_done is None:
+            doomed = self._retired_ready
+            self._retired_ready = []
+        else:
+            doomed = [cid for cid in self._retired
+                      if pred(self._nodes[cid])]
+            self._retired.difference_update(doomed)
         for cid in doomed:
-            info = info_map.pop(cid)
-            for child in info.children:
-                cinfo = info_map.get(child.ce_id)
-                if cinfo is not None:
-                    cinfo.parents = [p for p in cinfo.parents
-                                     if p.ce_id != cid]
-            del nodes[cid]
+            self._remove_node(cid)
         return len(doomed)
+
+    def _remove_node(self, cid: int) -> None:
+        info = self._info.pop(cid)
+        info_map = self._info
+        for child in info.children:
+            cinfo = info_map.get(child.ce_id)
+            if cinfo is not None:
+                cinfo.parents = [p for p in cinfo.parents
+                                 if p.ce_id != cid]
+        self._nodes.pop(cid, None)
+        self._joins.pop(cid, None)
+        self._done_marks.discard(cid)

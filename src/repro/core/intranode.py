@@ -234,7 +234,7 @@ class IntraNodeScheduler:
                               waits=list(waits) + parent_waits,
                               meta=meta)
         done.callbacks.append(
-            lambda _ev: self._complete(gpu.gpu_id, load))
+            lambda _ev: self._complete(gpu.gpu_id, load, ce))
         return done
 
     def _submit_prefetch(self, ce: ComputationalElement,
@@ -282,19 +282,27 @@ class IntraNodeScheduler:
         meta = {"ce": ce.ce_id}
         if ce.session is not None:
             meta["session"] = ce.session
-        return stream.enqueue(body, name=ce.display_name,
+        done = stream.enqueue(body, name=ce.display_name,
                               category="prefetch", waits=list(waits),
                               meta=meta)
+        done.callbacks.append(
+            lambda _ev: self.local_dag.mark_done(ce))
+        return done
 
-    def _complete(self, gpu_id: int, load: float) -> None:
+    def _complete(self, gpu_id: int, load: float,
+                  ce: ComputationalElement) -> None:
         self._pending_load[gpu_id] -= load
         self._note_pending(gpu_id)
+        # The completion hook *is* the doneness signal — record it so the
+        # local DAG's prune never has to rescan retired-but-running CEs
+        # (the scan that made wide fan-outs quadratic).
+        self.local_dag.mark_done(ce)
         # Pruning on *every* completion makes completion O(DAG size);
         # throttle it like the controller's periodic prune.  Dependency
         # structure is unaffected: completed non-frontier CEs are inert.
         self._completions += 1
         if self._completions % self._prune_every == 0:
-            self.local_dag.prune_completed(_ce_completed)
+            self.local_dag.prune_completed()
 
     def abort_inflight(self, cause: object = None) -> int:
         """Kill every op still queued or running on this node's streams.

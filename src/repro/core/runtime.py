@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.cluster.cluster import Cluster, paper_cluster
 from repro.gpu.kernel import ArrayAccess, Direction, KernelSpec, LaunchConfig
-from repro.sim import Engine, FaultInjector, FaultPlan, Tracer
+from repro.sim import Engine, FaultInjector, FaultPlan, SimError, Tracer
 from repro.sim.faults import LINK_DEGRADE, TRANSFER_FLAKE, WORKER_CRASH
 from repro.core.arrays import ManagedArray
 from repro.core.ce import CeKind, ComputationalElement
@@ -42,6 +42,9 @@ class GroutRuntime:
                  chunk_bytes: int | None = None,
                  collectives: bool = False,
                  fair_share_window: int = 32,
+                 shards: int | None = None,
+                 shard_window: float | None = None,
+                 shard_max_outstanding: int | None = None,
                  **cluster_kwargs: object):
         if cluster is None:
             cluster = paper_cluster(n_workers, **cluster_kwargs)  # type: ignore[arg-type]
@@ -57,7 +60,9 @@ class GroutRuntime:
         self.controller = Controller(
             cluster, self.policy, max_streams_per_gpu=max_streams_per_gpu,
             collectives=collectives, chunk_bytes=chunk_bytes,
-            fair_share_window=fair_share_window)
+            fair_share_window=fair_share_window, shards=shards,
+            shard_window=shard_window,
+            shard_max_outstanding=shard_max_outstanding)
         #: Session whose submissions are being tagged right now (set by
         #: ``Session._activate``); None on the single-program path.
         self._active_session: Session | None = None
@@ -131,6 +136,10 @@ class GroutRuntime:
         fabric's retry policy then kicks in).  Returns the armed
         injector so callers can inspect :attr:`FaultInjector.stats`.
         """
+        if self.controller.coordinator is not None:
+            raise SimError("fault injection is not supported in shard "
+                           "mode (crash recovery needs in-process "
+                           "worker state)")
         cluster = self.cluster
         controller = self.controller
 
@@ -224,6 +233,9 @@ class GroutRuntime:
     def advise(self, array: ManagedArray, advise,
                device: int | None = None) -> None:
         """Apply a memory advise on every worker's UVM space."""
+        if self.controller.coordinator is not None:
+            raise SimError("advise is not supported in shard mode (UVM "
+                           "spaces live in the shard processes)")
         for scheduler in self.controller.workers.values():
             uvm = scheduler.node.uvm
             assert uvm is not None
@@ -258,7 +270,7 @@ class GroutRuntime:
         """
         for ce in self.controller.dag.pending_accessors(array.buffer_id):
             if ce.done is not None and not ce.done.processed:
-                self.engine.run(until=ce.done)
+                self.controller.run_until(ce.done)
 
     def host_read(self, array: ManagedArray,
                   label: str | None = None) -> np.ndarray:
@@ -271,7 +283,7 @@ class GroutRuntime:
         )
         done = self.controller.schedule(ce,
                                          session=self._active_session)
-        self.engine.run(until=done)
+        self.controller.run_until(done)
         return array.data
 
     # -- synchronisation ---------------------------------------------------------------
@@ -284,9 +296,27 @@ class GroutRuntime:
         2.5 h per-run cap.
         """
         if timeout is not None:
-            self.engine.run(until=self.engine.now + timeout)
+            self.controller.run_for(self.engine.now + timeout)
             return not self.controller.pending_events()
         for event in self.controller.pending_events():
             if not event.processed:
-                self.engine.run(until=event)
+                self.controller.run_until(event)
         return True
+
+    # -- teardown ----------------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Release external resources (shard worker processes).
+
+        A no-op in the default single-process mode; idempotent.  Shard
+        runs should call this (or use the runtime as a context manager)
+        when done — daemonised shard processes are reaped at interpreter
+        exit anyway, but explicit shutdown returns their memory early.
+        """
+        self.controller.shutdown()
+
+    def __enter__(self) -> "GroutRuntime":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()

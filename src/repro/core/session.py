@@ -209,14 +209,15 @@ class Session:
         :meth:`GroutRuntime.sync`.
         """
         engine = self._runtime.engine
+        controller = self._runtime.controller
         start = engine.now
         try:
             if timeout is not None:
-                engine.run(until=engine.now + timeout)
+                controller.run_for(engine.now + timeout)
                 return not self.pending_events()
             for event in self.pending_events():
                 if not event.processed:
-                    engine.run(until=event)
+                    controller.run_until(event)
             return True
         finally:
             self._sync_seconds.inc(engine.now - start)

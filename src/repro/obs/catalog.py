@@ -135,11 +135,33 @@ SESSION_METRICS: tuple[MetricSpec, ...] = (
                labels=("session",)),
 )
 
+#: Sharded simulation (repro.core.shard) — conservative-window exchange.
+SHARD_METRICS: tuple[MetricSpec, ...] = (
+    MetricSpec("grout_shard_rounds_total", "counter",
+               "Conservative exchange windows driven by the shard "
+               "coordinator."),
+    MetricSpec("grout_shard_ops_shipped_total", "counter",
+               "CEs shipped to a shard process after their "
+               "controller-side waits resolved.", labels=("shard",)),
+    MetricSpec("grout_shard_completions_total", "counter",
+               "CE completions reported back by a shard process.",
+               labels=("shard",)),
+    MetricSpec("grout_shard_invalidates_total", "counter",
+               "Coherence invalidations forwarded to shard processes at "
+               "window barriers."),
+    MetricSpec("grout_shard_outstanding", "gauge",
+               "In-flight CEs (shipped or waiting) tracked by the shard "
+               "coordinator at the latest barrier."),
+    MetricSpec("grout_shard_horizon_seconds", "gauge",
+               "Simulated time of the latest exchange barrier.",
+               unit="seconds"),
+)
+
 #: Every metric any instrumented layer can emit, sorted by name.
 CATALOG: tuple[MetricSpec, ...] = tuple(sorted(
     CONTROLLER_METRICS + COLLECTIVE_METRICS + FABRIC_METRICS
     + INTRANODE_METRICS + PROFILER_METRICS + FAULT_METRICS
-    + SESSION_METRICS,
+    + SESSION_METRICS + SHARD_METRICS,
     key=lambda spec: spec.name))
 
 

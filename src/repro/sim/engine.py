@@ -114,7 +114,10 @@ class Engine:
             callback(event)
         # Unhandled failures abort the simulation loudly rather than being
         # silently dropped: a failed event nobody waited on is a logic bug.
-        if not event.ok and not event._defused:
+        # Reads `_ok` directly, exactly like the inlined loops in run():
+        # a subclass overriding the `ok` property would silently diverge
+        # between step() and run() otherwise.
+        if not event._ok and not event._defused:
             raise event.value  # type: ignore[misc]
 
     def run(self, until: float | Event | None = None) -> object:

@@ -144,6 +144,13 @@ class Condition(Event):
     The payload is a dict mapping each fired child event to its value, in
     trigger order.  If any child fails before the condition is met, the
     condition fails with that exception.
+
+    Children are deduplicated at construction (first occurrence wins, order
+    preserved): an event listed twice still fires only once, so counting it
+    twice would both deadlock ``need``-counting conditions past the unique
+    child count and lie to ``evaluate`` about how many *distinct* children
+    fired — while the dict payload collapses the duplicate key anyway.  A
+    ``need`` larger than the deduplicated child count is clamped to it.
     """
 
     __slots__ = ("events", "_evaluate", "_fired", "_need")
@@ -156,11 +163,13 @@ class Condition(Event):
         the hottest callback in the engine).  ``evaluate`` is the general
         predicate ``(events, n_fired) -> bool`` for custom conditions."""
         super().__init__(engine, name=name)
-        self.events: list[Event] = list(events)
+        # Events hash by identity, so dict.fromkeys is an order-preserving
+        # dedup of the exact objects.
+        self.events: list[Event] = list(dict.fromkeys(events))
         if need is None and evaluate is None:
             raise TypeError("Condition requires `evaluate` or `need`")
         self._evaluate = evaluate
-        self._need = need
+        self._need = need if need is None else min(need, len(self.events))
         self._fired: list[Event] = []
         for ev in self.events:
             if ev.engine is not engine:
@@ -186,18 +195,58 @@ class Condition(Event):
         need = self._need
         if (len(fired) >= need if need is not None
                 else self._evaluate(self.events, len(fired))):
-            self.succeed({ev: ev._value for ev in fired})
+            self.succeed(self._payload(fired))
+
+    def _payload(self, fired: list[Event]) -> dict:
+        """Build the success payload from the fired children."""
+        return {ev: ev._value for ev in fired}
 
 
 class AllOf(Condition):
-    """Condition met when *all* child events have succeeded."""
+    """Condition met when *all* child events have succeeded.
 
-    __slots__ = ()
+    Above :attr:`FANOUT` children the condition is built as a two-level
+    tree: children are grouped into internal sub-conditions of at most
+    ``FANOUT`` each, and the AllOf waits on the groups.  A wide fan-in
+    (a writer after a million readers) then costs one short callback
+    chain per group instead of a single million-child condition whose
+    counter sits on the engine's hottest path.  The payload is unchanged
+    — a dict over the original children — but its order is per-group
+    trigger order rather than global trigger order.
+    """
+
+    __slots__ = ("_leaves",)
+
+    #: Maximum direct children before the condition becomes a two-level
+    #: tree.  Matches the dependency DAG's reader-cohort width, so a
+    #: cohort join's AllOf always stays flat.
+    FANOUT = 64
 
     def __init__(self, engine: "Engine", events: Iterable[Event],
                  name: str | None = None):
-        events = list(events)
-        super().__init__(engine, events, name=name, need=len(events))
+        events = list(dict.fromkeys(events))
+        if len(events) > self.FANOUT:
+            self._leaves = events
+            fanout = self.FANOUT
+            label = name or "all_of"
+            groups = [
+                Condition(engine, events[i:i + fanout],
+                          need=min(fanout, len(events) - i),
+                          name=f"{label}[{i // fanout}]")
+                for i in range(0, len(events), fanout)
+            ]
+            super().__init__(engine, groups, name=name, need=len(groups))
+        else:
+            self._leaves = None
+            super().__init__(engine, events, name=name, need=len(events))
+
+    def _payload(self, fired: list[Event]) -> dict:
+        if self._leaves is None:
+            return super()._payload(fired)
+        out: dict = {}
+        for group in fired:
+            out.update(group._value)  # each group's payload is a dict
+        return out
 
 
 class AnyOf(Condition):

@@ -24,6 +24,8 @@ from repro.gpu.specs import MIB
 
 GOLDEN = pathlib.Path(__file__).resolve().parents[2] \
     / "data" / "golden_schedule.json"
+GOLDEN_SHARDS2 = pathlib.Path(__file__).resolve().parents[2] \
+    / "data" / "golden_schedule_shards2.json"
 
 
 def _kernel(name, directions):
@@ -75,10 +77,13 @@ def run_scenario(policy_factory, **runtime_kwargs):
     """Run the driver program and return its serialized event schedule."""
     cluster = paper_cluster(3, gpu_spec=TEST_GPU_1GB)
     rt = GroutRuntime(cluster, policy=policy_factory(), **runtime_kwargs)
-    drive(rt)
-    spans = [[s.lane, s.category, s.name, s.start, s.end]
-             for s in rt.tracer.spans]
-    return {"spans": spans, "elapsed": rt.engine.now}
+    try:
+        drive(rt)
+        spans = [[s.lane, s.category, s.name, s.start, s.end]
+                 for s in rt.tracer.spans]
+        return {"spans": spans, "elapsed": rt.engine.now}
+    finally:
+        rt.shutdown()
 
 
 SCENARIOS = {
@@ -89,13 +94,28 @@ SCENARIOS = {
 }
 
 
+#: Sharded-mode scenarios pin their *own* golden: the conservative
+#: exchange quantises cross-process starts to window barriers, so the
+#: trace legitimately differs from the in-process schedule — but it must
+#: stay deterministic, run to run and commit to commit.  (Collectives
+#: are guarded off in shard mode, hence the smaller scenario set.)
+SHARDED_SCENARIOS = {
+    "round-robin+shards2": lambda: run_scenario(
+        RoundRobinPolicy, shards=2),
+    "min-transfer-size+shards2": lambda: run_scenario(
+        MinTransferSizePolicy, shards=2),
+}
+
+
 def capture() -> dict:
     return {name: build() for name, build in SCENARIOS.items()}
 
 
-def test_schedule_is_byte_identical_to_golden():
-    golden = json.loads(GOLDEN.read_text())
-    current = capture()
+def capture_sharded() -> dict:
+    return {name: build() for name, build in SHARDED_SCENARIOS.items()}
+
+
+def _assert_matches(golden: dict, current: dict) -> None:
     assert set(current) == set(golden)
     for name in golden:
         got, want = current[name], golden[name]
@@ -109,7 +129,19 @@ def test_schedule_is_byte_identical_to_golden():
             assert g == w, f"{name}: span {i} drifted: {g} != {w}"
 
 
+def test_schedule_is_byte_identical_to_golden():
+    _assert_matches(json.loads(GOLDEN.read_text()), capture())
+
+
+def test_sharded_schedule_matches_pinned_golden():
+    _assert_matches(json.loads(GOLDEN_SHARDS2.read_text()),
+                    capture_sharded())
+
+
 if __name__ == "__main__":
     GOLDEN.parent.mkdir(parents=True, exist_ok=True)
     GOLDEN.write_text(json.dumps(capture(), indent=1) + "\n")
     print(f"golden schedule written to {GOLDEN}")
+    GOLDEN_SHARDS2.write_text(json.dumps(capture_sharded(), indent=1)
+                              + "\n")
+    print(f"sharded golden schedule written to {GOLDEN_SHARDS2}")

@@ -87,6 +87,7 @@ class NaiveDag:
 
     def add(self, ce):
         candidates = {}
+        self.last_candidates = candidates
         for access in ce.accesses:
             front = self.fronts.get(access.buffer.buffer_id)
             if front is None:
@@ -152,6 +153,33 @@ def make_ce(rng, arrays):
     chosen = rng.sample(range(len(arrays)), n)
     accesses = tuple(ArrayAccess(arrays[i], rng.choice(DIRECTIONS))
                      for i in chosen)
+    return _ce(accesses)
+
+
+def make_rw_ce(rng, arrays):
+    """A CE that reads *and* writes the same buffer through separate
+    accesses — the transient leave/re-enter bookkeeping in ``add``."""
+    a = arrays[rng.randrange(len(arrays))]
+    style = rng.random()
+    if style < 0.35:
+        accesses = (ArrayAccess(a, Direction.IN),
+                    ArrayAccess(a, Direction.OUT))
+    elif style < 0.55:
+        # Write first, then read its own write: both models keep the CE
+        # as reader *and* last writer of the buffer.
+        accesses = (ArrayAccess(a, Direction.OUT),
+                    ArrayAccess(a, Direction.IN))
+    elif style < 0.8:
+        b = arrays[rng.randrange(len(arrays))]
+        accesses = (ArrayAccess(a, Direction.IN),
+                    ArrayAccess(b, rng.choice(DIRECTIONS)),
+                    ArrayAccess(a, Direction.OUT))
+    else:
+        accesses = (ArrayAccess(a, Direction.INOUT),)
+    return _ce(accesses)
+
+
+def _ce(accesses):
     return ComputationalElement(
         kind=CeKind.KERNEL, accesses=accesses,
         kernel=KernelSpec("k"), config=LaunchConfig((1,), (32,)))
@@ -212,6 +240,33 @@ class TestDifferential:
         frontier or ancestor state."""
         for seed in (100, 101):
             self._run_session(seed, n_ces=60, n_buffers=3, prune_every=7)
+
+    def test_read_write_same_buffer_interleaved_with_prune(self):
+        """CEs reading *and* writing one buffer (transient leave/re-enter
+        inside ``add``) mixed with plain CEs, across prunes — the
+        invariant the partitioned frontier must not break."""
+        for seed in range(8):
+            rng = random.Random(1000 + seed)
+            arrays = [ManagedArray(4) for _ in range(4)]
+            dag, ref = DependencyDag(), NaiveDag()
+            live, done_ids = [], set()
+            for step in range(150):
+                maker = make_rw_ce if rng.random() < 0.5 else make_ce
+                ce = maker(rng, arrays)
+                got = dag.add(ce)
+                expected = ref.add(ce)
+                assert [c.ce_id for c in got] == \
+                    [c.ce_id for c in expected]
+                live.append(ce)
+                for other in live:
+                    if rng.random() < 0.08:
+                        done_ids.add(other.ce_id)
+                if step % 11 == 10:
+                    assert dag.prune_completed(
+                        lambda c: c.ce_id in done_ids) == \
+                        ref.prune_completed(lambda c: c.ce_id in done_ids)
+                    live = [c for c in live if c.ce_id in ref.nodes_by_id]
+                assert_equivalent(dag, ref, live)
 
     def test_write_heavy_chains(self):
         """INOUT-only chains: the regime where bounded ancestor sets pay

@@ -1,0 +1,236 @@
+"""Differential test: ``Engine.run()`` vs repeated ``Engine.step()``.
+
+``run()`` inlines the body of ``step()`` twice (the event-bounded and the
+horizon-bounded loops) because it is the hottest code in the repository.
+Inlining invites drift — the loops once read ``event._ok`` while ``step()``
+read the ``event.ok`` property — so this test drives *identical* randomized
+workloads through both entry points and asserts the observable outcome is
+bit-for-bit the same: the sequence of (time, label, ok) deliveries, the
+final clock, and ``events_processed``.  Failure and defuse handling are
+exercised explicitly, including the unhandled-failure abort.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim import Engine, Interrupt, SimError
+
+
+def _build_workload(engine: Engine, seed: int, trace: list) -> None:
+    """Construct a random but fully deterministic workload on ``engine``.
+
+    Every created event gets a tracing callback appended *first*, so the
+    trace records the exact delivery order the engine chose.  The same
+    (engine-independent) random stream drives construction on both the
+    run() engine and the step() engine.
+    """
+    rng = random.Random(seed)
+
+    def normalize(value):
+        # Condition payloads are keyed by Event *objects*; translate keys
+        # to (type, name) so traces from two engines compare equal.
+        if isinstance(value, dict):
+            return tuple((type(k).__name__, k.name, normalize(v))
+                         for k, v in value.items())
+        return value
+
+    def tap(ev, label):
+        def record(event):
+            outcome = (normalize(event._value) if event._ok
+                       else type(event._value).__name__)
+            trace.append((engine.now, label, event._ok, outcome))
+        ev.callbacks.append(record)
+        return ev
+
+    # A pool of plain events some processes trigger and others wait on.
+    # A pool event may fail before anyone waits on it; that is part of the
+    # workload, not an unhandled-failure bug, so pre-defuse them.
+    pool = [tap(engine.event(name=f"pool{i}"), f"pool{i}") for i in range(6)]
+    for ev in pool:
+        ev._defused = True
+    fired: set[int] = set()
+
+    def worker(wid: int):
+        try:
+            yield from _worker_body(wid)
+        except Interrupt as intr:
+            trace.append((engine.now, f"w{wid}.interrupted", True,
+                          str(intr.cause)))
+            return f"w{wid}-interrupted"
+        return f"w{wid}-done"
+
+    def _worker_body(wid: int):
+        for step in range(rng.randint(1, 5)):
+            roll = rng.random()
+            if roll < 0.45:
+                yield tap(engine.timeout(rng.uniform(0.0, 3.0)),
+                          f"w{wid}.t{step}")
+            elif roll < 0.60:
+                # Trigger a pool event (at most once) after a delay.
+                idx = rng.randrange(len(pool))
+                yield tap(engine.timeout(rng.uniform(0.0, 1.0)),
+                          f"w{wid}.pre{step}")
+                if idx not in fired:
+                    fired.add(idx)
+                    if rng.random() < 0.3:
+                        pool[idx].fail(RuntimeError(f"pool{idx} failed"))
+                    else:
+                        pool[idx].succeed(f"pool{idx}-value")
+            elif roll < 0.80:
+                # Wait on a composite of pool events and fresh timeouts.
+                kids = [pool[rng.randrange(len(pool))],
+                        tap(engine.timeout(rng.uniform(0.0, 2.0)),
+                            f"w{wid}.k{step}")]
+                combo = (engine.any_of(kids) if rng.random() < 0.5
+                         else engine.all_of(kids))
+                try:
+                    yield tap(combo, f"w{wid}.c{step}")
+                except RuntimeError:
+                    trace.append((engine.now, f"w{wid}.caught{step}",
+                                  False, "RuntimeError"))
+            else:
+                # Wait directly on a pool event; it may fail on us.
+                try:
+                    yield pool[rng.randrange(len(pool))]
+                except RuntimeError:
+                    trace.append((engine.now, f"w{wid}.caught{step}",
+                                  False, "RuntimeError"))
+
+    procs = [tap(engine.process(worker(i), name=f"w{i}"), f"proc{i}")
+             for i in range(5)]
+
+    def reaper():
+        # Interrupt one process mid-flight, cancel (defuse) another.
+        yield engine.timeout(1.5)
+        victim = procs[rng.randrange(len(procs))]
+        if victim.is_alive:
+            victim.cancel("reaped")
+        other = procs[rng.randrange(len(procs))]
+        if other.is_alive and other is not engine.active_process:
+            try:
+                other.interrupt("poked")
+            except SimError:
+                pass
+        return "reaper-done"
+
+    tap(engine.process(reaper(), name="reaper"), "reaper")
+
+    def interrupt_handler():
+        try:
+            yield engine.timeout(10.0)
+        except Interrupt as intr:
+            trace.append((engine.now, "handler.interrupted", True,
+                          str(intr.cause)))
+        return "handler-done"
+
+    handler = tap(engine.process(interrupt_handler(), name="handler"),
+                  "handler")
+
+    def late_poker():
+        yield engine.timeout(2.0)
+        if handler.is_alive:
+            handler.interrupt("late-poke")
+
+    engine.process(late_poker(), name="poker")
+
+    # Pool events that never fire must not deadlock the drain: defuse and
+    # succeed the stragglers at a late time so both engines drain fully.
+    def sweeper():
+        yield engine.timeout(20.0)
+        for i, ev in enumerate(pool):
+            if not ev.triggered:
+                fired.add(i)
+                ev.succeed("swept")
+
+    engine.process(sweeper(), name="sweeper")
+
+
+def _drive_with_run(seed: int):
+    engine, trace = Engine(), []
+    _build_workload(engine, seed, trace)
+    engine.run()
+    return engine, trace
+
+
+def _drive_with_step(seed: int):
+    engine, trace = Engine(), []
+    _build_workload(engine, seed, trace)
+    while engine.peek() != float("inf"):
+        engine.step()
+    return engine, trace
+
+
+class TestRunStepDifferential:
+    def test_identical_timelines(self):
+        for seed in range(20):
+            run_eng, run_trace = _drive_with_run(seed)
+            step_eng, step_trace = _drive_with_step(seed)
+            assert run_trace == step_trace, f"seed {seed} diverged"
+            assert run_eng.now == step_eng.now
+            assert run_eng.events_processed == step_eng.events_processed
+
+    def test_run_until_event_matches_stepping(self):
+        for seed in (3, 7, 11):
+            eng1, trace1 = Engine(), []
+            _build_workload(eng1, seed, trace1)
+            marker1 = eng1.timeout(1.25, name="marker")
+            eng1.run(until=marker1)
+
+            eng2, trace2 = Engine(), []
+            _build_workload(eng2, seed, trace2)
+            marker2 = eng2.timeout(1.25, name="marker")
+            while not marker2.processed:
+                eng2.step()
+            assert trace1 == trace2
+            assert eng1.now == eng2.now == 1.25
+            assert eng1.events_processed == eng2.events_processed
+
+    def test_unhandled_failure_aborts_identically(self):
+        def build(engine, trace):
+            def boomer():
+                yield engine.timeout(1.0)
+                raise ValueError("boom")
+            engine.process(boomer(), name="boomer")
+            for i, delay in enumerate((0.25, 0.5, 2.0)):
+                t = engine.timeout(delay)
+                t.callbacks.append(
+                    lambda ev, i=i: trace.append((engine.now, i)))
+
+        eng1, trace1 = Engine(), []
+        build(eng1, trace1)
+        with pytest.raises(ValueError, match="boom"):
+            eng1.run()
+
+        eng2, trace2 = Engine(), []
+        build(eng2, trace2)
+        with pytest.raises(ValueError, match="boom"):
+            while eng2.peek() != float("inf"):
+                eng2.step()
+
+        assert trace1 == trace2
+        assert eng1.now == eng2.now == 1.0
+        assert eng1.events_processed == eng2.events_processed
+
+    def test_defused_failure_continues_identically(self):
+        def build(engine, trace):
+            bad = engine.event(name="bad")
+            bad._defused = True
+            engine.timeout(0.5).callbacks.append(
+                lambda _: bad.fail(RuntimeError("defused")))
+            t = engine.timeout(1.0)
+            t.callbacks.append(lambda ev: trace.append(engine.now))
+
+        eng1, trace1 = Engine(), []
+        build(eng1, trace1)
+        eng1.run()
+
+        eng2, trace2 = Engine(), []
+        build(eng2, trace2)
+        while eng2.peek() != float("inf"):
+            eng2.step()
+
+        assert trace1 == trace2 == [1.0]
+        assert eng1.events_processed == eng2.events_processed

@@ -116,18 +116,116 @@ class TestAllOf:
         assert not combo.ok
         assert isinstance(combo.value, RuntimeError)
 
-    def test_duplicate_children_counted_per_entry(self, engine):
-        a = engine.timeout(1.0)
-        combo = engine.all_of([a, a])
-        engine.run()
-        assert combo.processed
-
     def test_cross_engine_child_rejected(self, engine):
         from repro.sim import Engine
         other = Engine()
         foreign = other.timeout(1.0)
         with pytest.raises(ValueError):
             engine.all_of([foreign])
+
+
+class TestDuplicateChildren:
+    """Regression: duplicate children used to set ``need`` above the
+    unique-child count and double-count the single firing, while the
+    dict payload silently collapsed the duplicate key."""
+
+    def test_duplicates_deduplicated_at_construction(self, engine):
+        a = engine.timeout(1.0, value="a")
+        combo = engine.all_of([a, a, a])
+        assert combo.events == [a]
+        assert combo._need == 1
+        engine.run()
+        assert combo.processed
+        assert combo.value == {a: "a"}
+        # The single firing is counted exactly once.
+        assert len(combo._fired) == 1
+
+    def test_duplicates_mixed_with_distinct_children(self, engine):
+        a = engine.timeout(1.0, value="a")
+        b = engine.timeout(2.0, value="b")
+        combo = engine.all_of([a, b, a])
+        assert combo.events == [a, b]
+        engine.run(until=combo)
+        assert engine.now == 2.0
+        assert combo.value == {a: "a", b: "b"}
+
+    def test_already_processed_duplicate_children(self, engine):
+        a = engine.timeout(1.0, value="a")
+        engine.run()
+        assert a.processed
+        combo = engine.all_of([a, a])
+        engine.run()
+        assert combo.processed and combo.value == {a: "a"}
+
+    def test_evaluate_sees_distinct_fired_count(self, engine):
+        from repro.sim import Condition
+        a = engine.timeout(1.0)
+        b = engine.timeout(2.0)
+        seen = []
+        combo = Condition(engine, [a, a, b],
+                          evaluate=lambda evs, n: seen.append(n) or n >= 2)
+        engine.run(until=combo)
+        # One callback per distinct firing: a then b, never a twice.
+        assert seen == [1, 2]
+        assert engine.now == 2.0
+
+    def test_explicit_need_clamped_to_unique_children(self, engine):
+        from repro.sim import Condition
+        a = engine.timeout(1.0)
+        combo = Condition(engine, [a, a], need=2)
+        engine.run()
+        assert combo.processed  # clamped to 1, not deadlocked at 2
+
+    def test_anyof_duplicates(self, engine):
+        a = engine.timeout(1.0, value="a")
+        combo = engine.any_of([a, a])
+        engine.run(until=combo)
+        assert combo.value == {a: "a"}
+
+
+class TestGroupedAllOf:
+    """The two-level tree built above ``AllOf.FANOUT`` children."""
+
+    def test_wide_allof_groups_children(self, engine):
+        from repro.sim import AllOf
+        n = AllOf.FANOUT * 3 + 5
+        children = [engine.timeout(float(i % 7), value=i)
+                    for i in range(n)]
+        combo = engine.all_of(children)
+        # Direct children are the internal groups, not the leaves.
+        assert len(combo.events) == (n + AllOf.FANOUT - 1) // AllOf.FANOUT
+        assert combo._leaves == children
+        engine.run(until=combo)
+        assert engine.now == 6.0
+        assert combo.value == {ev: i for i, ev in enumerate(children)}
+
+    def test_wide_allof_fires_at_last_child(self, engine):
+        from repro.sim import AllOf
+        children = [engine.timeout(1.0) for _ in range(AllOf.FANOUT + 1)]
+        children.append(engine.timeout(9.0))
+        combo = engine.all_of(children)
+        engine.run(until=combo)
+        assert engine.now == 9.0
+
+    def test_wide_allof_child_failure_propagates(self, engine):
+        from repro.sim import AllOf
+        children = [engine.timeout(1.0) for _ in range(AllOf.FANOUT + 2)]
+        bad = engine.event()
+        children.append(bad)
+        engine.timeout(0.5).callbacks.append(
+            lambda _: bad.fail(RuntimeError("leaf died")))
+        combo = engine.all_of(children)
+        combo._defused = True
+        engine.run()
+        assert not combo.ok
+        assert isinstance(combo.value, RuntimeError)
+
+    def test_at_fanout_stays_flat(self, engine):
+        from repro.sim import AllOf
+        children = [engine.timeout(1.0) for _ in range(AllOf.FANOUT)]
+        combo = engine.all_of(children)
+        assert combo._leaves is None
+        assert combo.events == children
 
 
 class TestAnyOf:
