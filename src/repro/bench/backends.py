@@ -1,0 +1,137 @@
+"""Paging-backend comparison harness (the GrOUT-vs-paging-design axis).
+
+Sweeps (workload × footprint × paging backend) on the single-node
+baseline runtime — oversubscription cliffs are a single-node phenomenon;
+the backend decides how hard they bite — and reports per-(workload,
+backend) slowdown curves in the ``grout-bench-backends/1`` schema.
+
+The point of the exercise: the CPU-driven PME and a GPUVM-style
+GPU-driven design *disagree* about which workloads hurt.  Streaming
+loses its prefetcher runway under GPU-driven paging; random access
+stops collapsing.  ``check_divergence`` turns that disagreement into a
+gate — at least one irregular workload must separate the backends by
+the requested factor, or the backends have degenerated into one model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.bench.harness import RUN_CAP_SECONDS, run_single_node
+from repro.gpu.specs import GIB
+from repro.uvm.backends import PAGING_BACKENDS
+
+SCHEMA = "grout-bench-backends/1"
+
+#: Default sweep: fits (0.5× OSF) through the paper's first two cliffs.
+DEFAULT_SIZES_GB: tuple[float, ...] = (16.0, 32.0, 64.0, 96.0)
+
+#: Trimmed sweep for CI smoke runs.
+QUICK_SIZES_GB: tuple[float, ...] = (16.0, 64.0)
+
+#: Default workload set: one regular streamer as the control, plus the
+#: irregular suite the backends disagree about.
+DEFAULT_WORKLOADS: tuple[str, ...] = ("mv", "spmv", "bfs", "join")
+
+#: The workloads whose access patterns are data-dependent — the ones
+#: ``check_divergence`` inspects.
+IRREGULAR_WORKLOADS: frozenset[str] = frozenset({"spmv", "bfs", "join"})
+
+
+def run_backends(workloads: Sequence[str] = DEFAULT_WORKLOADS,
+                 sizes_gb: Sequence[float] = DEFAULT_SIZES_GB,
+                 backends: Sequence[str] | None = None, *,
+                 cap: float | None = RUN_CAP_SECONDS,
+                 repeats: int = 1,
+                 check: bool = False,
+                 log: Callable[[str], None] | None = None) -> dict:
+    """Run the sweep; returns the ``grout-bench-backends/1`` payload.
+
+    Each result row records the simulated elapsed time plus its
+    *slowdown* — elapsed over the same (workload, backend) pair's
+    smallest-footprint elapsed, the paper's Fig. 6 y-axis.
+    """
+    backends = tuple(backends) if backends else tuple(sorted(PAGING_BACKENDS))
+    results: list[dict] = []
+    for workload in workloads:
+        for backend in backends:
+            base: float | None = None
+            for gb in sizes_gb:
+                res = run_single_node(
+                    workload, int(gb * GIB), cap=cap, check=check,
+                    repeats=repeats, uvm_backend=backend)
+                if base is None:
+                    base = res.elapsed_seconds or 1e-12
+                row = {
+                    "workload": workload,
+                    "backend": backend,
+                    "gb": gb,
+                    "elapsed_seconds": res.elapsed_seconds,
+                    "slowdown": res.elapsed_seconds / base,
+                    "completed": res.completed,
+                    "oversubscription": res.oversubscription,
+                }
+                results.append(row)
+                if log is not None:
+                    log(f"  {workload:>5s} {backend:>8s} {gb:6.4g} GB  "
+                        f"{res.elapsed_seconds:10.4g} s  "
+                        f"x{row['slowdown']:.4g}")
+    return {
+        "schema": SCHEMA,
+        "sizes_gb": list(sizes_gb),
+        "workloads": list(workloads),
+        "backends": list(backends),
+        "results": results,
+    }
+
+
+def slowdown_curves(payload: dict) -> dict[tuple[str, str], list[float]]:
+    """(workload, backend) -> slowdown series, in sweep order."""
+    curves: dict[tuple[str, str], list[float]] = {}
+    for row in payload["results"]:
+        curves.setdefault((row["workload"], row["backend"]), []) \
+            .append(row["slowdown"])
+    return curves
+
+
+def divergence(payload: dict,
+               baseline: str = "cpu-pme",
+               other: str = "gpuvm") -> dict[str, float]:
+    """Per-workload worst-case elapsed ratio between two backends.
+
+    The ratio is symmetric (always >= 1): 4.0 means one backend ran the
+    same configuration four times longer than the other, whichever way
+    around.
+    """
+    elapsed: dict[tuple[str, str, float], float] = {
+        (r["workload"], r["backend"], r["gb"]): r["elapsed_seconds"]
+        for r in payload["results"]}
+    worst: dict[str, float] = {}
+    for (workload, backend, gb), seconds in elapsed.items():
+        if backend != baseline:
+            continue
+        peer = elapsed.get((workload, other, gb))
+        if peer is None or seconds <= 0 or peer <= 0:
+            continue
+        ratio = max(seconds / peer, peer / seconds)
+        worst[workload] = max(worst.get(workload, 1.0), ratio)
+    return worst
+
+
+def check_divergence(payload: dict, *, factor: float = 2.0,
+                     workloads: frozenset[str] = IRREGULAR_WORKLOADS
+                     ) -> list[str]:
+    """Failures list (empty = OK): at least one irregular workload must
+    separate the backends by ``factor``."""
+    worst = divergence(payload)
+    hits = {w: r for w, r in worst.items()
+            if w in workloads and r >= factor}
+    if hits:
+        return []
+    measured = {w: r for w, r in worst.items() if w in workloads}
+    return [
+        f"no irregular workload separated cpu-pme from gpuvm by "
+        f">= {factor:g}x (measured: "
+        + (", ".join(f"{w}={r:.3g}x"
+                     for w, r in sorted(measured.items())) or "none")
+        + ")"]

@@ -75,6 +75,7 @@ def run_single_node(workload: str, footprint_bytes: int, *,
                     check: bool = True,
                     seed: int = 0,
                     repeats: int = 1,
+                    uvm_backend: str | None = None,
                     **workload_kwargs) -> ExperimentResult:
     """One GrCUDA (single-node, 2×V100) run — the Fig. 1/6a baseline.
 
@@ -85,7 +86,7 @@ def run_single_node(workload: str, footprint_bytes: int, *,
     def once(s: int) -> ExperimentResult:
         rt = GrCudaRuntime(
             page_size=page_size or page_size_for(footprint_bytes),
-            seed=s)
+            seed=s, uvm_backend=uvm_backend)
         wl = make_workload(workload, footprint_bytes, seed=s,
                            **workload_kwargs)
         res = wl.execute(rt, timeout=cap, check=check)
@@ -108,6 +109,7 @@ def run_grout(workload: str, footprint_bytes: int, *,
               request_replacement: bool = False,
               chunk_bytes: int | None = None,
               collectives: bool = False,
+              uvm_backend: str | None = None,
               **workload_kwargs) -> ExperimentResult:
     """One GrOUT run on ``n_workers`` paper nodes with a given policy.
 
@@ -137,7 +139,7 @@ def run_grout(workload: str, footprint_bytes: int, *,
         cluster = paper_cluster(
             n_workers,
             page_size=page_size or page_size_for(footprint_bytes),
-            seed=s)
+            seed=s, uvm_backend=uvm_backend)
         rt = GroutRuntime(cluster, policy=policy_obj,
                           chunk_bytes=chunk_bytes,
                           collectives=collectives)

@@ -35,6 +35,7 @@ from repro.core import GrCudaRuntime, GroutRuntime, KpiAutoscaler
 from repro.core.policies import ExplorationLevel
 from repro.sim import FaultPlan
 from repro.gpu.specs import GIB
+from repro.uvm import DEFAULT_BACKEND, PAGING_BACKENDS
 from repro.workloads import WORKLOADS
 
 FIGURES = {
@@ -84,6 +85,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--collectives", action="store_true",
                        help="coalesce broadcast-shaped replication into "
                             "relay chains (grout only)")
+    run_p.add_argument("--uvm-backend", default=DEFAULT_BACKEND,
+                       choices=sorted(PAGING_BACKENDS),
+                       help="paging backend pricing UVM faults "
+                            "(default cpu-pme, the paper's CPU-driven "
+                            "page-migration engine)")
     run_p.add_argument("--sessions", type=int, default=1, metavar="N",
                        help="run N concurrent copies of the workload as "
                             "multi-program sessions sharing one cluster "
@@ -176,7 +182,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             return 2
         result = run_single_node(args.workload, footprint,
                                  check=not args.no_verify,
-                                 repeats=args.repeats)
+                                 repeats=args.repeats,
+                                 uvm_backend=args.uvm_backend)
     else:
         result = run_grout(args.workload, footprint,
                            n_workers=args.workers, policy=args.policy,
@@ -184,7 +191,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                            repeats=args.repeats, faults=faults,
                            request_replacement=args.replace_crashed,
                            chunk_bytes=args.chunk_bytes,
-                           collectives=args.collectives)
+                           collectives=args.collectives,
+                           uvm_backend=args.uvm_backend)
     rows = [
         ("workload", result.workload),
         ("mode", result.mode),
@@ -192,6 +200,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         ("oversubscription", f"{result.oversubscription:.3g}x "
                              "(vs one 2xV100 node)"),
         ("policy", result.policy),
+        ("uvm backend", args.uvm_backend),
         ("simulated time", f"{result.elapsed_seconds:.4g} s"),
         ("completed", "yes" if result.completed
          else "no (hit the 2.5h cap)"),
@@ -261,7 +270,8 @@ def _cmd_run_sessions(args: argparse.Namespace, footprint: int,
     programs = [make_workload(args.workload, footprint, seed=11 + i)
                 for i in range(args.sessions)]
     cluster = paper_cluster(args.workers,
-                            page_size=page_size_for(footprint))
+                            page_size=page_size_for(footprint),
+                            uvm_backend=args.uvm_backend)
     policy = (VectorStepPolicy(programs[0].tuned_vector(args.workers))
               if args.policy == "vector-step"
               else make_policy(args.policy, level=level))
@@ -314,10 +324,12 @@ def _traced_run(args: argparse.Namespace, footprint: int,
 
     wl = make_workload(args.workload, footprint)
     if args.mode == "grcuda":
-        rt = GrCudaRuntime(page_size=page_size_for(footprint))
+        rt = GrCudaRuntime(page_size=page_size_for(footprint),
+                           uvm_backend=args.uvm_backend)
     else:
         cluster = paper_cluster(args.workers,
-                                page_size=page_size_for(footprint))
+                                page_size=page_size_for(footprint),
+                                uvm_backend=args.uvm_backend)
         policy = (VectorStepPolicy(wl.tuned_vector(args.workers))
                   if args.policy == "vector-step"
                   else make_policy(args.policy, level=level))

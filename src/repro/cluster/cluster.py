@@ -28,7 +28,8 @@ class Cluster:
                  uvm_params: UvmModelParams = PAPER_CALIBRATION,
                  prefetch: PrefetchConfig | None = None,
                  eviction_order: str = "lru",
-                 seed: int = 0):
+                 seed: int = 0,
+                 uvm_backend: str | None = None):
         if not worker_specs:
             raise ValueError("a cluster needs at least one worker")
         self.engine = engine
@@ -43,15 +44,18 @@ class Cluster:
         self._prefetch = prefetch
         self._eviction_order = eviction_order
         self._seed = seed
+        self._uvm_backend = uvm_backend
         self._default_worker_spec = worker_specs[0]
         self.controller = Node(
             engine, "controller", controller_spec, tracer=self.tracer,
             uvm_params=uvm_params, prefetch=prefetch,
-            eviction_order=eviction_order, seed=seed)
+            eviction_order=eviction_order, seed=seed,
+            uvm_backend=uvm_backend)
         self.workers: list[Node] = [
             Node(engine, f"worker{i}", spec, tracer=self.tracer,
                  uvm_params=uvm_params, prefetch=prefetch,
-                 eviction_order=eviction_order, seed=seed + 1 + i)
+                 eviction_order=eviction_order, seed=seed + 1 + i,
+                 uvm_backend=uvm_backend)
             for i, spec in enumerate(worker_specs)
         ]
         # Monotonic so names stay unique even after a crashed worker is
@@ -95,7 +99,8 @@ class Cluster:
         node = Node(self.engine, name, spec, tracer=self.tracer,
                     uvm_params=self._uvm_params, prefetch=self._prefetch,
                     eviction_order=self._eviction_order,
-                    seed=self._seed + 1 + self._next_worker)
+                    seed=self._seed + 1 + self._next_worker,
+                    uvm_backend=self._uvm_backend)
         self._next_worker += 1
         self.workers.append(node)
         self.topology.add_node(name, spec.nic)
@@ -136,7 +141,8 @@ def paper_cluster(n_workers: int, *,
                   uvm_params: UvmModelParams = PAPER_CALIBRATION,
                   prefetch: PrefetchConfig | None = None,
                   eviction_order: str = "lru",
-                  seed: int = 0) -> Cluster:
+                  seed: int = 0,
+                  uvm_backend: str | None = None) -> Cluster:
     """The OCI setup of §V-A with ``n_workers`` GPU nodes.
 
     ``page_size`` overrides the UVM granule — coarse pages (e.g. 16 MiB)
@@ -153,4 +159,5 @@ def paper_cluster(n_workers: int, *,
                       nic=PAPER_WORKER.nic)
     return Cluster(engine, worker_specs=[worker] * n_workers,
                    uvm_params=uvm_params, prefetch=prefetch,
-                   eviction_order=eviction_order, seed=seed)
+                   eviction_order=eviction_order, seed=seed,
+                   uvm_backend=uvm_backend)

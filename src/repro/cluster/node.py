@@ -56,7 +56,8 @@ class Node:
                  uvm_params: UvmModelParams = PAPER_CALIBRATION,
                  prefetch: PrefetchConfig | None = None,
                  eviction_order: str = "lru",
-                 seed: int = 0):
+                 seed: int = 0,
+                 uvm_backend: str | None = None):
         self.engine = engine
         self.name = name
         self.spec = spec
@@ -70,7 +71,8 @@ class Node:
         if self.gpus:
             self.uvm = UvmSpace(
                 self.gpus, params=uvm_params, prefetch=prefetch,
-                eviction_order=eviction_order, seed=seed)
+                eviction_order=eviction_order, seed=seed,
+                backend=uvm_backend)
 
     @property
     def has_gpus(self) -> bool:

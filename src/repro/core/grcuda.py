@@ -40,7 +40,8 @@ class GrCudaRuntime:
                  prefetch: PrefetchConfig | None = None,
                  eviction_order: str = "lru",
                  max_streams_per_gpu: int = 4,
-                 seed: int = 0):
+                 seed: int = 0,
+                 uvm_backend: str | None = None):
         if node is None:
             engine = engine if engine is not None else Engine()
             node_spec = spec
@@ -54,7 +55,8 @@ class GrCudaRuntime:
             tracer = Tracer()
             node = Node(engine, "local", node_spec, tracer=tracer,
                         uvm_params=uvm_params, prefetch=prefetch,
-                        eviction_order=eviction_order, seed=seed)
+                        eviction_order=eviction_order, seed=seed,
+                        uvm_backend=uvm_backend)
         self.node = node
         # Single-node observability surface, same shape as a cluster's.
         self.metrics = install_metrics(

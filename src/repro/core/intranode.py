@@ -63,10 +63,20 @@ class IntraNodeScheduler:
             self._m_streams = self.metrics.family("grout_streams_open")
             self._m_osf = self.metrics.family(
                 "grout_node_oversubscription")
+            self._m_uvm_cold = self.metrics.family(
+                "grout_uvm_cold_bytes_total")
+            self._m_uvm_refault = self.metrics.family(
+                "grout_uvm_refault_bytes_total")
+            self._m_uvm_writeback = self.metrics.family(
+                "grout_uvm_writeback_bytes_total")
+            self._m_uvm_thrash = self.metrics.family(
+                "grout_uvm_thrashing_launches_total")
         else:
             self._m_launches = self._m_prefetches = None
             self._m_kernel_seconds = self._m_pending = None
             self._m_streams = self._m_osf = None
+            self._m_uvm_cold = self._m_uvm_refault = None
+            self._m_uvm_writeback = self._m_uvm_thrash = None
         # Bound label handles, cached on first use: ``family.labels()``
         # validates names and takes the registry lock on every call — too
         # much for per-event paths.  Lazy (not eager) so children only
@@ -77,6 +87,9 @@ class IntraNodeScheduler:
         self._h_prefetches: dict[int, object] = {}
         self._h_kernel_seconds = None
         self._h_osf = None
+        # (cold, refault, writeback, thrash) handles — one tuple per
+        # node: the (node, backend) labels never vary within a scheduler.
+        self._h_uvm = None
         self._prune_every = prune_every
         self._completions = 0
         self._pending_load: dict[int, float] = {g.gpu_id: 0.0
@@ -119,6 +132,29 @@ class IntraNodeScheduler:
             if self._h_osf is None:
                 self._h_osf = self._m_osf.labels(node=self.node.name)
             self._h_osf.set(self.node.uvm.oversubscription)
+
+    def _note_uvm_cost(self, cost: KernelCost) -> None:
+        """Publish one priced launch's fault traffic, keyed by backend."""
+        if self._m_uvm_cold is None or self.node.uvm is None:
+            return
+        handles = self._h_uvm
+        if handles is None:
+            labels = {"node": self.node.name,
+                      "backend": self.node.uvm.backend.name}
+            handles = self._h_uvm = (
+                self._m_uvm_cold.labels(**labels),
+                self._m_uvm_refault.labels(**labels),
+                self._m_uvm_writeback.labels(**labels),
+                self._m_uvm_thrash.labels(**labels),
+            )
+        if cost.cold_bytes:
+            handles[0].inc(cost.cold_bytes)
+        if cost.refault_bytes:
+            handles[1].inc(cost.refault_bytes)
+        if cost.writeback_bytes:
+            handles[2].inc(cost.writeback_bytes)
+        if cost.thrashing:
+            handles[3].inc()
 
     # -- Algorithm 2 -----------------------------------------------------------
 
@@ -192,6 +228,7 @@ class IntraNodeScheduler:
                 uvm.register(array)
             self._note_oversubscription()
             cost = uvm.price_kernel(gpu, launch)
+            self._note_uvm_cost(cost)
             self.kernel_costs.append((ce, cost))
             totals = self.kernel_totals.get(ce.kernel.name)
             if totals is None:

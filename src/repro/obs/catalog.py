@@ -106,6 +106,29 @@ INTRANODE_METRICS: tuple[MetricSpec, ...] = (
                "the latest kernel submission.", labels=("node",)),
 )
 
+#: UVM paging (repro.uvm) — fault traffic priced by the active backend.
+#: The ``backend`` label keys every sample by paging design
+#: (``cpu-pme``, ``gpuvm``, ...), so backend comparisons fall out of the
+#: same scrape.
+UVM_METRICS: tuple[MetricSpec, ...] = (
+    MetricSpec("grout_uvm_cold_bytes_total", "counter",
+               "First-touch bytes migrated H2D by kernel launches, per "
+               "node and paging backend.",
+               unit="bytes", labels=("node", "backend")),
+    MetricSpec("grout_uvm_refault_bytes_total", "counter",
+               "Bytes re-migrated after eviction (the thrashing "
+               "traffic), per node and paging backend.",
+               unit="bytes", labels=("node", "backend")),
+    MetricSpec("grout_uvm_writeback_bytes_total", "counter",
+               "Dirty bytes written back D2H during kernel-driven "
+               "eviction, per node and paging backend.",
+               unit="bytes", labels=("node", "backend")),
+    MetricSpec("grout_uvm_thrashing_launches_total", "counter",
+               "Kernel launches priced on the thrashing path (working "
+               "set exceeded device memory), per node and paging "
+               "backend.", labels=("node", "backend")),
+)
+
 #: Per-CE profiling (repro.obs.ceprofile) — cross-layer attribution.
 PROFILER_METRICS: tuple[MetricSpec, ...] = (
     MetricSpec("grout_ce_phase_seconds_total", "counter",
@@ -160,7 +183,7 @@ SHARD_METRICS: tuple[MetricSpec, ...] = (
 #: Every metric any instrumented layer can emit, sorted by name.
 CATALOG: tuple[MetricSpec, ...] = tuple(sorted(
     CONTROLLER_METRICS + COLLECTIVE_METRICS + FABRIC_METRICS
-    + INTRANODE_METRICS + PROFILER_METRICS + FAULT_METRICS
+    + INTRANODE_METRICS + UVM_METRICS + PROFILER_METRICS + FAULT_METRICS
     + SESSION_METRICS + SHARD_METRICS,
     key=lambda spec: spec.name))
 

@@ -12,6 +12,14 @@ paper's Fig. 1/6a behaviour.
 
 from repro.uvm.access import merge_page_sets, page_set, pages_for_bytes
 from repro.uvm.advise import Advise, AdviseRegistry, AdviseSet
+from repro.uvm.backends import (
+    DEFAULT_BACKEND,
+    PAGING_BACKENDS,
+    CpuPmeBackend,
+    GpuvmBackend,
+    PagingBackend,
+    make_paging_backend,
+)
 from repro.uvm.calibration import (
     NO_THRASH,
     PAPER_CALIBRATION,
@@ -34,6 +42,11 @@ __all__ = [
     "AdviseRegistry",
     "AdviseSet",
     "BufferPages",
+    "CpuPmeBackend",
+    "DEFAULT_BACKEND",
+    "GpuvmBackend",
+    "PAGING_BACKENDS",
+    "PagingBackend",
     "DevicePageTable",
     "EvictionResult",
     "HostAccessCost",
@@ -50,6 +63,7 @@ __all__ = [
     "UvmSpace",
     "UvmStats",
     "expand_faults",
+    "make_paging_backend",
     "merge_page_sets",
     "page_set",
     "pages_for_bytes",

@@ -21,6 +21,7 @@ from repro.gpu.device import Gpu
 from repro.gpu.kernel import AccessPattern, KernelLaunch, SizedBuffer
 from repro.uvm.access import pages_for_bytes
 from repro.uvm.advise import Advise, AdviseRegistry
+from repro.uvm.backends import PagingBackend, make_paging_backend
 from repro.uvm.calibration import PAPER_CALIBRATION, UvmModelParams
 from repro.uvm.migration import MigrationEngine
 from repro.uvm.pagetable import DevicePageTable, UvmError
@@ -64,14 +65,19 @@ class _DeviceUvm:
 
     def __init__(self, gpu: Gpu, params: UvmModelParams,
                  prefetch: PrefetchConfig, eviction_order: str,
-                 rng: np.random.Generator):
+                 rng: np.random.Generator,
+                 backend: PagingBackend | None = None):
         spec = gpu.spec
         self.gpu = gpu
+        # Memory geometry is the hardware's; the page table never changes
+        # with the paging design.  Fault pricing does: the engine and the
+        # pricer see the backend-adapted spec (fault-batch constants).
         self.table = DevicePageTable(spec.total_pages, spec.page_size)
+        engine_spec = spec if backend is None else backend.engine_spec(spec)
         self.engine = MigrationEngine(
-            self.table, spec, params, prefetch=prefetch,
+            self.table, engine_spec, params, prefetch=prefetch,
             eviction_order=eviction_order, rng=rng)
-        self.pricer = KernelPricer(self.engine, spec, params)
+        self.pricer = KernelPricer(self.engine, engine_spec, params)
         self.touched_buffers: dict[int, int] = {}   # buffer_id -> nbytes
         self.touched_total = 0                      # running sum of values
         self._memory_bytes = spec.memory_bytes
@@ -102,17 +108,24 @@ class UvmSpace:
                  params: UvmModelParams = PAPER_CALIBRATION,
                  prefetch: PrefetchConfig | None = None,
                  eviction_order: str = "lru",
-                 seed: int = 0):
+                 seed: int = 0,
+                 backend: PagingBackend | str | None = None):
         if not gpus:
             raise ValueError("UvmSpace needs at least one GPU")
-        self.params = params
-        self.prefetch_config = prefetch or PrefetchConfig()
-        self.eviction_order = eviction_order
+        # The backend transforms every tunable before any engine exists.
+        # The default (cpu-pme) returns each argument object unchanged,
+        # so default construction is bit-for-bit the pre-backend path.
+        self.backend = make_paging_backend(backend)
+        self.params = self.backend.model_params(params)
+        self.prefetch_config = self.backend.prefetch_config(
+            prefetch or PrefetchConfig())
+        self.eviction_order = self.backend.eviction_order(eviction_order)
         self.advises = AdviseRegistry()
         self.stats = UvmStats()
         rng = np.random.default_rng(seed)
         self._devices = {gpu.gpu_id: _DeviceUvm(
-            gpu, params, self.prefetch_config, eviction_order, rng)
+            gpu, self.params, self.prefetch_config, self.eviction_order,
+            rng, backend=self.backend)
             for gpu in gpus}
         self._buffers: dict[int, int] = {}   # buffer_id -> nbytes
         # Incremental totals: register/unregister/advise adjust these so

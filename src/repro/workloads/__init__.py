@@ -1,4 +1,11 @@
-"""The paper's workload suite: MLE, CG, MV (§V-B) plus Black–Scholes (Fig. 1)."""
+"""The workload suite: the paper's dense programs plus irregular ones.
+
+Dense/regular (§V-B + Fig. 1): MLE, CG, MV, Black–Scholes, the vision
+pipeline.  Irregular (UVMBench's sparse/graph/random categories): SpMV
+on a power-law matrix, level-synchronous BFS, hash join.  The catalogue
+with access-pattern taxonomy lives in ``docs/WORKLOADS.md`` (kept in
+sync with this registry by ``tests/test_docs_check.py``).
+"""
 
 from repro.workloads.base import (
     DEFAULT_MAX_REAL_ELEMENTS,
@@ -6,15 +13,22 @@ from repro.workloads.base import (
     Workload,
     real_elements,
 )
+from repro.workloads.bfs import BfsTraversal, make_bfs_kernel, reference_bfs
 from repro.workloads.blackscholes import (
     BlackScholes,
     black_scholes_reference,
     make_bs_kernel,
 )
 from repro.workloads.cg import ConjugateGradient
+from repro.workloads.hashjoin import (
+    HashJoin,
+    make_build_kernel,
+    make_probe_kernel,
+)
 from repro.workloads.images import ImagePipeline, reference_pipeline
 from repro.workloads.mle import MlEnsemble
 from repro.workloads.mv import MatVec, make_mv_kernel
+from repro.workloads.spmv import SpMV, make_spmv_kernel
 
 #: Harness registry keyed by the paper's workload names.
 WORKLOADS: dict[str, type[Workload]] = {
@@ -25,6 +39,11 @@ WORKLOADS: dict[str, type[Workload]] = {
     # Beyond the paper's three: the GrCUDA-suite-style vision pipeline,
     # demonstrating that the suite is user-extensible.
     "img": ImagePipeline,
+    # Irregular-access suite (UVMBench's sparse/graph/random categories):
+    # the workloads whose fault patterns separate paging backends.
+    "spmv": SpMV,
+    "bfs": BfsTraversal,
+    "join": HashJoin,
 }
 
 
@@ -40,19 +59,27 @@ def make_workload(name: str, footprint_bytes: int, **kwargs) -> Workload:
 
 
 __all__ = [
+    "BfsTraversal",
     "BlackScholes",
     "ConjugateGradient",
     "DEFAULT_MAX_REAL_ELEMENTS",
+    "HashJoin",
     "ImagePipeline",
     "MatVec",
     "MlEnsemble",
     "RunResult",
+    "SpMV",
     "WORKLOADS",
     "Workload",
     "black_scholes_reference",
+    "make_bfs_kernel",
     "make_bs_kernel",
+    "make_build_kernel",
     "make_mv_kernel",
+    "make_probe_kernel",
+    "make_spmv_kernel",
     "make_workload",
     "real_elements",
+    "reference_bfs",
     "reference_pipeline",
 ]

@@ -1,0 +1,156 @@
+"""BFS — level-synchronous breadth-first traversal (pointer chasing).
+
+A fixed-degree random graph, adjacency split into source-range chunks.
+Each level launches one kernel per chunk: scan the chunk's sources for
+frontier nodes (``dist == level``) and label their unvisited neighbours
+``level + 1``.  The adjacency chunk streams at stride, but the
+``dist`` scatter is pure pointer chasing — neighbour ids land anywhere
+in the array, and every kernel of level L+1 depends on *all* of level
+L through the shared ``dist`` buffer (an iterative chain of fan-outs,
+the DAG shape graph workloads hand the scheduler).
+
+This is UVMBench's graph-traversal category: the access pattern the
+tree prefetcher can do nothing about and the CPU-driven fault handler
+prices worst.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.kernel import (
+    AccessPattern,
+    ArrayAccess,
+    Direction,
+    KernelSpec,
+)
+from repro.workloads.base import FOOTPRINT_FILL, Workload
+
+#: Real backing graph: node count and out-degree (numerics only).
+REAL_NODES = 2048
+DEGREE = 8
+
+#: Synchronous levels executed (covers a 2048-node random graph's
+#: diameter with room to spare; extra levels are no-ops).
+LEVELS = 6
+
+
+def reference_bfs(adj: np.ndarray, source: int = 0,
+                  levels: int = LEVELS) -> np.ndarray:
+    """Level-capped BFS distances on the real backing graph."""
+    dist = np.full(adj.shape[0], -1, dtype=np.int32)
+    dist[source] = 0
+    frontier = [source]
+    for level in range(levels):
+        nxt = []
+        for u in frontier:
+            for v in adj[u]:
+                if dist[v] < 0:
+                    dist[v] = level + 1
+                    nxt.append(v)
+        frontier = nxt
+    return dist
+
+
+def make_bfs_kernel() -> KernelSpec:
+    """Expand one adjacency chunk's slice of the current frontier."""
+
+    def executor(adj_c, dist, level, lo, hi, nodes_virtual):
+        adj = adj_c.data.reshape(hi - lo, DEGREE)
+        d = dist.data
+        sources = np.flatnonzero(d[lo:hi] == level) + lo
+        for u in sources:
+            for v in adj[u - lo]:
+                if d[v] < 0:
+                    d[v] = level + 1
+
+    def access_fn(args):
+        adj_c, dist, level, lo, hi, nodes_virtual = args
+        return [
+            # The chunk's edge lists stream by source id.
+            ArrayAccess(adj_c, Direction.IN, AccessPattern.STRIDED),
+            # Frontier test + neighbour scatter: data-dependent order
+            # over the whole distance array.
+            ArrayAccess(dist, Direction.INOUT, AccessPattern.RANDOM),
+        ]
+
+    def flops_fn(args):
+        lo, hi = args[3], args[4]
+        return float((hi - lo) * DEGREE)
+
+    return KernelSpec("bfs_level", executor=executor, access_fn=access_fn,
+                      flops_fn=flops_fn)
+
+
+class BfsTraversal(Workload):
+    """Level-synchronous BFS over a chunked fixed-degree random graph."""
+
+    name = "bfs"
+
+    def __init__(self, footprint_bytes: int, *, n_chunks: int | None = None,
+                 seed: int = 0):
+        super().__init__(footprint_bytes, n_chunks=n_chunks, seed=seed)
+        # Adjacency carries the footprint (DEGREE int32 edges per virtual
+        # node); the distance array takes the remainder.
+        adj_bytes = int(FOOTPRINT_FILL * self.footprint_bytes)
+        self.nodes_virtual = max(REAL_NODES,
+                                 adj_bytes // (4 * DEGREE))
+        self.dist_virtual_bytes = max(
+            REAL_NODES * 4, self.footprint_bytes - adj_bytes)
+        self.kernel = make_bfs_kernel()
+        self.adj_chunks: list = []
+        self.bounds: list[tuple[int, int]] = []
+        self.dist = None
+        self.adj_full: np.ndarray | None = None
+
+    def build(self, rt) -> None:
+        """Allocate the distance array and the adjacency chunks."""
+        rng = np.random.default_rng(self.seed)
+        # One global random graph, sliced by source range per chunk.
+        self.adj_full = rng.integers(
+            0, REAL_NODES, size=(REAL_NODES, DEGREE), dtype=np.int32)
+        self.dist = rt.device_array(
+            REAL_NODES, np.int32,
+            virtual_nbytes=self.dist_virtual_bytes, name="bfs.dist")
+
+        def init_dist(dist=self.dist):
+            dist.data[:] = -1
+            dist.data[0] = 0
+
+        self._count(rt.host_write(self.dist, init_dist,
+                                  label="bfs.init_dist"))
+
+        adj_chunk_virtual = self.nodes_virtual * DEGREE * 4 \
+            // self.n_chunks
+        edges = np.array_split(np.arange(REAL_NODES), self.n_chunks)
+        for c, ids in enumerate(edges):
+            lo, hi = int(ids[0]), int(ids[-1]) + 1
+            block = self.adj_full[lo:hi].reshape(-1).copy()
+            adj_c = rt.device_array(
+                block.size, np.int32,
+                virtual_nbytes=max(block.size * 4, adj_chunk_virtual),
+                name=f"bfs.adj{c}")
+            self.adj_chunks.append(adj_c)
+            self.bounds.append((lo, hi))
+
+            def init_adj(a=adj_c, values=block):
+                a.data[:] = values
+
+            self._count(rt.host_write(adj_c, init_adj,
+                                      label=f"bfs.init_adj{c}"))
+
+    def run(self, rt) -> None:
+        """Launch LEVELS × n_chunks frontier-expansion kernels."""
+        for level in range(LEVELS):
+            for c in range(self.n_chunks):
+                lo, hi = self.bounds[c]
+                args = (self.adj_chunks[c], self.dist, level, lo, hi,
+                        self.nodes_virtual)
+                self._count(rt.launch(self.kernel, 2048, 256, args,
+                                      label=f"bfs.l{level}c{c}"))
+
+    def verify(self) -> bool:
+        """Distances match a host-side level-capped BFS."""
+        assert self.dist is not None and self.adj_full is not None
+        expected = reference_bfs(self.adj_full)
+        return bool(np.array_equal(self.dist.data, expected))

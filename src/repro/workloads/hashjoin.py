@@ -1,0 +1,174 @@
+"""Hash join — build + probe with random-access table traffic.
+
+The classic two-phase equi-join: build kernels scatter one relation's
+keys into a hash table (sequential key stream, random table writes),
+then probe kernels look the other relation up (sequential key stream,
+random table reads) and count matches.  The table is the pointer-chase
+hot spot: every access lands on a hash-determined page, defeating any
+prefetcher, and the build phase *dirties* those pages so oversubscribed
+eviction pays write-backs too.
+
+The DAG is a chain-then-fan: build kernels serialise on the table
+(write-after-write), probes all depend on the last build and then run
+in parallel (read-only).  UVMBench category: random-access /
+hash-based.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.kernel import (
+    AccessPattern,
+    ArrayAccess,
+    Direction,
+    KernelSpec,
+)
+from repro.workloads.base import FOOTPRINT_FILL, Workload
+
+#: Real backing sizes (numerics only): table slots and keys per chunk.
+REAL_SLOTS = 4096
+KEYS_PER_CHUNK = 1024
+
+#: Key universe; ~25% of probes hit when both relations draw from it.
+KEY_RANGE = 16384
+
+#: Share of the declared footprint held by the hash table itself; the
+#: build/probe key streams split the rest.
+TABLE_SHARE = 0.5
+
+
+def make_build_kernel() -> KernelSpec:
+    """Scatter one build chunk's keys into the table (last write wins)."""
+
+    def executor(keys_c, table, count):
+        slots = keys_c.data % REAL_SLOTS
+        # Program-order scatter: later keys overwrite earlier collisions,
+        # exactly what the sequential reference replays.
+        table.data[slots] = keys_c.data
+
+    def access_fn(args):
+        keys_c, table, count = args
+        return [
+            ArrayAccess(keys_c, Direction.IN, AccessPattern.SEQUENTIAL),
+            ArrayAccess(table, Direction.INOUT, AccessPattern.RANDOM),
+        ]
+
+    def flops_fn(args):
+        return float(args[2])
+
+    return KernelSpec("join_build", executor=executor, access_fn=access_fn,
+                      flops_fn=flops_fn)
+
+
+def make_probe_kernel() -> KernelSpec:
+    """Count one probe chunk's keys present in the table."""
+
+    def executor(keys_c, table, out_c, count):
+        slots = keys_c.data % REAL_SLOTS
+        out_c.data[0] = np.count_nonzero(
+            table.data[slots] == keys_c.data)
+
+    def access_fn(args):
+        keys_c, table, out_c, count = args
+        return [
+            ArrayAccess(keys_c, Direction.IN, AccessPattern.SEQUENTIAL),
+            ArrayAccess(table, Direction.IN, AccessPattern.RANDOM),
+            ArrayAccess(out_c, Direction.OUT, AccessPattern.SEQUENTIAL),
+        ]
+
+    def flops_fn(args):
+        return float(args[3])
+
+    return KernelSpec("join_probe", executor=executor, access_fn=access_fn,
+                      flops_fn=flops_fn)
+
+
+class HashJoin(Workload):
+    """Build/probe equi-join counting matches per probe chunk."""
+
+    name = "join"
+
+    def __init__(self, footprint_bytes: int, *, n_chunks: int | None = None,
+                 seed: int = 0):
+        super().__init__(footprint_bytes, n_chunks=n_chunks, seed=seed)
+        fill = int(FOOTPRINT_FILL * self.footprint_bytes)
+        self.table_virtual_bytes = max(REAL_SLOTS * 4,
+                                       int(fill * TABLE_SHARE))
+        self.keys_virtual_bytes = max(
+            KEYS_PER_CHUNK * 4,
+            (fill - self.table_virtual_bytes) // (2 * self.n_chunks))
+        self.build_kernel = make_build_kernel()
+        self.probe_kernel = make_probe_kernel()
+        self.build_chunks: list = []
+        self.probe_chunks: list = []
+        self.out_chunks: list = []
+        self.table = None
+
+    def build(self, rt) -> None:
+        """Allocate the table plus build/probe key chunks."""
+        self.table = rt.device_array(
+            REAL_SLOTS, np.int32,
+            virtual_nbytes=self.table_virtual_bytes, name="join.table")
+
+        def init_table(table=self.table):
+            table.data[:] = -1
+
+        self._count(rt.host_write(self.table, init_table,
+                                  label="join.init_table"))
+
+        for c in range(self.n_chunks):
+            rng = np.random.default_rng(self.seed + 1 + c)
+            build_keys = rng.integers(0, KEY_RANGE, size=KEYS_PER_CHUNK,
+                                      dtype=np.int32)
+            probe_keys = rng.integers(0, KEY_RANGE, size=KEYS_PER_CHUNK,
+                                      dtype=np.int32)
+            b_c = rt.device_array(KEYS_PER_CHUNK, np.int32,
+                                  virtual_nbytes=self.keys_virtual_bytes,
+                                  name=f"join.build{c}")
+            p_c = rt.device_array(KEYS_PER_CHUNK, np.int32,
+                                  virtual_nbytes=self.keys_virtual_bytes,
+                                  name=f"join.probe{c}")
+            out_c = rt.device_array(1, np.int32, virtual_nbytes=4,
+                                    name=f"join.out{c}")
+            self.build_chunks.append(b_c)
+            self.probe_chunks.append(p_c)
+            self.out_chunks.append(out_c)
+
+            def init_build(a=b_c, values=build_keys):
+                a.data[:] = values
+
+            def init_probe(a=p_c, values=probe_keys):
+                a.data[:] = values
+
+            self._count(rt.host_write(b_c, init_build,
+                                      label=f"join.init_build{c}"))
+            self._count(rt.host_write(p_c, init_probe,
+                                      label=f"join.init_probe{c}"))
+
+    def run(self, rt) -> None:
+        """Build the table chunk by chunk, then probe every chunk."""
+        for c in range(self.n_chunks):
+            args = (self.build_chunks[c], self.table, KEYS_PER_CHUNK)
+            self._count(rt.launch(self.build_kernel, 2048, 256, args,
+                                  label=f"join.build{c}"))
+        for c in range(self.n_chunks):
+            args = (self.probe_chunks[c], self.table, self.out_chunks[c],
+                    KEYS_PER_CHUNK)
+            self._count(rt.launch(self.probe_kernel, 2048, 256, args,
+                                  label=f"join.probe{c}"))
+
+    def verify(self) -> bool:
+        """Replay the build sequentially, then recount every probe."""
+        assert self.table is not None
+        table = np.full(REAL_SLOTS, -1, dtype=np.int32)
+        for b_c in self.build_chunks:
+            table[b_c.data % REAL_SLOTS] = b_c.data
+        if not np.array_equal(self.table.data, table):
+            return False
+        for p_c, out_c in zip(self.probe_chunks, self.out_chunks):
+            expected = np.count_nonzero(
+                table[p_c.data % REAL_SLOTS] == p_c.data)
+            if int(out_c.data[0]) != expected:
+                return False
+        return True

@@ -1,0 +1,167 @@
+"""SpMV — sparse matrix–vector product on a power-law matrix.
+
+``y = A @ x`` with A in CSR split into row chunks, one kernel per chunk.
+The nonzero *values* and *column indices* stream sequentially, but the
+gather ``x[cols]`` is data-dependent: with a power-law (Zipf) column
+distribution most of ``x`` is touched, in an order the UVM prefetcher
+cannot predict.  This is UVMBench's sparse/graph category — the regime
+where the CPU-driven fault handler's per-batch round-trips dominate and
+oversubscription collapses almost immediately (RANDOM knee ≈ 1.05×),
+while a GPU-driven backend degrades by link occupancy only.
+
+Like every suite workload, the modeled footprint is virtual (the CSR
+arrays carry the bytes) while the real NumPy backing stays small enough
+to verify exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.kernel import (
+    AccessPattern,
+    ArrayAccess,
+    Direction,
+    KernelSpec,
+)
+from repro.workloads.base import FOOTPRINT_FILL, Workload
+
+#: Real backing: rows per chunk and nonzeros per row (numerics only).
+ROWS_PER_CHUNK = 16
+NNZ_PER_ROW = 64
+
+#: Real dense-vector length (columns of the real matrix).
+REAL_COLS = 2048
+
+#: Zipf exponent of the column distribution — heavy-tailed, as in
+#: power-law graphs/feature matrices.
+ZIPF_A = 1.3
+
+#: Share of ``x``'s pages a chunk's gather actually lands on.  Zipf hits
+#: concentrate on the head but the tail is long; most of the vector is
+#: touched across a chunk's rows, in data-dependent order.
+X_TOUCH_FRACTION = 0.6
+
+
+def _zipf_columns(rng: np.random.Generator, n: int, cols: int) -> np.ndarray:
+    """Power-law column picks folded into the valid range."""
+    raw = rng.zipf(ZIPF_A, size=n)
+    return ((raw - 1) % cols).astype(np.int32)
+
+
+def make_spmv_kernel() -> KernelSpec:
+    """One CSR row-chunk of the product: y_c = A_c @ x."""
+
+    def executor(vals_c, cols_c, x, y_c, rows, nnz_virtual):
+        gathered = x.data[cols_c.data].reshape(rows, NNZ_PER_ROW)
+        y_c.data[:] = (vals_c.data.reshape(rows, NNZ_PER_ROW)
+                       * gathered).sum(axis=1)
+
+    def access_fn(args):
+        vals_c, cols_c, x, y_c, rows, nnz_virtual = args
+        seq = AccessPattern.SEQUENTIAL
+        return [
+            ArrayAccess(vals_c, Direction.IN, seq),
+            ArrayAccess(cols_c, Direction.IN, seq),
+            # The gather: data-dependent page order over most of x.
+            ArrayAccess(x, Direction.IN, AccessPattern.RANDOM,
+                        fraction=X_TOUCH_FRACTION),
+            ArrayAccess(y_c, Direction.OUT, seq),
+        ]
+
+    def flops_fn(args):
+        return 2.0 * float(args[5])     # one FMA per virtual nonzero
+
+    return KernelSpec("spmv_chunk", executor=executor, access_fn=access_fn,
+                      flops_fn=flops_fn)
+
+
+class SpMV(Workload):
+    """Row-chunked CSR SpMV with a power-law column distribution."""
+
+    name = "spmv"
+
+    def __init__(self, footprint_bytes: int, *, n_chunks: int | None = None,
+                 seed: int = 0):
+        super().__init__(footprint_bytes, n_chunks=n_chunks, seed=seed)
+        # CSR carries the footprint: 8 bytes per virtual nonzero
+        # (float32 value + int32 column), split evenly across chunks;
+        # x takes what the fill factor leaves.
+        csr_bytes = int(FOOTPRINT_FILL * self.footprint_bytes)
+        self.nnz_virtual_per_chunk = max(
+            ROWS_PER_CHUNK * NNZ_PER_ROW, csr_bytes // (8 * self.n_chunks))
+        y_bytes = ROWS_PER_CHUNK * 4 * self.n_chunks
+        self.x_virtual_bytes = max(
+            REAL_COLS * 4, self.footprint_bytes - csr_bytes - y_bytes)
+        self.kernel = make_spmv_kernel()
+        self.vals_chunks: list = []
+        self.cols_chunks: list = []
+        self.y_chunks: list = []
+        self.x = None
+
+    def build(self, rt) -> None:
+        """Allocate x plus the CSR value/column chunks."""
+        nnz_real = ROWS_PER_CHUNK * NNZ_PER_ROW
+        self.x = rt.device_array(REAL_COLS, np.float32,
+                                 virtual_nbytes=self.x_virtual_bytes,
+                                 name="spmv.x")
+        rng = np.random.default_rng(self.seed)
+        x_init = rng.standard_normal(REAL_COLS).astype(np.float32)
+
+        def init_x(x=self.x, values=x_init):
+            x.data[:] = values
+
+        self._count(rt.host_write(self.x, init_x, label="spmv.init_x"))
+
+        for c in range(self.n_chunks):
+            chunk_rng = np.random.default_rng(self.seed + 1 + c)
+            vals_c = rt.device_array(
+                nnz_real, np.float32,
+                virtual_nbytes=self.nnz_virtual_per_chunk * 4,
+                name=f"spmv.vals{c}")
+            cols_c = rt.device_array(
+                nnz_real, np.int32,
+                virtual_nbytes=self.nnz_virtual_per_chunk * 4,
+                name=f"spmv.cols{c}")
+            y_c = rt.device_array(ROWS_PER_CHUNK, np.float32,
+                                  virtual_nbytes=ROWS_PER_CHUNK * 4,
+                                  name=f"spmv.y{c}")
+            self.vals_chunks.append(vals_c)
+            self.cols_chunks.append(cols_c)
+            self.y_chunks.append(y_c)
+            vals_init = chunk_rng.standard_normal(nnz_real) \
+                .astype(np.float32)
+            cols_init = _zipf_columns(chunk_rng, nnz_real, REAL_COLS)
+
+            def init_vals(a=vals_c, values=vals_init):
+                a.data[:] = values
+
+            def init_cols(a=cols_c, values=cols_init):
+                a.data[:] = values
+
+            self._count(rt.host_write(vals_c, init_vals,
+                                      label=f"spmv.init_vals{c}"))
+            self._count(rt.host_write(cols_c, init_cols,
+                                      label=f"spmv.init_cols{c}"))
+
+    def run(self, rt) -> None:
+        """Launch one gather-multiply kernel per row chunk."""
+        for c in range(self.n_chunks):
+            args = (self.vals_chunks[c], self.cols_chunks[c], self.x,
+                    self.y_chunks[c], ROWS_PER_CHUNK,
+                    self.nnz_virtual_per_chunk)
+            self._count(rt.launch(self.kernel, 4096, 256, args,
+                                  label=f"spmv{c}"))
+
+    def verify(self) -> bool:
+        """Check every chunk's gathered product against NumPy."""
+        assert self.x is not None
+        for vals_c, cols_c, y_c in zip(self.vals_chunks, self.cols_chunks,
+                                       self.y_chunks):
+            gathered = self.x.data[cols_c.data] \
+                .reshape(ROWS_PER_CHUNK, NNZ_PER_ROW)
+            expected = (vals_c.data.reshape(ROWS_PER_CHUNK, NNZ_PER_ROW)
+                        * gathered).sum(axis=1)
+            if not np.allclose(y_c.data, expected, rtol=1e-4, atol=1e-4):
+                return False
+        return True

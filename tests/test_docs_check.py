@@ -12,12 +12,25 @@ import pytest
 
 from repro.obs import CATALOG, PHASES
 from repro.sim import CATEGORIES
+from repro.uvm import PAGING_BACKENDS
+from repro.workloads import WORKLOADS
 
 REPO = Path(__file__).resolve().parent.parent
 OBSERVABILITY = REPO / "docs" / "OBSERVABILITY.md"
+WORKLOADS_MD = REPO / "docs" / "WORKLOADS.md"
+API_MD = REPO / "docs" / "API.md"
 
 _MD_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(?:#[^)]*)?\)")
 _FENCE_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+_TABLE_KEY_RE = re.compile(r"^\| `([a-z0-9_-]+)`", re.MULTILINE)
+
+
+def _section(text: str, heading: str) -> str:
+    """The body of one markdown section, up to the next same-level head."""
+    level = heading.split(" ", 1)[0] + " "
+    start = text.index(heading)
+    end = text.find("\n" + level, start + len(heading))
+    return text[start:end if end != -1 else len(text)]
 
 
 def _markdown_files():
@@ -52,6 +65,49 @@ def test_observability_documents_every_phase_and_category():
         assert f"`{phase}`" in text, f"phase {phase} undocumented"
     for category in CATEGORIES:
         assert f"`{category}`" in text, f"category {category} undocumented"
+
+
+def test_workloads_handbook_catalogues_every_workload():
+    """The WORKLOADS.md catalogue rows match the registry, no ghosts."""
+    catalogue = _section(WORKLOADS_MD.read_text(encoding="utf-8"),
+                         "## Catalogue")
+    documented = set(_TABLE_KEY_RE.findall(catalogue))
+    registered = set(WORKLOADS)
+    assert registered - documented == set(), "uncatalogued workloads"
+    assert documented - registered == set(), "catalogue lists ghosts"
+
+
+def test_workloads_handbook_details_every_workload():
+    """Every registry key has its own `### name — ...` detail section."""
+    text = WORKLOADS_MD.read_text(encoding="utf-8")
+    for name in WORKLOADS:
+        assert re.search(rf"^### `{name}`", text, re.MULTILINE), \
+            f"no detail section for workload {name!r}"
+
+
+def test_api_documents_every_backend():
+    """The API.md paging-backend table matches PAGING_BACKENDS exactly."""
+    section = _section(API_MD.read_text(encoding="utf-8"),
+                       "### Paging backends")
+    documented = set(_TABLE_KEY_RE.findall(section))
+    registered = set(PAGING_BACKENDS)
+    assert registered - documented == set(), "undocumented backends"
+    assert documented - registered == set(), "docs mention ghost backends"
+
+
+def test_api_names_every_workload():
+    """API.md's workload section names each registry key."""
+    section = _section(API_MD.read_text(encoding="utf-8"),
+                       "## Workloads — `repro.workloads`")
+    for name in WORKLOADS:
+        assert f"`{name}`" in section, f"workload {name} not in API.md"
+
+
+def test_handbook_names_every_backend():
+    """WORKLOADS.md's sensitivity section covers each backend by name."""
+    text = WORKLOADS_MD.read_text(encoding="utf-8")
+    for name in PAGING_BACKENDS:
+        assert f"`{name}`" in text, f"backend {name} not in WORKLOADS.md"
 
 
 @pytest.mark.parametrize("path", _markdown_files(),

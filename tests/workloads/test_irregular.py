@@ -1,0 +1,145 @@
+"""Unit tests of the irregular suite: SpMV, BFS, hash join.
+
+Numerics against host oracles on both runtimes, plus the DAG shapes
+docs/WORKLOADS.md promises: SpMV is a fan sharing ``x``, BFS is an
+iterative chain through the shared distance buffer, the join is a
+build chain feeding a read-only probe fan.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import GrCudaRuntime, GroutRuntime
+from repro.core.ce import CeKind
+from repro.gpu import GIB, MIB, TEST_GPU_1GB
+from repro.workloads import (
+    WORKLOADS,
+    BfsTraversal,
+    HashJoin,
+    SpMV,
+    make_workload,
+    reference_bfs,
+)
+from repro.workloads.bfs import DEGREE, LEVELS
+from repro.workloads.hashjoin import REAL_SLOTS
+from repro.workloads.spmv import REAL_COLS, _zipf_columns
+
+
+def build_dag(name, **kwargs):
+    wl = make_workload(name, 256 * MIB, n_chunks=2, **kwargs)
+    rt = GroutRuntime(n_workers=2, gpu_spec=TEST_GPU_1GB)
+    wl.build(rt)
+    wl.run(rt)
+    dag = rt.controller.dag
+    rt.sync()
+    return wl, dag
+
+
+def kernels_of(dag, prefix):
+    return [ce for ce in dag.nodes()
+            if ce.kind is CeKind.KERNEL
+            and ce.display_name.startswith(prefix)]
+
+
+class TestRegistry:
+    def test_registered_in_suite(self):
+        assert WORKLOADS["spmv"] is SpMV
+        assert WORKLOADS["bfs"] is BfsTraversal
+        assert WORKLOADS["join"] is HashJoin
+
+
+@pytest.mark.parametrize("name", ["spmv", "bfs", "join"])
+@pytest.mark.parametrize("mode", ["grcuda", "grout"])
+class TestEndToEnd:
+    def test_verified(self, name, mode):
+        wl = make_workload(name, 2 * GIB, n_chunks=4)
+        rt = GrCudaRuntime(page_size=4 * MIB) if mode == "grcuda" \
+            else GroutRuntime(n_workers=2, page_size=4 * MIB)
+        res = wl.execute(rt)
+        assert res.completed and res.verified
+
+
+@pytest.mark.parametrize("name", ["spmv", "bfs", "join"])
+class TestFootprint:
+    def test_footprint_covers_declared_bytes(self, name):
+        wl = make_workload(name, 8 * GIB, n_chunks=8)
+        rt = GrCudaRuntime(page_size=4 * MIB)
+        wl.build(rt)
+        managed = rt.node.uvm.managed_bytes
+        assert 0.7 * 8 * GIB < managed <= 8 * GIB
+
+
+class TestSpmvDag:
+    """A fan of chunk kernels sharing the read-only vector ``x``."""
+
+    def test_chunks_are_independent(self):
+        _, dag = build_dag("spmv")
+        c0 = kernels_of(dag, "spmv0")[0]
+        c1 = kernels_of(dag, "spmv1")[0]
+        assert c0.ce_id not in dag.ancestors(c1)
+        assert c1.ce_id not in dag.ancestors(c0)
+
+    def test_zipf_columns_in_range(self):
+        cols = _zipf_columns(np.random.default_rng(0), 4096, REAL_COLS)
+        assert cols.min() >= 0 and cols.max() < REAL_COLS
+        # Power law: the head column dominates a uniform draw's share.
+        head_share = np.mean(cols == np.bincount(cols).argmax())
+        assert head_share > 5.0 / REAL_COLS
+
+
+class TestBfsDag:
+    """An iterative chain of fan-outs through the shared ``dist``."""
+
+    def test_levels_chain_through_dist(self):
+        _, dag = build_dag("bfs")
+        last = kernels_of(dag, f"bfs.l{LEVELS - 1}c1")[0]
+        ancestors = dag.ancestors(last)
+        others = [ce for ce in kernels_of(dag, "bfs.l")
+                  if ce.ce_id != last.ce_id]
+        assert len(others) == LEVELS * 2 - 1
+        for ce in others:
+            assert ce.ce_id in ancestors, ce.display_name
+
+    def test_reference_bfs_small_graph(self):
+        # 0 -> {1, 2}, 1 -> {3}, rest self-loops: distances 0,1,1,2.
+        adj = np.zeros((4, DEGREE), dtype=np.int32)
+        adj[0, :2] = [1, 2]
+        adj[1, :] = 3
+        adj[2, :] = 2
+        adj[3, :] = 3
+        assert reference_bfs(adj).tolist() == [0, 1, 1, 2]
+
+    def test_level_cap_respected(self):
+        chain = np.arange(1, 11, dtype=np.int32) % 10
+        adj = np.repeat(chain[:, None], DEGREE, axis=1)
+        dist = reference_bfs(adj, levels=3)
+        assert dist.max() == 3 and np.count_nonzero(dist < 0) == 6
+
+
+class TestJoinDag:
+    """Builds serialise on the table; probes fan out read-only."""
+
+    def test_builds_chain(self):
+        _, dag = build_dag("join")
+        b0 = kernels_of(dag, "join.build0")[0]
+        b1 = kernels_of(dag, "join.build1")[0]
+        assert b0.ce_id in dag.ancestors(b1)
+
+    def test_probes_depend_on_last_build_and_fan_out(self):
+        _, dag = build_dag("join")
+        last_build = kernels_of(dag, "join.build1")[0]
+        p0 = kernels_of(dag, "join.probe0")[0]
+        p1 = kernels_of(dag, "join.probe1")[0]
+        for probe in (p0, p1):
+            assert last_build.ce_id in dag.ancestors(probe)
+        assert p0.ce_id not in dag.ancestors(p1)
+        assert p1.ce_id not in dag.ancestors(p0)
+
+    def test_last_write_wins_matches_replay(self):
+        wl = make_workload("join", 1 * GIB, n_chunks=3)
+        rt = GrCudaRuntime(page_size=4 * MIB)
+        res = wl.execute(rt)
+        assert res.completed and res.verified
+        # The scatter really collides: fewer distinct slots than keys.
+        filled = int(np.count_nonzero(wl.table.data >= 0))
+        assert 0 < filled < REAL_SLOTS
