@@ -39,7 +39,8 @@ QUICK_SIZES = (10_000,)
 def main(argv: list[str] | None = None) -> int:
     from repro.bench.export import figure_to_dict
     from repro.bench.report import format_table
-    from repro.bench.scale import WORKLOADS, check_regression, run_scale
+    from repro.bench.scale import (WORKLOADS, check_regression, profile_run,
+                                   run_engine_microbench, run_scale)
 
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -70,6 +71,17 @@ def main(argv: list[str] | None = None) -> int:
                              "as the report's `reference` section")
     parser.add_argument("--no-isolate", action="store_true",
                         help="run in-process instead of forking per run")
+    parser.add_argument("--profile", type=int, default=None, metavar="N",
+                        help="cProfile each (workload, size) pair "
+                             "in-process and embed the top-N functions "
+                             "by tottime in the report JSON")
+    parser.add_argument("--no-engine", action="store_true",
+                        help="skip the engine-only timeout-churn "
+                             "microbenchmark row")
+    parser.add_argument("--engine-floor", type=float, default=250_000,
+                        help="absolute events/sec floor for the engine "
+                             "microbenchmark when --check is given "
+                             "(default 250000; 0 disables)")
     args = parser.parse_args(argv)
 
     if args.sizes:
@@ -84,6 +96,21 @@ def main(argv: list[str] | None = None) -> int:
                        isolate=not args.no_isolate, shards=args.shards,
                        shard_window=args.shard_window,
                        repeats=args.repeats, log=print)
+    engine_row = None
+    if not args.no_engine:
+        print("running engine timeout-churn microbenchmark ...")
+        engine_row = run_engine_microbench()
+        report.results.append(engine_row)
+        print(f"  {engine_row.wall_seconds:8.2f}s wall   "
+              f"{engine_row.events_per_sec:12,.0f} events/s")
+    if args.profile is not None:
+        report.profile = {}
+        for ces in sizes:
+            for name in (workloads or tuple(sorted(WORKLOADS))):
+                print(f"profiling {name} @ {ces:,} CEs ...")
+                report.profile[f"{name}@{ces}"] = profile_run(
+                    name, ces, top=args.profile, shards=args.shards,
+                    shard_window=args.shard_window)
     if args.reference:
         with open(args.reference, "r", encoding="utf-8") as fh:
             report.reference = json.load(fh).get("results")
@@ -109,6 +136,12 @@ def main(argv: list[str] | None = None) -> int:
             baseline = json.load(fh)
         failures = check_regression(baseline, payload,
                                     factor=args.check_factor)
+        if (engine_row is not None and args.engine_floor > 0
+                and engine_row.events_per_sec < args.engine_floor):
+            failures.append(
+                f"engine microbenchmark: "
+                f"{engine_row.events_per_sec:,.0f} events/s below the "
+                f"absolute floor of {args.engine_floor:,.0f}")
         if failures:
             print("\nPERF REGRESSION vs " + args.check)
             for failure in failures:

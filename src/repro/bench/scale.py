@@ -44,7 +44,8 @@ from repro.gpu.kernel import ArrayAccess, Direction, KernelSpec
 from repro.gpu.specs import KIB, MIB, TEST_GPU_1GB
 
 __all__ = ["ScaleRunResult", "ScaleReport", "WORKLOADS",
-           "run_scale_once", "run_scale", "check_regression"]
+           "run_scale_once", "run_scale", "run_engine_microbench",
+           "profile_run", "check_regression", "ENGINE_MICROBENCH_EVENTS"]
 
 #: Benchmark cluster: the paper's three-worker setup with small GPUs so
 #: the footprint stays comfortably resident (scheduling, not eviction,
@@ -79,6 +80,9 @@ class ScaleReport:
     #: (e.g. the pre-optimization numbers this PR's speedup is measured
     #: against).  Same shape as ``results``, plain dicts.
     reference: list[dict] | None = None
+    #: Optional cProfile capture: ``{"workload@ces": [row, ...]}`` with
+    #: the top-N functions by total time (see :func:`profile_run`).
+    profile: dict | None = None
 
 
 # -- synthetic workloads -------------------------------------------------------
@@ -300,6 +304,99 @@ def run_scale(sizes: tuple[int, ...],
                     f"{result.events_per_sec:12,.0f} events/s   "
                     f"{result.peak_rss_mib:7.1f} MiB peak")
     return report
+
+
+# -- engine microbenchmark -----------------------------------------------------
+
+#: Deliveries churned by :func:`run_engine_microbench` — half through the
+#: generator/Timeout path, half through ``schedule_call`` chains.
+ENGINE_MICROBENCH_EVENTS = 400_000
+
+
+def run_engine_microbench(events: int = ENGINE_MICROBENCH_EVENTS,
+                          fanout: int = 64) -> ScaleRunResult:
+    """Pure event-core churn: no controller, no DAG, no GPU models.
+
+    Isolates the engine's own queue machinery so the perf gate can tell
+    an engine regression apart from a scheduler one.  ``fanout`` rollers
+    churn timeouts two ways — the classic generator/Timeout path for the
+    first half of the deliveries, ``schedule_call`` chains for the second
+    half — so a slowdown in either lane moves the number.  Reported as a
+    pseudo-workload row (``workload="engine"``, ``ces=events``) so the
+    relative ``check_regression`` gate covers it automatically.
+    """
+    from repro.sim import Engine
+
+    engine = Engine()
+    half = events // 2
+
+    def roller(i: int):
+        delay = 0.001 * (1 + i % 7)
+        while engine.events_processed < half:
+            yield engine.timeout(delay)
+
+    for i in range(fanout):
+        engine.process(roller(i), name=f"roll{i}")
+
+    def hop(_arg):
+        if engine.events_processed < events:
+            engine.schedule_call(0.001, hop)
+
+    start = time.perf_counter()
+    engine.run()
+    for i in range(fanout):
+        engine.schedule_call(0.001 * (1 + i % 7), hop)
+    engine.run()
+    wall = time.perf_counter() - start
+    churned = engine.events_processed
+    return ScaleRunResult(
+        workload="engine",
+        ces=events,
+        wall_seconds=wall,
+        sim_seconds=engine.now,
+        events=churned,
+        events_per_sec=churned / wall if wall > 0 else 0.0,
+        ces_per_sec=0.0,
+        peak_rss_mib=_peak_rss_mib(),
+    )
+
+
+# -- profiling -----------------------------------------------------------------
+
+def profile_run(workload: str, ces: int, *, top: int = 25,
+                n_workers: int = N_WORKERS,
+                shards: int | None = None,
+                shard_window: float | None = None) -> list[dict]:
+    """cProfile one in-process run; top-``top`` functions by total time.
+
+    Rows are plain dicts (function, file:line, ncalls, tottime, cumtime)
+    ready for the ``profile`` section of ``BENCH_scale.json`` — a
+    shareable where-does-the-time-go capture alongside the numbers.
+    """
+    import cProfile
+    import pstats
+
+    prof = cProfile.Profile()
+    prof.enable()
+    try:
+        run_scale_once(workload, ces, n_workers=n_workers, shards=shards,
+                       shard_window=shard_window)
+    finally:
+        prof.disable()
+    stats = pstats.Stats(prof)
+    stats.sort_stats("tottime")
+    rows = []
+    for func in stats.fcn_list[:top]:
+        cc, nc, tt, ct, _callers = stats.stats[func]
+        filename, line, name = func
+        rows.append({
+            "function": name,
+            "file": f"{filename}:{line}",
+            "ncalls": nc,
+            "tottime": round(tt, 4),
+            "cumtime": round(ct, 4),
+        })
+    return rows
 
 
 # -- regression gate -----------------------------------------------------------

@@ -287,63 +287,73 @@ class DependencyDag:
         expose ``done`` (an ``AllOf`` over their members) exactly like a
         CE, so wait collection is uniform.
         """
-        if ce.ce_id in self._nodes:
+        cid = ce.ce_id
+        if cid in self._nodes:
             raise ValueError(f"{ce!r} already in the DAG")
 
-        # Scan the (per-buffer) frontier for conflicting CEs.
+        # Scan the (per-buffer) frontier for conflicting CEs.  Locals are
+        # hoisted throughout add() — it runs once per CE and its attribute
+        # loads were measurable at million-CE scale.
+        buffers = self._buffers
+        accesses = ce.accesses
         candidates: dict[int, object] = {}
-        for access in ce.accesses:
-            bf = self._buffers.get(access.buffer.buffer_id)
+        setdef = candidates.setdefault
+        for access in accesses:
+            bf = buffers.get(access.buffer.buffer_id)
             if bf is None:
                 continue
+            writer = bf.last_writer
             if access.direction.writes:
                 # WAR against every reader — sealed cohorts count once
                 # through their join — WAW against the writer.
                 for join in bf.cohorts:
-                    candidates.setdefault(join.ce_id, join)
+                    setdef(join.ce_id, join)
                 for r in bf.readers:
-                    candidates.setdefault(r.ce_id, r)
-                if bf.last_writer is not None:
-                    candidates.setdefault(bf.last_writer.ce_id,
-                                          bf.last_writer)
-            elif bf.last_writer is not None:
+                    setdef(r.ce_id, r)
+                if writer is not None:
+                    setdef(writer.ce_id, writer)
+            elif writer is not None:
                 # RAW against the last writer.
-                candidates.setdefault(bf.last_writer.ce_id, bf.last_writer)
-        candidates.pop(ce.ce_id, None)
+                setdef(writer.ce_id, writer)
+        candidates.pop(cid, None)
 
         filtered = self._filter_redundant(list(candidates.values()))
 
         fcount = self._frontier_count
+        all_info = self._info
         info = _NodeInfo()
         anc = info.ancestors
+        parents = info.parents
         for parent in filtered:
-            pinfo = self._info[parent.ce_id]
+            pinfo = all_info[parent.ce_id]
             pinfo.children.append(ce)
-            info.parents.append(parent)
+            parents.append(parent)
             anc.add(parent.ce_id)
             if pinfo.ancestors:
                 # Propagate only ids still in the frontier — the bounded
                 # representation the module docstring justifies.
                 anc |= pinfo.ancestors & fcount.keys()
-        self._info[ce.ce_id] = info
-        self._nodes[ce.ce_id] = ce
+        all_info[cid] = info
+        self._nodes[cid] = ce
 
         # updateFrontier.  Departures are settled after the loop so a CE
         # reading *and* writing the same buffer (transient leave + re-enter
         # within its own insertion) never loses its ancestor set.
         departed: list[int] = []
         sealable: list[int] = []
-        for access in ce.accesses:
+        cohort_size = self.cohort_size
+        fget = fcount.get
+        for access in accesses:
             bid = access.buffer.buffer_id
-            bf = self._buffers.get(bid)
+            bf = buffers.get(bid)
             if bf is None:
-                bf = self._buffers[bid] = _BufferFrontier()
+                bf = buffers[bid] = _BufferFrontier()
             if access.direction.writes:
                 old = bf.last_writer
-                if old is not None and old.ce_id != ce.ce_id:
+                if old is not None and old.ce_id != cid:
                     self._leave(old.ce_id, departed)
-                if old is None or old.ce_id != ce.ce_id:
-                    fcount[ce.ce_id] = fcount.get(ce.ce_id, 0) + 1
+                if old is None or old.ce_id != cid:
+                    fcount[cid] = fget(cid, 0) + 1
                 bf.last_writer = ce
                 if bf.cohorts:
                     for join in bf.cohorts:
@@ -354,11 +364,11 @@ class DependencyDag:
                         self._leave(r.ce_id, departed)
                     bf.readers = []
                     bf.reader_ids = set()
-            elif ce.ce_id not in bf.reader_ids:
+            elif cid not in bf.reader_ids:
                 bf.readers.append(ce)
-                bf.reader_ids.add(ce.ce_id)
-                fcount[ce.ce_id] = fcount.get(ce.ce_id, 0) + 1
-                if len(bf.readers) >= self.cohort_size:
+                bf.reader_ids.add(cid)
+                fcount[cid] = fget(cid, 0) + 1
+                if len(bf.readers) >= cohort_size:
                     sealable.append(bid)
         # Seal full reader lists only after every access is frontier-
         # registered, so intra-CE dedup (reader_ids) stays intact.

@@ -12,7 +12,8 @@ from repro.core.pipeline.base import (SchedulingPipeline, SchedulingState,
                                       Stage)
 from repro.core.pipeline.coherence import CoherenceStage
 from repro.core.pipeline.dispatch import HOST_MEM_BANDWIDTH, DispatchStage
-from repro.core.pipeline.movement import NODE_CRASH, DataMovementStage
+from repro.core.pipeline.movement import (NODE_CRASH, DataMovementStage,
+                                          FastMove)
 from repro.core.pipeline.placement import PlacementStage
 
 __all__ = [
@@ -21,6 +22,7 @@ __all__ = [
     "DataMovementStage",
     "DispatchStage",
     "FairShareGate",
+    "FastMove",
     "HOST_MEM_BANDWIDTH",
     "NODE_CRASH",
     "PlacementStage",

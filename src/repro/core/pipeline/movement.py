@@ -18,20 +18,171 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.net.fabric import TransferError
-from repro.sim import Interrupt
+from repro.net.fabric import TransferError, _FastTransfer
+from repro.sim import Event, Interrupt
+from repro.sim.events import EventState
 
 from repro.core.pipeline.base import SchedulingState, Stage
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.sim import Event
     from repro.core.arrays import ManagedArray
     from repro.core.ce import ComputationalElement
 
-__all__ = ["DataMovementStage"]
+__all__ = ["DataMovementStage", "FastMove"]
 
 #: Interrupt-cause tag carried by crash-triggered interruptions.
 NODE_CRASH = "node-crash"
+
+_PROCESSED = EventState.PROCESSED
+
+
+class FastMove(Event):
+    """A replication as a callback chain instead of a ``_move`` process.
+
+    The common-case move — wait for the producer, charge source
+    writeback, cross the fabric — is straight-line, so when no fault
+    machinery is armed it runs generator-free with exact queue-hop
+    parity: one zero-delay start call (the process start event), the
+    shared producer delivery, one writeback call (the timeout), the
+    transfer chain's three hops, and the move event itself.
+
+    Crash repair still works on in-flight chains: :meth:`cancel` kills
+    a move into a dead node (the event never fires), and
+    :meth:`interrupt_crash` re-sources a move fed *by* a dead node from
+    a surviving holder — the callback twins of the mover's Interrupt
+    handling, used by the controller instead of Process.interrupt.
+    """
+
+    __slots__ = ("stage", "array", "src", "dst", "producer", "for_ce",
+                 "_dead", "_leg", "_producer_index", "_measured_from")
+
+    def __init__(self, stage: "DataMovementStage", array: "ManagedArray",
+                 src: str, dst: str, producer: Event | None,
+                 for_ce: "ComputationalElement | None"):
+        engine = stage.controller.engine
+        super().__init__(engine, name=f"move:{array.name}->{dst}")
+        self.stage = stage
+        self.array = array
+        self.src = src
+        self.dst = dst
+        self.producer = producer
+        self.for_ce = for_ce
+        self._dead = False
+        self._leg: _FastTransfer | None = None
+        self._producer_index = -1
+        self._measured_from: float | None = None
+        # One hop before anything runs, like a Process's start event.
+        engine.schedule_call(0.0, self._begin)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the move has not completed (mirrors Process)."""
+        return not self.triggered
+
+    # -- chain stages --------------------------------------------------------
+
+    def _begin(self, _arg: object = None) -> None:
+        if self._dead:
+            return
+        producer = self.producer
+        if producer is not None and producer._state is not _PROCESSED:
+            producer._defused = True
+            self._producer_index = len(producer.callbacks)
+            producer.callbacks.append(self._after_producer)
+            return
+        self._after_producer(None)
+
+    def _after_producer(self, ev: Event | None) -> None:
+        if self._dead:
+            return
+        if ev is not None and not ev._ok:
+            # The producer failed: the move fails with its exception,
+            # exactly like the generator path's uncaught throw.
+            self.fail(ev._value)  # type: ignore[arg-type]
+            return
+        controller = self.stage.controller
+        if self._measured_from is None:
+            self._measured_from = controller.engine.now
+        source_worker = controller.workers.get(self.src)
+        if source_worker is not None:
+            wb = source_worker.writeback_seconds(self.array)
+            if wb > 0:
+                controller.engine.schedule_call(wb, self._transfer)
+                return
+        self._transfer(None)
+
+    def _transfer(self, _arg: object) -> None:
+        if self._dead:
+            return
+        array = self.array
+        if self.src == self.dst or array.nbytes == 0:
+            self._complete(None)
+            return
+        fabric = self.stage.controller.cluster.fabric
+        leg = _FastTransfer(fabric, self.src, self.dst, array.nbytes,
+                            label=array.name)
+        leg._defused = True
+        self._leg = leg
+        leg.callbacks.append(self._complete)
+
+    def _complete(self, ev: Event | None) -> None:
+        if self._dead:
+            return
+        self._leg = None
+        if ev is not None and not ev._ok:
+            # A flake armed mid-flight without the resilient latch —
+            # unreachable through the fault injector; fail the move
+            # rather than guess at a retry schedule.
+            self.fail(ev._value)  # type: ignore[arg-type]
+            return
+        controller = self.stage.controller
+        if controller.profiler is not None and self.for_ce is not None:
+            controller.profiler.record_transfer(
+                self.for_ce, controller.engine.now - self._measured_from,
+                nbytes=self.array.nbytes, node=self.dst)
+        self.succeed(self.array.nbytes)
+
+    # -- crash repair --------------------------------------------------------
+
+    def _detach(self) -> None:
+        producer = self.producer
+        index = self._producer_index
+        if (producer is not None and 0 <= index < len(producer.callbacks)
+                and producer.callbacks[index] is self._after_producer):
+            producer.callbacks[index] = None
+        self._producer_index = -1
+        leg, self._leg = self._leg, None
+        if leg is not None:
+            leg.abort()
+
+    def cancel(self, cause: object = None) -> bool:
+        """Kill the move (destination died); the event never fires."""
+        self._defused = True
+        if self._dead or self.triggered:
+            return False
+        self._dead = True
+        self._detach()
+        return True
+
+    def interrupt_crash(self, dead_node: str) -> None:
+        """Re-source from a surviving holder (the source died).
+
+        The generator path's carrier event delivers the Interrupt one
+        hop after the crash; the zero-delay call mirrors that.
+        """
+        if self._dead or self.triggered:
+            return
+        self._detach()
+        self.engine.schedule_call(0.0, self._resourced, dead_node)
+
+    def _resourced(self, dead_node: str) -> None:
+        if self._dead or self.triggered:
+            return
+        stage = self.stage
+        self.src = stage.surviving_source(self.array, self.dst,
+                                          exclude=dead_node)
+        stage.controller.stats.count_rerouted()
+        self._begin(None)
 
 
 class DataMovementStage(Stage):
@@ -99,9 +250,19 @@ class DataMovementStage(Stage):
                             h, node_name, array.nbytes), h))
                 if src != controller.cluster.controller.name:
                     controller.stats.count_p2p()
-            done = controller.engine.process(
-                self._move(array, src, node_name, producer, for_ce=for_ce),
-                name=f"move:{array.name}->{node_name}")
+            fabric = controller.cluster.fabric
+            if (not fabric.resilient and fabric.chunk_bytes is None
+                    and fabric.retry.attempt_timeout is None):
+                # No fault machinery armed: the move runs generator-free
+                # (hop parity with _move; crash repair still cancels or
+                # re-sources the chain through its explicit hooks).
+                done = FastMove(self, array, src, node_name, producer,
+                                for_ce)
+            else:
+                done = controller.engine.process(
+                    self._move(array, src, node_name, producer,
+                               for_ce=for_ce),
+                    name=f"move:{array.name}->{node_name}")
         directory.record_replication(
             array, node_name, done, src=src,
             producer_id=last.ce_id if producer is not None else None)

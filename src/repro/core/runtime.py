@@ -142,6 +142,11 @@ class GroutRuntime:
                            "worker state)")
         cluster = self.cluster
         controller = self.controller
+        # Faults are coming: every transfer must be interruptible and
+        # release its NIC ends mid-wire, so disable the fast-path chain
+        # for the whole run up front (keeps schedules deterministic
+        # regardless of when the first fault actually fires).
+        cluster.fabric.resilient = True
 
         def crash(fault):
             controller.handle_worker_crash(

@@ -206,9 +206,19 @@ def _shard_main(conn, workers, uvm_params, prefetch, eviction_order,
     try:
         while True:
             msg = conn.recv()
-            if msg[0] == "stop":
+            tag = msg[0]
+            if tag == "stop":
                 break
-            _tag, start, horizon, new_arrays, coherence, ops = msg
+            if tag == "tick":
+                # Payload-free round: just advance the window.  The
+                # compact message keeps idle/drain rounds (the common
+                # case late in a run) off the full pickling path.
+                _tag, start, horizon = msg
+                new_arrays: tuple = ()
+                coherence: tuple = ()
+                ops: tuple = ()
+            else:
+                _tag, start, horizon, new_arrays, coherence, ops = msg
             for spec in new_arrays:
                 arrays[spec[0]] = _make_replica(spec)
             # Replay schedule-time UVM bookkeeping in controller issue
@@ -514,11 +524,19 @@ class ShardCoordinator:
             if completions:
                 progressed = True
                 self._m_completions[shard.shard_id].inc(len(completions))
+            # One delivery timeout per distinct report time instead of
+            # one per CE: wide windows complete many CEs at the same
+            # simulated instant, and their done events still fire in
+            # report order (succeed() enqueues them in callback order).
+            by_time: dict[float, list[Event]] = {}
             for ce_id, at in completions:
                 done, _node = self._live.pop(ce_id)
+                by_time.setdefault(at, []).append(done)
+            for at, dones in by_time.items():
                 delay = max(0.0, at - engine.now)
                 engine.timeout(delay, name="shard:deliver").callbacks \
-                    .append(lambda _ev, d=done: d.succeed(None))
+                    .append(lambda _ev, ds=dones:
+                            [d.succeed(None) for d in ds])
         self._m_outstanding.set(len(self._live))
         return progressed
 
@@ -547,11 +565,15 @@ class ShardCoordinator:
         self._m_rounds.inc()
         sent = False
         for shard in self._shards:
-            shard.conn.send(("round", start, horizon, shard.new_arrays,
-                             shard.coherence, shard.outbox))
             if shard.outbox or shard.coherence or shard.new_arrays:
+                shard.conn.send(("round", start, horizon,
+                                 shard.new_arrays, shard.coherence,
+                                 shard.outbox))
                 sent = True
-            shard.outbox, shard.coherence, shard.new_arrays = [], [], []
+                shard.outbox, shard.coherence, shard.new_arrays = \
+                    [], [], []
+            else:
+                shard.conn.send(("tick", start, horizon))
         self._inflight = (start, horizon)
         self._horizon = horizon
         self._m_horizon.set(horizon)

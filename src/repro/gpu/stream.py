@@ -12,14 +12,180 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Generator, Sequence
 
 from repro.sim import Engine, Event, Tracer
+from repro.sim.events import EventState
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.gpu.device import Gpu
-    from repro.sim import Process
+    from repro.sim import Process, Resource
+
+_PROCESSED = EventState.PROCESSED
 
 #: An operation body: a generator receiving the engine, run when the stream
 #: reaches it.  Its (simulated) duration is whatever the generator consumes.
 OpBody = Callable[[], Generator]
+
+
+class FastOp:
+    """A generator-free stream operation: an explicit callback chain.
+
+    The common case — wait for prereqs, price, maybe hold the host link,
+    sleep the kernel duration, complete — is straight-line, so it runs as
+    engine ``schedule_call`` hops instead of a :class:`Process` driving a
+    generator.  Queue-hop parity with the generator path is deliberate
+    (one delivery per logical wait), which keeps schedules byte-identical;
+    each hop is just far cheaper.
+
+    Cancellation (node crash) marks the op dead: pending scheduled calls
+    deliver as no-ops — exactly like a detached process's stale timeout —
+    and a held or queued resource request is released.  The completion
+    event then never fires, which is what crash re-execution relies on.
+    """
+
+    __slots__ = ("stream", "engine", "name", "category", "meta", "done",
+                 "enqueued_at", "started_at", "_begin_fn", "_key", "_dead",
+                 "_held", "_hold_seconds", "_sleep_seconds", "_next",
+                 "_pending_joins")
+
+    def __init__(self, stream: "Stream", begin_fn: Callable[["FastOp"], None],
+                 name: str, category: str, meta: dict | None, key: int):
+        engine = stream.engine
+        self.stream = stream
+        self.engine = engine
+        self.name = name
+        self.category = category
+        self.meta = meta
+        self.done = engine.event(name=f"{stream.lane}:{name}:done")
+        self.enqueued_at = engine.now
+        self.started_at = 0.0
+        self._begin_fn = begin_fn
+        self._key = key
+        self._dead = False
+        self._held = None
+        self._hold_seconds = 0.0
+        self._sleep_seconds = 0.0
+        self._next: Callable[["FastOp"], None] | None = None
+        self._pending_joins = 0
+
+    # -- chain stages (engine-delivered) ------------------------------------
+
+    def _start(self, prereqs: list[Event] | None) -> None:
+        if self._dead:
+            return
+        if prereqs:
+            pending = 0
+            for ev in prereqs:
+                ev._defused = True
+                if ev._state is not _PROCESSED:
+                    pending += 1
+            if pending:
+                self._pending_joins = pending
+                on_prereq = self._on_prereq
+                for ev in prereqs:
+                    if ev._state is not _PROCESSED:
+                        ev.callbacks.append(on_prereq)
+                return
+            # Every prereq already fired: one hop, matching an AllOf that
+            # succeeds at construction.
+            self.engine.schedule_call(0.0, self._begin)
+            return
+        self._begin(None)
+
+    def _on_prereq(self, child: Event) -> None:
+        if self._dead:
+            return
+        if not child._ok:
+            self._dead = True
+            self.stream._runners.pop(self._key, None)
+            self.done.fail(child.value)  # type: ignore[arg-type]
+            return
+        self._pending_joins -= 1
+        if self._pending_joins == 0:
+            self.engine.schedule_call(0.0, self._begin)
+
+    def _begin(self, _arg: object = None) -> None:
+        if self._dead:
+            return
+        self.started_at = self.engine.now
+        self._begin_fn(self)
+
+    # -- continuation primitives (called from the op body) ------------------
+
+    def hold_then_sleep(self, resource: "Resource", hold_seconds: float,
+                        sleep_seconds: float,
+                        then: Callable[["FastOp"], None]) -> None:
+        """Hold ``resource`` for ``hold_seconds``, sleep ``sleep_seconds``,
+        then continue — mirrors ``yield from resource.acquire(h)`` followed
+        by ``yield timeout(s)`` hop for hop."""
+        self._hold_seconds = hold_seconds
+        self._sleep_seconds = sleep_seconds
+        self._next = then
+        req = resource.request()
+        self._held = req
+        req.callbacks.append(self._on_grant)
+
+    def _on_grant(self, _ev: Event) -> None:
+        if self._dead:
+            return
+        self.engine.schedule_call(self._hold_seconds, self._after_hold)
+
+    def _after_hold(self, _arg: object) -> None:
+        if self._dead:
+            return  # cancel() already released the request
+        req, self._held = self._held, None
+        req.resource.release(req)
+        if self._sleep_seconds > 0:
+            self.engine.schedule_call(self._sleep_seconds, self._run_next)
+        else:
+            self._run_next(None)
+
+    def sleep(self, seconds: float,
+              then: Callable[["FastOp"], None]) -> None:
+        """Continue after ``seconds``; zero continues synchronously, the
+        same as the generator path skipping its ``yield timeout``."""
+        self._next = then
+        if seconds > 0:
+            self.engine.schedule_call(seconds, self._run_next)
+        else:
+            self._run_next(None)
+
+    def _run_next(self, _arg: object) -> None:
+        if self._dead:
+            return
+        nxt, self._next = self._next, None
+        nxt(self)
+
+    def finish(self, result: object) -> None:
+        """Complete the op: record the span and fire the done event."""
+        if self._dead:
+            return
+        stream = self.stream
+        end = self.engine.now
+        if stream._busy_until < end:
+            stream._busy_until = end
+        if stream.tracer is not None:
+            extra = dict(self.meta) if self.meta else {}
+            extra["queued_seconds"] = self.started_at - self.enqueued_at
+            stream.tracer.record(stream.lane, self.category, self.name,
+                                 self.started_at, end, **extra)
+        stream._runners.pop(self._key, None)
+        self.done.succeed(result)
+
+    # -- crash recovery ------------------------------------------------------
+
+    def cancel(self, cause: object = None) -> bool:
+        """Kill the op; its completion event never fires.  Returns whether
+        it was still alive (mirrors :meth:`Process.cancel`)."""
+        if self._dead or self.done.triggered:
+            return False
+        self._dead = True
+        held, self._held = self._held, None
+        if held is not None:
+            held.resource.release(held)
+        return True
+
+    def __repr__(self) -> str:
+        state = "dead" if self._dead else "live"
+        return f"<FastOp {self.stream.lane}:{self.name} {state}>"
 
 
 class Stream:
@@ -93,6 +259,33 @@ class Stream:
             lambda _ev, _pop=self._runners.pop, _key=key: _pop(_key, None))
         self._tail = done
         return done
+
+    def enqueue_call(self, begin: Callable[[FastOp], None], *,
+                     name: str = "op", category: str = "kernel",
+                     waits: Sequence[Event] = (),
+                     meta: dict | None = None) -> Event:
+        """Queue a generator-free operation; returns its completion event.
+
+        The fast-path twin of :meth:`enqueue`: once FIFO order and
+        ``waits`` allow, ``begin(op)`` runs and drives the rest of the op
+        through :class:`FastOp`'s continuation primitives, ending in
+        ``op.finish(result)``.  Queue-hop parity with the generator path
+        keeps the event schedule byte-identical.
+        """
+        self._ops_enqueued += 1
+        key = self._ops_enqueued
+        op = FastOp(self, begin, name, category, meta, key)
+        tail = self._tail
+        prereqs = [e for e in ([tail] if tail is not None else [])
+                   + list(waits) if e is not None]
+        if prereqs:
+            # Order-preserving identity dedup, matching Condition's.
+            prereqs = list(dict.fromkeys(prereqs))
+        self._runners[key] = op
+        self._tail = op.done
+        # One hop before the join is built, like a Process's start event.
+        self.engine.schedule_call(0.0, op._start, prereqs)
+        return op.done
 
     def abort_pending(self, cause: object = None) -> int:
         """Kill every op still in flight on this stream (node crash).

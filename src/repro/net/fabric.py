@@ -81,6 +81,111 @@ class _Flake:
                 and (self.dst is None or self.dst == dst))
 
 
+class _FastTransfer(Event):
+    """The no-fault common-case transfer as a callback chain.
+
+    Replaces the three nested generator frames of ``transfer_process →
+    _reliable → _attempt`` with engine callbacks, with exact queue-hop
+    parity: rx-grant delivery, tx-grant delivery, then the event itself
+    is scheduled at wire end via ``succeed_at``.  The finisher (metrics,
+    span, NIC releases in tx-then-rx order) is the event's *first*
+    callback, so it runs before any waiter resumes — the same order the
+    generator's ``finally`` produced.
+
+    Only built when the fabric is not in resilient mode: no armed
+    flakes, no per-attempt watchdog, no chunking, and no fault plan
+    installed.  The chain is not interruptible — callers needing crash
+    re-sourcing (the resilient mover) get the generator path instead.
+    """
+
+    __slots__ = ("fabric", "src", "dst", "nbytes", "label",
+                 "_rx", "_tx", "_wire_start", "_dead")
+
+    def __init__(self, fabric: "Fabric", src: str, dst: str, nbytes: int,
+                 label: str):
+        super().__init__(fabric.engine, name=f"net:{src}->{dst}:{label}")
+        self.fabric = fabric
+        self.src = src
+        self.dst = dst
+        self.nbytes = nbytes
+        self.label = label
+        self._tx = None
+        self._wire_start = 0.0
+        self._dead = False
+        self.callbacks.append(self._finish)
+        # Ingress first: queuing on a busy destination must not pin one
+        # of the source's egress slots (same rationale as _attempt).
+        rx = fabric._ingress[dst].request()
+        self._rx = rx
+        rx.callbacks.append(self._on_rx)
+
+    def _on_rx(self, _ev: Event) -> None:
+        if self._dead:
+            return
+        tx = self.fabric._egress[self.src].request()
+        self._tx = tx
+        tx.callbacks.append(self._on_tx)
+
+    def _on_tx(self, _ev: Event) -> None:
+        if self._dead:
+            return
+        fabric = self.fabric
+        self._wire_start = fabric.engine.now
+        wire = fabric.topology.transfer_seconds(self.src, self.dst,
+                                                self.nbytes)
+        if fabric._flakes and fabric._consume_flake(self.src, self.dst):
+            # A flake armed after this chain spawned (not reachable through
+            # the fault injector, which flips resilient mode first): spend
+            # half the wire, release both ends, fail the transfer.
+            fabric.engine.schedule_call(wire / 2, self._flaked)
+            return
+        self.succeed_at(wire, value=wire)
+
+    def abort(self) -> None:
+        """Release both NIC ends after the waiter was interrupted or
+        cancelled; any still-pending chain delivery becomes a no-op.
+        Mirrors the generator attempt's ``finally`` (tx then rx, at the
+        interrupt's timestamp — not at wire end)."""
+        if self._dead or self.processed:
+            return
+        self._dead = True
+        tx, self._tx = self._tx, None
+        if tx is not None:
+            self.fabric._egress[self.src].release(tx)
+        rx, self._rx = self._rx, None
+        if rx is not None:
+            self.fabric._ingress[self.dst].release(rx)
+
+    def _flaked(self, _arg: object) -> None:
+        if self._dead:
+            return
+        fabric = self.fabric
+        fabric._egress[self.src].release(self._tx)
+        fabric._ingress[self.dst].release(self._rx)
+        self.fail(TransferError(
+            f"transfer {self.src}->{self.dst} ({self.label}) flaked "
+            "mid-wire"))
+
+    def _finish(self, _ev: Event) -> None:
+        if self._dead or not self._ok:
+            return  # aborted, or the flake path already released the ends
+        fabric = self.fabric
+        wire = self._value
+        src, dst = self.src, self.dst
+        fabric._link_handle(fabric._h_bytes, fabric._m_bytes,
+                            src, dst).inc(self.nbytes)
+        fabric._link_handle(fabric._h_wire, fabric._m_wire,
+                            src, dst).inc(wire)
+        fabric._link_handle(fabric._h_transfers, fabric._m_transfers,
+                            src, dst).inc()
+        if fabric.tracer is not None:
+            fabric.tracer.record(f"net:{src}->{dst}", "transfer",
+                                 self.label, self._wire_start,
+                                 fabric.engine.now, nbytes=self.nbytes)
+        fabric._egress[src].release(self._tx)
+        fabric._ingress[dst].release(self._rx)
+
+
 class Fabric:
     """Executes transfers on an :class:`Engine` according to a topology."""
 
@@ -130,6 +235,12 @@ class Fabric:
         self._h_transfers: dict[tuple[str, str], object] = {}
         self._h_chunks: dict[tuple[str, str], object] = {}
         self._flakes: list[_Flake] = []
+        #: Sticky fault-awareness latch.  While ``False`` (the default)
+        #: eligible transfers run as :class:`_FastTransfer` callback
+        #: chains; once any fault machinery arms (flake injection, a
+        #: fault plan, a node crash) every transfer takes the generator
+        #: path, which is interruptible and releases NIC ends mid-wire.
+        self.resilient = False
 
     def _link_handle(self, cache: dict, family, src: str, dst: str):
         key = (src, dst)
@@ -199,6 +310,7 @@ class Fabric:
         """
         if count < 1:
             raise ValueError("count must be >= 1")
+        self.resilient = True
         self._flakes.append(_Flake(src, dst, count))
 
     def _consume_flake(self, src: str, dst: str) -> bool:
@@ -276,11 +388,17 @@ class Fabric:
         try:
             yield self.engine.any_of([proc, watchdog])
         except TransferError:
+            watchdog.cancel()
             raise          # the attempt flaked before the watchdog fired
         except Interrupt:
             proc.cancel("caller interrupted")
+            watchdog.cancel()
             raise
         if proc.triggered and proc.ok:
+            # The attempt won: neutralize the stale watchdog so it never
+            # pads the queue or drags a drain-mode run() out to its
+            # horizon (the any_of resolved, nobody else waits on it).
+            watchdog.cancel()
             return proc.value
         # Watchdog won the race: kill the attempt (its finally releases
         # both NIC ends) and report the stall.
@@ -373,6 +491,18 @@ class Fabric:
             return 0.0
         chunk = chunk_bytes if chunk_bytes is not None else self.chunk_bytes
         if chunk is None:
+            if not self.resilient and self.retry.attempt_timeout is None:
+                # Common case: no faults armed, no watchdog, no chunking.
+                # The callback chain has exact queue-hop parity with
+                # _reliable -> _attempt, so the schedule is unchanged.
+                fast = _FastTransfer(self, src, dst, nbytes, label)
+                try:
+                    return (yield fast)
+                except BaseException:
+                    # Interrupted or cancelled waiter: free the NIC ends
+                    # now, like the generator attempt's finally.
+                    fast.abort()
+                    raise
             return (yield from self._reliable(src, dst, nbytes, label))
         if chunk < 1:
             raise ValueError("chunk_bytes must be >= 1 (or None)")

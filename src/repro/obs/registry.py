@@ -155,14 +155,26 @@ class _Instrument:
         return list(self._series)
 
     def _mark(self) -> None:
-        clock = self._registry.clock
+        # Kept as the one canonical description of series recording; the
+        # instrument hot paths (Counter.inc, Gauge.set/inc) inline this
+        # body to spare a method call per update.
+        registry = self._registry
+        clock = registry.clock
         if clock is None:
             return
-        self._series.append((clock(), self._value))
-        if len(self._series) > self._registry.series_capacity:
+        now = clock()
+        series = self._series
+        if series and series[-1][0] == now:
+            # Coalesce same-timestamp updates: a discrete-event burst can
+            # bump an instrument thousands of times at one simulated
+            # instant, and exporters only ever need the settled value per
+            # time point.  Keeps the series short and decimation rare.
+            series[-1] = (now, self._value)
+            return
+        series.append((now, self._value))
+        if len(series) > registry.series_capacity:
             # Keep the first and last points exact, thin the middle.
-            self._series = self._series[:1] + self._series[1:-1:2] \
-                + self._series[-1:]
+            self._series = series[:1] + series[1:-1:2] + series[-1:]
 
 
 class Counter(_Instrument):
@@ -174,9 +186,21 @@ class Counter(_Instrument):
         """Add ``amount`` (must be >= 0) to the counter."""
         if amount < 0:
             raise MetricError("counters only go up; use a gauge")
-        with self._registry.lock:
-            self._value += amount
-            self._mark()
+        registry = self._registry
+        with registry.lock:
+            value = self._value = self._value + amount
+            clock = registry.clock
+            if clock is None:
+                return
+            now = clock()
+            series = self._series
+            if series and series[-1][0] == now:
+                series[-1] = (now, value)
+            else:
+                series.append((now, value))
+                if len(series) > registry.series_capacity:
+                    self._series = (series[:1] + series[1:-1:2]
+                                    + series[-1:])
 
 
 class Gauge(_Instrument):
@@ -186,15 +210,39 @@ class Gauge(_Instrument):
 
     def set(self, value: float) -> None:
         """Replace the gauge's value."""
-        with self._registry.lock:
-            self._value = float(value)
-            self._mark()
+        registry = self._registry
+        with registry.lock:
+            value = self._value = float(value)
+            clock = registry.clock
+            if clock is None:
+                return
+            now = clock()
+            series = self._series
+            if series and series[-1][0] == now:
+                series[-1] = (now, value)
+            else:
+                series.append((now, value))
+                if len(series) > registry.series_capacity:
+                    self._series = (series[:1] + series[1:-1:2]
+                                    + series[-1:])
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (may be negative) to the gauge."""
-        with self._registry.lock:
-            self._value += amount
-            self._mark()
+        registry = self._registry
+        with registry.lock:
+            value = self._value = self._value + amount
+            clock = registry.clock
+            if clock is None:
+                return
+            now = clock()
+            series = self._series
+            if series and series[-1][0] == now:
+                series[-1] = (now, value)
+            else:
+                series.append((now, value))
+                if len(series) > registry.series_capacity:
+                    self._series = (series[:1] + series[1:-1:2]
+                                    + series[-1:])
 
     def dec(self, amount: float = 1.0) -> None:
         """Subtract ``amount`` from the gauge."""

@@ -1,14 +1,38 @@
 """The discrete-event simulation core loop.
 
-The :class:`Engine` owns simulated time and a priority queue of triggered
-events.  Determinism matters more than raw speed here — every run of a GrOUT
+The :class:`Engine` owns simulated time and a two-lane queue of triggered
+work.  Determinism matters more than raw speed here — every run of a GrOUT
 schedule must produce the identical timeline — so ties in time are broken by
 a monotonically increasing sequence number rather than object identity.
+
+Queue structure
+---------------
+Most deliveries in a GrOUT schedule are *zero-delay*: an event succeeds
+"now" and is delivered on the next engine iteration.  Pushing those through
+the heap costs two O(log n) sifts for what is really FIFO behaviour, so the
+engine keeps two lanes:
+
+``_ready``
+    A plain deque of ``(seq, item)`` pairs scheduled at exactly the current
+    time.  Append and pop are O(1).
+``_queue``
+    The classic heap of ``(when, seq, item)`` triples for future work.
+
+The merge rule preserves the global ordering contract — deliver strictly by
+``(when, seq)`` — by comparing the heap head's sequence number against the
+ready lane's head whenever both hold work at the current timestamp.
+
+Items are either :class:`~repro.sim.events.Event` instances or engine-owned
+:class:`_Call` records: a bare ``(fn, arg)`` pair delivered with no state
+machine, no callback list and no Event allocation.  ``_Call`` objects are
+recycled through a bounded free-list, so steady-state fast-path scheduling
+allocates nothing but the queue tuple.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Callable, Generator, Iterable
 
 from repro.sim.errors import SimError
@@ -16,6 +40,25 @@ from repro.sim.events import AllOf, AnyOf, Event, EventState, Timeout
 from repro.sim.process import Process
 
 _PROCESSED = EventState.PROCESSED
+
+#: Upper bound on the ``_Call`` free-list — enough to absorb the burstiest
+#: same-timestamp fan-out seen in practice while keeping the pool O(1).
+_FREE_LIST_CAP = 4096
+
+
+class _Call:
+    """An engine-owned callback delivery: ``fn(arg)`` at a point in time.
+
+    Deliberately not an :class:`Event` — no state, no waiters, no payload.
+    The engine recycles these through a bounded free-list; user code never
+    holds one (``schedule_call`` returns ``None``), so reuse is safe.
+    """
+
+    __slots__ = ("fn", "arg")
+
+    def __init__(self, fn: Callable[[object], None], arg: object):
+        self.fn = fn
+        self.arg = arg
 
 
 class Engine:
@@ -39,10 +82,12 @@ class Engine:
 
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
+        self._queue: list[tuple[float, int, object]] = []
+        self._ready: deque[tuple[int, object]] = deque()
         self._seq = 0
         self._processed = 0
         self._active: Process | None = None
+        self._free: list[_Call] = []
 
     # -- time --------------------------------------------------------------
 
@@ -53,7 +98,12 @@ class Engine:
 
     @property
     def events_processed(self) -> int:
-        """Events delivered since the engine started (throughput metric)."""
+        """Deliveries since the engine started (throughput metric).
+
+        Counts both Event deliveries and fast-path ``schedule_call``
+        deliveries — one per logical wait either way, so the number is
+        comparable across the generator and callback-chain paths.
+        """
         return self._processed
 
     @property
@@ -86,39 +136,117 @@ class Engine:
 
     # -- scheduling ----------------------------------------------------------
 
-    def _schedule(self, event: Event, delay: float = 0.0,
-                  priority: int = 0) -> None:
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
         """Insert a triggered event into the queue (engine internal)."""
-        heapq.heappush(self._queue,
-                       (self._now + delay, priority, self._seq, event))
+        if delay == 0.0:
+            self._ready.append((self._seq, event))
+        else:
+            heapq.heappush(self._queue,
+                           (self._now + delay, self._seq, event))
+        self._seq += 1
+
+    def schedule_call(self, delay: float, fn: Callable[[object], None],
+                      arg: object = None) -> None:
+        """Deliver ``fn(arg)`` after ``delay`` — the fast-path primitive.
+
+        A straight-line "wait t, then continue" step costs one recycled
+        ``_Call`` and one queue slot: no Process, no generator resume, no
+        Timeout object.  The delivery counts toward
+        :attr:`events_processed` exactly like an event would, keeping hop
+        parity with the generator path.  Returns ``None`` — the call
+        cannot be cancelled; guard staleness inside ``fn`` instead (the
+        same discipline a detached process callback needs).
+        """
+        if delay < 0:
+            raise ValueError(f"negative call delay: {delay}")
+        free = self._free
+        if free:
+            call = free.pop()
+            call.fn = fn
+            call.arg = arg
+        else:
+            call = _Call(fn, arg)
+        if delay == 0.0:
+            self._ready.append((self._seq, call))
+        else:
+            heapq.heappush(self._queue, (self._now + delay, self._seq, call))
         self._seq += 1
 
     # -- main loop -----------------------------------------------------------
 
+    def _clean_head(self) -> None:
+        """Drop cancelled entries from both lane heads (engine internal)."""
+        ready = self._ready
+        while ready:
+            item = ready[0][1]
+            if type(item) is _Call or item._state is not _PROCESSED:
+                break
+            ready.popleft()
+        queue = self._queue
+        while queue:
+            item = queue[0][2]
+            if type(item) is _Call or item._state is not _PROCESSED:
+                break
+            heapq.heappop(queue)
+
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if none remain."""
+        """Time of the next scheduled delivery, or ``inf`` if none remain."""
+        self._clean_head()
+        if self._ready:
+            return self._now
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
-        """Process exactly one event; raise :class:`SimError` when empty."""
-        if not self._queue:
-            raise SimError("step() on an empty event queue")
-        when, _prio, _seq, event = heapq.heappop(self._queue)
-        if when < self._now:  # pragma: no cover - guarded by _schedule
-            raise SimError("event scheduled in the past")
-        self._now = when
-        self._processed += 1
-        callbacks, event.callbacks = event.callbacks, []
-        event._mark_processed()
-        for callback in callbacks:
-            callback(event)
-        # Unhandled failures abort the simulation loudly rather than being
-        # silently dropped: a failed event nobody waited on is a logic bug.
-        # Reads `_ok` directly, exactly like the inlined loops in run():
-        # a subclass overriding the `ok` property would silently diverge
-        # between step() and run() otherwise.
-        if not event._ok and not event._defused:
-            raise event.value  # type: ignore[misc]
+        """Process exactly one delivery; raise :class:`SimError` when empty.
+
+        Cancelled entries (a neutralized watchdog :class:`Timeout`) are
+        skipped without advancing the clock — they count as no delivery
+        at all, exactly like in :meth:`run`.
+        """
+        ready = self._ready
+        queue = self._queue
+        pop = heapq.heappop
+        now = self._now
+        while True:
+            if ready:
+                if queue and queue[0][0] <= now and queue[0][1] < ready[0][0]:
+                    when, _seq, item = pop(queue)
+                else:
+                    when = now
+                    item = ready.popleft()[1]
+            elif queue:
+                when, _seq, item = pop(queue)
+                if when < now:  # pragma: no cover - guarded by _schedule
+                    raise SimError("event scheduled in the past")
+            else:
+                raise SimError("step() on an empty event queue")
+            if type(item) is _Call:
+                self._now = when
+                self._processed += 1
+                fn, arg = item.fn, item.arg
+                item.fn = item.arg = None
+                free = self._free
+                if len(free) < _FREE_LIST_CAP:
+                    free.append(item)
+                fn(arg)
+                return
+            if item._state is _PROCESSED:
+                continue  # cancelled while queued: skip, clock untouched
+            self._now = when
+            self._processed += 1
+            callbacks, item.callbacks = item.callbacks, []
+            item._mark_processed()
+            for callback in callbacks:
+                if callback is not None:
+                    callback(item)
+            # Unhandled failures abort the simulation loudly rather than
+            # being silently dropped: a failed event nobody waited on is a
+            # logic bug.  Reads `_ok` directly, exactly like the inlined
+            # loops in run(): a subclass overriding the `ok` property
+            # would silently diverge between step() and run() otherwise.
+            if not item._ok and not item._defused:
+                raise item.value  # type: ignore[misc]
+            return
 
     def run(self, until: float | Event | None = None) -> object:
         """Run until the queue drains, a time is reached, or an event fires.
@@ -132,27 +260,51 @@ class Engine:
         """
         # Both loops below inline the body of :meth:`step` — the engine's
         # hottest code by a wide margin at million-event scale.  Keep the
-        # semantics in lockstep with step(): same past-check, same
-        # callback swap, same unhandled-failure abort.
+        # semantics in lockstep with step(): same merge rule, same
+        # cancelled-entry skip, same callback swap, same unhandled-failure
+        # abort.
+        ready = self._ready
         queue = self._queue
         pop = heapq.heappop
+        free = self._free
         if isinstance(until, Event):
             # Poll the stop event between steps rather than stopping from a
             # callback: raising out of the callback loop would silently drop
             # the event's remaining callbacks.
             stop_event = until
-            while stop_event._state is not _PROCESSED and queue:
-                when, _prio, _seq, event = pop(queue)
-                if when < self._now:  # pragma: no cover - guarded by _schedule
-                    raise SimError("event scheduled in the past")
-                self._now = when
+            now = self._now
+            while stop_event._state is not _PROCESSED and (ready or queue):
+                if ready:
+                    if (queue and queue[0][0] <= now
+                            and queue[0][1] < ready[0][0]):
+                        when, _seq, item = pop(queue)
+                    else:
+                        when = now
+                        item = ready.popleft()[1]
+                else:
+                    when, _seq, item = pop(queue)
+                    if when < now:  # pragma: no cover - _schedule guard
+                        raise SimError("event scheduled in the past")
+                if type(item) is _Call:
+                    self._now = now = when
+                    self._processed += 1
+                    fn, arg = item.fn, item.arg
+                    item.fn = item.arg = None
+                    if len(free) < _FREE_LIST_CAP:
+                        free.append(item)
+                    fn(arg)
+                    continue
+                if item._state is _PROCESSED:
+                    continue  # cancelled while queued
+                self._now = now = when
                 self._processed += 1
-                callbacks, event.callbacks = event.callbacks, []
-                event._mark_processed()
+                callbacks, item.callbacks = item.callbacks, []
+                item._mark_processed()
                 for callback in callbacks:
-                    callback(event)
-                if not event._ok and not event._defused:
-                    raise event.value  # type: ignore[misc]
+                    if callback is not None:
+                        callback(item)
+                if not item._ok and not item._defused:
+                    raise item.value  # type: ignore[misc]
             if not stop_event.processed:
                 raise SimError(
                     f"run(until={stop_event!r}) drained the queue before "
@@ -165,29 +317,56 @@ class Engine:
             if horizon < self._now:
                 raise ValueError(
                     f"until={horizon} lies in the past (now={self._now})")
-        while queue:
-            when = queue[0][0]
-            if when > horizon:
-                # Pending work beyond the horizon: stop exactly at it.
-                self._now = horizon
-                break
-            when, _prio, _seq, event = pop(queue)
-            if when < self._now:  # pragma: no cover - guarded by _schedule
-                raise SimError("event scheduled in the past")
-            self._now = when
+        now = self._now
+        while ready or queue:
+            if ready:
+                if (queue and queue[0][0] <= now
+                        and queue[0][1] < ready[0][0]):
+                    when, _seq, item = pop(queue)
+                else:
+                    when = now
+                    item = ready.popleft()[1]
+            else:
+                when = queue[0][0]
+                if when > horizon:
+                    # Pending work beyond the horizon: stop exactly at it.
+                    # A cancelled head still parks the clock at the horizon
+                    # — horizon mode always ends there when work remains.
+                    self._now = horizon
+                    return None
+                when, _seq, item = pop(queue)
+                if when < now:  # pragma: no cover - _schedule guard
+                    raise SimError("event scheduled in the past")
+            if type(item) is _Call:
+                self._now = now = when
+                self._processed += 1
+                fn, arg = item.fn, item.arg
+                item.fn = item.arg = None
+                if len(free) < _FREE_LIST_CAP:
+                    free.append(item)
+                fn(arg)
+                continue
+            if item._state is _PROCESSED:
+                continue  # cancelled while queued: skip, clock untouched
+            self._now = now = when
             self._processed += 1
-            callbacks, event.callbacks = event.callbacks, []
-            event._mark_processed()
+            callbacks, item.callbacks = item.callbacks, []
+            item._mark_processed()
             for callback in callbacks:
-                callback(event)
-            if not event._ok and not event._defused:
-                raise event.value  # type: ignore[misc]
+                if callback is not None:
+                    callback(item)
+            if not item._ok and not item._defused:
+                raise item.value  # type: ignore[misc]
         # NB: when the queue drains *before* the horizon the clock is left
-        # at the last event — callers measuring elapsed time rely on that.
+        # at the last delivered event — callers measuring elapsed time rely
+        # on that, and it is exactly why cancelled entries must not advance
+        # the clock (a stale watchdog used to drag the drain end-time out
+        # to its timeout horizon).
         return None
 
     def __repr__(self) -> str:
-        return f"<Engine t={self._now:.6g} queued={len(self._queue)}>"
+        queued = len(self._queue) + len(self._ready)
+        return f"<Engine t={self._now:.6g} queued={queued}>"
 
 
 def run_process(generator_factory: Callable[[Engine], Generator]) -> object:

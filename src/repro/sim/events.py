@@ -99,6 +99,27 @@ class Event:
         self.engine._schedule(self, delay=0.0)
         return self
 
+    def succeed_at(self, delay: float, value: object = None) -> "Event":
+        """Trigger the event successfully, delivered ``delay`` from now.
+
+        Timeout-like semantics without the intermediate object: where the
+        classic pattern was ``timeout(d).callbacks.append(lambda _:
+        ev.succeed(v))`` — two queue hops and a Timeout allocation — this
+        schedules the event itself at ``now + delay``.  Note the waiters
+        therefore resume one hop *earlier* than with the classic pattern;
+        use it for new wiring, not as a drop-in where the schedule is
+        golden-pinned.
+        """
+        if self._state is not EventState.PENDING:
+            raise EventStateError(f"{self!r} has already been triggered")
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        self._ok = True
+        self._value = value
+        self._state = EventState.TRIGGERED
+        self.engine._schedule(self, delay=float(delay))
+        return self
+
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event as failed; waiters get the exception thrown."""
         if self._state is not EventState.PENDING:
@@ -136,6 +157,23 @@ class Timeout(Event):
         self._value = value
         self._state = EventState.TRIGGERED
         engine._schedule(self, delay=self.delay)
+
+    def cancel(self) -> bool:
+        """Neutralize a queued timeout: it will never be delivered.
+
+        The engine skips the queued entry without advancing the clock or
+        counting a delivery, so a cancelled watchdog no longer pads the
+        queue or drags drain-mode ``run()`` out to its horizon.  Pending
+        callbacks are dropped — only cancel a timeout nobody waits on (or
+        whose waiters already resolved another way).  Returns whether the
+        timeout was still undelivered.
+        """
+        if self._state is not EventState.TRIGGERED:
+            return False
+        self._state = EventState.PROCESSED
+        self._defused = True
+        self.callbacks = []
+        return True
 
 
 class Condition(Event):
@@ -177,9 +215,10 @@ class Condition(Event):
         if not self.events:
             self.succeed({})
             return
+        processed = EventState.PROCESSED
         for ev in self.events:
             ev._defused = True
-            if ev.processed:
+            if ev._state is processed:
                 self._on_child(ev)
             else:
                 ev.callbacks.append(self._on_child)

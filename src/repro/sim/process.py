@@ -12,7 +12,10 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Generator
 
 from repro.sim.errors import Interrupt, SimError
-from repro.sim.events import Event
+from repro.sim.events import Event, EventState
+
+_PENDING = EventState.PENDING
+_PROCESSED = EventState.PROCESSED
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Engine
@@ -21,7 +24,7 @@ if TYPE_CHECKING:  # pragma: no cover
 class Process(Event):
     """An active entity executing a generator on an :class:`Engine`."""
 
-    __slots__ = ("_generator", "_waiting_on")
+    __slots__ = ("_generator", "_waiting_on", "_wait_index")
 
     def __init__(self, engine: "Engine", generator: Generator,
                  name: str | None = None):
@@ -33,6 +36,7 @@ class Process(Event):
             generator, "__name__", None))
         self._generator = generator
         self._waiting_on: Event | None = None
+        self._wait_index = 0
         # Kick-start on a zero-delay event so creation order does not matter.
         start = Event(engine, name=f"{self.name}:start")
         start.callbacks.append(self._resume)
@@ -58,10 +62,18 @@ class Process(Event):
             raise SimError("a process cannot interrupt itself")
         target = self._waiting_on
         if target is not None:
-            try:
-                target.callbacks.remove(self._resume)
-            except ValueError:  # pragma: no cover - already detached
-                pass
+            # O(1) detach: tombstone the recorded slot instead of a linear
+            # list.remove — a wide fan-in event (thousands of waiters) made
+            # every interrupt O(n).  The engine skips None callbacks at
+            # delivery; indices stay valid because nothing is ever removed.
+            # NB: ``callbacks[index] is self._resume`` would never match —
+            # each ``self._resume`` access builds a fresh bound method, so
+            # identity is checked through ``__self__`` instead.
+            callbacks = target.callbacks
+            index = self._wait_index
+            if (index < len(callbacks)
+                    and getattr(callbacks[index], "__self__", None) is self):
+                callbacks[index] = None
             self._waiting_on = None
         carrier = Event(self.engine, name=f"{self.name}:interrupt")
         carrier.callbacks.append(self._resume)
@@ -85,7 +97,7 @@ class Process(Event):
     # -- engine plumbing -----------------------------------------------------
 
     def _resume(self, trigger: Event) -> None:
-        if self.triggered:
+        if self._state is not _PENDING:
             # A stale wake-up (e.g. the start event of a process cancelled
             # before it ever ran) must not resume a finished generator.
             return
@@ -95,10 +107,10 @@ class Process(Event):
         try:
             while True:
                 try:
-                    if trigger.ok:
-                        target = self._generator.send(trigger.value)
+                    if trigger._ok:
+                        target = self._generator.send(trigger._value)
                     else:
-                        target = self._generator.throw(trigger.value)
+                        target = self._generator.throw(trigger._value)
                 except StopIteration as stop:
                     self.succeed(stop.value)
                     return
@@ -118,11 +130,12 @@ class Process(Event):
                         "different engine"))
                     return
                 target._defused = True
-                if target.processed:
+                if target._state is _PROCESSED:
                     # Already fired: loop immediately with its outcome.
                     trigger = target
                     continue
                 self._waiting_on = target
+                self._wait_index = len(target.callbacks)
                 target.callbacks.append(self._resume)
                 return
         finally:

@@ -27,7 +27,8 @@ import numpy as np
 
 from repro.gpu.kernel import AccessPattern, ArrayAccess, KernelLaunch
 from repro.gpu.specs import GpuSpec
-from repro.uvm.access import merge_page_sets, page_set
+from repro.uvm.access import (merge_page_sets, page_set, pages_for_bytes,
+                              touched_page_count)
 from repro.uvm.calibration import UvmModelParams
 from repro.uvm.migration import MigrationEngine, MigrationStats
 
@@ -76,14 +77,65 @@ class _BufferPlan:
     passes: float
 
 
+#: Bound on the pricer's memoized plans (full-sweep workloads revisit a
+#: handful of keys; the cap only guards pathological key churn).
+_PLAN_CACHE_CAP = 4096
+
+
+def _seed_free(access: ArrayAccess, page_size: int) -> bool:
+    """Whether this access's page set is independent of the launch seed.
+
+    Full-coverage accesses short-circuit to ``arange`` regardless of
+    pattern, and STRIDED never consults the seed; only partial SEQUENTIAL
+    (rotating window) and partial RANDOM (seeded sample) vary per launch.
+    """
+    if access.pattern is AccessPattern.STRIDED:
+        return True
+    total = pages_for_bytes(access.buffer.nbytes, page_size)
+    return touched_page_count(access, page_size) >= total
+
+
+def _build_plan(buffer_id: int, group: list[ArrayAccess], page_size: int,
+                seed: int, entropy: int | None) -> _BufferPlan:
+    if len(group) == 1:
+        # page_set output is already sorted and duplicate-free, so the
+        # single-access common case skips the concatenate/argsort merge.
+        access = group[0]
+        return _BufferPlan(
+            buffer_id=buffer_id,
+            pages=page_set(access, page_size, seed, entropy=entropy),
+            writes=access.direction.writes,
+            pattern=access.pattern,
+            passes=access.passes,
+        )
+    sets = [(page_set(a, page_size, seed, entropy=entropy),
+             a.direction.writes)
+            for a in group]
+    pages, write_mask = merge_page_sets(sets)
+    pattern = max((a.pattern for a in group),
+                  key=lambda p: _SEVERITY[p])
+    return _BufferPlan(
+        buffer_id=buffer_id,
+        pages=pages,
+        writes=bool(write_mask.any()),
+        pattern=pattern,
+        passes=max(a.passes for a in group),
+    )
+
+
 def _plan_buffers(accesses: tuple[ArrayAccess, ...], page_size: int,
                   seed: int,
-                  ordinals: dict[int, int] | None = None
-                  ) -> list[_BufferPlan]:
+                  ordinals: dict[int, int] | None = None,
+                  cache: dict | None = None) -> list[_BufferPlan]:
     """Group a launch's accesses by buffer, merging page sets.
 
     ``ordinals`` maps buffer ids to stable first-use ordinals so RANDOM
     page sampling is reproducible across runs (global buffer ids are not).
+    ``cache`` memoizes plans whose page sets are seed-independent (see
+    :func:`_seed_free`): iterative workloads re-price the same
+    full-buffer accesses thousands of times, and the resulting plan —
+    pages array included — is identical every launch.  Consumers only
+    read the pages array (fancy indexing), so sharing it is safe.
     """
     grouped: dict[int, list[ArrayAccess]] = {}
     for access in accesses:
@@ -91,19 +143,21 @@ def _plan_buffers(accesses: tuple[ArrayAccess, ...], page_size: int,
     plans = []
     for buffer_id, group in grouped.items():
         entropy = ordinals.get(buffer_id) if ordinals is not None else None
-        sets = [(page_set(a, page_size, seed, entropy=entropy),
-                 a.direction.writes)
-                for a in group]
-        pages, write_mask = merge_page_sets(sets)
-        pattern = max((a.pattern for a in group),
-                      key=lambda p: _SEVERITY[p])
-        plans.append(_BufferPlan(
-            buffer_id=buffer_id,
-            pages=pages,
-            writes=bool(write_mask.any()),
-            pattern=pattern,
-            passes=max(a.passes for a in group),
-        ))
+        if cache is not None and all(_seed_free(a, page_size)
+                                     for a in group):
+            key = (buffer_id,
+                   tuple((a.pattern, a.fraction, a.direction, a.passes,
+                          a.buffer.nbytes) for a in group))
+            plan = cache.get(key)
+            if plan is None:
+                plan = _build_plan(buffer_id, group, page_size, seed,
+                                   entropy)
+                if len(cache) < _PLAN_CACHE_CAP:
+                    cache[key] = plan
+            plans.append(plan)
+            continue
+        plans.append(_build_plan(buffer_id, group, page_size, seed,
+                                 entropy))
     return plans
 
 
@@ -124,6 +178,8 @@ class KernelPricer:
         #: buffer id -> first-use ordinal; keeps RANDOM page sampling
         #: deterministic across runs (ids are process-global counters).
         self._ordinals: dict[int, int] = {}
+        #: Memoized seed-independent buffer plans (see _plan_buffers).
+        self._plan_cache: dict[tuple, _BufferPlan] = {}
 
     def price(self, launch: KernelLaunch, pressure: float,
               pinned_host: frozenset[int] = frozenset()) -> KernelCost:
@@ -151,7 +207,8 @@ class KernelPricer:
             self._ordinals.setdefault(access.buffer.buffer_id,
                                       len(self._ordinals))
         plans = _plan_buffers(launch.accesses, table.page_size,
-                              self._seed, self._ordinals)
+                              self._seed, self._ordinals,
+                              cache=self._plan_cache)
 
         ws_pages = sum(len(p.pages) for p in plans)
         ws_bytes = ws_pages * table.page_size

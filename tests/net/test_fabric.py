@@ -217,6 +217,33 @@ class TestFaults:
         assert fabric.retry_count >= 1
         assert fabric.transfer_count == 2
 
+    def test_completed_transfer_cancels_watchdog(self):
+        """Regression: a finished attempt must cancel its watchdog Timeout.
+        A stale watchdog used to sit in the queue until its horizon, so a
+        drain-mode ``run()`` ended at the timeout instead of the transfer."""
+        engine = Engine()
+        topo = uniform_topology(["a", "b", "c"], 1e9, latency=0.0)
+        fabric = Fabric(engine, topo,
+                        retry=RetryPolicy(attempt_timeout=30.0))
+        done = fabric.transfer("a", "b", 10**9)   # 1.0 s wire
+        engine.run()                              # drain the whole queue
+        assert done.value == pytest.approx(1.0)
+        assert engine.now == pytest.approx(1.0)   # not 30.0
+        assert fabric.timeout_count == 0
+
+    def test_failed_attempt_cancels_watchdog(self, setup):
+        """The flake/retry path must cancel the per-attempt watchdog too:
+        after the retried transfer completes, drain ends at its end-time."""
+        engine, fabric, _ = setup
+        fabric.retry = RetryPolicy(attempt_timeout=30.0, backoff_base=0.05)
+        fabric.inject_flake(src="a", dst="b")
+        done = fabric.transfer("a", "b", 10**9)
+        engine.run()
+        assert done.value == pytest.approx(1.0)
+        # 0.5 flaked half-wire + 0.05 backoff + 1.0 clean wire.
+        assert engine.now == pytest.approx(1.55)
+        assert fabric.retry_count == 1
+
     def test_watchdog_disabled_by_default(self, setup):
         """Long transfers are fine with the default policy (no timeout)."""
         engine, fabric, _ = setup

@@ -191,11 +191,26 @@ class TestSeries:
         assert [v for _, v in child.series] == [1.0, 2.0]
 
     def test_series_decimates_beyond_capacity(self):
-        reg = MetricsRegistry(clock=lambda: 0.0, series_capacity=16)
+        now = [0.0]
+        reg = MetricsRegistry(clock=lambda: now[0], series_capacity=16)
         child = reg.counter("c_total", "help").labels()
         for _ in range(1000):
+            now[0] += 1.0
             child.inc()
         assert len(child.series) <= 16
         # First and latest samples always survive decimation.
         assert child.series[0][1] == 1.0
         assert child.series[-1][1] == 1000.0
+
+    def test_series_coalesces_same_timestamp(self):
+        """A burst of updates at one simulated instant keeps one sample —
+        the settled value — instead of growing the series per update."""
+        now = [0.0]
+        reg = MetricsRegistry(clock=lambda: now[0], series_capacity=16)
+        child = reg.counter("c_total", "help").labels()
+        for _ in range(500):
+            child.inc()
+        assert child.series == [(0.0, 500.0)]
+        now[0] = 1.0
+        child.inc()
+        assert child.series == [(0.0, 500.0), (1.0, 501.0)]

@@ -17,6 +17,7 @@ import random
 import pytest
 
 from repro.sim import Engine, Interrupt, SimError
+from repro.sim.engine import _FREE_LIST_CAP
 
 
 def _build_workload(engine: Engine, seed: int, trace: list) -> None:
@@ -234,3 +235,246 @@ class TestRunStepDifferential:
 
         assert trace1 == trace2 == [1.0]
         assert eng1.events_processed == eng2.events_processed
+
+
+def _chain_plan(seed: int) -> list[list[float]]:
+    """Deterministic random straight-line wait chains (delays per chain)."""
+    rng = random.Random(seed)
+    return [[rng.uniform(0.0, 3.0) for _ in range(rng.randint(1, 6))]
+            for _ in range(rng.randint(2, 5))]
+
+
+def _drive_chains_generator(seed: int):
+    """Straight-line waits expressed the classic way: one generator process
+    per chain, one Timeout per hop."""
+    engine, trace = Engine(), []
+    plan = _chain_plan(seed)
+
+    def runner(cid: int, delays: list[float]):
+        for i, d in enumerate(delays):
+            yield engine.timeout(d)
+            trace.append((engine.now, f"c{cid}.h{i}"))
+
+    for cid, delays in enumerate(plan):
+        engine.process(runner(cid, delays), name=f"c{cid}")
+    engine.run()
+    return engine, trace
+
+
+def _drive_chains_succeed_at(seed: int):
+    """Same chains, but each hop waits on a bare Event armed with
+    ``succeed_at`` — Timeout-like semantics without the Timeout object."""
+    engine, trace = Engine(), []
+    plan = _chain_plan(seed)
+
+    def runner(cid: int, delays: list[float]):
+        for i, d in enumerate(delays):
+            yield engine.event(name=f"c{cid}.h{i}").succeed_at(d)
+            trace.append((engine.now, f"c{cid}.h{i}"))
+
+    for cid, delays in enumerate(plan):
+        engine.process(runner(cid, delays), name=f"c{cid}")
+    engine.run()
+    return engine, trace
+
+
+def _drive_chains_calls(seed: int):
+    """Same chains as direct ``schedule_call`` chains: no Process, no
+    generator, no Timeout.  Hop parity is kept explicitly — one zero-delay
+    start call mirroring the Process start event, and one zero-delay
+    terminal call mirroring the Process completion delivery — so even
+    ``events_processed`` must match the generator formulation exactly."""
+    engine, trace = Engine(), []
+    plan = _chain_plan(seed)
+
+    def make_hop(cid: int, delays: list[float], i: int):
+        def fire(_arg):
+            trace.append((engine.now, f"c{cid}.h{i}"))
+            if i + 1 < len(delays):
+                engine.schedule_call(delays[i + 1],
+                                     make_hop(cid, delays, i + 1))
+            else:
+                engine.schedule_call(0.0, lambda _a: None)  # ~Process done
+        return fire
+
+    def make_start(cid: int, delays: list[float]):
+        def start(_arg):
+            engine.schedule_call(delays[0], make_hop(cid, delays, 0))
+        return start
+
+    for cid, delays in enumerate(plan):
+        engine.schedule_call(0.0, make_start(cid, delays))
+    engine.run()
+    return engine, trace
+
+
+class TestFastVsGeneratorDifferential:
+    """The fast-path primitives replay generator timelines bit-for-bit.
+
+    This is the load-bearing guarantee behind the event-core fast path:
+    ``schedule_call`` chains and ``succeed_at`` waits consume the same
+    sequence numbers and the same number of queue deliveries as the
+    generator constructs they replace, so schedules — and therefore golden
+    traces — cannot shift when a site is migrated."""
+
+    def test_call_chains_match_generator_timelines(self):
+        for seed in range(12):
+            gen_eng, gen_trace = _drive_chains_generator(seed)
+            call_eng, call_trace = _drive_chains_calls(seed)
+            assert gen_trace == call_trace, f"seed {seed} diverged"
+            assert gen_eng.now == call_eng.now
+            assert gen_eng.events_processed == call_eng.events_processed
+
+    def test_succeed_at_matches_timeout_timelines(self):
+        for seed in range(12):
+            gen_eng, gen_trace = _drive_chains_generator(seed)
+            sa_eng, sa_trace = _drive_chains_succeed_at(seed)
+            assert gen_trace == sa_trace, f"seed {seed} diverged"
+            assert gen_eng.now == sa_eng.now
+            assert gen_eng.events_processed == sa_eng.events_processed
+
+    def _build_mixed_workload(self, engine: Engine, seed: int, trace: list):
+        """Fast-path constructs and generators sharing one engine: call
+        chains gate generator waiters, ``succeed_at`` events have wide
+        fan-in, and timeouts get cancelled mid-flight."""
+        rng = random.Random(seed)
+
+        gates = [engine.event(name=f"gate{i}") for i in range(4)]
+        for g in gates:
+            g._defused = True
+
+        def make_chain(cid: int, delays: list[float]):
+            def hop(i: int):
+                def fire(arg):
+                    trace.append((engine.now, f"chain{cid}.{i}", arg))
+                    if i + 1 < len(delays):
+                        engine.schedule_call(delays[i + 1], hop(i + 1),
+                                             arg + 1)
+                    else:
+                        gates[cid].succeed(f"gate{cid}")
+                return fire
+            engine.schedule_call(delays[0], hop(0), 0)
+
+        for cid in range(len(gates)):
+            make_chain(cid, [rng.uniform(0.0, 2.0)
+                             for _ in range(rng.randint(1, 4))])
+
+        timers = [engine.timeout(rng.uniform(1.0, 3.0), name=f"tm{i}")
+                  for i in range(3)]
+        for i, t in enumerate(timers):
+            t.callbacks.append(
+                lambda _ev, i=i: trace.append((engine.now, f"tm{i}")))
+
+        def canceller(_arg):
+            for t in timers[:2]:
+                t.cancel()
+            trace.append((engine.now, "cancelled"))
+
+        engine.schedule_call(0.5, canceller)
+
+        late = engine.event(name="late")
+        late.succeed_at(rng.uniform(2.0, 4.0), value="late")
+
+        def waiter(wid: int):
+            got = yield gates[wid % len(gates)]
+            trace.append((engine.now, f"w{wid}.gate", got))
+            v = yield late
+            trace.append((engine.now, f"w{wid}.late", v))
+
+        for wid in range(6):
+            engine.process(waiter(wid), name=f"w{wid}")
+
+    def test_mixed_fastpath_workload_run_vs_step(self):
+        for seed in range(10):
+            eng1, trace1 = Engine(), []
+            self._build_mixed_workload(eng1, seed, trace1)
+            eng1.run()
+
+            eng2, trace2 = Engine(), []
+            self._build_mixed_workload(eng2, seed, trace2)
+            while eng2.peek() != float("inf"):
+                eng2.step()
+
+            assert trace1 == trace2, f"seed {seed} diverged"
+            assert eng1.now == eng2.now
+            assert eng1.events_processed == eng2.events_processed
+
+
+class TestCallFreeList:
+    """Lifecycle of the engine-owned ``_Call`` records behind
+    ``schedule_call``: recycled after delivery, cleared before pooling,
+    bounded by the cap, and safe to reuse re-entrantly."""
+
+    def test_negative_delay_rejected(self):
+        engine = Engine()
+        with pytest.raises(ValueError):
+            engine.schedule_call(-0.1, lambda _a: None)
+
+    def test_delivered_call_is_recycled_and_cleared(self):
+        engine = Engine()
+        hits = []
+        engine.schedule_call(1.0, hits.append, "x")
+        engine.run()
+        assert hits == ["x"]
+        assert len(engine._free) == 1
+        call = engine._free[0]
+        # fn/arg are dropped before pooling so the free-list never pins
+        # user objects (closures, arrays) alive.
+        assert call.fn is None and call.arg is None
+
+    def test_recycled_object_is_reused(self):
+        engine = Engine()
+        engine.schedule_call(1.0, lambda _a: None)
+        engine.run()
+        recycled = engine._free[0]
+        engine.schedule_call(1.0, lambda _a: None, "y")
+        assert not engine._free          # popped for reuse, not reallocated
+        assert engine._queue[0][2] is recycled
+        assert recycled.arg == "y"
+
+    def test_step_also_recycles(self):
+        engine = Engine()
+        engine.schedule_call(0.5, lambda _a: None)
+        engine.step()
+        assert len(engine._free) == 1
+        assert engine.now == 0.5
+        assert engine.events_processed == 1
+
+    def test_free_list_bounded_by_cap(self, monkeypatch):
+        monkeypatch.setattr("repro.sim.engine._FREE_LIST_CAP", 4)
+        engine = Engine()
+        for _ in range(32):
+            engine.schedule_call(0.0, lambda _a: None)
+        engine.run()
+        assert len(engine._free) == 4    # excess _Calls are dropped, not kept
+
+    def test_real_cap_holds_under_burst(self):
+        engine = Engine()
+        n = _FREE_LIST_CAP + 500
+        for _ in range(n):
+            engine.schedule_call(0.0, lambda _a: None)
+        engine.run()
+        assert len(engine._free) == _FREE_LIST_CAP
+        assert engine.events_processed == n
+
+    def test_reentrant_scheduling_reuses_inflight_call(self):
+        # The delivered _Call is recycled *before* fn runs, so a call
+        # scheduled from inside the delivery may get the very object whose
+        # delivery is still on the stack — safe because fn/arg were read
+        # out first.  This pins that ordering.
+        engine = Engine()
+        order = []
+
+        def second(arg):
+            order.append(("second", arg, engine.now))
+
+        def first(arg):
+            order.append(("first", arg, engine.now))
+            engine.schedule_call(0.5, second, arg + 1)
+
+        engine.schedule_call(1.0, first, 1)
+        carrier = engine._queue[0][2]
+        engine.run()
+        assert order == [("first", 1, 1.0), ("second", 2, 1.5)]
+        assert engine.events_processed == 2
+        assert engine._free == [carrier]   # one object served both hops

@@ -175,6 +175,73 @@ class TestInterrupt:
         engine.run()
         assert p.value == 5.0
 
+    def test_interrupt_detaches_by_tombstone_on_wide_event(self, engine):
+        """Interrupting a waiter on a wide fan-in event is O(1): the
+        recorded callback slot is tombstoned to ``None`` instead of a
+        linear ``list.remove``.  Thousands of waiters on one event, half
+        interrupted mid-wait — survivors must still resume, interrupted
+        processes must not, and the slot indices recorded by the others
+        must stay valid (nothing is ever removed from the list)."""
+        wide = engine.event(name="wide")
+        n = 2000
+        resumed: list[int] = []
+
+        def waiter(i: int):
+            try:
+                got = yield wide
+                resumed.append(i)
+                return got
+            except Interrupt:
+                return "interrupted"
+
+        procs = [engine.process(waiter(i), name=f"waiter{i}")
+                 for i in range(n)]
+
+        def reaper():
+            yield engine.timeout(1.0)
+            for p in procs[::2]:
+                p.interrupt("reaped")
+
+        engine.process(reaper(), name="reaper")
+
+        engine.run(until=engine.timeout(1.5))
+        # Every interrupted waiter left a tombstone; the list length is
+        # unchanged so every survivor's recorded index is still correct.
+        assert len(wide.callbacks) == n
+        assert wide.callbacks.count(None) == n // 2
+
+        wide.succeed("go")
+        engine.run()
+        assert resumed == list(range(1, n, 2))
+        assert all(p.value == "interrupted" for p in procs[::2])
+        assert all(p.value == "go" for p in procs[1::2])
+
+    def test_interrupted_waiter_rewaits_on_wide_event(self, engine):
+        """An interrupted process re-waiting on the same wide event gets a
+        fresh slot; its stale tombstone must not shadow the new one."""
+        wide = engine.event(name="wide")
+
+        def stubborn():
+            while True:
+                try:
+                    return (yield wide)
+                except Interrupt:
+                    continue
+
+        bystanders = [engine.process(stubborn()) for _ in range(10)]
+        victim = engine.process(stubborn(), name="victim")
+
+        def attacker():
+            yield engine.timeout(1.0)
+            victim.interrupt("poke")
+            yield engine.timeout(1.0)
+            wide.succeed("done")
+
+        engine.process(attacker(), name="attacker")
+        engine.run()
+        assert victim.value == "done"
+        assert all(p.value == "done" for p in bystanders)
+
     def test_interrupt_finished_process_raises(self, engine):
         def quick():
             return None
