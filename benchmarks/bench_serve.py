@@ -1,0 +1,222 @@
+#!/usr/bin/env python
+"""Serving-layer load story: open-loop arrivals on one shared runtime.
+
+Two experiments against :class:`repro.serve.GroutService` (the core the
+``grout serve`` daemon wraps), both in *simulated* time:
+
+* **Burst** — 220 sessions submitted back to back before any simulated
+  time advances, proving the persistent runtime sustains hundreds of
+  concurrent sessions (``peak_inflight``) and reporting the latency
+  spread of the drained burst.
+* **Rate sweep** — open-loop Poisson arrivals at increasing offered
+  load (arrival rate x service time).  Latency percentiles stay flat
+  while the cluster keeps up and blow past the knee once the queue
+  grows without bound; the first rate whose median latency exceeds
+  ``SATURATION_FACTOR`` x the idle service time is the saturation
+  point.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick
+    PYTHONPATH=src python benchmarks/bench_serve.py --out serve.json
+
+Emits one ``grout-bench-serve/1`` JSON document; also collectable by
+pytest (``pytest benchmarks/bench_serve.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+
+# Standalone convenience: make `repro` importable without PYTHONPATH.
+_SRC = pathlib.Path(__file__).resolve().parents[1] / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import numpy as np
+
+from repro.core.config import RuntimeConfig
+from repro.gpu.specs import MIB
+from repro.serve import GroutService, WorkloadSpec
+
+QUICK = bool(int(os.environ.get("REPRO_BENCH_QUICK", "0")))
+
+SCHEMA = "grout-bench-serve/1"
+WORKLOAD = "mv"
+FOOTPRINT = 16 * MIB        # tiny per-session footprint: load, not paging
+N_CHUNKS = 2
+BURST_SESSIONS = 220        # the ">= 200 concurrent sessions" headline
+N_TENANTS = 8
+SATURATION_FACTOR = 2.0     # p50 > 2x idle service time = saturated
+
+#: Offered loads (arrival rate x idle service time) for the sweep.
+LOADS_QUICK = (0.25, 1.0, 4.0)
+LOADS_FULL = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0)
+REQUESTS_QUICK = 30
+REQUESTS_FULL = 100
+
+
+def _service() -> GroutService:
+    return GroutService(RuntimeConfig(policy="round-robin"),
+                        tenant_quota=64, max_sessions=1024)
+
+
+def _spec(i: int) -> WorkloadSpec:
+    return WorkloadSpec(workload=WORKLOAD, footprint_bytes=FOOTPRINT,
+                        n_chunks=N_CHUNKS, seed=11 + i,
+                        tenant=f"tenant{i % N_TENANTS}", check=False)
+
+
+def _advance_to(engine, t: float) -> None:
+    """Park the simulated clock exactly at ``t`` (an arrival instant)."""
+    if t <= engine.now:
+        return
+    engine.run(until=engine.timeout(t - engine.now, name="arrival"))
+
+
+def _percentiles(latencies: list[float]) -> dict:
+    arr = np.asarray(latencies)
+    return {"p50": float(np.percentile(arr, 50)),
+            "p99": float(np.percentile(arr, 99)),
+            "mean": float(arr.mean()),
+            "max": float(arr.max())}
+
+
+def idle_service_seconds() -> float:
+    """Latency of one submission on an otherwise idle runtime."""
+    with _service() as service:
+        report = service.settle(service.submit(_spec(0)))
+    return report["latency_seconds"]
+
+
+def run_burst(n_sessions: int = BURST_SESSIONS) -> dict:
+    """Submit ``n_sessions`` before any simulated time passes, then drain."""
+    with _service() as service:
+        tickets = [service.submit(_spec(i)) for i in range(n_sessions)]
+        peak = service.peak_inflight
+        reports = [service.settle(t) for t in tickets]
+        makespan = service.runtime.engine.now
+    latencies = [r["latency_seconds"] for r in reports]
+    return {"sessions": n_sessions,
+            "peak_inflight": peak,
+            "completed": sum(r["completed"] for r in reports),
+            "makespan_seconds": makespan,
+            "latency": _percentiles(latencies)}
+
+
+def run_open_loop(rate: float, n_requests: int, seed: int = 7) -> dict:
+    """Poisson arrivals at ``rate``/simulated-second; open loop (arrivals
+    never wait for earlier submissions), drained at the end."""
+    rng = np.random.default_rng(seed)
+    with _service() as service:
+        engine = service.runtime.engine
+        t = engine.now
+        tickets = []
+        for i, gap in enumerate(rng.exponential(1.0 / rate, n_requests)):
+            t += gap
+            _advance_to(engine, t)
+            tickets.append(service.submit(_spec(i)))
+        reports = [service.settle(tk) for tk in tickets]
+    latencies = [r["latency_seconds"] for r in reports]
+    return {"rate_per_second": rate,
+            "requests": n_requests,
+            "completed": sum(r["completed"] for r in reports),
+            "latency": _percentiles(latencies)}
+
+
+def run_suite(quick: bool = QUICK, *,
+              burst_sessions: int = BURST_SESSIONS) -> dict:
+    """The full load story as one ``grout-bench-serve/1`` document."""
+    service_time = idle_service_seconds()
+    loads = LOADS_QUICK if quick else LOADS_FULL
+    n_requests = REQUESTS_QUICK if quick else REQUESTS_FULL
+    sweep = []
+    saturation = None
+    for load in loads:
+        cell = run_open_loop(load / service_time, n_requests)
+        cell["offered_load"] = load
+        cell["saturated"] = (cell["latency"]["p50"]
+                             > SATURATION_FACTOR * service_time)
+        if saturation is None and cell["saturated"]:
+            saturation = load
+        sweep.append(cell)
+    return {
+        "schema": SCHEMA,
+        "workload": WORKLOAD,
+        "footprint_bytes": FOOTPRINT,
+        "quick": quick,
+        "idle_service_seconds": service_time,
+        "burst": run_burst(burst_sessions),
+        "rates": sweep,
+        "saturation_offered_load": saturation,
+    }
+
+
+# -- pytest entry points ----------------------------------------------------
+
+
+def test_burst_sustains_200_concurrent_sessions():
+    burst = run_burst()
+    assert burst["peak_inflight"] >= 200, burst
+    assert burst["completed"] == burst["sessions"]
+    # Every latency is positive simulated time and the drain terminated.
+    assert burst["latency"]["p99"] > 0
+    assert burst["makespan_seconds"] > 0
+
+
+def test_open_loop_latency_grows_past_saturation():
+    service_time = idle_service_seconds()
+    n = 20 if QUICK else 40
+    light = run_open_loop(0.25 / service_time, n)
+    heavy = run_open_loop(4.0 / service_time, n)
+    assert light["completed"] == heavy["completed"] == n
+    # Under-saturation arrivals mostly see an idle cluster; 4x offered
+    # load is open-loop overload, so the queue (and p50) must grow.
+    assert heavy["latency"]["p50"] > light["latency"]["p50"]
+    assert heavy["latency"]["p99"] > SATURATION_FACTOR * service_time
+
+
+# -- CLI --------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="trimmed sweep (CI smoke)")
+    parser.add_argument("--burst", type=int, default=BURST_SESSIONS,
+                        metavar="N",
+                        help=f"burst size (default {BURST_SESSIONS})")
+    parser.add_argument("--out", default="-",
+                        help="JSON file, or - for stdout")
+    args = parser.parse_args(argv)
+
+    doc = run_suite(args.quick or QUICK, burst_sessions=args.burst)
+    rendered = json.dumps(doc, indent=2)
+    if args.out == "-":
+        print(rendered)
+    else:
+        pathlib.Path(args.out).write_text(rendered + "\n",
+                                          encoding="utf-8")
+        print(f"written to {args.out}")
+
+    burst = doc["burst"]
+    if burst["peak_inflight"] < 200:
+        print(f"FAIL: peak_inflight {burst['peak_inflight']} < 200",
+              file=sys.stderr)
+        return 1
+    sat = doc["saturation_offered_load"]
+    print(f"burst: {burst['peak_inflight']} concurrent sessions, "
+          f"p50={burst['latency']['p50']:.4g}s "
+          f"p99={burst['latency']['p99']:.4g}s (simulated); "
+          f"saturation at offered load "
+          f"{sat if sat is not None else '> max swept'}",
+          file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,19 +11,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
-from repro.cluster import paper_cluster
-from repro.core import GrCudaRuntime, GroutRuntime
-from repro.core.policies import (
-    ExplorationLevel,
-    Policy,
-    VectorStepPolicy,
-    make_policy,
-)
-from repro.gpu.specs import GIB, MIB
+from repro.core.config import RuntimeConfig, page_size_for
+from repro.core.policies import ExplorationLevel, Policy
+from repro.gpu.specs import GIB
 from repro.sim import FaultPlan
 from repro.workloads import RunResult, make_workload
+
+__all__ = [
+    "ExperimentResult", "NODE_GPU_BYTES", "PAPER_SIZES_GB",
+    "RUN_CAP_SECONDS", "page_size_for", "run_grout", "run_single_node",
+    "slowdown_series", "step_ratios",
+]
 
 #: The paper's footprint sweep: 4 GB → 160 GB (= 5× OSF on 2×16 GB × 1 node).
 PAPER_SIZES_GB = (4, 8, 16, 32, 64, 96, 128, 160)
@@ -33,20 +31,6 @@ RUN_CAP_SECONDS = 2.5 * 3600
 
 #: Node memory of the paper's worker (2 × V100 16 GB).
 NODE_GPU_BYTES = 32 * GIB
-
-
-def page_size_for(footprint_bytes: int) -> int:
-    """Adaptive UVM granule: coarse pages for big sweeps, capped both ways.
-
-    Timing depends only on byte counts, so granularity is a pure
-    simulation-speed knob; it must merely stay small relative to the
-    per-kernel working sets.
-    """
-    target = int(np.clip(footprint_bytes // 4096, 256 * 1024, 32 * MIB))
-    # Power of two so the granule divides every device memory size.
-    return 1 << (target.bit_length() - 1)
-
-
 
 
 @dataclass(frozen=True, slots=True)
@@ -70,6 +54,7 @@ class ExperimentResult:
 
 
 def run_single_node(workload: str, footprint_bytes: int, *,
+                    config: RuntimeConfig | None = None,
                     cap: float | None = RUN_CAP_SECONDS,
                     page_size: int | None = None,
                     check: bool = True,
@@ -79,24 +64,35 @@ def run_single_node(workload: str, footprint_bytes: int, *,
                     **workload_kwargs) -> ExperimentResult:
     """One GrCUDA (single-node, 2×V100) run — the Fig. 1/6a baseline.
 
-    ``repeats > 1`` follows the paper's protocol (§V-A: ten repetitions,
-    arithmetic mean): each repetition gets a distinct seed, so stochastic
-    model components (random page sets, random eviction) average out.
+    ``config`` carries the runtime knobs (its ``seed`` becomes the base
+    repetition seed); the individual keyword knobs remain as shorthand
+    and are ignored when a config is given.  ``repeats > 1`` follows the
+    paper's protocol (§V-A: ten repetitions, arithmetic mean): each
+    repetition gets a distinct seed, so stochastic model components
+    (random page sets, random eviction) average out.
     """
+    if config is None:
+        config = RuntimeConfig(mode="grcuda", page_size=page_size,
+                               seed=seed, uvm_backend=uvm_backend)
+    else:
+        config = config.merge(mode="grcuda")
+
     def once(s: int) -> ExperimentResult:
-        rt = GrCudaRuntime(
-            page_size=page_size or page_size_for(footprint_bytes),
-            seed=s, uvm_backend=uvm_backend)
+        rt = config.merge(seed=s).build_runtime(
+            footprint_bytes=footprint_bytes)
         wl = make_workload(workload, footprint_bytes, seed=s,
                            **workload_kwargs)
         res = wl.execute(rt, timeout=cap, check=check)
+        rt.shutdown()
         return _to_experiment(res, wl.name, "grcuda", 1, "intra-node",
                               footprint_bytes)
 
-    return _mean_of([once(seed + i) for i in range(max(1, repeats))])
+    return _mean_of([once(config.seed + i)
+                     for i in range(max(1, repeats))])
 
 
 def run_grout(workload: str, footprint_bytes: int, *,
+              config: RuntimeConfig | None = None,
               n_workers: int = 2,
               policy: Policy | str = "vector-step",
               level: ExplorationLevel = ExplorationLevel.MEDIUM,
@@ -113,44 +109,44 @@ def run_grout(workload: str, footprint_bytes: int, *,
               **workload_kwargs) -> ExperimentResult:
     """One GrOUT run on ``n_workers`` paper nodes with a given policy.
 
-    ``repeats`` averages over per-repetition seeds (paper protocol §V-A).
-    ``faults`` arms a deterministic :class:`FaultPlan` on every
-    repetition before the workload executes (crash/degrade/flake
-    injection; ``request_replacement`` provisions a fresh worker after
-    each crash).  ``chunk_bytes`` pipelines fabric transfers at that
-    granule and ``collectives`` turns broadcast-shaped replication into
-    relay chains — both default off (the paper's serial sends).
+    ``config`` carries every runtime knob at once (its ``seed`` becomes
+    the base repetition seed); the individual keyword knobs remain as
+    shorthand and are ignored when a config is given.  ``repeats``
+    averages over per-repetition seeds (paper protocol §V-A).  The armed
+    :class:`FaultPlan` fires on every repetition before the workload
+    executes; ``chunk_bytes`` pipelines fabric transfers at that granule
+    and ``collectives`` turns broadcast-shaped replication into relay
+    chains — both default off (the paper's serial sends).
     """
-    wl = make_workload(workload, footprint_bytes, seed=seed,
-                       **workload_kwargs)
-    if isinstance(policy, str):
-        if policy == "vector-step":
-            # The offline roofline: the workload's own profiled vector.
-            policy_obj: Policy = VectorStepPolicy(
-                wl.tuned_vector(n_workers))
-        else:
-            policy_obj = make_policy(policy, level=level)
+    if config is None:
+        config = RuntimeConfig(
+            mode="grout", policy=policy, level=level,
+            n_workers=n_workers, page_size=page_size, seed=seed,
+            uvm_backend=uvm_backend, chunk_bytes=chunk_bytes,
+            collectives=collectives, faults=faults,
+            replace_crashed=request_replacement)
     else:
-        policy_obj = policy
+        config = config.merge(mode="grout")
+    wl = make_workload(workload, footprint_bytes, seed=config.seed,
+                       **workload_kwargs)
+    # One policy instance across repetitions, reset between them, so a
+    # caller-provided stateful policy keeps working exactly as before.
+    policy_obj = config.build_policy(wl)
+
     def once(s: int) -> ExperimentResult:
         wl_run = make_workload(workload, footprint_bytes, seed=s,
                                **workload_kwargs)
         policy_obj.reset()
-        cluster = paper_cluster(
-            n_workers,
-            page_size=page_size or page_size_for(footprint_bytes),
-            seed=s, uvm_backend=uvm_backend)
-        rt = GroutRuntime(cluster, policy=policy_obj,
-                          chunk_bytes=chunk_bytes,
-                          collectives=collectives)
-        if faults is not None:
-            rt.install_faults(faults,
-                              request_replacement=request_replacement)
+        rt = config.merge(policy=policy_obj, seed=s).build_runtime(
+            footprint_bytes=footprint_bytes)
         res = wl_run.execute(rt, timeout=cap, check=check)
-        return _to_experiment(res, wl_run.name, "grout", n_workers,
-                              policy_obj.name, footprint_bytes)
+        rt.shutdown()
+        return _to_experiment(res, wl_run.name, "grout",
+                              config.n_workers, policy_obj.name,
+                              footprint_bytes)
 
-    return _mean_of([once(seed + i) for i in range(max(1, repeats))])
+    return _mean_of([once(config.seed + i)
+                     for i in range(max(1, repeats))])
 
 
 def _to_experiment(res: RunResult, workload: str, mode: str,

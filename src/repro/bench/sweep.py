@@ -17,6 +17,7 @@ from repro.bench.harness import (
     run_grout,
     run_single_node,
 )
+from repro.core.config import RuntimeConfig
 from repro.gpu.specs import GIB
 
 #: Column order of the CSV output (ExperimentResult's fields).
@@ -31,30 +32,37 @@ def sweep(workloads: Sequence[str],
           policies: Sequence[str] = ("vector-step",),
           worker_counts: Sequence[int] = (2,),
           *,
+          config: "RuntimeConfig | None" = None,
           cap: float = RUN_CAP_SECONDS,
           check: bool = False,
           seed: int = 0,
           repeats: int = 1) -> Iterable[ExperimentResult]:
     """Yield one result per configuration, lazily (sweeps can be long).
 
-    ``repeats`` forwards the paper's §V-A repetition/averaging protocol
-    to every run.
+    ``config`` seeds the shared runtime knobs (uvm backend, chunking,
+    ...) for every cell; the swept dimensions (mode/policy/workers) are
+    overlaid per cell on top of it.  ``repeats`` forwards the paper's
+    §V-A repetition/averaging protocol to every run.
     """
+    base = config if config is not None else RuntimeConfig(seed=seed)
     for workload in workloads:
         for gb in sizes_gb:
             footprint = int(gb * GIB)
             for mode in modes:
                 if mode == "grcuda":
-                    yield run_single_node(workload, footprint, cap=cap,
-                                          check=check, seed=seed,
-                                          repeats=repeats)
+                    yield run_single_node(
+                        workload, footprint,
+                        config=base.merge(mode="grcuda"),
+                        cap=cap, check=check, repeats=repeats)
                     continue
                 for policy in policies:
                     for workers in worker_counts:
                         yield run_grout(
-                            workload, footprint, n_workers=workers,
-                            policy=policy, cap=cap, check=check,
-                            seed=seed, repeats=repeats)
+                            workload, footprint,
+                            config=base.merge(mode="grout",
+                                              policy=policy,
+                                              n_workers=workers),
+                            cap=cap, check=check, repeats=repeats)
 
 
 def write_csv(results: Iterable[ExperimentResult],

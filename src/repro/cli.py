@@ -3,11 +3,17 @@
 Subcommands:
 
 ``run``       one workload on GrCUDA or GrOUT at a modeled footprint
+``serve``     long-lived daemon: JSON workload specs over HTTP
 ``figure``    regenerate one paper figure (1, 5, 6a, 6b, 7, 8, 9)
 ``manifest``  execute a JSON workload manifest
 ``plan``      static autoscaling recommendation for a footprint
 ``sweep``     parameter sweep with CSV output
 ``compare``   diff two figure JSON exports (calibration regression check)
+
+Every runtime-building subcommand parses its knobs into one
+:class:`~repro.core.config.RuntimeConfig` (``RuntimeConfig.from_args``),
+so the CLI, the serve daemon and the benchmark harness construct
+runtimes identically.
 """
 
 from __future__ import annotations
@@ -31,11 +37,8 @@ from repro.bench import (
     run_single_node,
 )
 from repro.bench.timeline import render_timeline, utilisation_report
-from repro.core import GrCudaRuntime, GroutRuntime, KpiAutoscaler
-from repro.core.policies import ExplorationLevel
-from repro.sim import FaultPlan
+from repro.core import KpiAutoscaler, RuntimeConfig
 from repro.gpu.specs import GIB
-from repro.uvm import DEFAULT_BACKEND, PAGING_BACKENDS
 from repro.workloads import WORKLOADS
 
 FIGURES = {
@@ -58,14 +61,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="modeled footprint in GiB (default 4)")
     run_p.add_argument("--mode", choices=("grcuda", "grout"),
                        default="grcuda")
-    run_p.add_argument("--workers", type=int, default=2,
-                       help="GrOUT worker count (default 2)")
-    run_p.add_argument("--policy", default="vector-step",
-                       help="any name from "
-                            "repro.core.available_policies()")
-    run_p.add_argument("--level", default="medium",
-                       choices=("low", "medium", "high"),
-                       help="exploration level for online policies")
+    RuntimeConfig.add_cli_args(run_p)
     run_p.add_argument("--repeats", type=int, default=1,
                        help="repetitions averaged per the paper's "
                             "protocol (default 1; simulation is "
@@ -76,20 +72,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "'degrade:controller-worker1@0.5x0.25', "
                             "'flake:worker0-worker1@2.0*3'")
     run_p.add_argument("--replace-crashed", action="store_true",
+                       dest="replace_crashed",
                        help="provision a replacement worker after "
                             "each injected crash")
-    run_p.add_argument("--chunk-bytes", type=int, default=None,
-                       metavar="N",
-                       help="pipeline fabric transfers as N-byte chunks "
-                            "(grout only; default: whole-array sends)")
-    run_p.add_argument("--collectives", action="store_true",
-                       help="coalesce broadcast-shaped replication into "
-                            "relay chains (grout only)")
-    run_p.add_argument("--uvm-backend", default=DEFAULT_BACKEND,
-                       choices=sorted(PAGING_BACKENDS),
-                       help="paging backend pricing UVM faults "
-                            "(default cpu-pme, the paper's CPU-driven "
-                            "page-migration engine)")
     run_p.add_argument("--sessions", type=int, default=1, metavar="N",
                        help="run N concurrent copies of the workload as "
                             "multi-program sessions sharing one cluster "
@@ -109,6 +94,26 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--report", metavar="FILE",
                        help="write the JSON run report (metrics + "
                             "per-CE summary + accounting)")
+
+    serve_p = sub.add_parser(
+        "serve", help="serve workload specs over HTTP on a persistent "
+                      "runtime")
+    RuntimeConfig.add_cli_args(serve_p, default_policy="round-robin")
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    serve_p.add_argument("--port", type=int, default=8781,
+                         help="TCP port (default 8781; 0 = ephemeral)")
+    serve_p.add_argument("--unix-socket", metavar="PATH", default=None,
+                         dest="unix_socket",
+                         help="listen on a unix socket instead of TCP")
+    serve_p.add_argument("--tenant-quota", type=int, default=64,
+                         metavar="N", dest="tenant_quota",
+                         help="max in-flight sessions per tenant "
+                              "(default 64)")
+    serve_p.add_argument("--max-sessions", type=int, default=1024,
+                         metavar="N", dest="max_sessions",
+                         help="max in-flight sessions overall "
+                              "(default 1024)")
 
     fig_p = sub.add_parser("figure", help="regenerate a paper figure")
     fig_p.add_argument("figure", choices=sorted(FIGURES))
@@ -158,11 +163,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     footprint = int(args.gb * GIB)
-    level = ExplorationLevel[args.level.upper()]
     try:
-        faults = FaultPlan.parse(args.faults) if args.faults else None
+        config = RuntimeConfig.from_args(args)
+        config.fault_plan()          # surfaces --faults parse errors now
     except ValueError as exc:
-        print(f"--faults: {exc}", file=sys.stderr)
+        print(f"bad configuration: {exc}", file=sys.stderr)
         return 2
     if args.sessions < 1:
         print("--sessions must be >= 1", file=sys.stderr)
@@ -171,28 +176,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.mode != "grout":
             print("--sessions requires --mode grout", file=sys.stderr)
             return 2
-        return _cmd_run_sessions(args, footprint, level, faults)
+        return _cmd_run_sessions(args, footprint, config)
     if args.mode == "grcuda":
-        if faults is not None:
+        if config.faults is not None:
             print("--faults requires --mode grout", file=sys.stderr)
             return 2
-        if args.chunk_bytes is not None or args.collectives:
+        if config.chunk_bytes is not None or config.collectives:
             print("--chunk-bytes/--collectives require --mode grout",
                   file=sys.stderr)
             return 2
-        result = run_single_node(args.workload, footprint,
+        result = run_single_node(args.workload, footprint, config=config,
                                  check=not args.no_verify,
-                                 repeats=args.repeats,
-                                 uvm_backend=args.uvm_backend)
+                                 repeats=args.repeats)
     else:
-        result = run_grout(args.workload, footprint,
-                           n_workers=args.workers, policy=args.policy,
-                           level=level, check=not args.no_verify,
-                           repeats=args.repeats, faults=faults,
-                           request_replacement=args.replace_crashed,
-                           chunk_bytes=args.chunk_bytes,
-                           collectives=args.collectives,
-                           uvm_backend=args.uvm_backend)
+        result = run_grout(args.workload, footprint, config=config,
+                           check=not args.no_verify,
+                           repeats=args.repeats)
     rows = [
         ("workload", result.workload),
         ("mode", result.mode),
@@ -210,7 +209,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(format_table(["field", "value"], rows))
     if _wants_observability(args):
         print("\n(re-running with tracing...)")
-        rt = _traced_run(args, footprint, level)
+        rt = _traced_run(args, footprint, config)
         _emit_observability(args, rt)
     return 0 if (result.verified or args.no_verify) else 1
 
@@ -254,33 +253,18 @@ def _emit_observability(args: argparse.Namespace, rt) -> None:
 
 
 def _cmd_run_sessions(args: argparse.Namespace, footprint: int,
-                      level: ExplorationLevel,
-                      faults: FaultPlan | None) -> int:
+                      config: RuntimeConfig) -> int:
     """Run N concurrent copies of the workload as multi-program sessions.
 
     One cluster, one runtime; every copy builds and submits through its
     own session before any sync, so the fair-share gate interleaves them.
     """
-    from repro.bench.harness import page_size_for
-    from repro.cluster import paper_cluster
-    from repro.core import VectorStepPolicy
-    from repro.core.policies import make_policy
     from repro.workloads import make_workload
 
     programs = [make_workload(args.workload, footprint, seed=11 + i)
                 for i in range(args.sessions)]
-    cluster = paper_cluster(args.workers,
-                            page_size=page_size_for(footprint),
-                            uvm_backend=args.uvm_backend)
-    policy = (VectorStepPolicy(programs[0].tuned_vector(args.workers))
-              if args.policy == "vector-step"
-              else make_policy(args.policy, level=level))
-    rt = GroutRuntime(cluster, policy=policy,
-                      chunk_bytes=args.chunk_bytes,
-                      collectives=args.collectives)
-    if faults is not None:
-        rt.install_faults(faults,
-                          request_replacement=args.replace_crashed)
+    rt = config.build_runtime(workload=programs[0],
+                              footprint_bytes=footprint)
     sessions = [rt.session(f"p{i}") for i in range(args.sessions)]
     for session, wl in zip(sessions, programs):
         wl.build(session)
@@ -315,30 +299,11 @@ def _cmd_run_sessions(args: argparse.Namespace, footprint: int,
 
 
 def _traced_run(args: argparse.Namespace, footprint: int,
-                level: ExplorationLevel):
-    from repro.bench.harness import page_size_for
-    from repro.cluster import paper_cluster
-    from repro.core.policies import make_policy
-    from repro.core import VectorStepPolicy
+                config: RuntimeConfig):
     from repro.workloads import make_workload
 
     wl = make_workload(args.workload, footprint)
-    if args.mode == "grcuda":
-        rt = GrCudaRuntime(page_size=page_size_for(footprint),
-                           uvm_backend=args.uvm_backend)
-    else:
-        cluster = paper_cluster(args.workers,
-                                page_size=page_size_for(footprint),
-                                uvm_backend=args.uvm_backend)
-        policy = (VectorStepPolicy(wl.tuned_vector(args.workers))
-                  if args.policy == "vector-step"
-                  else make_policy(args.policy, level=level))
-        rt = GroutRuntime(cluster, policy=policy,
-                          chunk_bytes=args.chunk_bytes,
-                          collectives=args.collectives)
-        if args.faults:
-            rt.install_faults(FaultPlan.parse(args.faults),
-                              request_replacement=args.replace_crashed)
+    rt = config.build_runtime(workload=wl, footprint_bytes=footprint)
     wl.execute(rt, timeout=9000, check=False)
     return rt
 
@@ -369,8 +334,8 @@ def _cmd_manifest(args: argparse.Namespace) -> int:
     else:
         with open(args.path, "r", encoding="utf-8") as fh:
             source = fh.read()
-    runtime = (GroutRuntime(n_workers=args.workers)
-               if args.mode == "grout" else GrCudaRuntime())
+    runtime = RuntimeConfig(mode=args.mode, n_workers=args.workers,
+                            policy="round-robin").build_runtime()
     result = run_manifest(runtime, source)
     print(f"executed {result.ce_count} steps in "
           f"{result.elapsed_seconds:.4g} simulated seconds")
@@ -378,6 +343,36 @@ def _cmd_manifest(args: argparse.Namespace) -> int:
         preview = np.array2string(values.reshape(-1)[:8], precision=4)
         print(f"  {name}: shape={values.shape} {preview}"
               f"{' ...' if values.size > 8 else ''}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import GroutDaemon, GroutService
+
+    try:
+        config = RuntimeConfig.from_args(args)
+        service = GroutService(config,
+                               tenant_quota=args.tenant_quota,
+                               max_sessions=args.max_sessions)
+    except ValueError as exc:
+        print(f"bad configuration: {exc}", file=sys.stderr)
+        return 2
+    daemon = GroutDaemon(service, host=args.host, port=args.port,
+                         path=args.unix_socket)
+
+    async def _serve() -> None:
+        address = await daemon.start()
+        # Flushed marker line: smoke scripts poll stdout for readiness.
+        print(f"grout serve listening on {address}", flush=True)
+        await daemon.run()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    print("grout serve: shut down cleanly", flush=True)
     return 0
 
 
@@ -436,6 +431,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
         "run": _cmd_run,
+        "serve": _cmd_serve,
         "figure": _cmd_figure,
         "manifest": _cmd_manifest,
         "plan": _cmd_plan,

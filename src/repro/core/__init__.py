@@ -14,6 +14,7 @@ from repro.core.arrays import (
     partition_rows,
 )
 from repro.core.ce import CeKind, ComputationalElement, depends_on
+from repro.core.config import RuntimeConfig, page_size_for
 from repro.core.controller import (
     Controller,
     ControllerStats,
@@ -49,7 +50,7 @@ from repro.core.policies import (
     register_policy,
 )
 from repro.core.runtime import GroutRuntime
-from repro.core.session import Session
+from repro.core.session import Session, SessionClosedError
 
 __all__ = [
     "AdmissionStage",
@@ -86,12 +87,15 @@ __all__ = [
     "RelayPlan",
     "RoundRobinPolicy",
     "RunningAggregate",
+    "RuntimeConfig",
     "SchedulingContext",
+    "SessionClosedError",
     "TransferPlanner",
     "VectorStepPolicy",
     "available_policies",
     "depends_on",
     "make_policy",
+    "page_size_for",
     "register_policy",
     "partition_rows",
 ]

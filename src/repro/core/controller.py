@@ -265,6 +265,7 @@ class Controller:
         self._pending: list[Event] = []
         self._scheduled = 0           # prune cadence, cheap local count
         self._prune_seen_events = -1  # engine progress at the last prune
+        self._closed = False
 
     def add_worker(self) -> str:
         """Attach a freshly provisioned worker (autoscaling, §V-F).
@@ -296,6 +297,8 @@ class Controller:
         keeps the legacy single-program path (schedule-identical to the
         pre-session build).
         """
+        if self._closed:
+            raise SimError("controller is shut down; no further CEs")
         state = self.pipeline.run(ce, session=session)
         self._scheduled += 1
         if self._scheduled % self._prune_every == 0:
@@ -502,6 +505,18 @@ class Controller:
             self.engine.run(until=horizon)
 
     def shutdown(self) -> None:
-        """Release external resources (shard processes); idempotent."""
+        """Release resources and refuse further scheduling; idempotent.
+
+        Shuts the shard coordinator's worker processes down (when
+        present) and clears the pending list and the Global DAG — the
+        remaining object graphs that pin CE frames between back-to-back
+        runtime constructions in one process.  Read surfaces (stats,
+        directory, workers) stay intact for post-run reporting.
+        """
+        if self._closed:
+            return
+        self._closed = True
         if self.coordinator is not None:
             self.coordinator.shutdown()
+        self._pending.clear()
+        self.dag = DependencyDag()

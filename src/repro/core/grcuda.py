@@ -248,3 +248,41 @@ class GrCudaRuntime:
                 self.engine.run(until=event)
         self._pending.clear()
         return True
+
+    # -- teardown -----------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Tear the runtime down (idempotent, safe from ``__del__``).
+
+        Same contract as :meth:`GroutRuntime.shutdown`: queued engine
+        deliveries are discarded, the metrics registry is sealed, and
+        accumulated traces/metrics stay readable.
+        """
+        if getattr(self, "_closed", False):
+            return
+        self._closed = True
+        node = getattr(self, "node", None)
+        if node is not None:
+            node.engine.drain()
+        metrics = getattr(self, "metrics", None)
+        if metrics is not None:
+            metrics.finalize()
+        self._pending.clear()
+        self.dag = DependencyDag()
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`shutdown` already ran."""
+        return getattr(self, "_closed", False)
+
+    def __enter__(self) -> "GrCudaRuntime":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
+        try:
+            self.shutdown()
+        except Exception:
+            pass

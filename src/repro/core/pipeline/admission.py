@@ -47,9 +47,19 @@ class FairShareGate:
             else None
 
     def _prune(self) -> None:
-        for queue in self._outstanding.values():
+        emptied = []
+        for name, queue in self._outstanding.items():
             while queue and queue[0].processed:
                 queue.popleft()
+            if not queue:
+                emptied.append(name)
+        # Drop drained sessions entirely: under churn (hundreds of
+        # sessions arriving and departing on a persistent runtime) the
+        # dict would otherwise grow one empty deque per session ever
+        # seen.  Schedule-neutral — ``admit`` already treats an empty
+        # queue and a missing one identically.
+        for name in emptied:
+            del self._outstanding[name]
 
     def active_sessions(self) -> list[str]:
         """Sessions with at least one outstanding CE, insertion order."""

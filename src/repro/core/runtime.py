@@ -42,10 +42,14 @@ class GroutRuntime:
                  chunk_bytes: int | None = None,
                  collectives: bool = False,
                  fair_share_window: int = 32,
+                 prune_every: int = 256,
                  shards: int | None = None,
                  shard_window: float | None = None,
                  shard_max_outstanding: int | None = None,
                  **cluster_kwargs: object):
+        # Set first so __del__ stays safe even if construction fails
+        # before the controller exists.
+        self._closed = False
         if cluster is None:
             cluster = paper_cluster(n_workers, **cluster_kwargs)  # type: ignore[arg-type]
         elif cluster_kwargs:
@@ -59,6 +63,7 @@ class GroutRuntime:
         self.policy = policy if policy is not None else RoundRobinPolicy()
         self.controller = Controller(
             cluster, self.policy, max_streams_per_gpu=max_streams_per_gpu,
+            prune_every=prune_every,
             collectives=collectives, chunk_bytes=chunk_bytes,
             fair_share_window=fair_share_window, shards=shards,
             shard_window=shard_window,
@@ -108,6 +113,8 @@ class GroutRuntime:
         sessions sharing the cluster.  Names default to ``s0``, ``s1``,
         ... and must be unique per runtime.
         """
+        if self._closed:
+            raise SimError("runtime is shut down; no new sessions")
         if name is None:
             name = f"s{next(self._session_names)}"
             while name in self._sessions:
@@ -119,8 +126,14 @@ class GroutRuntime:
         return session
 
     def sessions(self) -> list[Session]:
-        """Every session opened on this runtime, creation order."""
+        """Every *live* (not yet closed) session, creation order."""
         return list(self._sessions.values())
+
+    def _forget_session(self, session: Session) -> None:
+        """Release a closed session's name (``Session._finalize`` hook)."""
+        live = self._sessions.get(session.name)
+        if live is session:
+            del self._sessions[session.name]
 
     # -- fault injection ---------------------------------------------------------
 
@@ -310,18 +323,44 @@ class GroutRuntime:
 
     # -- teardown ----------------------------------------------------------------------
 
-    def shutdown(self) -> None:
-        """Release external resources (shard worker processes).
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`shutdown` already ran."""
+        return self._closed
 
-        A no-op in the default single-process mode; idempotent.  Shard
-        runs should call this (or use the runtime as a context manager)
-        when done — daemonised shard processes are reaped at interpreter
-        exit anyway, but explicit shutdown returns their memory early.
+    def shutdown(self) -> None:
+        """Tear the runtime down (idempotent, safe from ``__del__``).
+
+        Finalizes every still-open session (without draining — the
+        simulation is over), shuts the shard coordinator's worker
+        processes down, discards the engine's queued deliveries (their
+        generator frames close over the whole cluster graph, the actual
+        leak between back-to-back constructions in one process), and
+        seals the metrics registry so late scrapes see a frozen
+        timestamp.  Traces, metrics values and ``engine.now`` stay
+        readable afterwards; new sessions and new submissions raise.
         """
-        self.controller.shutdown()
+        if self._closed:
+            return
+        self._closed = True
+        for session in list(self._sessions.values()):
+            session._finalize()
+        controller = getattr(self, "controller", None)
+        if controller is not None:
+            controller.shutdown()
+        cluster = getattr(self, "cluster", None)
+        if cluster is not None:
+            cluster.engine.drain()
+            cluster.metrics.finalize()
 
     def __enter__(self) -> "GroutRuntime":
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         self.shutdown()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
+        try:
+            self.shutdown()
+        except Exception:
+            pass

@@ -34,14 +34,35 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.ce import ComputationalElement
     from repro.core.runtime import GroutRuntime
 
-__all__ = ["Session"]
+__all__ = ["Session", "SessionClosedError"]
 
 _VALID = set("abcdefghijklmnopqrstuvwxyz"
              "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-.")
 
+#: The session lifecycle: ``open`` (accepting submissions) →
+#: ``draining`` (close() is syncing the tail) → ``closed`` (finalized;
+#: submissions raise, metrics frozen, name released).
+OPEN, DRAINING, CLOSED = "open", "draining", "closed"
+
+
+class SessionClosedError(RuntimeError):
+    """A submission arrived on a session past its lifecycle."""
+
 
 class Session:
-    """One program's handle onto a shared runtime."""
+    """One program's handle onto a shared runtime.
+
+    Sessions carry an explicit ``open → draining → closed`` lifecycle so
+    programs can arrive at and depart from a *persistent* runtime:
+    :meth:`close` drains the session's own outstanding work, records the
+    per-session finalization metrics (``grout_sessions_closed_total``,
+    ``grout_session_lifetime_seconds``) and releases the name for the
+    runtime's live-session listing.  A closed session rejects further
+    submissions with :class:`SessionClosedError`; its accumulated
+    session-labelled metrics stay readable in the shared registry.
+    Sessions are context managers — ``with rt.session("p") as s: ...``
+    closes on exit.
+    """
 
     def __init__(self, runtime: "GroutRuntime", name: str):
         if not name or set(name) - _VALID:
@@ -51,11 +72,64 @@ class Session:
         self._runtime = runtime
         self.name = name
         self.created_at: float = runtime.engine.now
+        self.closed_at: float | None = None
+        self._state = OPEN
         self._seq = itertools.count(1)
         self._ces: list["ComputationalElement"] = []
         self._outstanding: list["Event"] = []
         self._sync_seconds = runtime.metrics.family(
             "grout_session_sync_seconds_total").labels(session=name)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """``"open"``, ``"draining"`` or ``"closed"``."""
+        return self._state
+
+    @property
+    def closed(self) -> bool:
+        """Whether the session finished its lifecycle."""
+        return self._state == CLOSED
+
+    def close(self, timeout: float | None = None) -> bool:
+        """Drain this session's outstanding work, then finalize it.
+
+        Advances simulated time until the session's own CEs completed
+        (bounded by ``timeout`` simulated seconds, like :meth:`sync`),
+        records the finalization metrics and releases the session from
+        the runtime's live listing.  Idempotent; returns ``False`` when
+        the drain timed out (the session still closes — remaining CEs
+        keep running on the shared cluster, they are just no longer
+        attributed to a live session object).
+        """
+        if self._state == CLOSED:
+            return True
+        self._state = DRAINING
+        drained = True
+        if not self._runtime.closed and self.pending_events():
+            drained = self.sync(timeout=timeout)
+        self._finalize()
+        return drained
+
+    def _finalize(self) -> None:
+        """Record the close-time metrics and seal the session (no drain)."""
+        if self._state == CLOSED:
+            return
+        engine = self._runtime.engine
+        self.closed_at = engine.now
+        metrics = self._runtime.metrics
+        metrics.family("grout_sessions_closed_total").labels().inc()
+        metrics.family("grout_session_lifetime_seconds").labels().observe(
+            self.closed_at - self.created_at)
+        self._state = CLOSED
+        self._runtime._forget_session(self)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # -- controller-facing hooks -------------------------------------------------
 
@@ -104,6 +178,10 @@ class Session:
 
     @contextmanager
     def _activate(self):
+        if self._state != OPEN:
+            raise SessionClosedError(
+                f"session {self.name!r} is {self._state}; no further "
+                "submissions are accepted")
         runtime = self._runtime
         previous = runtime._active_session
         runtime._active_session = self
@@ -223,5 +301,6 @@ class Session:
             self._sync_seconds.inc(engine.now - start)
 
     def __repr__(self) -> str:
-        return (f"<Session {self.name!r} ces={len(self._ces)} "
+        return (f"<Session {self.name!r} {self._state} "
+                f"ces={len(self._ces)} "
                 f"outstanding={len(self.pending_events())}>")

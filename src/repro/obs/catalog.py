@@ -156,6 +156,31 @@ SESSION_METRICS: tuple[MetricSpec, ...] = (
                "CEs the fair-share admission gate deferred behind the "
                "session's own oldest outstanding completion.",
                labels=("session",)),
+    # Lifecycle finalization metrics are deliberately label-less:
+    # under churn (hundreds of arriving/departing sessions) a
+    # per-session label would grow the registry without bound.
+    MetricSpec("grout_sessions_closed_total", "counter",
+               "Sessions that completed their open/run/close "
+               "lifecycle on this runtime."),
+    MetricSpec("grout_session_lifetime_seconds", "histogram",
+               "Simulated open-to-close lifetime of finished sessions.",
+               unit="seconds"),
+)
+
+#: The `grout serve` daemon (repro.serve) — request accounting.
+SERVE_METRICS: tuple[MetricSpec, ...] = (
+    MetricSpec("grout_serve_sessions_accepted_total", "counter",
+               "Workload submissions admitted by the serve layer, per "
+               "tenant.", labels=("tenant",)),
+    MetricSpec("grout_serve_sessions_rejected_total", "counter",
+               "Workload submissions refused by the serve layer, per "
+               "tenant and reason (quota, bad-spec, shutting-down).",
+               labels=("tenant", "reason")),
+    MetricSpec("grout_serve_sessions_inflight", "gauge",
+               "Sessions currently open on the served runtime."),
+    MetricSpec("grout_serve_request_latency_seconds", "histogram",
+               "Simulated submit-to-completion latency of served "
+               "workloads.", unit="seconds"),
 )
 
 #: Sharded simulation (repro.core.shard) — conservative-window exchange.
@@ -184,7 +209,7 @@ SHARD_METRICS: tuple[MetricSpec, ...] = (
 CATALOG: tuple[MetricSpec, ...] = tuple(sorted(
     CONTROLLER_METRICS + COLLECTIVE_METRICS + FABRIC_METRICS
     + INTRANODE_METRICS + UVM_METRICS + PROFILER_METRICS + FAULT_METRICS
-    + SESSION_METRICS + SHARD_METRICS,
+    + SESSION_METRICS + SERVE_METRICS + SHARD_METRICS,
     key=lambda spec: spec.name))
 
 

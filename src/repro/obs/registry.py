@@ -405,6 +405,25 @@ class MetricsRegistry:
         """The histogram family ``name`` (declared on first use)."""
         return self._get(name, "histogram", help, unit, labels)
 
+    # -- lifecycle -----------------------------------------------------------
+
+    def finalize(self) -> None:
+        """Seal the registry at teardown (idempotent).
+
+        Drops the clock closure — usually ``lambda: engine.now``, the one
+        reference that keeps a dead engine (and the cluster graph hanging
+        off it) alive — so instruments stop recording time series.  Every
+        accumulated value, series and histogram stays readable; exporters
+        and post-run reports work unchanged on a finalized registry.
+        """
+        with self.lock:
+            self.clock = None
+
+    @property
+    def finalized(self) -> bool:
+        """Whether :meth:`finalize` ran (no clock -> no more series)."""
+        return self.clock is None
+
     # -- introspection -------------------------------------------------------
 
     def families(self) -> list[MetricFamily]:

@@ -1,0 +1,31 @@
+"""GrOUT-as-a-service — the serving surface over a persistent runtime.
+
+The paper's transparency story culminates in multiplexing: many
+programs, one shared cluster, no program aware of the others.  This
+package turns PR 4's multi-program sessions into an actual service:
+
+* :mod:`repro.serve.protocol` — the ``grout-serve/1`` wire schema:
+  JSON workload specs in, JSON run-reports out;
+* :mod:`repro.serve.service` — :class:`GroutService`, the
+  transport-independent core (submit/pump/settle on one persistent
+  :class:`~repro.core.runtime.GroutRuntime`, per-tenant quotas,
+  ``grout_serve_*`` metrics);
+* :mod:`repro.serve.daemon` — :class:`GroutDaemon`, the stdlib-asyncio
+  HTTP front end behind ``grout serve`` (TCP or unix socket).
+"""
+
+from repro.serve.protocol import (SCHEMA, SpecError, WorkloadSpec)
+from repro.serve.service import (GroutService, QuotaError, ServiceClosed,
+                                 Ticket)
+from repro.serve.daemon import GroutDaemon
+
+__all__ = [
+    "GroutDaemon",
+    "GroutService",
+    "QuotaError",
+    "SCHEMA",
+    "ServiceClosed",
+    "SpecError",
+    "Ticket",
+    "WorkloadSpec",
+]

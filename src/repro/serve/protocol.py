@@ -1,0 +1,120 @@
+"""The ``grout-serve/1`` protocol: workload specs and run-reports.
+
+A client submits one JSON **workload spec** per desired session.  Two
+shapes are accepted:
+
+* a *registry workload* — one of the paper suite by name, sized by
+  footprint::
+
+      {"workload": "mv", "gb": 0.25, "seed": 7, "tenant": "alice"}
+
+* a *manifest* — the polyglot layer's language-agnostic program
+  (arrays + CUDA C kernels + steps; see ``docs/API.md``)::
+
+      {"manifest": {"arrays": [...], "kernels": [...], "program": [...]}}
+
+The service answers with a ``grout-serve/1`` **run-report** per spec:
+tenant, session, CE count, simulated submit-to-completion latency, and
+the verification verdict (registry workloads check their numerics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Mapping
+
+from repro.gpu.specs import GIB, MIB
+
+__all__ = ["SCHEMA", "SpecError", "WorkloadSpec"]
+
+#: Wire schema identifier stamped on every serve run-report.
+SCHEMA = "grout-serve/1"
+
+#: Footprint used when a registry-workload spec names no size: small
+#: enough that hundreds of concurrent sessions stay cheap to simulate.
+DEFAULT_FOOTPRINT = 64 * MIB
+
+
+class SpecError(ValueError):
+    """Malformed or inconsistent workload spec (HTTP 400 territory)."""
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadSpec:
+    """One validated workload submission.
+
+    Exactly one of ``workload`` (registry name) or ``manifest`` (inline
+    polyglot program) is set.  ``tenant`` buckets the submission for
+    quota enforcement and the per-tenant ``grout_serve_*`` metrics;
+    ``session`` optionally pins the session name (must be unique among
+    live sessions, else the runtime auto-names it).
+    """
+
+    tenant: str = "default"
+    session: str | None = None
+    workload: str | None = None
+    footprint_bytes: int = DEFAULT_FOOTPRINT
+    n_chunks: int | None = None
+    seed: int = 0
+    manifest: dict | None = None
+    timeout: float | None = None          # simulated-seconds drain cap
+    check: bool = True                    # verify registry numerics
+
+    def __post_init__(self) -> None:
+        if (self.workload is None) == (self.manifest is None):
+            raise SpecError(
+                "spec needs exactly one of 'workload' (registry name) "
+                "or 'manifest' (inline program)")
+        if self.workload is not None:
+            from repro.workloads import WORKLOADS
+            if self.workload not in WORKLOADS:
+                raise SpecError(
+                    f"unknown workload {self.workload!r}; pick one of "
+                    f"{sorted(WORKLOADS)}")
+        if self.footprint_bytes < 1:
+            raise SpecError("footprint must be positive")
+        if self.n_chunks is not None and self.n_chunks < 1:
+            raise SpecError("n_chunks must be >= 1")
+        if self.timeout is not None and self.timeout <= 0:
+            raise SpecError("timeout must be positive")
+        if not self.tenant:
+            raise SpecError("tenant must be non-empty")
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "WorkloadSpec":
+        """Parse one JSON-shaped spec; unknown keys raise :class:`SpecError`.
+
+        ``gb`` is accepted as sugar for ``footprint_bytes`` (GiB float,
+        matching the CLI's ``--gb``).
+        """
+        if not isinstance(payload, Mapping):
+            raise SpecError(f"spec must be a JSON object, "
+                            f"got {type(payload).__name__}")
+        known = {f.name for f in fields(cls)}
+        data = dict(payload)
+        gb = data.pop("gb", None)
+        unknown = set(data) - known
+        if unknown:
+            raise SpecError(f"unknown spec key(s): {sorted(unknown)}")
+        if gb is not None:
+            if "footprint_bytes" in data:
+                raise SpecError("give either 'gb' or 'footprint_bytes', "
+                                "not both")
+            try:
+                data["footprint_bytes"] = int(float(gb) * GIB)
+            except (TypeError, ValueError):
+                raise SpecError(f"'gb' must be a number, got {gb!r}") \
+                    from None
+        try:
+            return cls(**data)
+        except TypeError as exc:
+            raise SpecError(str(exc)) from None
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON shape of the spec (defaults included)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @property
+    def kind(self) -> str:
+        """``"manifest"`` or the registry workload's name."""
+        return self.workload if self.workload is not None else "manifest"

@@ -1,0 +1,166 @@
+"""RuntimeConfig — the single owner of every runtime-construction knob."""
+
+import argparse
+import dataclasses
+import json
+
+import pytest
+
+from repro.core import RuntimeConfig, RoundRobinPolicy
+from repro.core.config import page_size_for
+from repro.core.policies import ExplorationLevel
+from repro.gpu.specs import MIB
+from repro.sim import FaultPlan
+from repro.workloads import make_workload
+
+
+class TestConstruction:
+    def test_defaults_are_the_paper_configuration(self):
+        config = RuntimeConfig()
+        assert config.mode == "grout"
+        assert config.policy == "vector-step"
+        assert config.n_workers == 2
+        assert config.gpus_per_worker == 2
+        assert config.fair_share_window == 32
+
+    def test_validation_rejects_nonsense(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(mode="vulkan")
+        with pytest.raises(ValueError):
+            RuntimeConfig(n_workers=0)
+        with pytest.raises(ValueError):
+            RuntimeConfig(fair_share_window=1)
+        with pytest.raises(ValueError):
+            RuntimeConfig(shards=0)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            RuntimeConfig().n_workers = 4
+
+
+class TestMerge:
+    def test_merge_overlays_fields(self):
+        base = RuntimeConfig(seed=7)
+        merged = base.merge(mode="grcuda", n_workers=1)
+        assert merged.mode == "grcuda"
+        assert merged.n_workers == 1
+        assert merged.seed == 7            # untouched fields survive
+        assert base.mode == "grout"        # original unchanged
+
+    def test_merge_accepts_mapping_and_rejects_unknown_keys(self):
+        assert RuntimeConfig().merge({"n_workers": 4}).n_workers == 4
+        with pytest.raises(ValueError, match="unknown runtime config"):
+            RuntimeConfig().merge({"warp_speed": 9})
+
+
+class TestFromArgs:
+    def _namespace(self, **kwargs):
+        return argparse.Namespace(**kwargs)
+
+    def test_reads_fields_by_name_with_workers_alias(self):
+        args = self._namespace(mode="grout", workers=4,
+                               policy="round-robin", seed=3,
+                               unrelated="ignored")
+        config = RuntimeConfig.from_args(args)
+        assert config.n_workers == 4
+        assert config.policy == "round-robin"
+        assert config.seed == 3
+
+    def test_overrides_win_over_namespace(self):
+        args = self._namespace(workers=4)
+        assert RuntimeConfig.from_args(args, n_workers=8).n_workers == 8
+
+    def test_add_cli_args_round_trips(self):
+        parser = argparse.ArgumentParser()
+        RuntimeConfig.add_cli_args(parser, default_policy="round-robin")
+        args = parser.parse_args(["--workers", "3",
+                                  "--chunk-bytes", "65536",
+                                  "--fair-share-window", "8"])
+        config = RuntimeConfig.from_args(args)
+        assert config.n_workers == 3
+        assert config.policy == "round-robin"
+        assert config.chunk_bytes == 65536
+        assert config.fair_share_window == 8
+
+
+class TestSerialisation:
+    def test_as_dict_is_json_ready(self):
+        config = RuntimeConfig(policy=RoundRobinPolicy(),
+                               level=ExplorationLevel.HIGH,
+                               faults="crash:worker0@1.5")
+        payload = json.loads(json.dumps(config.as_dict()))
+        assert payload["policy"] == "round-robin"
+        assert payload["level"] == "high"
+        assert payload["faults"] == "crash:worker0@1.5"
+
+    def test_from_dict_round_trip_and_unknown_keys(self):
+        config = RuntimeConfig(n_workers=4, seed=5)
+        clone = RuntimeConfig.from_dict(config.as_dict())
+        assert clone == config
+        with pytest.raises(ValueError, match="unknown runtime config"):
+            RuntimeConfig.from_dict({"n_wrokers": 4})
+
+
+class TestResolution:
+    def test_fault_plan_parses_strings(self):
+        plan = RuntimeConfig(faults="crash:worker0@1.5").fault_plan()
+        assert isinstance(plan, FaultPlan)
+        assert RuntimeConfig().fault_plan() is None
+
+    def test_build_policy_vector_step_needs_workload(self):
+        config = RuntimeConfig()
+        with pytest.raises(ValueError, match="vector-step"):
+            config.build_policy()
+        wl = make_workload("mv", 8 * MIB)
+        assert config.build_policy(wl).name == "vector-step"
+
+    def test_build_policy_registry_names(self):
+        policy = RuntimeConfig(policy="round-robin").build_policy()
+        assert policy.name == "round-robin"
+
+    def test_page_size_for_is_power_of_two(self):
+        for footprint in (MIB, 64 * MIB, 1 << 34, 1 << 38):
+            size = page_size_for(footprint)
+            assert size & (size - 1) == 0
+
+
+class TestBuildRuntime:
+    def test_grout_runtime_honours_knobs(self):
+        config = RuntimeConfig(policy="round-robin", n_workers=3,
+                               fair_share_window=8)
+        rt = config.build_runtime(footprint_bytes=64 * MIB)
+        try:
+            assert len(rt.cluster.workers) == 3
+            assert rt.policy.name == "round-robin"
+            assert rt.controller.fair_share_gate.window == 8
+        finally:
+            rt.shutdown()
+
+    def test_grcuda_runtime_and_guards(self):
+        rt = RuntimeConfig(mode="grcuda").build_runtime(
+            footprint_bytes=64 * MIB)
+        try:
+            assert type(rt).__name__ == "GrCudaRuntime"
+        finally:
+            rt.shutdown()
+        with pytest.raises(ValueError, match="grout"):
+            RuntimeConfig(mode="grcuda",
+                          faults="crash:worker0@1.0").build_runtime()
+        with pytest.raises(ValueError, match="grout"):
+            RuntimeConfig(mode="grcuda",
+                          chunk_bytes=MIB).build_runtime()
+
+    def test_fault_plan_is_armed_on_build(self):
+        config = RuntimeConfig(policy="round-robin",
+                               faults="crash:worker0@1.5")
+        rt = config.build_runtime(footprint_bytes=64 * MIB)
+        quiet = config.merge(faults=None).build_runtime(
+            footprint_bytes=64 * MIB)
+        try:
+            # The armed plan parks injector work in the engine queue;
+            # without faults the fresh runtime's queue is empty.
+            assert rt.engine.peek() != float("inf")
+            assert quiet.engine.peek() == float("inf")
+        finally:
+            rt.shutdown()
+            quiet.shutdown()

@@ -1,0 +1,138 @@
+"""Runtime/session lifecycle: shutdown, context managers, teardown leaks."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import paper_cluster
+from repro.core import (GrCudaRuntime, GroutRuntime, RoundRobinPolicy,
+                        SessionClosedError)
+from repro.gpu import TEST_GPU_1GB
+from repro.gpu.specs import MIB
+from repro.sim import SimError
+from repro.workloads import make_workload
+
+FOOTPRINT = 8 * MIB
+
+
+def _runtime(**kwargs):
+    cluster = paper_cluster(2, gpu_spec=TEST_GPU_1GB)
+    return GroutRuntime(cluster, policy=RoundRobinPolicy(), **kwargs)
+
+
+def _run_workload(rt):
+    wl = make_workload("mv", FOOTPRINT, seed=3)
+    res = wl.execute(rt, timeout=9000, check=True)
+    assert res.completed and res.verified
+
+
+class TestGroutShutdown:
+    def test_idempotent(self):
+        rt = _runtime()
+        _run_workload(rt)
+        rt.shutdown()
+        rt.shutdown()          # second call is a no-op
+        assert rt.closed
+
+    def test_drains_engine_and_seals_metrics(self):
+        rt = _runtime()
+        _run_workload(rt)
+        rt.engine.timeout(1e9, name="straggler")
+        rt.shutdown()
+        assert rt.engine.peek() == float("inf")
+        # Accumulated metrics stay readable after the registry is sealed.
+        family = rt.metrics.family("grout_ces_scheduled_total")
+        assert family.value_sum() > 0
+
+    def test_rejects_work_after_shutdown(self):
+        rt = _runtime()
+        rt.shutdown()
+        with pytest.raises(SimError, match="shut down"):
+            rt.session("late")
+        with pytest.raises(SimError, match="shut down"):
+            rt.controller.schedule(object())
+
+    def test_context_manager(self):
+        with _runtime() as rt:
+            _run_workload(rt)
+        assert rt.closed
+
+    def test_finalizes_open_sessions(self):
+        rt = _runtime()
+        session = rt.session("p0")
+        rt.shutdown()
+        assert session.closed
+        closed = rt.metrics.family("grout_sessions_closed_total")
+        assert closed.value_sum() == 1
+
+    def test_back_to_back_constructions_do_not_leak(self):
+        # The non-sharded teardown path: runtime N's engine/process state
+        # must not bleed into runtime N+1 built right after.
+        for _ in range(3):
+            rt = _runtime()
+            _run_workload(rt)
+            rt.shutdown()
+            assert rt.engine.peek() == float("inf")
+
+
+class TestGrCudaShutdown:
+    def test_idempotent_and_context_manager(self):
+        with GrCudaRuntime(gpu_spec=TEST_GPU_1GB) as rt:
+            wl = make_workload("mv", FOOTPRINT, seed=3)
+            res = wl.execute(rt, timeout=9000, check=True)
+            assert res.completed and res.verified
+        assert rt.closed
+        rt.shutdown()          # still a no-op
+        assert rt.engine.peek() == float("inf")
+
+
+class TestSessionLifecycle:
+    def test_state_machine(self):
+        rt = _runtime()
+        session = rt.session("p0")
+        assert session.state == "open"
+        assert session.close()
+        assert session.state == "closed"
+        assert session.close()             # idempotent
+        rt.shutdown()
+
+    def test_close_drains_outstanding_work(self):
+        rt = _runtime()
+        session = rt.session("p0")
+        wl = make_workload("mv", FOOTPRINT, seed=5)
+        wl.build(session)
+        wl.run(session)
+        assert session.pending_events()
+        assert session.close()
+        assert not session.pending_events()
+        assert wl.verify()
+        rt.shutdown()
+
+    def test_closed_session_rejects_submissions(self):
+        rt = _runtime()
+        session = rt.session("p0")
+        session.close()
+        with pytest.raises(SessionClosedError, match="closed"):
+            session.device_array(16, np.float32)
+        rt.shutdown()
+
+    def test_close_releases_the_name(self):
+        rt = _runtime()
+        first = rt.session("p0")
+        first.close()
+        second = rt.session("p0")          # name is free again
+        assert second is not first
+        assert [s.name for s in rt.sessions()] == ["p0"]
+        rt.shutdown()
+
+    def test_context_manager_and_lifetime_metric(self):
+        rt = _runtime()
+        with rt.session("p0") as session:
+            wl = make_workload("mv", FOOTPRINT, seed=5)
+            wl.build(session)
+            wl.run(session)
+        assert session.closed
+        assert session.closed_at is not None
+        assert session.closed_at >= session.created_at
+        lifetime = rt.metrics.family("grout_session_lifetime_seconds")
+        assert lifetime.labels().count == 1
+        rt.shutdown()

@@ -1,0 +1,161 @@
+"""Session churn on a persistent runtime: arrive, run, depart, repeat.
+
+The serving story's substrate: one long-lived :class:`GroutRuntime`
+hosting waves of short-lived sessions.  Names must recycle, per-session
+metrics must stay isolated across generations, the fair-share gate's
+bookkeeping must not accumulate state for departed sessions, and a
+departure mid-flight must not distort the shares of the survivors.
+"""
+
+import numpy as np
+
+from repro.cluster import paper_cluster
+from repro.core import GroutRuntime, RoundRobinPolicy
+from repro.gpu import ArrayAccess, Direction, KernelSpec, TEST_GPU_1GB
+from repro.gpu.specs import MIB
+from repro.workloads import make_workload
+
+FOOTPRINT = 8 * MIB
+TIMEOUT = 9000
+
+
+def _runtime(**kwargs):
+    cluster = paper_cluster(2, gpu_spec=TEST_GPU_1GB)
+    return GroutRuntime(cluster, policy=RoundRobinPolicy(), **kwargs)
+
+
+def _submit_mv(session, seed):
+    wl = make_workload("mv", FOOTPRINT, seed=seed)
+    wl.build(session)
+    wl.run(session)
+    return wl
+
+
+def _reader():
+    def access_fn(args):
+        return [ArrayAccess(args[0], Direction.IN)]
+
+    return KernelSpec("r", flops_per_byte=8.0, access_fn=access_fn)
+
+
+def _submit_reads(session, n, mib=16):
+    kernel = _reader()
+    for i in range(n):
+        a = session.device_array(16, np.float32,
+                                 virtual_nbytes=mib * MIB,
+                                 name=f"{session.name}.a{i}")
+        session.host_write(a, lambda arr=a: arr.data.fill(1.0))
+        session.launch(kernel, 16, 128, (a,))
+
+
+class TestChurn:
+    def test_waves_of_sessions_on_one_runtime(self):
+        """Three generations of three concurrent sessions each, with the
+        same names reused every generation — all verify."""
+        rt = _runtime()
+        for wave in range(3):
+            pairs = []
+            for i in range(3):
+                session = rt.session(f"p{i}")       # recycled name
+                pairs.append((session, _submit_mv(session,
+                                                  seed=11 + wave * 3 + i)))
+            for session, wl in pairs:
+                assert session.close(timeout=TIMEOUT)
+                assert wl.verify()
+            assert rt.sessions() == []
+        closed = rt.metrics.family("grout_sessions_closed_total")
+        assert closed.value_sum() == 9
+        rt.shutdown()
+
+    def test_departures_interleaved_with_arrivals(self):
+        """Sessions close while others are still mid-flight; the
+        survivors' work completes and verifies untouched."""
+        rt = _runtime()
+        long_session = rt.session("long")
+        long_wl = _submit_mv(long_session, seed=3)
+        for i in range(4):
+            with rt.session(f"short{i}") as short:
+                _submit_mv(short, seed=20 + i)
+            assert short.closed                   # departed mid-flight
+        assert long_session.close(timeout=TIMEOUT)
+        assert long_wl.verify()
+        rt.shutdown()
+
+    def test_gate_forgets_departed_sessions(self):
+        """The fair-share gate's outstanding map must not grow one entry
+        per session ever seen (hundreds under churn)."""
+        rt = _runtime(fair_share_window=8)
+        gate = rt.controller.fair_share_gate
+        for i in range(20):
+            with rt.session(f"churn{i}") as session:
+                _submit_reads(session, 3)
+        rt.sync(timeout=TIMEOUT)
+        assert gate.active_sessions() == []
+        assert len(gate._outstanding) == 0
+        rt.shutdown()
+
+
+class TestMetricIsolation:
+    def test_recycled_names_accumulate_reused_labels(self):
+        """Metric series are keyed by session *name*: a recycled name
+        accumulates onto the same labelled series, and distinct names
+        stay distinct across generations."""
+        rt = _runtime()
+        scheduled = rt.metrics.family("grout_session_ces_scheduled_total")
+        with rt.session("a") as session:
+            _submit_reads(session, 2)
+        first_a = scheduled.labels(session="a").value
+        assert first_a > 0
+        with rt.session("a") as session:       # same name, new session
+            _submit_reads(session, 2)
+        with rt.session("b") as session:
+            _submit_reads(session, 4)
+        assert scheduled.labels(session="a").value == 2 * first_a
+        assert scheduled.labels(session="b").value == 2 * first_a
+        rt.shutdown()
+
+    def test_lifetime_histogram_is_unlabelled(self):
+        """Finalization metrics are label-less by design — churn must
+        not mint one series per departed session name."""
+        rt = _runtime()
+        for i in range(10):
+            rt.session(f"ephemeral{i}").close()
+        lifetime = rt.metrics.family("grout_session_lifetime_seconds")
+        assert lifetime.labels().count == 10
+        assert len(list(lifetime.children())) == 1
+        rt.shutdown()
+
+
+class TestFairnessUnderDepartures:
+    def test_survivor_inherits_the_departed_share(self):
+        """With the gate at window=8, two concurrent hogs throttle each
+        other; after one departs, the survivor's remaining submissions
+        run ungated — departures must widen the survivor's share."""
+        rt = _runtime(fair_share_window=8)
+        throttled = rt.metrics.family("grout_session_throttled_total")
+        left, right = rt.session("left"), rt.session("right")
+        _submit_reads(left, 8)
+        _submit_reads(right, 8)
+        assert left.close(timeout=TIMEOUT)        # departs mid-flight
+        both_phase = throttled.labels(session="right").value
+        _submit_reads(right, 8)                   # now alone on the gate
+        assert right.close(timeout=TIMEOUT)
+        solo_phase = throttled.labels(session="right").value - both_phase
+        assert solo_phase == 0, (
+            "survivor still throttled after the other session departed")
+        rt.shutdown()
+
+    def test_two_equal_survivors_stay_even_after_a_departure(self):
+        rt = _runtime(fair_share_window=6)
+        scheduled = rt.metrics.family("grout_session_ces_scheduled_total")
+        ghost = rt.session("ghost")
+        _submit_reads(ghost, 4)
+        assert ghost.close(timeout=TIMEOUT)
+        a, b = rt.session("a"), rt.session("b")
+        for _ in range(6):                         # interleaved submission
+            _submit_reads(a, 1)
+            _submit_reads(b, 1)
+        assert a.close(timeout=TIMEOUT) and b.close(timeout=TIMEOUT)
+        counts = [scheduled.labels(session=name).value for name in "ab"]
+        assert counts[0] == counts[1]
+        rt.shutdown()

@@ -1,0 +1,70 @@
+"""grout-serve/1 workload-spec parsing and validation."""
+
+import pytest
+
+from repro.gpu.specs import GIB, MIB
+from repro.serve import SpecError, WorkloadSpec
+from repro.serve.protocol import DEFAULT_FOOTPRINT
+
+
+class TestValidation:
+    def test_registry_spec_defaults(self):
+        spec = WorkloadSpec(workload="mv")
+        assert spec.tenant == "default"
+        assert spec.footprint_bytes == DEFAULT_FOOTPRINT
+        assert spec.check is True
+        assert spec.kind == "mv"
+
+    def test_needs_exactly_one_of_workload_or_manifest(self):
+        with pytest.raises(SpecError, match="exactly one"):
+            WorkloadSpec()
+        with pytest.raises(SpecError, match="exactly one"):
+            WorkloadSpec(workload="mv", manifest={"program": []})
+
+    def test_unknown_workload_name(self):
+        with pytest.raises(SpecError, match="unknown workload"):
+            WorkloadSpec(workload="mining-rig")
+
+    def test_bounds(self):
+        with pytest.raises(SpecError, match="footprint"):
+            WorkloadSpec(workload="mv", footprint_bytes=0)
+        with pytest.raises(SpecError, match="n_chunks"):
+            WorkloadSpec(workload="mv", n_chunks=0)
+        with pytest.raises(SpecError, match="timeout"):
+            WorkloadSpec(workload="mv", timeout=0.0)
+        with pytest.raises(SpecError, match="tenant"):
+            WorkloadSpec(workload="mv", tenant="")
+
+    def test_manifest_kind(self):
+        spec = WorkloadSpec(manifest={"arrays": [], "program": []})
+        assert spec.kind == "manifest"
+
+
+class TestFromDict:
+    def test_gb_sugar(self):
+        spec = WorkloadSpec.from_dict({"workload": "mv", "gb": 0.25})
+        assert spec.footprint_bytes == int(0.25 * GIB)
+
+    def test_gb_conflicts_with_footprint_bytes(self):
+        with pytest.raises(SpecError, match="not both"):
+            WorkloadSpec.from_dict({"workload": "mv", "gb": 1,
+                                    "footprint_bytes": MIB})
+
+    def test_gb_must_be_numeric(self):
+        with pytest.raises(SpecError, match="'gb' must be a number"):
+            WorkloadSpec.from_dict({"workload": "mv", "gb": "plenty"})
+
+    def test_unknown_keys_raise(self):
+        with pytest.raises(SpecError, match="unknown spec key"):
+            WorkloadSpec.from_dict({"workload": "mv", "gpus": 8})
+
+    def test_non_mapping_payload(self):
+        with pytest.raises(SpecError, match="JSON object"):
+            WorkloadSpec.from_dict(["mv"])
+
+    def test_round_trip(self):
+        spec = WorkloadSpec.from_dict(
+            {"workload": "mv", "gb": 0.125, "tenant": "alice",
+             "seed": 9, "check": False})
+        clone = WorkloadSpec.from_dict(spec.as_dict())
+        assert clone == spec
