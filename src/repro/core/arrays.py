@@ -216,6 +216,23 @@ class Directory:
         """Whether the controller is the sole holder."""
         return self.state(array).up_to_date == {self.home}
 
+    def is_virgin(self, array: ManagedArray) -> bool:
+        """Whether the array is registered but completely untouched.
+
+        Freshly allocated state: home-only copy, never written, no
+        tracked readers, nothing in flight.  The plan cache requires
+        this of every buffer at its first recorded appearance — a
+        session whose arrays arrive with history (cross-session
+        sharing) cannot replay a private-program plan safely.
+        """
+        state = self._states.get(array.buffer_id)
+        if state is None:
+            return False
+        return (state.up_to_date == {self.home}
+                and state.last_writer is None
+                and not state.inflight
+                and not state.readers_since_write)
+
     def holders(self, array: ManagedArray) -> set[str]:
         """The set of nodes holding current copies."""
         return set(self.state(array).up_to_date)

@@ -67,6 +67,7 @@ class RuntimeConfig:
     collectives: bool = False
     fair_share_window: int = 32
     prune_every: int = 256
+    plan_cache: bool = False
     shards: int | None = None
     shard_window: float | None = None
     shard_max_outstanding: int | None = None
@@ -265,6 +266,7 @@ class RuntimeConfig:
             "collectives": self.collectives,
             "fair_share_window": self.fair_share_window,
             "prune_every": self.prune_every,
+            "plan_cache": self.plan_cache,
             "shards": self.shards,
             "shard_window": self.shard_window,
             "shard_max_outstanding": self.shard_max_outstanding,
@@ -290,9 +292,10 @@ class RuntimeConfig:
         if self.mode == "grcuda":
             if self.faults is not None:
                 raise ValueError("fault injection requires mode='grout'")
-            if self.chunk_bytes is not None or self.collectives:
-                raise ValueError(
-                    "chunk_bytes/collectives require mode='grout'")
+            if self.chunk_bytes is not None or self.collectives \
+                    or self.plan_cache:
+                raise ValueError("chunk_bytes/collectives/plan_cache "
+                                 "require mode='grout'")
             from repro.core.grcuda import GrCudaRuntime
             page_size = self.page_size
             if page_size is None and footprint_bytes is not None:
@@ -347,6 +350,11 @@ class RuntimeConfig:
                             metavar="N", dest="fair_share_window",
                             help="admission window interleaving "
                                  "concurrent sessions (default 32)")
+        parser.add_argument("--plan-cache", action="store_true",
+                            dest="plan_cache",
+                            help="memoize per-session scheduling "
+                                 "decisions and replay them for "
+                                 "repeated programs (default off)")
 
     def __repr__(self) -> str:
         knobs = []

@@ -200,9 +200,19 @@ class Controller:
                  collectives: bool = False,
                  chunk_bytes: int | None = None,
                  fair_share_window: int = 32,
+                 plan_cache: bool = False,
                  shards: int | None = None,
                  shard_window: float | None = None,
                  shard_max_outstanding: int | None = None):
+        if plan_cache and (shards is not None or collectives
+                           or chunk_bytes is not None):
+            # Checked before anything is constructed (shard mode spawns
+            # worker processes).
+            raise SimError(
+                "plan_cache requires the default movement path in one "
+                "process (no collectives, no chunk_bytes, no shards): "
+                "recorded plans replay whole-array point-to-point "
+                "transfers against in-process worker state")
         self.cluster = cluster
         self.engine = cluster.engine
         self.policy = policy
@@ -261,6 +271,14 @@ class Controller:
             CoherenceStage(self),
             DispatchStage(self, self.fair_share_gate),
         ])
+        #: Memoized scheduling decisions for repeated keyed programs
+        #: (:mod:`repro.core.plancache`); ``None`` with the knob off, in
+        #: which case every path below stays byte-identical to the
+        #: golden trace.
+        self.plan_cache = None
+        if plan_cache:
+            from repro.core.plancache import PlanCache
+            self.plan_cache = PlanCache(self)
         self._prune_every = prune_every
         self._pending: list[Event] = []
         self._scheduled = 0           # prune cadence, cheap local count
@@ -284,6 +302,8 @@ class Controller:
         self.context.workers = [w.name for w in self.cluster.workers]
         self.policy.notify_topology_changed(self.context,
                                             added=[node.name])
+        if self.plan_cache is not None:
+            self.plan_cache.invalidate_all("topology")
         return node.name
 
     # -- public entry point ------------------------------------------------------
@@ -299,7 +319,23 @@ class Controller:
         """
         if self._closed:
             raise SimError("controller is shut down; no further CEs")
-        state = self.pipeline.run(ce, session=session)
+        if session is not None and session._plan_replayer is not None:
+            # Cache hit: replay the recorded decisions; a failed guard
+            # deactivates the replayer and this (and every later) CE
+            # takes the full pipeline below.
+            state = session._plan_replayer.replay(ce)
+            if state is None:
+                state = self.pipeline.run(ce, session=session)
+        else:
+            recorder = session._plan_recorder \
+                if session is not None else None
+            if recorder is not None:
+                recorder.begin(ce)
+                state = self.pipeline.run(ce, session=session)
+                if session._plan_recorder is recorder:
+                    recorder.record(ce, state)
+            else:
+                state = self.pipeline.run(ce, session=session)
         self._scheduled += 1
         if self._scheduled % self._prune_every == 0:
             # A CE only becomes prunable when its done event is delivered,
@@ -380,6 +416,8 @@ class Controller:
                                 if w != name]
         self.cluster.remove_worker(name)
         self.policy.notify_topology_changed(self.context, removed=[name])
+        if self.plan_cache is not None:
+            self.plan_cache.invalidate_all("crash")
         replacement = self.add_worker() if request_replacement else None
         if not self.context.workers:
             raise SimError(

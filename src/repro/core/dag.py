@@ -278,6 +278,19 @@ class DependencyDag:
         """Every CE currently in the DAG, insertion order."""
         return list(self._nodes.values())
 
+    def buffer_untouched(self, buffer_id: int) -> bool:
+        """Whether no tracked CE ever accessed this buffer.
+
+        True when the buffer holds no frontier at all (never seen, or
+        every role emptied by writes-after-prune is impossible — a
+        frontier always keeps its last writer).  The plan cache's
+        virgin-buffer guard pairs this with
+        :meth:`Directory.is_virgin`.
+        """
+        bf = self._buffers.get(buffer_id)
+        return bf is None or (bf.last_writer is None
+                              and not bf.readers and not bf.cohorts)
+
     # -- Algorithm 1, DAG phase -------------------------------------------------
 
     def add(self, ce: ComputationalElement) -> list:
@@ -336,14 +349,60 @@ class DependencyDag:
         all_info[cid] = info
         self._nodes[cid] = ce
 
-        # updateFrontier.  Departures are settled after the loop so a CE
-        # reading *and* writing the same buffer (transient leave + re-enter
-        # within its own insertion) never loses its ancestor set.
+        self._update_frontier(ce, cid)
+        return filtered
+
+    def add_with_parents(self, ce: ComputationalElement,
+                         parents: list) -> list:
+        """Insert a CE whose direct ancestors are already known.
+
+        The plan-cache replay path: skips the frontier scan and the
+        redundancy filter — the two costs :meth:`add` pays to *discover*
+        ``parents`` — and performs the identical node registration and
+        frontier update.  ``parents`` must be exactly what :meth:`add`
+        would have returned for this CE (the recorded, filtered list);
+        entries that have since left the DAG (pruned after completing)
+        are skipped — their edges are vacuous, matching the pruned
+        graph :meth:`add` itself would build against.
+        """
+        cid = ce.ce_id
+        if cid in self._nodes:
+            raise ValueError(f"{ce!r} already in the DAG")
+        fcount = self._frontier_count
+        all_info = self._info
+        info = _NodeInfo()
+        anc = info.ancestors
+        kept = info.parents
+        for parent in parents:
+            pinfo = all_info.get(parent.ce_id)
+            if pinfo is None:
+                continue    # pruned since recording: completed, vacuous
+            pinfo.children.append(ce)
+            kept.append(parent)
+            anc.add(parent.ce_id)
+            if pinfo.ancestors:
+                anc |= pinfo.ancestors & fcount.keys()
+        all_info[cid] = info
+        self._nodes[cid] = ce
+        self._update_frontier(ce, cid)
+        return kept
+
+    def _update_frontier(self, ce: ComputationalElement, cid: int) -> None:
+        """updateFrontier — shared tail of :meth:`add` and
+        :meth:`add_with_parents`.
+
+        Depends only on ``ce.accesses``; departures are settled after
+        the loop so a CE reading *and* writing the same buffer
+        (transient leave + re-enter within its own insertion) never
+        loses its ancestor set.
+        """
+        buffers = self._buffers
+        fcount = self._frontier_count
         departed: list[int] = []
         sealable: list[int] = []
         cohort_size = self.cohort_size
         fget = fcount.get
-        for access in accesses:
+        for access in ce.accesses:
             bid = access.buffer.buffer_id
             bf = buffers.get(bid)
             if bf is None:
@@ -382,7 +441,6 @@ class DependencyDag:
             # role, prunable as soon as it completes.
             self._retire(ce.ce_id)
         self._frontier_dirty = True
-        return filtered
 
     def _seal(self, bid: int, bf: _BufferFrontier,
               departed: list[int]) -> None:

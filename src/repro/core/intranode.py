@@ -231,7 +231,13 @@ class IntraNodeScheduler:
             for array in ce.arrays:
                 uvm.register(array)
             self._note_oversubscription()
-            cost = uvm.price_kernel(gpu, launch)
+            probe = ce.cost_probe
+            if probe is None:
+                cost = uvm.price_kernel(gpu, launch)
+            else:
+                # Plan-cache hook: record the launch's effect alongside
+                # live pricing, or replay a recorded transition.
+                cost = probe(uvm, gpu, launch)
             self._note_uvm_cost(cost)
             self.kernel_costs.append((ce, cost))
             totals = self.kernel_totals.get(ce.kernel.name)

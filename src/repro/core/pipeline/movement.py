@@ -193,10 +193,36 @@ class DataMovementStage(Stage):
     def process(self, ce, state: SchedulingState) -> SchedulingState:
         """Run this phase for one CE (see the class docstring)."""
         assert state.node is not None, "placement must run before movement"
+        session = state.session
+        recorder = None if session is None else session._plan_recorder
+        if recorder is not None:
+            return self._process_recorded(ce, state, recorder)
         for array in ce.arrays:
             ev = self.ensure_on_node(array, state.node, for_ce=ce)
             if ev is not None:
                 state.waits.append(ev)
+        return state
+
+    def _process_recorded(self, ce, state: SchedulingState,
+                          recorder) -> SchedulingState:
+        """Recording twin of :meth:`process`: identical decisions, plus
+        a note of each array's movement action for the session's plan —
+        the replication's source node, or ``None`` when the array was
+        already up to date on the chosen node."""
+        directory = self.controller.directory
+        node = state.node
+        for array in ce.arrays:
+            fresh = not directory.up_to_date_on(array, node)
+            ev = self.ensure_on_node(array, node, for_ce=ce)
+            if ev is not None:
+                state.waits.append(ev)
+            if fresh:
+                # "" (never a node name) marks an unreadable source —
+                # e.g. a planner relay — and poisons the recording.
+                recorder.note_move(
+                    directory.state(array).inflight_src.get(node, ""))
+            else:
+                recorder.note_move(None)
         return state
 
     # -- Algorithm 1, data-movement phase --------------------------------------

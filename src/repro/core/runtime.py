@@ -43,6 +43,7 @@ class GroutRuntime:
                  collectives: bool = False,
                  fair_share_window: int = 32,
                  prune_every: int = 256,
+                 plan_cache: bool = False,
                  shards: int | None = None,
                  shard_window: float | None = None,
                  shard_max_outstanding: int | None = None,
@@ -65,7 +66,8 @@ class GroutRuntime:
             cluster, self.policy, max_streams_per_gpu=max_streams_per_gpu,
             prune_every=prune_every,
             collectives=collectives, chunk_bytes=chunk_bytes,
-            fair_share_window=fair_share_window, shards=shards,
+            fair_share_window=fair_share_window, plan_cache=plan_cache,
+            shards=shards,
             shard_window=shard_window,
             shard_max_outstanding=shard_max_outstanding)
         #: Session whose submissions are being tagged right now (set by
@@ -103,7 +105,8 @@ class GroutRuntime:
 
     # -- multi-program sessions ---------------------------------------------------
 
-    def session(self, name: str | None = None) -> Session:
+    def session(self, name: str | None = None, *,
+                plan_key: str | None = None) -> Session:
         """Open a multi-program :class:`~repro.core.session.Session`.
 
         The session duck-types this runtime's submission surface, so a
@@ -112,6 +115,11 @@ class GroutRuntime:
         metrics and trace spans, and interleaved fairly with the other
         sessions sharing the cluster.  Names default to ``s0``, ``s1``,
         ... and must be unique per runtime.
+
+        ``plan_key`` names the session's *program* for the controller's
+        plan cache (requires the ``plan_cache`` knob): sessions sharing
+        a key replay each other's recorded scheduling decisions, with
+        per-CE validation and full-pipeline fallback on any mismatch.
         """
         if self._closed:
             raise SimError("runtime is shut down; no new sessions")
@@ -121,8 +129,11 @@ class GroutRuntime:
                 name = f"s{next(self._session_names)}"
         if name in self._sessions:
             raise ValueError(f"session {name!r} already exists")
-        session = Session(self, name)
+        session = Session(self, name, plan_key=plan_key)
         self._sessions[name] = session
+        cache = self.controller.plan_cache
+        if cache is not None and plan_key is not None:
+            cache.attach(session)
         return session
 
     def sessions(self) -> list[Session]:
@@ -160,6 +171,10 @@ class GroutRuntime:
         # for the whole run up front (keeps schedules deterministic
         # regardless of when the first fault actually fires).
         cluster.fabric.resilient = True
+        if controller.plan_cache is not None:
+            # Recorded plans replay the non-resilient fast-path moves;
+            # none survive an armed fault plan.
+            controller.plan_cache.invalidate_all("faults")
 
         def crash(fault):
             controller.handle_worker_crash(

@@ -64,19 +64,33 @@ class Session:
     closes on exit.
     """
 
-    def __init__(self, runtime: "GroutRuntime", name: str):
+    def __init__(self, runtime: "GroutRuntime", name: str,
+                 plan_key: str | None = None):
         if not name or set(name) - _VALID:
             raise ValueError(
                 f"session name {name!r} must be non-empty and use only "
                 "letters, digits, '_', '-' or '.'")
         self._runtime = runtime
         self.name = name
+        #: Program identity for the controller's plan cache (``None``:
+        #: uncached).  Sessions sharing a key are expected to submit
+        #: the same CE stream; the cache verifies per CE and falls back
+        #: to the full pipeline on any mismatch.
+        self.plan_key = plan_key
+        #: Plan-cache attachments (set by ``PlanCache.attach``; read by
+        #: the controller and the data-movement stage).
+        self._plan_recorder = None
+        self._plan_replayer = None
         self.created_at: float = runtime.engine.now
         self.closed_at: float | None = None
         self._state = OPEN
         self._seq = itertools.count(1)
         self._ces: list["ComputationalElement"] = []
         self._outstanding: list["Event"] = []
+        #: Arrays allocated (or adopted) through this session, for
+        #: :meth:`reclaim` — a persistent runtime must be able to return
+        #: a departed program's managed memory to the UVM spaces.
+        self._allocated: list[object] = []
         self._sync_seconds = runtime.metrics.family(
             "grout_session_sync_seconds_total").labels(session=name)
 
@@ -116,6 +130,12 @@ class Session:
         """Record the close-time metrics and seal the session (no drain)."""
         if self._state == CLOSED:
             return
+        recorder, self._plan_recorder = self._plan_recorder, None
+        if recorder is not None:
+            recorder.commit()
+        replayer, self._plan_replayer = self._plan_replayer, None
+        if replayer is not None:
+            replayer.finish()
         engine = self._runtime.engine
         self.closed_at = engine.now
         metrics = self._runtime.metrics
@@ -233,17 +253,41 @@ class Session:
     def device_array(self, *args, **kwargs):
         """Allocate a managed array under this session."""
         with self._activate() as rt:
-            return rt.device_array(*args, **kwargs)
+            array = rt.device_array(*args, **kwargs)
+        self._allocated.append(array)
+        return array
 
     def adopt(self, array):
         """Register an externally created array under this session."""
         with self._activate() as rt:
-            return rt.adopt(array)
+            array = rt.adopt(array)
+        self._allocated.append(array)
+        return array
 
     def free(self, array) -> None:
         """Drop an array from the directory and every worker."""
         with self._activate() as rt:
             rt.free(array)
+
+    def reclaim(self) -> int:
+        """Free every array allocated through this session; returns the
+        count.
+
+        The serve layer calls this after a finished submission's report
+        is sealed: a persistent runtime otherwise accumulates every
+        departed program's managed bytes, climbing the node OSF — and
+        with it every later launch's modeled degradation — without
+        bound.  Callable on a closed session (freeing is runtime
+        bookkeeping, not a submission).  Arrays shared with other
+        sessions must not be reclaimed; sessions only track their own
+        allocations, so self-contained programs (every registry
+        workload) are safe by construction.
+        """
+        arrays, self._allocated = self._allocated, []
+        rt = self._runtime
+        for array in arrays:
+            rt.free(array)
+        return len(arrays)
 
     def launch(self, *args, **kwargs):
         """Launch a kernel; the CE is tagged with this session."""

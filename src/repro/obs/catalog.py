@@ -167,6 +167,27 @@ SESSION_METRICS: tuple[MetricSpec, ...] = (
                unit="seconds"),
 )
 
+#: Schedule plan cache (repro.core.plancache) — memoized decisions.
+PLANCACHE_METRICS: tuple[MetricSpec, ...] = (
+    MetricSpec("grout_plancache_hits_total", "counter",
+               "Keyed sessions that attached to a stored schedule plan "
+               "and started in replay mode."),
+    MetricSpec("grout_plancache_misses_total", "counter",
+               "Keyed sessions with no (current-epoch) stored plan; "
+               "they run the full pipeline and record."),
+    MetricSpec("grout_plancache_invalidations_total", "counter",
+               "Plans dropped or replays abandoned, by reason "
+               "(topology, crash, faults, evicted, divergence, "
+               "shared-buffer, stale-epoch, stale-node, faults-armed).",
+               labels=("reason",)),
+    MetricSpec("grout_plancache_bytes", "gauge",
+               "Estimated bytes retained by stored schedule plans.",
+               unit="bytes"),
+    MetricSpec("grout_plancache_cost_replays_total", "counter",
+               "Kernel launches whose UVM pricing was served from a "
+               "recorded cost transition instead of the live pricer."),
+)
+
 #: The `grout serve` daemon (repro.serve) — request accounting.
 SERVE_METRICS: tuple[MetricSpec, ...] = (
     MetricSpec("grout_serve_sessions_accepted_total", "counter",
@@ -209,7 +230,8 @@ SHARD_METRICS: tuple[MetricSpec, ...] = (
 CATALOG: tuple[MetricSpec, ...] = tuple(sorted(
     CONTROLLER_METRICS + COLLECTIVE_METRICS + FABRIC_METRICS
     + INTRANODE_METRICS + UVM_METRICS + PROFILER_METRICS + FAULT_METRICS
-    + SESSION_METRICS + SERVE_METRICS + SHARD_METRICS,
+    + SESSION_METRICS + PLANCACHE_METRICS + SERVE_METRICS
+    + SHARD_METRICS,
     key=lambda spec: spec.name))
 
 

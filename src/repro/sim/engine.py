@@ -266,6 +266,60 @@ class Engine:
                 raise item.value  # type: ignore[misc]
             return
 
+    def run_steps(self, limit: int) -> int:
+        """Process up to ``limit`` deliveries; return how many ran.
+
+        The serve pump's quantum primitive: one bounded call replaces a
+        per-delivery ``peek()``/``step()`` pair.  Inlines the same loop
+        as :meth:`run` — same merge rule, same cancelled-entry skip
+        (skips do not count toward the limit, matching
+        :attr:`events_processed`), same unhandled-failure abort — and
+        stops early when the queue drains.
+        """
+        if limit < 0:
+            raise ValueError(f"negative step limit: {limit}")
+        ready = self._ready
+        queue = self._queue
+        pop = heapq.heappop
+        free = self._free
+        steps = 0
+        now = self._now
+        while steps < limit and (ready or queue):
+            if ready:
+                if (queue and queue[0][0] <= now
+                        and queue[0][1] < ready[0][0]):
+                    when, _seq, item = pop(queue)
+                else:
+                    when = now
+                    item = ready.popleft()[1]
+            else:
+                when, _seq, item = pop(queue)
+                if when < now:  # pragma: no cover - _schedule guard
+                    raise SimError("event scheduled in the past")
+            if type(item) is _Call:
+                self._now = now = when
+                self._processed += 1
+                steps += 1
+                fn, arg = item.fn, item.arg
+                item.fn = item.arg = None
+                if len(free) < _FREE_LIST_CAP:
+                    free.append(item)
+                fn(arg)
+                continue
+            if item._state is _PROCESSED:
+                continue  # cancelled while queued: skip, clock untouched
+            self._now = now = when
+            self._processed += 1
+            steps += 1
+            callbacks, item.callbacks = item.callbacks, []
+            item._mark_processed()
+            for callback in callbacks:
+                if callback is not None:
+                    callback(item)
+            if not item._ok and not item._defused:
+                raise item.value  # type: ignore[misc]
+        return steps
+
     def run(self, until: float | Event | None = None) -> object:
         """Run until the queue drains, a time is reached, or an event fires.
 

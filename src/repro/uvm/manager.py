@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.gpu.device import Gpu
 from repro.gpu.kernel import AccessPattern, KernelLaunch, SizedBuffer
-from repro.uvm.access import pages_for_bytes
+from repro.uvm.access import pages_for_bytes, touched_page_count
 from repro.uvm.advise import Advise, AdviseRegistry
 from repro.uvm.backends import PagingBackend, make_paging_backend
 from repro.uvm.calibration import PAPER_CALIBRATION, UvmModelParams
@@ -391,6 +391,103 @@ class UvmSpace:
         self.stats.invalidated_bytes += invalidated
         return HostAccessCost(seconds, wb_bytes, invalidated)
 
+    # -- kernel-cost replay (plan cache) -----------------------------------------
+
+    def replay_kernel(self, gpu: Gpu, launch: KernelLaunch,
+                      record: "KernelCostRecord",
+                      buffer_ids: list[int]) -> KernelCost | None:
+        """Apply a recorded launch transition instead of pricing it.
+
+        The plan cache's cost-replay fast path: when a hot tenant
+        resubmits a program, every launch re-derives the same page-set
+        math, fault batching and degradation arithmetic over fresh
+        buffers.  :func:`capture_kernel_cost` recorded the launch's full
+        effect — per-device residency transitions, clock movement and
+        the final :class:`KernelCost` — as all-or-nothing page states;
+        this method re-validates that the live space is in the recorded
+        pre-state (O(1) counts per buffer × device, no page-set
+        construction) and, when it is, applies the recorded post-state
+        with slice-wide page-table writes and returns the recorded cost.
+
+        Returns ``None`` — with *nothing mutated* — on any mismatch;
+        the caller then falls back to :meth:`price_kernel`, which
+        reproduces the correct behaviour from live state.
+        ``buffer_ids`` maps the record's session-local buffer indices to
+        this session's live buffer ids.
+        """
+        devices = sorted(self._devices)
+        if (tuple(devices) != record.device_ids
+                or gpu.gpu_id != record.gpu_id
+                or self.oversubscription != record.pre_osf):
+            return None
+        tables = [self._devices[d].table for d in devices]
+        if any(t.page_size != record.page_size for t in tables):
+            return None
+        admit_need = [0] * len(devices)
+        resolved: list[int] = []
+        for b in record.buffers:
+            if b.index >= len(buffer_ids):
+                return None
+            bid = buffer_ids[b.index]
+            resolved.append(bid)
+            if self._buffers.get(bid) != b.nbytes:
+                return None
+            advise_set = self.advises.for_buffer(bid)
+            if advise_set.preferred_host or advise_set.read_mostly:
+                return None
+            for d, table in enumerate(tables):
+                reg, res, dirty, _ac = b.pre[d]
+                if table.is_registered(bid) != bool(reg):
+                    return None
+                if reg:
+                    state = table.buffer(bid)
+                    if (state.n_pages != b.n_pages
+                            or state.resident_count != res
+                            or state.dirty_count != dirty):
+                        return None
+                admit_need[d] += max(0, b.post[d][1] - res)
+        for d, table in enumerate(tables):
+            if admit_need[d] > table.free_pages:
+                return None
+
+        # -- every guard passed; apply the recorded transition ---------------
+        target = devices.index(gpu.gpu_id)
+        dev = self._devices[gpu.gpu_id]
+        base = [t.clock for t in tables]
+        for d, table in enumerate(tables):
+            if record.clock_delta[d]:
+                table.advance_clock(record.clock_delta[d])
+        for b, bid in zip(record.buffers, resolved):
+            dev.touch(bid, b.nbytes)
+            for d, table in enumerate(tables):
+                reg, res, dirty, ac = b.pre[d]
+                reg_post, res_post, dirty_post, ac_post = b.post[d]
+                if not reg_post:
+                    continue
+                if not table.is_registered(bid):
+                    table.register(bid, b.n_pages)
+                touches = ac_post - ac
+                if (res_post == res and dirty_post == dirty
+                        and touches == 0):
+                    continue
+                stamp = b.stamp[d]
+                table.fill_uniform(
+                    bid,
+                    resident=res_post == b.n_pages,
+                    dirty=(None if dirty_post == dirty
+                           else dirty_post == b.n_pages),
+                    clock=base[d] + stamp if stamp >= 0 else None,
+                    touches=touches)
+            dev.pricer._ordinals.setdefault(bid,
+                                            len(dev.pricer._ordinals))
+        dev.pricer._seed += 1
+        cost = record.cost
+        stats = self.stats
+        stats.kernel_launches += 1
+        stats.cold_bytes += cost.cold_bytes
+        stats.peer_bytes += cost.peer_bytes
+        return cost
+
     def writeback(self, buffer_id: int) -> HostAccessCost:
         """Flush dirty pages of a buffer so the host copy is current."""
         return self.host_access(buffer_id, write=False)
@@ -402,3 +499,179 @@ class UvmSpace:
         for dev in self._devices.values():
             dropped += dev.engine.invalidate(buffer_id) * dev.table.page_size
         return dropped
+
+
+# -- kernel-cost recording (plan cache) ---------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class BufferTransition:
+    """One buffer's recorded page-state transition across a launch.
+
+    Per device (ordered like the record's ``device_ids``): ``pre`` and
+    ``post`` are ``(registered, resident_pages, dirty_pages,
+    access_count)`` with page counts restricted to all-or-nothing (0 or
+    ``n_pages``) and a *uniform* per-page access count — the invariant
+    that makes count equality equivalent to exact state equality.
+    ``stamp`` is the final ``last_access`` value as an offset from the
+    device's pre-launch clock (−1: the launch never stamped it).
+    """
+
+    index: int              # session-local buffer index (plan-cache namespace)
+    nbytes: int
+    n_pages: int
+    pre: tuple[tuple[int, int, int, int], ...]
+    post: tuple[tuple[int, int, int, int], ...]
+    stamp: tuple[int, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class KernelCostRecord:
+    """A launch's full recorded effect: transitions + clock + cost."""
+
+    gpu_id: int
+    device_ids: tuple[int, ...]
+    page_size: int
+    pre_osf: float
+    clock_delta: tuple[int, ...]
+    buffers: tuple[BufferTransition, ...]
+    cost: KernelCost
+
+
+def _uniform(values: np.ndarray) -> int | None:
+    """The single value of a uniform array, else ``None``."""
+    lo = int(values.min())
+    return lo if lo == int(values.max()) else None
+
+
+def _device_state(table: DevicePageTable, buffer_id: int,
+                  n_pages: int) -> tuple[int, int, int, int] | None:
+    """All-or-nothing snapshot of one buffer on one device.
+
+    ``None`` when the state is not representable by counts: partial
+    residency/dirtiness or a non-uniform access count.
+    """
+    if not table.is_registered(buffer_id):
+        return (0, 0, 0, 0)
+    state = table.buffer(buffer_id)
+    if state.n_pages != n_pages:
+        return None
+    res = state.resident_count
+    dirty = state.dirty_count
+    if res not in (0, n_pages) or dirty not in (0, n_pages):
+        return None
+    ac = _uniform(state.access_count)
+    if ac is None:
+        return None
+    return (1, res, dirty, ac)
+
+
+def capture_kernel_cost(space: UvmSpace, gpu: Gpu, launch: KernelLaunch,
+                        index_of: dict[int, int]
+                        ) -> tuple[KernelCostRecord | None, KernelCost]:
+    """Price a launch live and, when possible, record its transition.
+
+    Wraps :meth:`UvmSpace.price_kernel` — the returned cost and every
+    side effect are exactly the live path's.  A
+    :class:`KernelCostRecord` is additionally returned when the
+    launch's effect is replayable from counts alone: full-coverage
+    accesses, default advises, all-or-nothing pre/post residency on
+    every device, no evictions, write-backs, refaults or thrashing.
+    ``index_of`` maps live buffer ids to session-local indices (the
+    plan cache's cross-session buffer namespace).
+    """
+    record = _pre_fingerprint(space, gpu, launch, index_of)
+    cost = space.price_kernel(gpu, launch)
+    if record is None:
+        return None, cost
+    return _close_record(space, gpu, record, cost), cost
+
+
+def _pre_fingerprint(space: UvmSpace, gpu: Gpu, launch: KernelLaunch,
+                     index_of: dict[int, int]) -> dict | None:
+    devices = sorted(space._devices)
+    tables = [space._devices[d].table for d in devices]
+    page_size = tables[0].page_size
+    if any(t.page_size != page_size for t in tables):
+        return None
+    order: list[int] = []
+    buffers: dict[int, dict] = {}
+    for access in launch.accesses:
+        bid = access.buffer.buffer_id
+        index = index_of.get(bid)
+        if index is None:
+            return None
+        advise_set = space.advises.for_buffer(bid)
+        if advise_set.preferred_host or advise_set.read_mostly:
+            return None
+        nbytes = access.buffer.nbytes
+        n_pages = pages_for_bytes(nbytes, page_size)
+        if touched_page_count(access, page_size) < n_pages:
+            return None           # partial coverage: page sets matter
+        if bid in buffers:
+            continue
+        pre = []
+        for table in tables:
+            state = _device_state(table, bid, n_pages)
+            if state is None:
+                return None
+            pre.append(state)
+        order.append(bid)
+        buffers[bid] = {"index": index, "nbytes": nbytes,
+                        "n_pages": n_pages, "pre": tuple(pre)}
+    if not order:
+        return None
+    return {
+        "devices": devices,
+        "tables": tables,
+        "page_size": page_size,
+        "order": order,
+        "buffers": buffers,
+        "osf": space.oversubscription,
+        "clock": [t.clock for t in tables],
+        "resident": [t.resident_pages for t in tables],
+    }
+
+
+def _close_record(space: UvmSpace, gpu: Gpu, pre: dict,
+                  cost: KernelCost) -> KernelCostRecord | None:
+    if cost.thrashing or cost.refault_bytes or cost.writeback_bytes:
+        return None
+    tables: list[DevicePageTable] = pre["tables"]
+    resident_delta = [t.resident_pages - r
+                      for t, r in zip(tables, pre["resident"])]
+    transitions = []
+    for bid in pre["order"]:
+        info = pre["buffers"][bid]
+        n_pages = info["n_pages"]
+        post = []
+        stamps = []
+        for d, table in enumerate(tables):
+            state = _device_state(table, bid, n_pages)
+            if state is None:
+                return None
+            stamp = -1
+            if state[3] != info["pre"][d][3]:     # touched: stamp clock
+                last = _uniform(table.buffer(bid).last_access)
+                if last is None:
+                    return None
+                stamp = last - pre["clock"][d]
+            post.append(state)
+            stamps.append(stamp)
+            resident_delta[d] -= state[1] - info["pre"][d][1]
+        transitions.append(BufferTransition(
+            index=info["index"], nbytes=info["nbytes"], n_pages=n_pages,
+            pre=info["pre"], post=tuple(post), stamp=tuple(stamps)))
+    if any(resident_delta):
+        # Some *other* buffer's residency moved (an eviction): the
+        # launch's effect is not contained in its own access set.
+        return None
+    return KernelCostRecord(
+        gpu_id=gpu.gpu_id,
+        device_ids=tuple(pre["devices"]),
+        page_size=pre["page_size"],
+        pre_osf=pre["osf"],
+        clock_delta=tuple(t.clock - c
+                          for t, c in zip(tables, pre["clock"])),
+        buffers=tuple(transitions),
+        cost=cost,
+    )

@@ -144,6 +144,18 @@ class DevicePageTable:
         self._clock += 1
         return self._clock
 
+    def advance_clock(self, ticks: int) -> int:
+        """Advance the LRU clock by several ticks at once.
+
+        The plan-cache cost replay reproduces a recorded launch's clock
+        movement without re-running the per-plan ``tick()`` calls; the
+        resulting clock value is identical to the live path's.
+        """
+        if ticks < 0:
+            raise ValueError("clock only moves forward")
+        self._clock += ticks
+        return self._clock
+
     def resident_bytes(self, buffer_id: int | None = None) -> int:
         """Resident bytes of one buffer, or of the whole device."""
         if buffer_id is None:
@@ -195,6 +207,38 @@ class DevicePageTable:
         state.access_count[resident] += 1
         if write and not state.read_mostly:
             state.dirty[resident] = True
+
+    def fill_uniform(self, buffer_id: int, *, resident: bool,
+                     dirty: bool | None = None, clock: int | None = None,
+                     touches: int = 0) -> None:
+        """Set one buffer's pages to a uniform state in O(slice) time.
+
+        The plan-cache cost replay applies a recorded launch's
+        all-or-nothing residency transition without walking page sets:
+        full admission stamps every page with one clock value and one
+        access-count delta — exactly what ``touch`` + ``admit`` over a
+        full-coverage page set would have produced.  ``dirty=None``
+        leaves dirtiness untouched (read-only access).  The caller is
+        responsible for capacity (guard ``free_pages`` first); admitting
+        past capacity raises as :meth:`admit` would.
+        """
+        state = self.buffer(buffer_id)
+        was = state.resident_count
+        now = state.n_pages if resident else 0
+        if now - was > self.free_pages:
+            raise UvmError(
+                f"admitting {now - was} pages exceeds free capacity "
+                f"{self.free_pages} — evict first")
+        state.resident[:] = resident
+        if dirty is not None:
+            state.dirty[:] = dirty and not state.read_mostly
+        elif not resident:
+            state.dirty[:] = False
+        if clock is not None:
+            state.last_access[:] = clock
+        if touches:
+            state.access_count += touches
+        self._resident_total += now - was
 
     # -- eviction -----------------------------------------------------------------
 

@@ -83,6 +83,20 @@ class TestFromArgs:
         assert config.fair_share_window == 8
 
 
+    def test_plan_cache_round_trips(self):
+        parser = argparse.ArgumentParser()
+        RuntimeConfig.add_cli_args(parser, default_policy="round-robin")
+        assert RuntimeConfig.from_args(
+            parser.parse_args([])).plan_cache is False   # default off
+        config = RuntimeConfig.from_args(
+            parser.parse_args(["--plan-cache"]))
+        assert config.plan_cache is True
+        clone = RuntimeConfig.from_dict(config.as_dict())
+        assert clone == config and clone.plan_cache
+        assert RuntimeConfig().merge({"plan_cache": True}).plan_cache
+        assert "plan_cache" in RuntimeConfig().as_dict()
+
+
 class TestSerialisation:
     def test_as_dict_is_json_ready(self):
         config = RuntimeConfig(policy=RoundRobinPolicy(),
@@ -149,6 +163,21 @@ class TestBuildRuntime:
         with pytest.raises(ValueError, match="grout"):
             RuntimeConfig(mode="grcuda",
                           chunk_bytes=MIB).build_runtime()
+
+    def test_plan_cache_knob_builds_the_cache(self):
+        rt = RuntimeConfig(policy="round-robin",
+                           plan_cache=True).build_runtime()
+        try:
+            assert rt.controller.plan_cache is not None
+        finally:
+            rt.shutdown()
+        off = RuntimeConfig(policy="round-robin").build_runtime()
+        try:
+            assert off.controller.plan_cache is None
+        finally:
+            off.shutdown()
+        with pytest.raises(ValueError, match="grout"):
+            RuntimeConfig(mode="grcuda", plan_cache=True).build_runtime()
 
     def test_fault_plan_is_armed_on_build(self):
         config = RuntimeConfig(policy="round-robin",
